@@ -1,0 +1,111 @@
+//! Classification axes for undefined behavior.
+
+use std::fmt;
+
+/// Whether a category of undefined behavior can be diagnosed by inspecting
+/// the program text alone, or only by (abstractly) executing the program.
+///
+/// The paper classifies the 221 undefined behaviors of the C standard into
+/// 92 statically detectable and 129 only dynamically detectable ones
+/// (§5.2.1). The rule of thumb inherited from the committee: a situation is
+/// *statically* undefined when it is hard to imagine generating code for it
+/// at all, and *dynamically* undefined when code can be generated but some
+/// executions go wrong.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_ub::Detectability;
+/// assert!(Detectability::Static < Detectability::Dynamic);
+/// assert_eq!(Detectability::Static.to_string(), "static");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Detectability {
+    /// Detectable from the program text, without running it.
+    Static,
+    /// Detectable only on particular executions.
+    Dynamic,
+}
+
+impl fmt::Display for Detectability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Detectability::Static => f.write_str("static"),
+            Detectability::Dynamic => f.write_str("dynamic"),
+        }
+    }
+}
+
+/// The six classes of undefined behavior exercised by the Juliet-derived
+/// benchmark (Figure 2 of the paper).
+///
+/// Each test in the extracted suite triggers exactly one class; analyzer
+/// scores are reported per class.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_ub::JulietClass;
+/// assert_eq!(JulietClass::ALL.len(), 6);
+/// assert_eq!(JulietClass::DivisionByZero.to_string(), "Division by zero");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JulietClass {
+    /// Use of an invalid pointer: buffer overflow, use after free,
+    /// returning and using a stack address, NULL dereference, …
+    InvalidPointer,
+    /// Integer division (or remainder) by zero.
+    DivisionByZero,
+    /// Bad argument to `free()`: stack pointer, interior pointer, double
+    /// free.
+    BadFree,
+    /// Use of uninitialized (indeterminate) memory.
+    UninitializedMemory,
+    /// Function call with the wrong number or types of arguments.
+    BadFunctionCall,
+    /// Signed integer overflow.
+    IntegerOverflow,
+}
+
+impl JulietClass {
+    /// All six classes, in the order of the paper's Figure 2.
+    pub const ALL: [JulietClass; 6] = [
+        JulietClass::InvalidPointer,
+        JulietClass::DivisionByZero,
+        JulietClass::BadFree,
+        JulietClass::UninitializedMemory,
+        JulietClass::BadFunctionCall,
+        JulietClass::IntegerOverflow,
+    ];
+
+    /// Human-readable row label, as printed in Figure 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            JulietClass::InvalidPointer => "Use of invalid pointer",
+            JulietClass::DivisionByZero => "Division by zero",
+            JulietClass::BadFree => "Bad argument to free()",
+            JulietClass::UninitializedMemory => "Uninitialized memory",
+            JulietClass::BadFunctionCall => "Bad function call",
+            JulietClass::IntegerOverflow => "Integer overflow",
+        }
+    }
+
+    /// Number of tests in this class in the paper's extraction of the
+    /// Juliet suite (total 4113).
+    pub fn paper_test_count(self) -> usize {
+        match self {
+            JulietClass::InvalidPointer => 3193,
+            JulietClass::DivisionByZero => 77,
+            JulietClass::BadFree => 334,
+            JulietClass::UninitializedMemory => 422,
+            JulietClass::BadFunctionCall => 46,
+            JulietClass::IntegerOverflow => 41,
+        }
+    }
+}
+
+impl fmt::Display for JulietClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}

@@ -1,0 +1,283 @@
+//! The undefined behaviors the checker knows how to detect.
+
+use crate::{Detectability, JulietClass};
+use std::fmt;
+
+/// Metadata describing one detectable category of undefined behavior.
+///
+/// Obtained from [`UbKind::info`]. The `code` numbers are stable and appear
+/// in rendered diagnostics, in the style of the paper's `kcc` output
+/// (`Error: 00016`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UbInfo {
+    /// Stable numeric error code used in diagnostics.
+    pub code: u16,
+    /// One-line description of the behavior.
+    pub title: &'static str,
+    /// The C11 (N1570) section imposing — or rather, withholding — the
+    /// requirement, e.g. `"6.5.5:5"`.
+    pub std_ref: &'static str,
+    /// Whether the behavior is statically or only dynamically detectable.
+    pub detect: Detectability,
+    /// The Juliet benchmark class this behavior falls into, if any.
+    pub juliet: Option<JulietClass>,
+}
+
+macro_rules! ub_kinds {
+    ($(
+        $(#[$doc:meta])*
+        $variant:ident = ($code:expr, $title:expr, $std_ref:expr, $detect:ident, $juliet:expr)
+    ),+ $(,)?) => {
+        /// A category of undefined behavior that the semantics can detect.
+        ///
+        /// Each variant corresponds to a family of entries in the standard's
+        /// enumeration of undefined behaviors (see [`crate::catalog`]); the
+        /// mapping is recorded there via [`crate::CatalogEntry::detected_by`].
+        ///
+        /// # Examples
+        ///
+        /// ```
+        /// use cundef_ub::UbKind;
+        /// let k = UbKind::DivisionByZero;
+        /// assert_eq!(k.info().title, "Division by zero");
+        /// assert_eq!(k.code(), 2);
+        /// ```
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[non_exhaustive]
+        pub enum UbKind {
+            $( $(#[$doc])* $variant, )+
+        }
+
+        impl UbKind {
+            /// Every detectable kind, in code order.
+            pub const ALL: &'static [UbKind] = &[ $(UbKind::$variant,)+ ];
+
+            /// Static metadata for this kind.
+            pub fn info(self) -> &'static UbInfo {
+                match self {
+                    $(UbKind::$variant => &UbInfo {
+                        code: $code,
+                        title: $title,
+                        std_ref: $std_ref,
+                        detect: Detectability::$detect,
+                        juliet: $juliet,
+                    },)+
+                }
+            }
+        }
+    };
+}
+
+use JulietClass as J;
+
+ub_kinds! {
+    // ----- arithmetic -----
+    /// Integer or floating division by zero (`/`).
+    DivisionByZero = (2, "Division by zero", "6.5.5:5", Dynamic, Some(J::DivisionByZero)),
+    /// Remainder by zero (`%`).
+    ModuloByZero = (3, "Remainder by zero", "6.5.5:5", Dynamic, Some(J::DivisionByZero)),
+    /// Signed integer overflow in `+`, `-`, `*`, or unary negation.
+    SignedOverflow = (4, "Signed integer overflow", "6.5:5", Dynamic, Some(J::IntegerOverflow)),
+    /// `INT_MIN / -1` (or `%`): quotient not representable.
+    DivisionOverflow = (5, "Quotient of signed division not representable", "6.5.5:6", Dynamic, Some(J::IntegerOverflow)),
+    /// Shift by a negative amount.
+    ShiftByNegative = (6, "Shift by a negative amount", "6.5.7:3", Dynamic, Some(J::IntegerOverflow)),
+    /// Shift by at least the width of the promoted left operand.
+    ShiftTooFar = (7, "Shift amount not less than the width of the type", "6.5.7:3", Dynamic, Some(J::IntegerOverflow)),
+    /// Left shift of a negative value.
+    ShiftOfNegative = (8, "Left shift of a negative value", "6.5.7:4", Dynamic, Some(J::IntegerOverflow)),
+    /// Left shift whose result is not representable in the result type.
+    ShiftOverflow = (9, "Left shift result not representable", "6.5.7:4", Dynamic, Some(J::IntegerOverflow)),
+    /// Conversion of a floating value to an integer type that cannot
+    /// represent it.
+    FloatToIntOverflow = (10, "Floating value unrepresentable in integer type", "6.3.1.4:1", Dynamic, Some(J::IntegerOverflow)),
+
+    // ----- sequencing -----
+    /// Unsequenced side effect on a scalar object together with another
+    /// side effect on, or value computation of, the same object. This is
+    /// the paper's flagship `Error: 00016`.
+    UnsequencedSideEffect = (16, "Unsequenced side effect on scalar object with side effect of same object", "6.5:2", Dynamic, None),
+
+    // ----- pointers and memory -----
+    /// Dereference of a null pointer.
+    NullDereference = (20, "Dereference of a null pointer", "6.5.3.2:4", Dynamic, Some(J::InvalidPointer)),
+    /// Dereference of a pointer to `void`.
+    VoidDereference = (21, "Dereference of a void pointer", "6.3.2.1:1", Dynamic, Some(J::InvalidPointer)),
+    /// Access through a pointer to an object whose lifetime has ended
+    /// (out-of-scope automatic object or freed allocation).
+    DeadObjectAccess = (22, "Access to an object outside of its lifetime", "6.2.4:2", Dynamic, Some(J::InvalidPointer)),
+    /// Read outside the bounds of the accessed object.
+    OutOfBoundsRead = (23, "Read outside the bounds of an object", "6.5.6:8", Dynamic, Some(J::InvalidPointer)),
+    /// Write outside the bounds of the accessed object.
+    OutOfBoundsWrite = (24, "Write outside the bounds of an object", "6.5.6:8", Dynamic, Some(J::InvalidPointer)),
+    /// Pointer arithmetic producing a pointer neither into, nor one past
+    /// the end of, the original object.
+    PointerArithmeticOutOfBounds = (25, "Pointer arithmetic outside of an object", "6.5.6:8", Dynamic, Some(J::InvalidPointer)),
+    /// Subtraction of pointers into different objects.
+    PointerSubtractionDifferentObjects = (26, "Subtraction of pointers to different objects", "6.5.6:9", Dynamic, Some(J::InvalidPointer)),
+    /// Relational comparison (`<`, `<=`, `>`, `>=`) of pointers into
+    /// different objects.
+    PointerCompareDifferentObjects = (27, "Relational comparison of pointers to different objects", "6.5.8:5", Dynamic, Some(J::InvalidPointer)),
+    /// Use of an indeterminate (never-initialized) value.
+    ReadIndeterminate = (28, "Use of an indeterminate value", "6.2.6.1:5", Dynamic, Some(J::UninitializedMemory)),
+    /// Use of a pointer value that was only partially copied byte-by-byte
+    /// (incomplete `subObject` reconstruction).
+    PartialPointerUse = (29, "Use of an incompletely copied pointer value", "6.2.6.1:4", Dynamic, Some(J::UninitializedMemory)),
+    /// Access through a pointer that is not suitably aligned for the
+    /// referenced type.
+    MisalignedAccess = (30, "Access through an insufficiently aligned pointer", "6.3.2.3:7", Dynamic, Some(J::InvalidPointer)),
+    /// Write to an object defined with a `const`-qualified type.
+    WriteToConst = (31, "Modification of an object defined with a const-qualified type", "6.7.3:6", Dynamic, None),
+    /// Write into a string literal.
+    ModifyStringLiteral = (32, "Modification of a string literal", "6.4.5:7", Dynamic, None),
+    /// Access to an object through an lvalue of an incompatible type
+    /// ("strict aliasing").
+    AccessWrongEffectiveType = (33, "Object accessed through incompatible lvalue type", "6.5:7", Dynamic, None),
+
+    // ----- allocation -----
+    /// `free()` of a pointer not obtained from an allocation function.
+    FreeNonHeapPointer = (40, "free() of a pointer not returned by an allocation function", "7.22.3.3:2", Dynamic, Some(J::BadFree)),
+    /// `free()` of a pointer into the middle of an allocation.
+    FreeInteriorPointer = (41, "free() of a pointer not at the start of its allocation", "7.22.3.3:2", Dynamic, Some(J::BadFree)),
+    /// `free()` of an already-freed allocation.
+    DoubleFree = (42, "free() of an already freed allocation", "7.22.3.3:2", Dynamic, Some(J::BadFree)),
+
+    // ----- functions -----
+    /// Call with the wrong number of arguments.
+    CallWrongArity = (50, "Function called with the wrong number of arguments", "6.5.2.2:6", Dynamic, Some(J::BadFunctionCall)),
+    /// Call through a function pointer of incompatible type, or with
+    /// incompatible argument types.
+    CallWrongType = (51, "Function called through incompatible type", "6.5.2.2:9", Dynamic, Some(J::BadFunctionCall)),
+    /// Use of the return value of a function that terminated without a
+    /// `return <expr>`.
+    MissingReturnValueUsed = (52, "Use of the value of a function that returned without a value", "6.9.1:12", Dynamic, None),
+    /// Call of something that is not a function.
+    CallNonFunction = (53, "Call of a non-function object", "6.5.2.2:1", Dynamic, Some(J::BadFunctionCall)),
+
+    // ----- library -----
+    /// Null (or otherwise invalid) pointer argument passed to a library
+    /// function that requires a valid object.
+    InvalidLibraryArgument = (60, "Invalid pointer argument to a library function", "7.1.4:1", Dynamic, Some(J::InvalidPointer)),
+    /// `printf`-family conversion specifier incompatible with the supplied
+    /// argument.
+    FormatMismatch = (61, "Format specifier incompatible with argument", "7.21.6.1:9", Dynamic, Some(J::BadFunctionCall)),
+    /// Overlapping source and destination passed to `memcpy`/`strcpy`.
+    RestrictOverlap = (62, "Overlapping objects passed to a restrict-qualified function", "7.24.2.1:2", Dynamic, None),
+
+    // ----- statically detectable -----
+    /// Array declared with zero or negative constant size.
+    ArraySizeNotPositive = (70, "Array declared with non-positive size", "6.7.6.2:1", Static, None),
+    /// Variable-length array whose evaluated size is not strictly positive.
+    VlaSizeNotPositive = (71, "Variable length array with non-positive size", "6.7.6.2:5", Dynamic, None),
+    /// Function type specified with type qualifiers.
+    QualifiedFunctionType = (72, "Function type specified with type qualifiers", "6.7.3:9", Static, None),
+    /// Use of the (nonexistent) value of a void expression.
+    VoidValueUsed = (73, "Use of the value of a void expression", "6.3.2.2:1", Static, None),
+    /// Redeclaration of an identifier with an incompatible type.
+    IncompatibleRedeclaration = (74, "Identifier redeclared with incompatible type", "6.2.7:2", Static, None),
+    /// Identifier with both internal and external linkage in the same
+    /// translation unit.
+    MixedLinkage = (75, "Identifier appears with both internal and external linkage", "6.2.2:7", Static, None),
+    /// Jump into the scope of a variably modified declaration.
+    JumpIntoVlaScope = (76, "Jump into the scope of a variably modified declaration", "6.8.6.1:1", Static, None),
+    /// More than one external definition of the same identifier.
+    DuplicateExternalDefinition = (77, "Multiple external definitions of an identifier", "6.9:5", Static, None),
+    /// Conversion between function pointers and object pointers.
+    FunctionObjectPointerCast = (78, "Conversion between function pointer and object pointer", "6.3.2.3", Static, None),
+    /// `restrict` applied to a non-pointer type.
+    RestrictNonPointer = (79, "restrict qualifier on a non-pointer type", "6.7.3:2", Static, None),
+    /// `main` declared in a form the implementation does not document.
+    NonstandardMain = (80, "main declared with a nonstandard signature", "5.1.2.2.1:1", Static, None),
+    /// `return` with no value in a value-returning function, where the
+    /// caller uses the value — static form (constant control flow).
+    ReturnWithoutValue = (81, "return without a value in a value-returning function", "6.9.1:12", Static, None),
+}
+
+impl UbKind {
+    /// The stable numeric code, shorthand for `self.info().code`.
+    pub fn code(self) -> u16 {
+        self.info().code
+    }
+
+    /// One-line title, shorthand for `self.info().title`.
+    pub fn title(self) -> &'static str {
+        self.info().title
+    }
+
+    /// Static/dynamic classification, shorthand for `self.info().detect`.
+    pub fn detectability(self) -> Detectability {
+        self.info().detect
+    }
+
+    /// Juliet class, shorthand for `self.info().juliet`.
+    pub fn juliet_class(self) -> Option<JulietClass> {
+        self.info().juliet
+    }
+
+    /// Look a kind up by its stable code.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cundef_ub::UbKind;
+    /// assert_eq!(UbKind::from_code(16), Some(UbKind::UnsequencedSideEffect));
+    /// assert_eq!(UbKind::from_code(9999), None);
+    /// ```
+    pub fn from_code(code: u16) -> Option<UbKind> {
+        UbKind::ALL.iter().copied().find(|k| k.code() == code)
+    }
+}
+
+impl fmt::Display for UbKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.title(), self.info().std_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<u16> = UbKind::ALL.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), UbKind::ALL.len());
+    }
+
+    #[test]
+    fn every_kind_has_std_ref() {
+        for k in UbKind::ALL {
+            assert!(!k.info().std_ref.is_empty(), "{k:?} missing std ref");
+        }
+    }
+
+    #[test]
+    fn juliet_classes_cover_all_six() {
+        for class in JulietClass::ALL {
+            assert!(
+                UbKind::ALL.iter().any(|k| k.juliet_class() == Some(class)),
+                "no kind maps to {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsequenced_is_error_16_like_the_paper() {
+        assert_eq!(UbKind::UnsequencedSideEffect.code(), 16);
+    }
+
+    #[test]
+    fn display_includes_ref() {
+        let s = UbKind::DivisionByZero.to_string();
+        assert!(s.contains("6.5.5"));
+    }
+
+    #[test]
+    fn from_code_roundtrip() {
+        for k in UbKind::ALL {
+            assert_eq!(UbKind::from_code(k.code()), Some(*k));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Catalog and taxonomy of undefined behavior in C.
+//!
+//! This crate is the vocabulary shared by the whole workspace. It provides:
+//!
+//! - [`UbKind`] — every category of undefined behavior the checker can
+//!   *detect*, each carrying a numeric error code, a C11 section reference,
+//!   a static/dynamic classification and (where applicable) the class it
+//!   falls into in the Juliet-derived benchmark;
+//! - [`catalog`] — the full classification of the undefined behaviors
+//!   enumerated by the C standard (221 entries: 92 statically detectable,
+//!   129 only dynamically detectable), reproducing §5.2.1 of
+//!   *Defining the Undefinedness of C*;
+//! - [`UbError`] and [`Diagnostic`] — structured reports rendered in the
+//!   style of the paper's `kcc` tool.
+//!
+//! # Examples
+//!
+//! ```
+//! use cundef_ub::{UbKind, Detectability};
+//!
+//! let info = UbKind::UnsequencedSideEffect.info();
+//! assert_eq!(info.code, 16);
+//! assert_eq!(info.detect, Detectability::Dynamic);
+//! assert!(info.std_ref.contains("6.5"));
+//! ```
+
+mod catalog;
+mod class;
+mod kind;
+mod report;
+
+pub use catalog::{catalog, catalog_counts, CatalogCounts, CatalogEntry};
+pub use class::{Detectability, JulietClass};
+pub use kind::{UbInfo, UbKind};
+pub use report::{Diagnostic, Severity, SourceLoc, UbError};

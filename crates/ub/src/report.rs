@@ -1,0 +1,258 @@
+//! Structured undefined-behavior reports and their `kcc`-style rendering.
+
+use crate::UbKind;
+use std::error::Error;
+use std::fmt;
+
+/// A position in the analyzed C source.
+///
+/// Lines and columns are 1-based, matching compiler convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SourceLoc {
+    /// 1-based line number (0 if unknown).
+    pub line: u32,
+    /// 1-based column number (0 if unknown).
+    pub col: u32,
+}
+
+impl SourceLoc {
+    /// Create a location from a line/column pair.
+    pub fn new(line: u32, col: u32) -> SourceLoc {
+        SourceLoc { line, col }
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Severity of a diagnostic produced by the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program's behavior is undefined: the standard imposes no
+    /// requirements.
+    Undefined,
+    /// The program violates a compile-time constraint (a conforming
+    /// implementation must diagnose it).
+    Constraint,
+    /// The checker itself gave up (resource budget, unsupported feature);
+    /// this says nothing about the program.
+    Engine,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Undefined => "undefined behavior",
+            Severity::Constraint => "constraint violation",
+            Severity::Engine => "checker limitation",
+        })
+    }
+}
+
+/// An occurrence of undefined behavior, as detected by the semantics.
+///
+/// This is the error type threaded through the whole evaluation engine:
+/// every semantic rule that would "get stuck" on an undefined program
+/// instead returns a `UbError` describing why.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_ub::{SourceLoc, UbError, UbKind};
+///
+/// let err = UbError::new(UbKind::DivisionByZero)
+///     .at(SourceLoc::new(3, 12))
+///     .in_function("main")
+///     .with_detail("5 / 0");
+/// assert_eq!(err.kind(), UbKind::DivisionByZero);
+/// assert!(err.to_string().contains("Division by zero"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UbError {
+    kind: UbKind,
+    loc: Option<SourceLoc>,
+    function: Option<String>,
+    detail: Option<String>,
+}
+
+impl UbError {
+    /// Create a report for the given kind with no location attached yet.
+    pub fn new(kind: UbKind) -> UbError {
+        UbError { kind, loc: None, function: None, detail: None }
+    }
+
+    /// Attach a source location (keeps an existing one if already set, so
+    /// the innermost frame wins as the error propagates outward).
+    #[must_use]
+    pub fn at(mut self, loc: SourceLoc) -> UbError {
+        self.loc.get_or_insert(loc);
+        self
+    }
+
+    /// Attach the enclosing function name (innermost wins).
+    #[must_use]
+    pub fn in_function(mut self, name: impl Into<String>) -> UbError {
+        self.function.get_or_insert_with(|| name.into());
+        self
+    }
+
+    /// Attach free-form detail about the offending operation.
+    #[must_use]
+    pub fn with_detail(mut self, detail: impl Into<String>) -> UbError {
+        self.detail = Some(detail.into());
+        self
+    }
+
+    /// The category of undefined behavior.
+    pub fn kind(&self) -> UbKind {
+        self.kind
+    }
+
+    /// Source location, if known.
+    pub fn loc(&self) -> Option<SourceLoc> {
+        self.loc
+    }
+
+    /// Enclosing function, if known.
+    pub fn function(&self) -> Option<&str> {
+        self.function.as_deref()
+    }
+
+    /// Free-form detail, if any.
+    pub fn detail(&self) -> Option<&str> {
+        self.detail.as_deref()
+    }
+
+    /// Render as a full diagnostic block.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Undefined,
+            code: self.kind.code(),
+            description: self.kind.title().to_string(),
+            std_ref: Some(self.kind.info().std_ref.to_string()),
+            function: self.function.clone(),
+            loc: self.loc,
+            detail: self.detail.clone(),
+        }
+    }
+}
+
+impl fmt::Display for UbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undefined behavior: {}", self.kind.title())?;
+        if let Some(d) = &self.detail {
+            write!(f, " ({d})")?;
+        }
+        if let Some(func) = &self.function {
+            write!(f, " in function {func}")?;
+        }
+        if let Some(loc) = self.loc {
+            write!(f, " at line {}", loc.line)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for UbError {}
+
+/// A rendered diagnostic, formatted like the output of the paper's `kcc`
+/// tool:
+///
+/// ```text
+/// ERROR! KCC encountered an error.
+/// ===============================================
+/// Error: 00016
+/// Description: Unsequenced side effect on scalar object with side effect
+/// of same object.
+/// ===============================================
+/// Function: main
+/// Line: 3
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Diagnostic severity.
+    pub severity: Severity,
+    /// Stable numeric code.
+    pub code: u16,
+    /// One-line description.
+    pub description: String,
+    /// C standard reference, if applicable.
+    pub std_ref: Option<String>,
+    /// Enclosing function, if known.
+    pub function: Option<String>,
+    /// Source location, if known.
+    pub loc: Option<SourceLoc>,
+    /// Free-form detail.
+    pub detail: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ERROR! KCC encountered an error.")?;
+        writeln!(f, "===============================================")?;
+        writeln!(f, "Error: {:05}", self.code)?;
+        writeln!(f, "Description: {}.", self.description)?;
+        if let Some(r) = &self.std_ref {
+            writeln!(f, "See section {r} of ISO/IEC 9899:2011.")?;
+        }
+        if let Some(d) = &self.detail {
+            writeln!(f, "Detail: {d}")?;
+        }
+        writeln!(f, "===============================================")?;
+        if let Some(func) = &self.function {
+            writeln!(f, "Function: {func}")?;
+        }
+        if let Some(loc) = self.loc {
+            writeln!(f, "Line: {}", loc.line)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_renders_like_kcc() {
+        let err = UbError::new(UbKind::UnsequencedSideEffect)
+            .at(SourceLoc::new(3, 10))
+            .in_function("main");
+        let rendered = err.to_diagnostic().to_string();
+        assert!(rendered.contains("Error: 00016"));
+        assert!(rendered.contains("Unsequenced side effect"));
+        assert!(rendered.contains("Function: main"));
+        assert!(rendered.contains("Line: 3"));
+    }
+
+    #[test]
+    fn innermost_location_wins() {
+        let err = UbError::new(UbKind::DivisionByZero)
+            .at(SourceLoc::new(7, 1))
+            .at(SourceLoc::new(99, 1));
+        assert_eq!(err.loc(), Some(SourceLoc::new(7, 1)));
+    }
+
+    #[test]
+    fn innermost_function_wins() {
+        let err = UbError::new(UbKind::DivisionByZero)
+            .in_function("callee")
+            .in_function("caller");
+        assert_eq!(err.function(), Some("callee"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_: &E) {}
+        takes_error(&UbError::new(UbKind::NullDereference));
+    }
+
+    #[test]
+    fn display_mentions_detail() {
+        let err = UbError::new(UbKind::DivisionByZero).with_detail("5 / 0");
+        assert!(err.to_string().contains("5 / 0"));
+    }
+}

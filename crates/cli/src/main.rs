@@ -1,0 +1,173 @@
+//! `cundef` — a kcc-style dynamic undefined-behavior checker.
+//!
+//! Runs `.c` snippets (in the supported subset) through the
+//! `cundef-semantics` pipeline and renders any undefined behavior as a
+//! kcc-style report carrying the catalog code and C11 section reference.
+
+use cundef_semantics::{check_translation_unit, Outcome};
+use cundef_ub::{catalog, catalog_counts, Detectability};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Print to stdout, ignoring broken pipes (`cundef … | head` must not
+/// panic; the exit code still reflects the analysis).
+macro_rules! say {
+    ($($t:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($t)*);
+    };
+}
+
+/// Like [`say!`] without the trailing newline.
+macro_rules! say_raw {
+    ($($t:tt)*) => {
+        let _ = write!(std::io::stdout(), $($t)*);
+    };
+}
+
+/// Print to stderr, ignoring broken pipes.
+macro_rules! complain {
+    ($($t:tt)*) => {
+        let _ = writeln!(std::io::stderr(), $($t)*);
+    };
+}
+
+const USAGE: &str = "\
+cundef — dynamic undefined-behavior checker for C snippets
+(reproduction of `kcc` from \"Defining the Undefinedness of C\", PLDI 2015)
+
+USAGE:
+    cundef [OPTIONS] <FILE>...
+
+OPTIONS:
+    --catalog     Print the paper's §5.2.1 catalog summary and exit
+    -q, --quiet   Only print reports, no per-file success lines
+    -h, --help    Print this help
+    --version     Print version
+
+EXIT STATUS:
+    0  every file ran to completion with no undefined behavior
+    1  undefined behavior was detected in at least one file
+    2  usage error, unreadable file, or input outside the subset";
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut quiet = false;
+    let mut no_more_options = false;
+    for arg in std::env::args().skip(1) {
+        if no_more_options {
+            files.push(arg);
+            continue;
+        }
+        match arg.as_str() {
+            "--" => no_more_options = true,
+            "-h" | "--help" => {
+                say!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--version" => {
+                say!("cundef {}", env!("CARGO_PKG_VERSION"));
+                return ExitCode::SUCCESS;
+            }
+            "--catalog" => {
+                print_catalog_summary();
+                return ExitCode::SUCCESS;
+            }
+            "-q" | "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                complain!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        complain!("error: no input files\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut any_undefined = false;
+    let mut any_engine_failure = false;
+    for file in &files {
+        match check_file(file, quiet) {
+            FileResult::Defined => {}
+            FileResult::Undefined => any_undefined = true,
+            FileResult::EngineFailure => any_engine_failure = true,
+        }
+    }
+    if any_undefined {
+        ExitCode::from(1)
+    } else if any_engine_failure {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+enum FileResult {
+    Defined,
+    Undefined,
+    EngineFailure,
+}
+
+fn check_file(path: &str, quiet: bool) -> FileResult {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            complain!("{path}: cannot read file: {e}");
+            return FileResult::EngineFailure;
+        }
+    };
+    match check_translation_unit(&source) {
+        Err(parse_err) => {
+            complain!("{path}: {parse_err}");
+            FileResult::EngineFailure
+        }
+        Ok(Outcome::Completed(exit)) => {
+            if !quiet {
+                say!("{path}: no undefined behavior detected (program returned {exit})");
+            }
+            FileResult::Defined
+        }
+        Ok(Outcome::Undefined(err)) => {
+            say!("{path}:");
+            say_raw!("{}", err.to_diagnostic());
+            FileResult::Undefined
+        }
+        Ok(Outcome::Unsupported { message, loc }) => {
+            complain!("{path}: checker limitation at {loc}: {message}");
+            FileResult::EngineFailure
+        }
+    }
+}
+
+fn print_catalog_summary() {
+    let counts = catalog_counts();
+    say!(
+        "C11 undefined behaviors (per \"Defining the Undefinedness of C\", §5.2.1): {}",
+        counts.total
+    );
+    say!(
+        "  statically detectable:   {}",
+        counts.statically_detectable
+    );
+    say!(
+        "  dynamically detectable:  {}",
+        counts.dynamically_detectable
+    );
+    let covered: Vec<_> = catalog()
+        .iter()
+        .filter(|e| e.detected_by.is_some())
+        .collect();
+    say!(
+        "  covered by a detector:   {} ({} dynamic, {} static)",
+        covered.len(),
+        covered
+            .iter()
+            .filter(|e| e.detect == Detectability::Dynamic)
+            .count(),
+        covered
+            .iter()
+            .filter(|e| e.detect == Detectability::Static)
+            .count(),
+    );
+}

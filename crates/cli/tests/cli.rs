@@ -1,0 +1,94 @@
+//! End-to-end tests of the `cundef` binary against the shipped examples.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    // crates/cli -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn cundef(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cundef"))
+        .current_dir(workspace_root())
+        .args(args)
+        .output()
+        .expect("binary should run")
+}
+
+#[test]
+fn detects_the_flagship_unsequenced_example() {
+    let out = cundef(&["examples/unsequenced.c"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout.contains("Error: 00016"), "{stdout}");
+    assert!(stdout.contains("6.5:2"), "{stdout}");
+    assert!(stdout.contains("Function: main"), "{stdout}");
+}
+
+#[test]
+fn detects_at_least_six_distinct_dynamic_kinds_across_examples() {
+    let cases = [
+        ("examples/unsequenced.c", "00016"),
+        ("examples/division_by_zero.c", "00002"),
+        ("examples/signed_overflow.c", "00004"),
+        ("examples/out_of_bounds.c", "00023"),
+        ("examples/uninitialized.c", "00028"),
+        ("examples/shift_width.c", "00007"),
+        ("examples/dangling.c", "00022"),
+        ("examples/double_free.c", "00042"),
+        ("examples/null_deref.c", "00020"),
+    ];
+    for (file, code) in cases {
+        let out = cundef(&[file]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{file} should be undefined\n{stdout}"
+        );
+        assert!(
+            stdout.contains(&format!("Error: {code}")),
+            "{file}: expected code {code}, got:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("of ISO/IEC 9899:2011"),
+            "{file} must cite C11:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn defined_program_exits_zero() {
+    let out = cundef(&["examples/defined.c"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no undefined behavior"), "{stdout}");
+}
+
+#[test]
+fn catalog_summary_prints_the_split() {
+    let out = cundef(&["--catalog"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("221"), "{stdout}");
+    assert!(stdout.contains("92"), "{stdout}");
+    assert!(stdout.contains("129"), "{stdout}");
+}
+
+#[test]
+fn unreadable_file_is_an_engine_failure() {
+    let out = cundef(&["examples/no_such_file.c"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn usage_error_without_files() {
+    let out = cundef(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,195 @@
+//! Abstract syntax for the supported C subset.
+//!
+//! The AST is deliberately close to the grammar of C11 §6.5–§6.8 for the
+//! constructs it covers; every expression node carries the [`SourceLoc`]
+//! of its principal operator so diagnostics can point at the exact
+//! undefined operation.
+
+use cundef_ub::SourceLoc;
+
+/// A type in the subset: `int`, or finitely-nested pointers to `int`.
+///
+/// Arrays are not first-class types here; they exist only in declarations
+/// (see [`Decl::array_size`]) and decay to pointers everywhere else,
+/// mirroring C's usage. `void` appears only as a parameter-list marker and
+/// as a return type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// The 32-bit signed `int` type.
+    Int,
+    /// A pointer to another type in the subset.
+    Ptr(Box<Ty>),
+}
+
+/// A unary operator (C11 §6.5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `!e`.
+    Not,
+    /// Bitwise complement `~e`.
+    BitNot,
+}
+
+/// A binary arithmetic, shift, relational, or bitwise operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `^`
+    BitXor,
+    /// `|`
+    BitOr,
+}
+
+/// An expression together with the source position of its operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// What the expression is.
+    pub kind: ExprKind,
+    /// Position of the principal token, for diagnostics.
+    pub loc: SourceLoc,
+}
+
+/// The shape of an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer constant.
+    IntLit(i64),
+    /// Identifier reference.
+    Ident(String),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operator application; both operands are unsequenced (§6.5:2).
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&` with its sequence point (§6.5.13:4).
+    LogicalAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||` with its sequence point (§6.5.14:4).
+    LogicalOr(Box<Expr>, Box<Expr>),
+    /// `c ? t : f` with a sequence point after `c` (§6.5.15:4).
+    Conditional(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Simple (`None`) or compound (`Some(op)`) assignment.
+    Assign(Box<Expr>, Option<BinOp>, Box<Expr>),
+    /// Prefix `++`/`--`; the `i64` is +1 or -1.
+    PreIncDec(Box<Expr>, i64),
+    /// Postfix `++`/`--`; the `i64` is +1 or -1.
+    PostIncDec(Box<Expr>, i64),
+    /// Pointer dereference `*e`.
+    Deref(Box<Expr>),
+    /// Address-of `&e`.
+    AddrOf(Box<Expr>),
+    /// Array subscript `a[i]`, identical to `*(a + i)` (§6.5.2.1:2).
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call; argument evaluations are unsequenced (§6.5.2.2:10).
+    Call(String, Vec<Expr>),
+    /// Comma operator with its sequence point (§6.5.17:2).
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+/// One declaration: `int x;`, `int x = e;`, `int a[N];`, `int *p;`, …
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// Declared identifier.
+    pub name: String,
+    /// Element (or scalar) type.
+    pub ty: Ty,
+    /// For arrays, the size expression (possibly a VLA size).
+    pub array_size: Option<Expr>,
+    /// Scalar initializer, if any.
+    pub init: Option<Expr>,
+    /// Brace-enclosed array initializer, if any.
+    pub array_init: Option<Vec<Expr>>,
+    /// Position of the declared identifier.
+    pub loc: SourceLoc,
+}
+
+/// A statement in the subset of C11 §6.8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration.
+    Decl(Decl),
+    /// Expression statement; its end is a full-expression boundary.
+    Expr(Expr),
+    /// `if`/`else`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while` loop.
+    While(Expr, Box<Stmt>),
+    /// `for` loop; all three header slots are optional.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `return` with optional value; the location is the keyword's.
+    Return(Option<Expr>, SourceLoc),
+    /// `break;`
+    Break(SourceLoc),
+    /// `continue;`
+    Continue(SourceLoc),
+    /// Compound statement; entering opens a scope, leaving ends the
+    /// lifetimes of the objects declared inside (§6.2.4:6).
+    Block(Vec<Stmt>),
+    /// The empty statement `;`.
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Ty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters in declaration order (empty for `(void)`).
+    pub params: Vec<Param>,
+    /// Whether the return type is `void`.
+    pub returns_void: bool,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Position of the function name in its definition.
+    pub loc: SourceLoc,
+}
+
+/// A parsed translation unit: a sequence of function definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TranslationUnit {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl TranslationUnit {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,1586 @@
+//! The evaluation engine: runs the AST and detects undefined behavior.
+//!
+//! The interpreter executes a translation unit starting from `main`,
+//! maintaining exactly the state the paper's negative semantics needs to
+//! get *stuck* on undefined programs:
+//!
+//! - **sequencing footprints** (§6.5:2) — every expression evaluation
+//!   returns, along with its value, the set of scalar reads and writes it
+//!   performed; at each unsequenced combination point (binary operands,
+//!   call arguments) conflicting footprints raise
+//!   [`UbKind::UnsequencedSideEffect`];
+//! - **object lifetimes** (§6.2.4) — block exit and `free` end lifetimes,
+//!   so later uses of dangling pointers raise
+//!   [`UbKind::DeadObjectAccess`], and bad `free`s raise the
+//!   [`UbKind::FreeNonHeapPointer`] family;
+//! - **initialization state** (§6.2.4:6) — cells start indeterminate and
+//!   reads of them raise [`UbKind::ReadIndeterminate`];
+//! - **value ranges** (§6.5:5) — `int` is 32-bit and every arithmetic
+//!   result is range-checked, raising [`UbKind::SignedOverflow`],
+//!   [`UbKind::DivisionByZero`], the shift family, and friends;
+//! - **bounds** (§6.5.6:8) — pointers carry their provenance (object and
+//!   offset), so out-of-bounds arithmetic and accesses are caught exactly.
+//!
+//! Memory is modeled in units of `int`-sized cells: `sizeof(int) == 1` in
+//! this subset, and `malloc(n)` allocates `n` cells. Effects inside a
+//! called function are treated as indeterminately sequenced with respect
+//! to the caller's expression (C11 §6.5.2.2:10), so they are not added to
+//! the caller's footprint.
+
+use crate::ast::{BinOp, Decl, Expr, ExprKind, Function, Stmt, TranslationUnit, UnaryOp};
+use cundef_ub::{SourceLoc, UbError, UbKind};
+
+/// Resource bounds for one execution, so that the checker terminates on
+/// looping inputs without claiming anything about them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of evaluation steps (statements + expression nodes).
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_steps: 2_000_000,
+            max_call_depth: 256,
+        }
+    }
+}
+
+/// A pointer value: an object identity plus a cell offset.
+///
+/// Pointers carry provenance, never raw addresses, which is what lets the
+/// engine decide §6.5.6:8 (bounds), §6.5.6:9 (same-object subtraction),
+/// and §6.2.4 (lifetime) questions exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pointer {
+    /// Index of the pointed-to object in the interpreter's object table.
+    pub obj: usize,
+    /// Cell offset within (or one past the end of) the object.
+    pub off: i64,
+}
+
+/// A runtime value in the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// A 32-bit `int` value (stored widened for overflow checking).
+    Int(i64),
+    /// A pointer with provenance.
+    Ptr(Pointer),
+    /// A value that does not exist: the result of a function that fell
+    /// off its end (§6.9.1:12) or of a `void` function. Consuming it
+    /// reports the carried [`UbKind`].
+    Missing(UbKind),
+}
+
+/// The result of one checked execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The program ran to completion and returned this exit value.
+    Completed(i64),
+    /// Execution ran into undefined behavior.
+    Undefined(UbError),
+    /// The checker gave up (resource limit or construct outside the
+    /// modeled semantics). This says nothing about the program.
+    Unsupported {
+        /// What the engine could not handle.
+        message: String,
+        /// Where it stopped.
+        loc: SourceLoc,
+    },
+}
+
+impl Outcome {
+    /// The undefined-behavior report, if this outcome is one.
+    pub fn ub(&self) -> Option<&UbError> {
+        match self {
+            Outcome::Undefined(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The exit value, if the program completed.
+    pub fn exit_code(&self) -> Option<i64> {
+        match self {
+            Outcome::Completed(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+const INT_MIN: i64 = i32::MIN as i64;
+const INT_MAX: i64 = i32::MAX as i64;
+const INT_WIDTH: i64 = 32;
+
+/// Why evaluation stopped early (internal control flow).
+enum Stop {
+    Ub(UbError),
+    Unsupported(String, SourceLoc),
+}
+
+type EResult<T> = Result<T, Stop>;
+
+/// Statement-level control flow.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// One scalar access performed during an expression evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Access {
+    obj: usize,
+    off: i64,
+    write: bool,
+}
+
+/// The set of scalar-object accesses an evaluation performed, used to
+/// decide §6.5:2 at unsequenced combination points.
+#[derive(Debug, Clone, Default)]
+struct Footprint {
+    accesses: Vec<Access>,
+}
+
+impl Footprint {
+    fn push_read(&mut self, obj: usize, off: i64) {
+        self.accesses.push(Access {
+            obj,
+            off,
+            write: false,
+        });
+    }
+
+    fn push_write(&mut self, obj: usize, off: i64) {
+        self.accesses.push(Access {
+            obj,
+            off,
+            write: true,
+        });
+    }
+
+    /// Merge a footprint that is *sequenced* after this one (no check).
+    fn then(&mut self, later: Footprint) {
+        self.accesses.extend(later.accesses);
+    }
+
+    /// Find a conflicting pair between two unsequenced footprints: a
+    /// write on one side with any access of the same scalar on the other.
+    fn conflict_with(&self, other: &Footprint) -> Option<(usize, i64)> {
+        for a in &self.accesses {
+            for b in &other.accesses {
+                if a.obj == b.obj && a.off == b.off && (a.write || b.write) {
+                    return Some((a.obj, a.off));
+                }
+            }
+        }
+        None
+    }
+
+    /// A location written on either side, matching `(obj, off)`.
+    fn writes(&self, obj: usize, off: i64) -> bool {
+        self.accesses
+            .iter()
+            .any(|a| a.write && a.obj == obj && a.off == off)
+    }
+}
+
+/// One memory object: a run of `int`-sized cells with a lifetime.
+struct Object {
+    cells: Vec<Option<Value>>,
+    alive: bool,
+    heap: bool,
+    /// Whether this is an array object (its designator decays, §6.3.2.1:3).
+    is_array: bool,
+    /// Display name for diagnostics (`x`, `heap object #3`, …).
+    name: String,
+}
+
+struct Frame {
+    func: String,
+    /// Innermost scope last; each scope maps names to object indices.
+    scopes: Vec<Vec<(String, usize)>>,
+    /// Every object created in this frame, for lifetime termination.
+    created: Vec<usize>,
+}
+
+/// The interpreter for one translation unit.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::{parser, Interp, Limits};
+///
+/// let unit = parser::parse("int main(void) { return 2 + 2; }").unwrap();
+/// let outcome = Interp::new(&unit, Limits::default()).run_main();
+/// assert_eq!(outcome.exit_code(), Some(4));
+/// ```
+pub struct Interp<'a> {
+    unit: &'a TranslationUnit,
+    limits: Limits,
+    objects: Vec<Object>,
+    frames: Vec<Frame>,
+    steps: u64,
+}
+
+impl<'a> Interp<'a> {
+    /// Create an interpreter for `unit` with the given resource limits.
+    pub fn new(unit: &'a TranslationUnit, limits: Limits) -> Interp<'a> {
+        Interp {
+            unit,
+            limits,
+            objects: Vec::new(),
+            frames: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// Execute the program from `main` and report what happened.
+    pub fn run_main(mut self) -> Outcome {
+        let Some(main) = self.unit.function("main") else {
+            return Outcome::Unsupported {
+                message: "translation unit defines no `main` function".into(),
+                loc: SourceLoc::default(),
+            };
+        };
+        if !main.params.is_empty() {
+            return Outcome::Unsupported {
+                message: "only `int main(void)` is supported as the entry point".into(),
+                loc: main.loc,
+            };
+        }
+        match self.call(main, Vec::new(), main.loc) {
+            // Reaching the `}` of `main` returns 0 (C11 §5.1.2.2.3:1).
+            Ok(Value::Missing(_)) => Outcome::Completed(0),
+            Ok(Value::Int(v)) => Outcome::Completed(v),
+            Ok(Value::Ptr(_)) => Outcome::Completed(1),
+            Err(Stop::Ub(e)) => Outcome::Undefined(e),
+            Err(Stop::Unsupported(message, loc)) => Outcome::Unsupported { message, loc },
+        }
+    }
+
+    // ----- plumbing -----
+
+    fn tick(&mut self, loc: SourceLoc) -> EResult<()> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(Stop::Unsupported(
+                "evaluation step limit exceeded".into(),
+                loc,
+            ));
+        }
+        Ok(())
+    }
+
+    fn func_name(&self) -> String {
+        self.frames
+            .last()
+            .map(|f| f.func.clone())
+            .unwrap_or_default()
+    }
+
+    fn ub(&self, kind: UbKind, loc: SourceLoc, detail: impl Into<String>) -> Stop {
+        Stop::Ub(
+            UbError::new(kind)
+                .at(loc)
+                .in_function(self.func_name())
+                .with_detail(detail.into()),
+        )
+    }
+
+    fn object_name(&self, obj: usize) -> String {
+        self.objects[obj].name.clone()
+    }
+
+    fn lookup(&self, name: &str) -> Option<usize> {
+        let frame = self.frames.last()?;
+        frame.scopes.iter().rev().find_map(|scope| {
+            scope
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, id)| *id)
+        })
+    }
+
+    fn alloc(&mut self, name: String, cells: usize, heap: bool, is_array: bool) -> usize {
+        let id = self.objects.len();
+        self.objects.push(Object {
+            cells: vec![None; cells],
+            alive: true,
+            heap,
+            is_array,
+            name,
+        });
+        if !heap {
+            if let Some(frame) = self.frames.last_mut() {
+                frame.created.push(id);
+            }
+        }
+        id
+    }
+
+    // ----- checked memory access -----
+
+    fn check_live(&self, p: Pointer, loc: SourceLoc) -> EResult<()> {
+        if !self.objects[p.obj].alive {
+            return Err(self.ub(
+                UbKind::DeadObjectAccess,
+                loc,
+                format!(
+                    "object `{}` is outside its lifetime",
+                    self.object_name(p.obj)
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn read_cell(&mut self, p: Pointer, loc: SourceLoc, fp: &mut Footprint) -> EResult<Value> {
+        self.check_live(p, loc)?;
+        let len = self.objects[p.obj].cells.len() as i64;
+        if p.off < 0 || p.off >= len {
+            return Err(self.ub(
+                UbKind::OutOfBoundsRead,
+                loc,
+                format!(
+                    "read at offset {} of `{}` (size {})",
+                    p.off,
+                    self.object_name(p.obj),
+                    len
+                ),
+            ));
+        }
+        match self.objects[p.obj].cells[p.off as usize] {
+            Some(v) => {
+                fp.push_read(p.obj, p.off);
+                Ok(v)
+            }
+            None => Err(self.ub(
+                UbKind::ReadIndeterminate,
+                loc,
+                format!("`{}` holds an indeterminate value", self.object_name(p.obj)),
+            )),
+        }
+    }
+
+    fn write_cell(
+        &mut self,
+        p: Pointer,
+        v: Value,
+        loc: SourceLoc,
+        fp: &mut Footprint,
+    ) -> EResult<()> {
+        self.check_live(p, loc)?;
+        let len = self.objects[p.obj].cells.len() as i64;
+        if p.off < 0 || p.off >= len {
+            return Err(self.ub(
+                UbKind::OutOfBoundsWrite,
+                loc,
+                format!(
+                    "write at offset {} of `{}` (size {})",
+                    p.off,
+                    self.object_name(p.obj),
+                    len
+                ),
+            ));
+        }
+        self.objects[p.obj].cells[p.off as usize] = Some(v);
+        fp.push_write(p.obj, p.off);
+        Ok(())
+    }
+
+    // ----- sequencing -----
+
+    fn combine_unsequenced(
+        &self,
+        mut a: Footprint,
+        b: Footprint,
+        loc: SourceLoc,
+    ) -> EResult<Footprint> {
+        if let Some((obj, _)) = a.conflict_with(&b) {
+            return Err(self.ub(
+                UbKind::UnsequencedSideEffect,
+                loc,
+                format!("unsequenced accesses to `{}`", self.object_name(obj)),
+            ));
+        }
+        a.then(b);
+        Ok(a)
+    }
+
+    // ----- values -----
+
+    /// Consume a value: `Missing` poison reports its deferred kind here.
+    fn use_value(&self, v: Value, loc: SourceLoc) -> EResult<Value> {
+        match v {
+            Value::Missing(kind) => Err(self.ub(kind, loc, "use of a value that does not exist")),
+            v => Ok(v),
+        }
+    }
+
+    fn as_int(&self, v: Value, loc: SourceLoc) -> EResult<i64> {
+        match self.use_value(v, loc)? {
+            Value::Int(n) => Ok(n),
+            Value::Ptr(_) => Err(Stop::Unsupported(
+                "expected an integer, found a pointer".into(),
+                loc,
+            )),
+            Value::Missing(_) => unreachable!("use_value filters Missing"),
+        }
+    }
+
+    fn truthy(&self, v: Value, loc: SourceLoc) -> EResult<bool> {
+        match self.use_value(v, loc)? {
+            Value::Int(n) => Ok(n != 0),
+            Value::Ptr(p) => {
+                // Using a dangling pointer value, even just for its truth
+                // value, is UB (§6.2.4:2).
+                self.check_live(p, loc)?;
+                Ok(true)
+            }
+            Value::Missing(_) => unreachable!(),
+        }
+    }
+
+    // ----- expression evaluation -----
+
+    fn eval(&mut self, e: &Expr) -> EResult<(Value, Footprint)> {
+        self.tick(e.loc)?;
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok((Value::Int(*v), Footprint::default())),
+            ExprKind::Ident(name) => {
+                let Some(obj) = self.lookup(name) else {
+                    return Err(Stop::Unsupported(
+                        format!("use of undeclared identifier `{name}`"),
+                        e.loc,
+                    ));
+                };
+                if self.objects[obj].is_array {
+                    // Array designators decay to a pointer to the first
+                    // element (§6.3.2.1:3); no cell is read.
+                    return Ok((Value::Ptr(Pointer { obj, off: 0 }), Footprint::default()));
+                }
+                let mut fp = Footprint::default();
+                let v = self.read_cell(Pointer { obj, off: 0 }, e.loc, &mut fp)?;
+                Ok((v, fp))
+            }
+            ExprKind::Unary(op, inner) => {
+                let (v, fp) = self.eval(inner)?;
+                let v = self.use_value(v, e.loc)?;
+                let out = match (op, v) {
+                    (UnaryOp::Neg, Value::Int(n)) => {
+                        let r = -n;
+                        if !(INT_MIN..=INT_MAX).contains(&r) {
+                            return Err(self.ub(
+                                UbKind::SignedOverflow,
+                                e.loc,
+                                format!("-({n}) is not representable in int"),
+                            ));
+                        }
+                        Value::Int(r)
+                    }
+                    (UnaryOp::Not, v) => {
+                        let t = self.truthy(v, e.loc)?;
+                        Value::Int(if t { 0 } else { 1 })
+                    }
+                    (UnaryOp::BitNot, Value::Int(n)) => Value::Int(!(n as i32) as i64),
+                    (UnaryOp::Neg | UnaryOp::BitNot, Value::Ptr(_)) => {
+                        return Err(Stop::Unsupported(
+                            "arithmetic unary operator applied to a pointer".into(),
+                            e.loc,
+                        ))
+                    }
+                    (_, Value::Missing(_)) => unreachable!(),
+                };
+                Ok((out, fp))
+            }
+            ExprKind::Binary(op, l, r) => {
+                let (lv, lfp) = self.eval(l)?;
+                let (rv, rfp) = self.eval(r)?;
+                let fp = self.combine_unsequenced(lfp, rfp, e.loc)?;
+                let lv = self.use_value(lv, e.loc)?;
+                let rv = self.use_value(rv, e.loc)?;
+                let out = self.apply_binop(*op, lv, rv, e.loc)?;
+                Ok((out, fp))
+            }
+            ExprKind::LogicalAnd(l, r) => {
+                let (lv, mut fp) = self.eval(l)?;
+                // Sequence point after the first operand (§6.5.13:4).
+                if !self.truthy(lv, e.loc)? {
+                    return Ok((Value::Int(0), fp));
+                }
+                let (rv, rfp) = self.eval(r)?;
+                fp.then(rfp);
+                let t = self.truthy(rv, e.loc)?;
+                Ok((Value::Int(t as i64), fp))
+            }
+            ExprKind::LogicalOr(l, r) => {
+                let (lv, mut fp) = self.eval(l)?;
+                if self.truthy(lv, e.loc)? {
+                    return Ok((Value::Int(1), fp));
+                }
+                let (rv, rfp) = self.eval(r)?;
+                fp.then(rfp);
+                let t = self.truthy(rv, e.loc)?;
+                Ok((Value::Int(t as i64), fp))
+            }
+            ExprKind::Conditional(c, t, f) => {
+                let (cv, mut fp) = self.eval(c)?;
+                let branch = if self.truthy(cv, e.loc)? { t } else { f };
+                let (v, bfp) = self.eval(branch)?;
+                fp.then(bfp);
+                Ok((v, fp))
+            }
+            ExprKind::Comma(l, r) => {
+                let (_, mut fp) = self.eval(l)?;
+                let (v, rfp) = self.eval(r)?;
+                fp.then(rfp);
+                Ok((v, fp))
+            }
+            ExprKind::Assign(place, op, rhs) => self.eval_assign(place, *op, rhs, e.loc),
+            ExprKind::PreIncDec(place, delta) => {
+                let (v, fp) = self.eval_incdec(place, *delta, e.loc)?;
+                Ok((v.1, fp)) // prefix yields the new value
+            }
+            ExprKind::PostIncDec(place, delta) => {
+                let (v, fp) = self.eval_incdec(place, *delta, e.loc)?;
+                Ok((v.0, fp)) // postfix yields the old value
+            }
+            ExprKind::Deref(inner) => {
+                let (p, mut fp) = self.eval_pointer(inner, e.loc)?;
+                let v = self.read_cell(p, e.loc, &mut fp)?;
+                Ok((v, fp))
+            }
+            ExprKind::AddrOf(inner) => {
+                let (p, fp) = self.eval_place(inner)?;
+                Ok((Value::Ptr(p), fp))
+            }
+            ExprKind::Index(base, idx) => {
+                let (p, mut fp) = self.eval_index_place(base, idx, e.loc)?;
+                let v = self.read_cell(p, e.loc, &mut fp)?;
+                Ok((v, fp))
+            }
+            ExprKind::Call(name, args) => self.eval_call(name, args, e.loc),
+        }
+    }
+
+    /// Evaluate an expression that must produce a usable pointer.
+    fn eval_pointer(&mut self, e: &Expr, loc: SourceLoc) -> EResult<(Pointer, Footprint)> {
+        let (v, fp) = self.eval(e)?;
+        match self.use_value(v, loc)? {
+            Value::Ptr(p) => Ok((p, fp)),
+            Value::Int(0) => Err(self.ub(
+                UbKind::NullDereference,
+                loc,
+                "dereference of a null pointer",
+            )),
+            Value::Int(n) => Err(self.ub(
+                UbKind::NullDereference,
+                loc,
+                format!("dereference of invalid pointer value {n}"),
+            )),
+            Value::Missing(_) => unreachable!(),
+        }
+    }
+
+    /// Evaluate an lvalue to the place it designates. No cell is accessed;
+    /// accesses happen in `read_cell`/`write_cell`.
+    fn eval_place(&mut self, e: &Expr) -> EResult<(Pointer, Footprint)> {
+        self.tick(e.loc)?;
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                let Some(obj) = self.lookup(name) else {
+                    return Err(Stop::Unsupported(
+                        format!("use of undeclared identifier `{name}`"),
+                        e.loc,
+                    ));
+                };
+                Ok((Pointer { obj, off: 0 }, Footprint::default()))
+            }
+            ExprKind::Deref(inner) => self.eval_pointer(inner, e.loc),
+            ExprKind::Index(base, idx) => self.eval_index_place(base, idx, e.loc),
+            _ => Err(Stop::Unsupported(
+                "expression is not an lvalue".into(),
+                e.loc,
+            )),
+        }
+    }
+
+    fn eval_index_place(
+        &mut self,
+        base: &Expr,
+        idx: &Expr,
+        loc: SourceLoc,
+    ) -> EResult<(Pointer, Footprint)> {
+        let (bp, bfp) = self.eval_pointer(base, loc)?;
+        let (iv, ifp) = self.eval(idx)?;
+        let fp = self.combine_unsequenced(bfp, ifp, loc)?;
+        let i = self.as_int(iv, loc)?;
+        let p = self.pointer_add(bp, i, loc)?;
+        Ok((p, fp))
+    }
+
+    /// `p + delta` with the §6.5.6:8 in-bounds-or-one-past rule.
+    fn pointer_add(&mut self, p: Pointer, delta: i64, loc: SourceLoc) -> EResult<Pointer> {
+        self.check_live(p, loc)?;
+        let len = self.objects[p.obj].cells.len() as i64;
+        let off = p.off + delta;
+        if off < 0 || off > len {
+            return Err(self.ub(
+                UbKind::PointerArithmeticOutOfBounds,
+                loc,
+                format!(
+                    "offset {} of `{}` (size {}, one-past-the-end allowed)",
+                    off,
+                    self.object_name(p.obj),
+                    len
+                ),
+            ));
+        }
+        Ok(Pointer { obj: p.obj, off })
+    }
+
+    fn apply_binop(&mut self, op: BinOp, l: Value, r: Value, loc: SourceLoc) -> EResult<Value> {
+        use BinOp::*;
+        match (l, r) {
+            (Value::Int(a), Value::Int(b)) => self.int_binop(op, a, b, loc),
+            // Pointer arithmetic and comparison.
+            (Value::Ptr(p), Value::Int(n)) if op == Add => {
+                Ok(Value::Ptr(self.pointer_add(p, n, loc)?))
+            }
+            (Value::Int(n), Value::Ptr(p)) if op == Add => {
+                Ok(Value::Ptr(self.pointer_add(p, n, loc)?))
+            }
+            (Value::Ptr(p), Value::Int(n)) if op == Sub => {
+                Ok(Value::Ptr(self.pointer_add(p, -n, loc)?))
+            }
+            (Value::Ptr(a), Value::Ptr(b)) if op == Sub => {
+                self.check_live(a, loc)?;
+                self.check_live(b, loc)?;
+                if a.obj != b.obj {
+                    return Err(self.ub(
+                        UbKind::PointerSubtractionDifferentObjects,
+                        loc,
+                        format!(
+                            "pointers into `{}` and `{}`",
+                            self.object_name(a.obj),
+                            self.object_name(b.obj)
+                        ),
+                    ));
+                }
+                Ok(Value::Int(a.off - b.off))
+            }
+            (Value::Ptr(a), Value::Ptr(b)) if matches!(op, Lt | Le | Gt | Ge) => {
+                self.check_live(a, loc)?;
+                self.check_live(b, loc)?;
+                if a.obj != b.obj {
+                    return Err(self.ub(
+                        UbKind::PointerCompareDifferentObjects,
+                        loc,
+                        format!(
+                            "pointers into `{}` and `{}`",
+                            self.object_name(a.obj),
+                            self.object_name(b.obj)
+                        ),
+                    ));
+                }
+                let t = match op {
+                    Lt => a.off < b.off,
+                    Le => a.off <= b.off,
+                    Gt => a.off > b.off,
+                    _ => a.off >= b.off,
+                };
+                Ok(Value::Int(t as i64))
+            }
+            (Value::Ptr(a), Value::Ptr(b)) if matches!(op, Eq | Ne) => {
+                self.check_live(a, loc)?;
+                self.check_live(b, loc)?;
+                let same = a == b;
+                Ok(Value::Int((if op == Eq { same } else { !same }) as i64))
+            }
+            (Value::Ptr(p), Value::Int(n)) | (Value::Int(n), Value::Ptr(p))
+                if matches!(op, Eq | Ne) =>
+            {
+                self.check_live(p, loc)?;
+                // A valid pointer never equals the null constant; comparing
+                // with a nonzero integer is outside the subset's types.
+                if n != 0 {
+                    return Err(Stop::Unsupported(
+                        "comparison of a pointer with a nonzero integer".into(),
+                        loc,
+                    ));
+                }
+                Ok(Value::Int((op == Ne) as i64))
+            }
+            _ => Err(Stop::Unsupported(
+                "operator applied to incompatible operand types".into(),
+                loc,
+            )),
+        }
+    }
+
+    fn int_binop(&self, op: BinOp, a: i64, b: i64, loc: SourceLoc) -> EResult<Value> {
+        use BinOp::*;
+        let wide = match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div | Rem => {
+                if b == 0 {
+                    let kind = if op == Div {
+                        UbKind::DivisionByZero
+                    } else {
+                        UbKind::ModuloByZero
+                    };
+                    return Err(self.ub(kind, loc, format!("{a} {} 0", symbol(op))));
+                }
+                if a == INT_MIN && b == -1 {
+                    return Err(self.ub(
+                        UbKind::DivisionOverflow,
+                        loc,
+                        format!("{a} {} -1 is not representable", symbol(op)),
+                    ));
+                }
+                if op == Div {
+                    a / b
+                } else {
+                    a % b
+                }
+            }
+            Shl | Shr => {
+                if b < 0 {
+                    return Err(self.ub(
+                        UbKind::ShiftByNegative,
+                        loc,
+                        format!("shift amount {b} is negative"),
+                    ));
+                }
+                if b >= INT_WIDTH {
+                    return Err(self.ub(
+                        UbKind::ShiftTooFar,
+                        loc,
+                        format!("shift amount {b} >= width {INT_WIDTH}"),
+                    ));
+                }
+                if op == Shl {
+                    if a < 0 {
+                        return Err(self.ub(
+                            UbKind::ShiftOfNegative,
+                            loc,
+                            format!("left shift of negative value {a}"),
+                        ));
+                    }
+                    let r = a << b;
+                    if r > INT_MAX {
+                        return Err(self.ub(
+                            UbKind::ShiftOverflow,
+                            loc,
+                            format!("{a} << {b} is not representable in int"),
+                        ));
+                    }
+                    r
+                } else {
+                    // Right shift of a negative value is implementation-
+                    // defined, not undefined (§6.5.7:5); model arithmetic
+                    // shift like every mainstream implementation.
+                    a >> b
+                }
+            }
+            Lt => (a < b) as i64,
+            Le => (a <= b) as i64,
+            Gt => (a > b) as i64,
+            Ge => (a >= b) as i64,
+            Eq => (a == b) as i64,
+            Ne => (a != b) as i64,
+            BitAnd => ((a as i32) & (b as i32)) as i64,
+            BitXor => ((a as i32) ^ (b as i32)) as i64,
+            BitOr => ((a as i32) | (b as i32)) as i64,
+        };
+        if !(INT_MIN..=INT_MAX).contains(&wide) {
+            return Err(self.ub(
+                UbKind::SignedOverflow,
+                loc,
+                format!("{a} {} {b} is not representable in int", symbol(op)),
+            ));
+        }
+        Ok(Value::Int(wide))
+    }
+
+    /// An array designator is not a modifiable lvalue (§6.3.2.1:1);
+    /// `a = …` and `a++` on an array name are rejected rather than
+    /// silently treated as element-0 stores.
+    fn check_modifiable(&self, place: &Expr, p: Pointer, loc: SourceLoc) -> EResult<()> {
+        if matches!(place.kind, ExprKind::Ident(_)) && self.objects[p.obj].is_array {
+            return Err(Stop::Unsupported(
+                format!(
+                    "array `{}` is not a modifiable lvalue",
+                    self.object_name(p.obj)
+                ),
+                loc,
+            ));
+        }
+        Ok(())
+    }
+
+    fn eval_assign(
+        &mut self,
+        place: &Expr,
+        op: Option<BinOp>,
+        rhs: &Expr,
+        loc: SourceLoc,
+    ) -> EResult<(Value, Footprint)> {
+        let (p, pfp) = self.eval_place(place)?;
+        self.check_modifiable(place, p, loc)?;
+        let (rv, rfp) = self.eval(rhs)?;
+        // Value computations of the two operands are unsequenced with each
+        // other (§6.5.16:3)…
+        let mut fp = self.combine_unsequenced(pfp, rfp, loc)?;
+        let rv = self.use_value(rv, loc)?;
+        let stored = match op {
+            None => rv,
+            Some(op) => {
+                // Compound assignment reads the place once; that read is a
+                // value computation sequenced before the update.
+                let old = self.read_cell(p, loc, &mut fp)?;
+                let old = self.use_value(old, loc)?;
+                self.apply_binop(op, old, rv, loc)?
+            }
+        };
+        // …while the update's side effect is sequenced only after those
+        // value computations: it still conflicts with any *other* write to
+        // the same scalar in either operand (`x = x++`).
+        if fp.writes(p.obj, p.off) {
+            return Err(self.ub(
+                UbKind::UnsequencedSideEffect,
+                loc,
+                format!(
+                    "assignment to `{}` unsequenced with another side effect on it",
+                    self.object_name(p.obj)
+                ),
+            ));
+        }
+        self.write_cell(p, stored, loc, &mut fp)?;
+        Ok((stored, fp))
+    }
+
+    /// Shared engine for `++`/`--`; returns ((old, new), footprint).
+    fn eval_incdec(
+        &mut self,
+        place: &Expr,
+        delta: i64,
+        loc: SourceLoc,
+    ) -> EResult<((Value, Value), Footprint)> {
+        let (p, mut fp) = self.eval_place(place)?;
+        self.check_modifiable(place, p, loc)?;
+        let old = self.read_cell(p, loc, &mut fp)?;
+        let old = self.use_value(old, loc)?;
+        let new = match old {
+            Value::Int(n) => {
+                let r = n + delta;
+                if !(INT_MIN..=INT_MAX).contains(&r) {
+                    return Err(self.ub(
+                        UbKind::SignedOverflow,
+                        loc,
+                        format!(
+                            "{n} {} 1 is not representable in int",
+                            if delta > 0 { "+" } else { "-" }
+                        ),
+                    ));
+                }
+                Value::Int(r)
+            }
+            Value::Ptr(ptr) => Value::Ptr(self.pointer_add(ptr, delta, loc)?),
+            Value::Missing(_) => unreachable!(),
+        };
+        self.write_cell(p, new, loc, &mut fp)?;
+        Ok(((old, new), fp))
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        loc: SourceLoc,
+    ) -> EResult<(Value, Footprint)> {
+        // Argument evaluations are unsequenced with each other
+        // (§6.5.2.2:10), so their footprints combine pairwise.
+        let mut vals = Vec::with_capacity(args.len());
+        let mut fp = Footprint::default();
+        for a in args {
+            let (v, afp) = self.eval(a)?;
+            fp = self.combine_unsequenced(fp, afp, loc)?;
+            vals.push(self.use_value(v, a.loc)?);
+        }
+        if let Some(func) = self.unit.function(name) {
+            if func.params.len() != vals.len() {
+                return Err(self.ub(
+                    UbKind::CallWrongArity,
+                    loc,
+                    format!(
+                        "`{}` takes {} argument(s), called with {}",
+                        name,
+                        func.params.len(),
+                        vals.len()
+                    ),
+                ));
+            }
+            // The callee's effects are indeterminately sequenced with the
+            // rest of the caller's expression, not unsequenced: they do
+            // not join the caller's footprint.
+            let ret = self.call(func, vals, loc)?;
+            return Ok((ret, fp));
+        }
+        match name {
+            "malloc" => {
+                if vals.len() != 1 {
+                    return Err(self.ub(
+                        UbKind::CallWrongArity,
+                        loc,
+                        format!("`malloc` takes 1 argument, called with {}", vals.len()),
+                    ));
+                }
+                let n = self.as_int(vals[0], loc)?;
+                if n < 0 {
+                    return Err(self.ub(
+                        UbKind::InvalidLibraryArgument,
+                        loc,
+                        format!("malloc({n}) with a negative size"),
+                    ));
+                }
+                let id = self.objects.len();
+                let obj = self.alloc(format!("heap object #{id}"), n as usize, true, true);
+                Ok((Value::Ptr(Pointer { obj, off: 0 }), fp))
+            }
+            "free" => {
+                if vals.len() != 1 {
+                    return Err(self.ub(
+                        UbKind::CallWrongArity,
+                        loc,
+                        format!("`free` takes 1 argument, called with {}", vals.len()),
+                    ));
+                }
+                match vals[0] {
+                    Value::Int(0) => Ok((Value::Missing(UbKind::VoidValueUsed), fp)), // free(NULL)
+                    Value::Int(n) => Err(self.ub(
+                        UbKind::FreeNonHeapPointer,
+                        loc,
+                        format!("free() of integer value {n}"),
+                    )),
+                    Value::Ptr(p) => {
+                        let object = &self.objects[p.obj];
+                        if !object.heap {
+                            return Err(self.ub(
+                                UbKind::FreeNonHeapPointer,
+                                loc,
+                                format!("free() of `{}`, which is not heap-allocated", object.name),
+                            ));
+                        }
+                        if !object.alive {
+                            return Err(self.ub(
+                                UbKind::DoubleFree,
+                                loc,
+                                format!("`{}` was already freed", object.name),
+                            ));
+                        }
+                        if p.off != 0 {
+                            return Err(self.ub(
+                                UbKind::FreeInteriorPointer,
+                                loc,
+                                format!("free() of `{}` at interior offset {}", object.name, p.off),
+                            ));
+                        }
+                        self.objects[p.obj].alive = false;
+                        Ok((Value::Missing(UbKind::VoidValueUsed), fp))
+                    }
+                    Value::Missing(_) => unreachable!(),
+                }
+            }
+            _ => Err(self.ub(
+                UbKind::CallNonFunction,
+                loc,
+                format!("`{name}` does not designate a function in this translation unit"),
+            )),
+        }
+    }
+
+    // ----- statements -----
+
+    fn call(&mut self, func: &'a Function, args: Vec<Value>, loc: SourceLoc) -> EResult<Value> {
+        if self.frames.len() >= self.limits.max_call_depth {
+            return Err(Stop::Unsupported("call depth limit exceeded".into(), loc));
+        }
+        self.frames.push(Frame {
+            func: func.name.clone(),
+            scopes: vec![Vec::new()],
+            created: Vec::new(),
+        });
+        for (param, arg) in func.params.iter().zip(args) {
+            let obj = self.alloc(param.name.clone(), 1, false, false);
+            self.objects[obj].cells[0] = Some(arg);
+            self.frames
+                .last_mut()
+                .expect("frame just pushed")
+                .scopes
+                .last_mut()
+                .expect("scope just pushed")
+                .push((param.name.clone(), obj));
+        }
+        let mut result = Value::Missing(if func.returns_void {
+            UbKind::VoidValueUsed
+        } else {
+            UbKind::MissingReturnValueUsed
+        });
+        let mut stopped = None;
+        match self.exec_block(&func.body) {
+            Ok(Flow::Return(v)) => result = v,
+            Ok(_) => {}
+            Err(stop) => stopped = Some(stop),
+        }
+        // Lifetimes of the frame's automatic objects end now (§6.2.4:2),
+        // even when unwinding on an error, so diagnostics stay accurate.
+        let frame = self.frames.pop().expect("frame pushed above");
+        for obj in frame.created {
+            self.objects[obj].alive = false;
+        }
+        match stopped {
+            Some(stop) => Err(stop),
+            None => Ok(result),
+        }
+    }
+
+    fn exec_block(&mut self, body: &'a [Stmt]) -> EResult<Flow> {
+        self.frames
+            .last_mut()
+            .expect("active frame")
+            .scopes
+            .push(Vec::new());
+        let mut flow = Flow::Normal;
+        let mut stopped = None;
+        for s in body {
+            match self.exec_stmt(s) {
+                Ok(Flow::Normal) => {}
+                Ok(other) => {
+                    flow = other;
+                    break;
+                }
+                Err(stop) => {
+                    stopped = Some(stop);
+                    break;
+                }
+            }
+        }
+        // Leaving the block ends the lifetime of everything declared in it
+        // (§6.2.4:6): pointers that escaped the block are now dangling.
+        let scope = self
+            .frames
+            .last_mut()
+            .expect("active frame")
+            .scopes
+            .pop()
+            .expect("scope");
+        for (_, obj) in scope {
+            self.objects[obj].alive = false;
+        }
+        match stopped {
+            Some(stop) => Err(stop),
+            None => Ok(flow),
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &'a Stmt) -> EResult<Flow> {
+        match s {
+            Stmt::Empty => Ok(Flow::Normal),
+            Stmt::Decl(d) => {
+                self.exec_decl(d)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                // A full expression: its footprint dies at the sequence
+                // point that ends the statement (§6.8:4).
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then, els) => {
+                let (v, _) = self.eval(cond)?;
+                if self.truthy(v, cond.loc)? {
+                    self.exec_one(then)
+                } else if let Some(els) = els {
+                    self.exec_one(els)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While(cond, body) => loop {
+                let (v, _) = self.eval(cond)?;
+                if !self.truthy(v, cond.loc)? {
+                    return Ok(Flow::Normal);
+                }
+                match self.exec_one(body)? {
+                    Flow::Break => return Ok(Flow::Normal),
+                    Flow::Return(v) => return Ok(Flow::Return(v)),
+                    Flow::Normal | Flow::Continue => {}
+                }
+            },
+            Stmt::For(init, cond, step, body) => {
+                // The init declaration's scope is the whole loop.
+                self.frames
+                    .last_mut()
+                    .expect("active frame")
+                    .scopes
+                    .push(Vec::new());
+                let result = self.exec_for(init.as_deref(), cond.as_ref(), step.as_ref(), body);
+                let scope = self
+                    .frames
+                    .last_mut()
+                    .expect("active frame")
+                    .scopes
+                    .pop()
+                    .expect("scope");
+                for (_, obj) in scope {
+                    self.objects[obj].alive = false;
+                }
+                result
+            }
+            Stmt::Return(e, loc) => {
+                let v = match e {
+                    Some(e) => {
+                        let (v, _) = self.eval(e)?;
+                        self.use_value(v, *loc)?
+                    }
+                    None => Value::Missing(UbKind::MissingReturnValueUsed),
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break(_) => Ok(Flow::Break),
+            Stmt::Continue(_) => Ok(Flow::Continue),
+            Stmt::Block(body) => self.exec_block(body),
+        }
+    }
+
+    fn exec_for(
+        &mut self,
+        init: Option<&'a Stmt>,
+        cond: Option<&'a Expr>,
+        step: Option<&'a Expr>,
+        body: &'a Stmt,
+    ) -> EResult<Flow> {
+        if let Some(init) = init {
+            self.exec_stmt(init)?;
+        }
+        loop {
+            if let Some(cond) = cond {
+                let (v, _) = self.eval(cond)?;
+                if !self.truthy(v, cond.loc)? {
+                    return Ok(Flow::Normal);
+                }
+            }
+            match self.exec_one(body)? {
+                Flow::Break => return Ok(Flow::Normal),
+                Flow::Return(v) => return Ok(Flow::Return(v)),
+                Flow::Normal | Flow::Continue => {}
+            }
+            if let Some(step) = step {
+                self.eval(step)?;
+            }
+        }
+    }
+
+    /// Execute a single statement that is a branch target, giving it its
+    /// own scope when it is not already a block.
+    fn exec_one(&mut self, s: &'a Stmt) -> EResult<Flow> {
+        match s {
+            Stmt::Block(body) => self.exec_block(body),
+            other => self.exec_stmt(other),
+        }
+    }
+
+    fn exec_decl(&mut self, d: &'a Decl) -> EResult<()> {
+        self.tick(d.loc)?;
+        let in_scope = self
+            .frames
+            .last()
+            .expect("active frame")
+            .scopes
+            .last()
+            .expect("scope")
+            .iter()
+            .any(|(n, _)| *n == d.name);
+        if in_scope {
+            return Err(Stop::Unsupported(
+                format!("redeclaration of `{}` in the same scope", d.name),
+                d.loc,
+            ));
+        }
+        let cells = match &d.array_size {
+            None => 1,
+            Some(size) => {
+                // A constant non-positive size is the *static* form of the
+                // defect (§6.7.6.2:1); a computed one is the VLA form
+                // (§6.7.6.2:5).
+                let constant = matches!(size.kind, ExprKind::IntLit(_));
+                let (v, _) = self.eval(size)?;
+                let n = self.as_int(v, size.loc)?;
+                if n <= 0 {
+                    let kind = if constant {
+                        UbKind::ArraySizeNotPositive
+                    } else {
+                        UbKind::VlaSizeNotPositive
+                    };
+                    return Err(self.ub(
+                        kind,
+                        d.loc,
+                        format!("array `{}` declared with size {n}", d.name),
+                    ));
+                }
+                n as usize
+            }
+        };
+        let obj = self.alloc(d.name.clone(), cells, false, d.array_size.is_some());
+        // The declared identifier's scope begins at the end of its
+        // declarator (§6.2.1:7) — *before* the initializer, so that
+        // `int x = x;` reads the new, indeterminate x, not an outer one.
+        self.frames
+            .last_mut()
+            .expect("active frame")
+            .scopes
+            .last_mut()
+            .expect("scope")
+            .push((d.name.clone(), obj));
+        if let Some(init) = &d.init {
+            let (v, _) = self.eval(init)?;
+            let v = self.use_value(v, init.loc)?;
+            self.objects[obj].cells[0] = Some(v);
+        }
+        if let Some(items) = &d.array_init {
+            if items.len() > cells {
+                return Err(Stop::Unsupported(
+                    format!(
+                        "excess initializers for `{}` (array size {}, {} initializers)",
+                        d.name,
+                        cells,
+                        items.len()
+                    ),
+                    d.loc,
+                ));
+            }
+            for (i, item) in items.iter().enumerate() {
+                let (v, _) = self.eval(item)?;
+                let v = self.use_value(v, item.loc)?;
+                self.objects[obj].cells[i] = Some(v);
+            }
+            // Remaining elements are initialized to zero (§6.7.9:21).
+            for i in items.len()..cells {
+                self.objects[obj].cells[i] = Some(Value::Int(0));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn symbol(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Rem => "%",
+        Shl => "<<",
+        Shr => ">>",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        Eq => "==",
+        Ne => "!=",
+        BitAnd => "&",
+        BitXor => "^",
+        BitOr => "|",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> Outcome {
+        let unit = parse(src).unwrap();
+        Interp::new(&unit, Limits::default()).run_main()
+    }
+
+    fn ub_kind(src: &str) -> UbKind {
+        match run(src) {
+            Outcome::Undefined(e) => e.kind(),
+            other => panic!("expected UB for {src:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defined_programs_complete() {
+        assert_eq!(
+            run("int main(void) { return 41 + 1; }").exit_code(),
+            Some(42)
+        );
+        assert_eq!(
+            run("int sq(int x) { return x * x; } int main(void) { return sq(7); }").exit_code(),
+            Some(49)
+        );
+        assert_eq!(
+            run("int main(void) { int s = 0; for (int i = 1; i <= 4; i++) s += i; return s; }")
+                .exit_code(),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn falling_off_main_returns_zero() {
+        assert_eq!(run("int main(void) { 1 + 1; }").exit_code(), Some(0));
+    }
+
+    #[test]
+    fn unsequenced_writes() {
+        assert_eq!(
+            ub_kind("int main(void) { int x = 0; x = x++ + 1; return x; }"),
+            UbKind::UnsequencedSideEffect
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int x = 0; return x + (x = 1); }"),
+            UbKind::UnsequencedSideEffect
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int i = 0; int a[3] = {0, 0, 0}; a[i++] = i; return 0; }"),
+            UbKind::UnsequencedSideEffect
+        );
+    }
+
+    #[test]
+    fn sequenced_siblings_are_fine() {
+        assert_eq!(
+            run("int main(void) { int x = 1; x = x + 1; return x; }").exit_code(),
+            Some(2)
+        );
+        assert_eq!(
+            run("int main(void) { int x = 1; x += x; return x; }").exit_code(),
+            Some(2)
+        );
+        assert_eq!(
+            run("int main(void) { int x = 0; return (x = 1, x + 1); }").exit_code(),
+            Some(2)
+        );
+        assert_eq!(
+            run("int main(void) { int x = 0; return (x = 1) && (x = 2); }").exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn arithmetic_family() {
+        assert_eq!(
+            ub_kind("int main(void) { return 1 / 0; }"),
+            UbKind::DivisionByZero
+        );
+        assert_eq!(
+            ub_kind("int main(void) { return 1 % 0; }"),
+            UbKind::ModuloByZero
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int x = 2147483647; return x + 1; }"),
+            UbKind::SignedOverflow
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int x = 0 - 2147483647 - 1; return x / -1; }"),
+            UbKind::DivisionOverflow
+        );
+        assert_eq!(
+            ub_kind("int main(void) { return 1 << 32; }"),
+            UbKind::ShiftTooFar
+        );
+        assert_eq!(
+            ub_kind("int main(void) { return 1 << -1; }"),
+            UbKind::ShiftByNegative
+        );
+        assert_eq!(
+            ub_kind("int main(void) { return -1 << 1; }"),
+            UbKind::ShiftOfNegative
+        );
+        assert_eq!(
+            ub_kind("int main(void) { return 1 << 31; }"),
+            UbKind::ShiftOverflow
+        );
+    }
+
+    #[test]
+    fn memory_family() {
+        assert_eq!(
+            ub_kind("int main(void) { int a[3] = {1, 2, 3}; return a[3]; }"),
+            UbKind::OutOfBoundsRead
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int a[2]; a[5] = 1; return 0; }"),
+            UbKind::PointerArithmeticOutOfBounds
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int x; return x; }"),
+            UbKind::ReadIndeterminate
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int *p = 0; return *p; }"),
+            UbKind::NullDereference
+        );
+    }
+
+    #[test]
+    fn lifetime_family() {
+        assert_eq!(
+            ub_kind(
+                "int *escape(void) { int local = 5; return &local; }\n\
+                 int main(void) { int *p = escape(); return *p; }"
+            ),
+            UbKind::DeadObjectAccess
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int *p = malloc(2); free(p); return *p; }"),
+            UbKind::DeadObjectAccess
+        );
+    }
+
+    #[test]
+    fn allocation_family() {
+        assert_eq!(
+            ub_kind("int main(void) { int *p = malloc(1); free(p); free(p); return 0; }"),
+            UbKind::DoubleFree
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int x = 0; free(&x); return 0; }"),
+            UbKind::FreeNonHeapPointer
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int *p = malloc(2); free(p + 1); return 0; }"),
+            UbKind::FreeInteriorPointer
+        );
+        assert_eq!(
+            run(
+                "int main(void) { int *p = malloc(2); p[0] = 7; int v = p[0]; free(p); return v; }"
+            )
+            .exit_code(),
+            Some(7)
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int *p = malloc(2); return p[0]; }"),
+            UbKind::ReadIndeterminate
+        );
+    }
+
+    #[test]
+    fn call_family() {
+        assert_eq!(
+            ub_kind("int f(int a) { return a; } int main(void) { return f(1, 2); }"),
+            UbKind::CallWrongArity
+        );
+        assert_eq!(
+            ub_kind("int f(void) { return 0; } int main(void) { int x = g(); return x; }"),
+            UbKind::CallNonFunction
+        );
+        assert_eq!(
+            ub_kind("int f(int a) { if (a) return 1; } int main(void) { return f(0) + 1; }"),
+            UbKind::MissingReturnValueUsed
+        );
+    }
+
+    #[test]
+    fn vla_family() {
+        assert_eq!(
+            ub_kind("int main(void) { int n = 0; int a[n]; return 0; }"),
+            UbKind::VlaSizeNotPositive
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int a[0]; return 0; }"),
+            UbKind::ArraySizeNotPositive
+        );
+    }
+
+    #[test]
+    fn pointer_relations() {
+        assert_eq!(
+            ub_kind("int main(void) { int a; int b; return &a < &b; }"),
+            UbKind::PointerCompareDifferentObjects
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int a; int b; return &a - &b; }"),
+            UbKind::PointerSubtractionDifferentObjects
+        );
+        assert_eq!(
+            run("int main(void) { int a[4]; int *p = &a[1]; int *q = &a[3]; return q - p; }")
+                .exit_code(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn loops_hit_the_step_limit_not_the_stack() {
+        let unit = parse("int main(void) { while (1) { } return 0; }").unwrap();
+        let outcome = Interp::new(
+            &unit,
+            Limits {
+                max_steps: 10_000,
+                max_call_depth: 16,
+            },
+        )
+        .run_main();
+        assert!(
+            matches!(outcome, Outcome::Unsupported { .. }),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn size_one_arrays_decay_like_any_array() {
+        assert_eq!(
+            run("int main(void) { int a[1]; a[0] = 5; return a[0]; }").exit_code(),
+            Some(5)
+        );
+        assert_eq!(
+            run("int main(void) { int n = 1; int a[n]; a[0] = 3; return *a; }").exit_code(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn shadowing_declaration_is_in_scope_in_its_own_initializer() {
+        // §6.2.1:7: the inner x's scope starts before its initializer, so
+        // `int x = x;` reads the new, indeterminate x.
+        assert_eq!(
+            ub_kind("int main(void) { int x = 1; { int x = x; return x; } }"),
+            UbKind::ReadIndeterminate
+        );
+        // But an array *size* is part of the declarator: it still sees the
+        // outer binding.
+        assert_eq!(
+            run("int main(void) { int n = 2; { int n[n]; n[1] = 9; return n[1]; } }").exit_code(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn array_designators_are_not_modifiable_lvalues() {
+        let unit = parse("int main(void) { int a[2]; a = 5; return 0; }").unwrap();
+        let outcome = Interp::new(&unit, Limits::default()).run_main();
+        assert!(
+            matches!(outcome, Outcome::Unsupported { .. }),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_carry_function_and_line() {
+        let outcome = run("int main(void) {\n  int x = 1;\n  return x / 0;\n}");
+        let err = outcome.ub().expect("should be UB").clone();
+        assert_eq!(err.function(), Some("main"));
+        assert_eq!(err.loc().map(|l| l.line), Some(3));
+    }
+}

@@ -1,0 +1,209 @@
+//! Tokenizer for the supported C subset.
+//!
+//! Produces a flat token stream with source positions; comments (both
+//! styles) and whitespace are skipped. Unknown characters are reported as
+//! [`LexError`]s with their position rather than being silently dropped —
+//! a file outside the subset must fail loudly, never be half-analyzed.
+
+use cundef_ub::SourceLoc;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Decimal integer constant.
+    Int(i64),
+    /// Punctuator, e.g. `"+="`, `"("`, `"<<"`.
+    Punct(&'static str),
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Position of the token's first character.
+    pub loc: SourceLoc,
+}
+
+/// A character or constant the lexer cannot handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation of what went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub loc: SourceLoc,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.loc, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// All multi-character punctuators, longest first so that maximal munch
+/// (C11 §6.4:4) falls out of a linear scan.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "&=", "^=", "|=", "->", "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "^",
+    "|", "?", ":", ";", ",", "(", ")", "{", "}", "[", "]",
+];
+
+/// Tokenize `source` into a vector of positioned tokens.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::lexer::{lex, Tok};
+///
+/// let toks = lex("x <<= 2;").unwrap();
+/// assert_eq!(toks[1].tok, Tok::Punct("<<="));
+/// assert_eq!(toks[0].loc.line, 1);
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        let loc = SourceLoc::new(line, col);
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                advance!(1);
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            advance!(2);
+            while i + 1 < bytes.len() {
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    advance!(2);
+                    continue 'outer;
+                }
+                advance!(1);
+            }
+            return Err(LexError {
+                message: "unterminated comment".into(),
+                loc,
+            });
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                advance!(1);
+            }
+            let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+            toks.push(Token {
+                tok: Tok::Ident(text.to_string()),
+                loc,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                advance!(1);
+            }
+            let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+            let value = parse_int_constant(text).ok_or_else(|| LexError {
+                message: format!("unsupported or out-of-range integer constant `{text}`"),
+                loc,
+            })?;
+            toks.push(Token {
+                tok: Tok::Int(value),
+                loc,
+            });
+            continue;
+        }
+        for p in PUNCTS {
+            if bytes[i..].starts_with(p.as_bytes()) {
+                toks.push(Token {
+                    tok: Tok::Punct(p),
+                    loc,
+                });
+                advance!(p.len());
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            message: format!("unexpected character `{}`", c as char),
+            loc,
+        });
+    }
+    Ok(toks)
+}
+
+/// Parse a decimal or hexadecimal constant that fits in `int`.
+fn parse_int_constant(text: &str) -> Option<i64> {
+    let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if text.chars().all(|c| c.is_ascii_digit()) {
+        text.parse::<i64>().ok()?
+    } else {
+        return None;
+    };
+    // The subset's only integer type is 32-bit int; a wider constant has
+    // no type here, so refuse it during lexing.
+    (value <= i32::MAX as i64).then_some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_munch_prefers_longest_punct() {
+        let toks = lex("a<<=b").unwrap();
+        assert_eq!(toks[1].tok, Tok::Punct("<<="));
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("// c\n/* block\n*/ x").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].loc, cundef_ub::SourceLoc::new(3, 4));
+    }
+
+    #[test]
+    fn hex_constants() {
+        let toks = lex("0x10").unwrap();
+        assert_eq!(toks[0].tok, Tok::Int(16));
+    }
+
+    #[test]
+    fn out_of_range_constant_is_rejected() {
+        assert!(lex("2147483648").is_err());
+        assert!(lex("2147483647").is_ok());
+    }
+
+    #[test]
+    fn unknown_character_is_reported_with_position() {
+        let err = lex("x @").unwrap_err();
+        assert_eq!(err.loc, cundef_ub::SourceLoc::new(1, 3));
+    }
+}

@@ -1,0 +1,69 @@
+//! Executable semantics of a C subset with dynamic undefined-behavior
+//! detection.
+//!
+//! This crate is the "kcc layer" of the workspace: where
+//! [`cundef_ub`] names and classifies undefined behaviors, this crate
+//! *detects* them by actually running programs. It contains:
+//!
+//! - [`lexer`] — tokenizer for the supported C subset;
+//! - [`ast`] — the abstract syntax (expressions, statements, functions);
+//! - [`parser`] — recursive-descent parser producing the AST;
+//! - [`eval`] — an evaluator that tracks sequencing footprints, object
+//!   lifetimes, initialization state, and value ranges, and stops with a
+//!   [`cundef_ub::UbError`] the moment an execution would "get stuck" on
+//!   undefined behavior, in the style of the paper's negative semantics.
+//!
+//! The supported subset is deliberately small but real: `int` scalars,
+//! fixed-size and variable-length `int` arrays, pointers (`&`, `*`,
+//! arithmetic, indexing), function definitions and calls, `malloc`/`free`
+//! (in `int`-cell units), control flow (`if`/`else`, `while`, `for`,
+//! `break`, `continue`, `return`), and the full C expression operator set
+//! over `int` — including compound assignment and increment/decrement,
+//! whose sequencing hazards are the paper's flagship `Error: 00016`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cundef_semantics::check_translation_unit;
+//! use cundef_ub::UbKind;
+//!
+//! let outcome = check_translation_unit(
+//!     "int main(void) { int x = 0; return x + (x = 1); }",
+//! ).unwrap();
+//! assert_eq!(outcome.ub().unwrap().kind(), UbKind::UnsequencedSideEffect);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use eval::{Interp, Limits, Outcome, Pointer, Value};
+pub use parser::ParseError;
+
+/// Parse and execute a translation unit, starting from `main`.
+///
+/// This is the one-call entry point used by the `cundef` CLI: it wires the
+/// lexer, parser, and evaluator together with default [`Limits`]. A
+/// `ParseError` means the file is outside the supported subset; an
+/// [`Outcome`] is a verdict about the program's execution.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::check_translation_unit;
+///
+/// // A defined program runs to completion.
+/// let outcome = check_translation_unit("int main(void) { return 42; }").unwrap();
+/// assert_eq!(outcome.exit_code(), Some(42));
+///
+/// // An undefined one is caught in the act.
+/// let outcome = check_translation_unit("int main(void) { return 1 / 0; }").unwrap();
+/// assert!(outcome.ub().is_some());
+/// ```
+pub fn check_translation_unit(source: &str) -> Result<Outcome, ParseError> {
+    let unit = parser::parse(source)?;
+    Ok(Interp::new(&unit, Limits::default()).run_main())
+}

@@ -1,0 +1,698 @@
+//! Recursive-descent parser for the supported C subset.
+//!
+//! The grammar follows C11's expression precedence exactly (§6.5.1–§6.5.17)
+//! so that the sequencing structure the evaluator relies on — which
+//! operands are siblings of which operators — matches the standard's.
+//! Anything outside the subset is a [`ParseError`], never a silent
+//! reinterpretation.
+
+use crate::ast::{
+    BinOp, Decl, Expr, ExprKind, Function, Param, Stmt, TranslationUnit, Ty, UnaryOp,
+};
+use crate::lexer::{lex, LexError, Tok, Token};
+use cundef_ub::SourceLoc;
+use std::fmt;
+
+/// Why a source file could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation, in terms of the supported subset.
+    pub message: String,
+    /// Where the parse failed.
+    pub loc: SourceLoc,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.loc, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            loc: e.loc,
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "int", "void", "if", "else", "while", "for", "return", "break", "continue", "goto",
+];
+
+/// Parse a whole translation unit (a sequence of function definitions).
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::parser::parse;
+///
+/// let unit = parse("int main(void) { return 0; }").unwrap();
+/// assert_eq!(unit.functions[0].name, "main");
+///
+/// let err = parse("int main(void) { goto l; }").unwrap_err();
+/// assert!(err.message.contains("goto"));
+/// ```
+pub fn parse(source: &str) -> Result<TranslationUnit, ParseError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut unit = TranslationUnit::default();
+    while !p.at_end() {
+        unit.functions.push(p.function()?);
+    }
+    Ok(unit)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn loc(&self) -> SourceLoc {
+        self.peek()
+            .map(|t| t.loc)
+            .unwrap_or_else(|| self.toks.last().map(|t| t.loc).unwrap_or_default())
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            loc: self.loc(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token { tok: Tok::Punct(q), .. }) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<SourceLoc, ParseError> {
+        let loc = self.loc();
+        if self.eat_punct(p) {
+            Ok(loc)
+        } else {
+            self.err(format!("expected `{p}`"))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<(String, SourceLoc), ParseError> {
+        match self.peek().cloned() {
+            Some(Token {
+                tok: Tok::Ident(s),
+                loc,
+            }) => {
+                if KEYWORDS.contains(&s.as_str()) {
+                    return self.err(format!("unexpected keyword `{s}`"));
+                }
+                self.pos += 1;
+                Ok((s, loc))
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    // ----- declarations and functions -----
+
+    fn pointer_suffix(&mut self, base: Ty) -> Ty {
+        let mut ty = base;
+        while self.eat_punct("*") {
+            ty = Ty::Ptr(Box::new(ty));
+        }
+        ty
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let returns_void = if self.eat_keyword("void") {
+            true
+        } else if self.eat_keyword("int") {
+            false
+        } else {
+            // `goto` and other unsupported statements surface here with a
+            // tailored message; anything else gets the generic one.
+            if self.peek_keyword("goto") {
+                return self.err("`goto` is outside the supported subset");
+            }
+            return self.err("expected `int` or `void` at start of function definition");
+        };
+        // Pointer return types parse but are not tracked: values are
+        // dynamically typed in the evaluator.
+        while self.eat_punct("*") {}
+        let (name, loc) = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if self.eat_keyword("void") {
+                self.expect_punct(")")?;
+            } else {
+                loop {
+                    if !self.eat_keyword("int") {
+                        return self.err("expected `int` parameter type");
+                    }
+                    let ty = self.pointer_suffix(Ty::Int);
+                    let (pname, _) = self.ident()?;
+                    params.push(Param { name: pname, ty });
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+        }
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_end() {
+                return self.err("unterminated function body");
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(Function {
+            name,
+            params,
+            returns_void,
+            body,
+            loc,
+        })
+    }
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        // `int` already consumed by the caller.
+        let ty = self.pointer_suffix(Ty::Int);
+        let (name, loc) = self.ident()?;
+        let mut array_size = None;
+        if self.eat_punct("[") {
+            if !matches!(
+                self.peek(),
+                Some(Token {
+                    tok: Tok::Punct("]"),
+                    ..
+                })
+            ) {
+                array_size = Some(self.expr()?);
+            } else {
+                return self.err("array declarations need an explicit size");
+            }
+            self.expect_punct("]")?;
+        }
+        let mut init = None;
+        let mut array_init = None;
+        if self.eat_punct("=") {
+            if self.eat_punct("{") {
+                let mut items = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        items.push(self.assignment()?);
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                array_init = Some(items);
+            } else {
+                init = Some(self.assignment()?);
+            }
+        }
+        self.expect_punct(";")?;
+        if array_size.is_none() && array_init.is_some() {
+            return self.err("brace initializers require an array declarator");
+        }
+        if array_size.is_some() && init.is_some() {
+            // `int a[3] = 5;` violates §6.7.9:11; refuse it rather than
+            // silently initializing element 0.
+            return self.err("array initializers must be brace-enclosed");
+        }
+        Ok(Decl {
+            name,
+            ty,
+            array_size,
+            init,
+            array_init,
+            loc,
+        })
+    }
+
+    // ----- statements -----
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let loc = self.loc();
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_punct("{") {
+            let mut body = Vec::new();
+            while !self.eat_punct("}") {
+                if self.at_end() {
+                    return self.err("unterminated block");
+                }
+                body.push(self.stmt()?);
+            }
+            return Ok(Stmt::Block(body));
+        }
+        if self.eat_keyword("int") {
+            return Ok(Stmt::Decl(self.decl()?));
+        }
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_keyword("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Stmt::While(cond, Box::new(self.stmt()?)));
+        }
+        if self.eat_keyword("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else if self.eat_keyword("int") {
+                Some(Box::new(Stmt::Decl(self.decl()?)))
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if self.eat_punct(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            let step = if self.eat_punct(")") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Some(e)
+            };
+            return Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)));
+        }
+        if self.eat_keyword("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None, loc));
+            }
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e), loc));
+        }
+        if self.eat_keyword("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break(loc));
+        }
+        if self.eat_keyword("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue(loc));
+        }
+        if self.peek_keyword("goto") {
+            return self.err("`goto` is outside the supported subset");
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    // ----- expressions, by C11 precedence -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.assignment()?;
+        while matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Punct(","),
+                ..
+            })
+        ) {
+            let loc = self.loc();
+            self.pos += 1;
+            let rhs = self.assignment()?;
+            e = Expr {
+                kind: ExprKind::Comma(Box::new(e), Box::new(rhs)),
+                loc,
+            };
+        }
+        Ok(e)
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.conditional()?;
+        let op = match self.peek() {
+            Some(Token {
+                tok: Tok::Punct(p), ..
+            }) => match *p {
+                "=" => Some(None),
+                "+=" => Some(Some(BinOp::Add)),
+                "-=" => Some(Some(BinOp::Sub)),
+                "*=" => Some(Some(BinOp::Mul)),
+                "/=" => Some(Some(BinOp::Div)),
+                "%=" => Some(Some(BinOp::Rem)),
+                "<<=" => Some(Some(BinOp::Shl)),
+                ">>=" => Some(Some(BinOp::Shr)),
+                "&=" => Some(Some(BinOp::BitAnd)),
+                "^=" => Some(Some(BinOp::BitXor)),
+                "|=" => Some(Some(BinOp::BitOr)),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(op) = op {
+            let loc = self.loc();
+            self.pos += 1;
+            let rhs = self.assignment()?;
+            return Ok(Expr {
+                kind: ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)),
+                loc,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn conditional(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(0)?;
+        if matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Punct("?"),
+                ..
+            })
+        ) {
+            let loc = self.loc();
+            self.pos += 1;
+            let then = self.expr()?;
+            self.expect_punct(":")?;
+            let els = self.conditional()?;
+            return Ok(Expr {
+                kind: ExprKind::Conditional(Box::new(cond), Box::new(then), Box::new(els)),
+                loc,
+            });
+        }
+        Ok(cond)
+    }
+
+    /// Binary operators by precedence level, lowest first.
+    fn binary(&mut self, level: usize) -> Result<Expr, ParseError> {
+        const LEVELS: &[&[(&str, Option<BinOp>)]] = &[
+            &[("||", None)],
+            &[("&&", None)],
+            &[("|", Some(BinOp::BitOr))],
+            &[("^", Some(BinOp::BitXor))],
+            &[("&", Some(BinOp::BitAnd))],
+            &[("==", Some(BinOp::Eq)), ("!=", Some(BinOp::Ne))],
+            &[
+                ("<=", Some(BinOp::Le)),
+                (">=", Some(BinOp::Ge)),
+                ("<", Some(BinOp::Lt)),
+                (">", Some(BinOp::Gt)),
+            ],
+            &[("<<", Some(BinOp::Shl)), (">>", Some(BinOp::Shr))],
+            &[("+", Some(BinOp::Add)), ("-", Some(BinOp::Sub))],
+            &[
+                ("*", Some(BinOp::Mul)),
+                ("/", Some(BinOp::Div)),
+                ("%", Some(BinOp::Rem)),
+            ],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        'scan: loop {
+            for (p, op) in LEVELS[level] {
+                if matches!(self.peek(), Some(Token { tok: Tok::Punct(q), .. }) if q == p) {
+                    let loc = self.loc();
+                    self.pos += 1;
+                    let rhs = self.binary(level + 1)?;
+                    lhs = Expr {
+                        kind: match op {
+                            Some(op) => ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)),
+                            None if *p == "&&" => {
+                                ExprKind::LogicalAnd(Box::new(lhs), Box::new(rhs))
+                            }
+                            None => ExprKind::LogicalOr(Box::new(lhs), Box::new(rhs)),
+                        },
+                        loc,
+                    };
+                    continue 'scan;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.loc();
+        if self.eat_punct("++") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::PreIncDec(Box::new(e), 1),
+                loc,
+            });
+        }
+        if self.eat_punct("--") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::PreIncDec(Box::new(e), -1),
+                loc,
+            });
+        }
+        for (p, mk) in [
+            ("-", Some(UnaryOp::Neg)),
+            ("!", Some(UnaryOp::Not)),
+            ("~", Some(UnaryOp::BitNot)),
+            ("+", None),
+        ] {
+            if self.eat_punct(p) {
+                let e = self.unary()?;
+                return Ok(match mk {
+                    Some(op) => Expr {
+                        kind: ExprKind::Unary(op, Box::new(e)),
+                        loc,
+                    },
+                    None => e, // unary plus only performs promotion
+                });
+            }
+        }
+        if self.eat_punct("*") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Deref(Box::new(e)),
+                loc,
+            });
+        }
+        if self.eat_punct("&") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::AddrOf(Box::new(e)),
+                loc,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            let loc = self.loc();
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr {
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    loc,
+                };
+            } else if self.eat_punct("++") {
+                e = Expr {
+                    kind: ExprKind::PostIncDec(Box::new(e), 1),
+                    loc,
+                };
+            } else if self.eat_punct("--") {
+                e = Expr {
+                    kind: ExprKind::PostIncDec(Box::new(e), -1),
+                    loc,
+                };
+            } else if matches!(
+                self.peek(),
+                Some(Token {
+                    tok: Tok::Punct("("),
+                    ..
+                })
+            ) {
+                let name = match &e.kind {
+                    ExprKind::Ident(name) => name.clone(),
+                    _ => return self.err("only direct calls of named functions are supported"),
+                };
+                self.pos += 1;
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.assignment()?);
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                e = Expr {
+                    kind: ExprKind::Call(name, args),
+                    loc: e.loc,
+                };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.loc();
+        match self.peek().cloned() {
+            Some(Token {
+                tok: Tok::Int(v), ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr {
+                    kind: ExprKind::IntLit(v),
+                    loc,
+                })
+            }
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) if !KEYWORDS.contains(&s.as_str()) => {
+                self.pos += 1;
+                Ok(Expr {
+                    kind: ExprKind::Ident(s),
+                    loc,
+                })
+            }
+            Some(Token {
+                tok: Tok::Punct("("),
+                ..
+            }) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Token {
+                tok: Tok::Ident(ref s),
+                ..
+            }) if s == "goto" => self.err("`goto` is outside the supported subset"),
+            _ => self.err("expected expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ExprKind as E;
+
+    fn expr_of(src: &str) -> Expr {
+        let unit = parse(&format!("int main(void) {{ {src}; }}")).unwrap();
+        match &unit.functions[0].body[0] {
+            Stmt::Expr(e) => e.clone(),
+            s => panic!("expected expr stmt, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = expr_of("1 + 2 * 3");
+        match e.kind {
+            E::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(rhs.kind, E::Binary(BinOp::Mul, _, _)));
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let e = expr_of("a = b = 1");
+        match e.kind {
+            E::Assign(_, None, rhs) => assert!(matches!(rhs.kind, E::Assign(_, None, _))),
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn postfix_binds_tighter_than_prefix() {
+        let e = expr_of("*p++");
+        assert!(matches!(e.kind, E::Deref(ref inner) if matches!(inner.kind, E::PostIncDec(_, 1))));
+    }
+
+    #[test]
+    fn array_and_pointer_declarations() {
+        let unit = parse("int main(void) { int a[3]; int *p; int **q; }").unwrap();
+        assert_eq!(unit.functions[0].body.len(), 3);
+    }
+
+    #[test]
+    fn functions_with_parameters() {
+        let unit =
+            parse("int add(int a, int b) { return a + b; } int main(void) { return add(1, 2); }")
+                .unwrap();
+        assert_eq!(unit.functions.len(), 2);
+        assert_eq!(unit.functions[0].params.len(), 2);
+    }
+
+    #[test]
+    fn goto_is_rejected_with_a_clear_message() {
+        let err = parse("int main(void) { goto out; }").unwrap_err();
+        assert!(err.message.contains("goto"), "{}", err.message);
+    }
+
+    #[test]
+    fn scalar_initializer_on_array_declarator_is_rejected() {
+        let err = parse("int main(void) { int a[3] = 5; return 0; }").unwrap_err();
+        assert!(err.message.contains("brace"), "{}", err.message);
+    }
+
+    #[test]
+    fn goto_cannot_be_used_as_an_identifier() {
+        assert!(parse("int main(void) { int goto = 1; return 0; }").is_err());
+    }
+
+    #[test]
+    fn comma_operator_parses_at_expression_level() {
+        let e = expr_of("(a = 1, a + 1)");
+        assert!(matches!(e.kind, E::Comma(_, _)));
+    }
+}

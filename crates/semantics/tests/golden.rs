@@ -1,0 +1,155 @@
+//! Golden-output tests: the exact kcc-style report for one program per
+//! detector family. These pin down the whole pipeline — parsing,
+//! evaluation order, the catalog code, the C11 reference, and the
+//! rendering — in one assertion each.
+
+use cundef_semantics::check_translation_unit;
+
+fn report(source: &str) -> String {
+    let outcome = check_translation_unit(source).expect("source should parse");
+    let err = outcome
+        .ub()
+        .unwrap_or_else(|| panic!("expected UB, got {outcome:?}"));
+    err.to_diagnostic().to_string()
+}
+
+#[test]
+fn golden_unsequenced_side_effect() {
+    let rendered = report("int main(void) {\n  int x = 0;\n  x = x++ + 1;\n  return x;\n}\n");
+    assert_eq!(
+        rendered,
+        "ERROR! KCC encountered an error.\n\
+         ===============================================\n\
+         Error: 00016\n\
+         Description: Unsequenced side effect on scalar object with side effect of same object.\n\
+         See section 6.5:2 of ISO/IEC 9899:2011.\n\
+         Detail: assignment to `x` unsequenced with another side effect on it\n\
+         ===============================================\n\
+         Function: main\n\
+         Line: 3\n"
+    );
+}
+
+#[test]
+fn golden_division_by_zero() {
+    let rendered = report("int main(void) {\n  int d = 0;\n  return 7 / d;\n}\n");
+    assert_eq!(
+        rendered,
+        "ERROR! KCC encountered an error.\n\
+         ===============================================\n\
+         Error: 00002\n\
+         Description: Division by zero.\n\
+         See section 6.5.5:5 of ISO/IEC 9899:2011.\n\
+         Detail: 7 / 0\n\
+         ===============================================\n\
+         Function: main\n\
+         Line: 3\n"
+    );
+}
+
+#[test]
+fn golden_signed_overflow() {
+    let rendered = report("int main(void) {\n  int big = 2147483647;\n  return big + 1;\n}\n");
+    assert_eq!(
+        rendered,
+        "ERROR! KCC encountered an error.\n\
+         ===============================================\n\
+         Error: 00004\n\
+         Description: Signed integer overflow.\n\
+         See section 6.5:5 of ISO/IEC 9899:2011.\n\
+         Detail: 2147483647 + 1 is not representable in int\n\
+         ===============================================\n\
+         Function: main\n\
+         Line: 3\n"
+    );
+}
+
+#[test]
+fn golden_out_of_bounds_read() {
+    let rendered =
+        report("int main(void) {\n  int a[3] = {1, 2, 3};\n  int *p = a;\n  return *(p + 3);\n}\n");
+    assert_eq!(
+        rendered,
+        "ERROR! KCC encountered an error.\n\
+         ===============================================\n\
+         Error: 00023\n\
+         Description: Read outside the bounds of an object.\n\
+         See section 6.5.6:8 of ISO/IEC 9899:2011.\n\
+         Detail: read at offset 3 of `a` (size 3)\n\
+         ===============================================\n\
+         Function: main\n\
+         Line: 4\n"
+    );
+}
+
+#[test]
+fn golden_read_indeterminate() {
+    let rendered = report("int main(void) {\n  int y;\n  return y;\n}\n");
+    assert_eq!(
+        rendered,
+        "ERROR! KCC encountered an error.\n\
+         ===============================================\n\
+         Error: 00028\n\
+         Description: Use of an indeterminate value.\n\
+         See section 6.2.6.1:5 of ISO/IEC 9899:2011.\n\
+         Detail: `y` holds an indeterminate value\n\
+         ===============================================\n\
+         Function: main\n\
+         Line: 3\n"
+    );
+}
+
+#[test]
+fn golden_shift_too_far() {
+    let rendered = report("int main(void) {\n  int bits = 32;\n  return 1 << bits;\n}\n");
+    assert_eq!(
+        rendered,
+        "ERROR! KCC encountered an error.\n\
+         ===============================================\n\
+         Error: 00007\n\
+         Description: Shift amount not less than the width of the type.\n\
+         See section 6.5.7:3 of ISO/IEC 9899:2011.\n\
+         Detail: shift amount 32 >= width 32\n\
+         ===============================================\n\
+         Function: main\n\
+         Line: 3\n"
+    );
+}
+
+#[test]
+fn golden_dead_object_access() {
+    let rendered = report(
+        "int *escape(void) {\n  int local = 5;\n  return &local;\n}\n\
+         int main(void) {\n  int *p = escape();\n  return *p;\n}\n",
+    );
+    assert_eq!(
+        rendered,
+        "ERROR! KCC encountered an error.\n\
+         ===============================================\n\
+         Error: 00022\n\
+         Description: Access to an object outside of its lifetime.\n\
+         See section 6.2.4:2 of ISO/IEC 9899:2011.\n\
+         Detail: object `local` is outside its lifetime\n\
+         ===============================================\n\
+         Function: main\n\
+         Line: 7\n"
+    );
+}
+
+#[test]
+fn golden_double_free() {
+    let rendered =
+        report("int main(void) {\n  int *p = malloc(1);\n  free(p);\n  free(p);\n  return 0;\n}\n");
+    assert_eq!(
+        rendered,
+        "ERROR! KCC encountered an error.\n\
+         ===============================================\n\
+         Error: 00042\n\
+         Description: free() of an already freed allocation.\n\
+         See section 7.22.3.3:2 of ISO/IEC 9899:2011.\n\
+         Detail: `heap object #1` was already freed\n\
+         ===============================================\n\
+         Function: main\n\
+         Line: 4\n"
+    );
+}

@@ -1,0 +1,469 @@
+//! The full classification of C11's undefined behaviors (§5.2.1 of the
+//! paper).
+//!
+//! *Defining the Undefinedness of C* (Hathhorn, Ellison, Roșu; PLDI 2015)
+//! classifies the **221** undefined behaviors enumerated by the C11
+//! standard into **92** that are *statically* detectable — diagnosable from
+//! the program text alone, typically during translation — and **129** that
+//! are only *dynamically* detectable, i.e. visible only on particular
+//! executions (§5.2.1). This module reproduces that classification as a
+//! static table.
+//!
+//! The enumeration follows the order of the standard itself: the entries
+//! for the language clauses (4, 5.x, 6.x) come first, followed by the
+//! library clause (7.x), mirroring the collected list in Annex J.2 of
+//! ISO/IEC 9899:2011 together with the additional undefined behaviors the
+//! paper identifies in the normative text. Each [`CatalogEntry`] records:
+//!
+//! - a stable 1-based `id` (position in the enumeration),
+//! - a one-line paraphrased `summary` of the triggering situation,
+//! - the `std_ref` section of C11 (N1570) that withholds the requirement,
+//! - its static/dynamic [`Detectability`] classification, and
+//! - optionally the [`UbKind`] detector in this workspace that catches it
+//!   (`detected_by`), linking the taxonomy to the executable semantics.
+//!
+//! The headline numbers are checked by [`catalog_counts`], which asserts
+//! the paper's 221 = 92 + 129 split at test time, and re-checked by the
+//! crate's invariant tests.
+
+use crate::{Detectability, UbKind};
+
+/// One undefined behavior from the standard's enumeration, as classified
+/// in §5.2.1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_ub::{catalog, Detectability};
+///
+/// let unsequenced = catalog()
+///     .iter()
+///     .find(|e| e.summary.contains("unsequenced relative to another side effect"))
+///     .unwrap();
+/// assert_eq!(unsequenced.detect, Detectability::Dynamic);
+/// assert!(unsequenced.std_ref.starts_with("6.5"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// 1-based position in the enumeration (stable across releases).
+    pub id: u16,
+    /// One-line paraphrase of the situation whose behavior is undefined.
+    pub summary: &'static str,
+    /// The C11 (N1570) section that makes the behavior undefined.
+    pub std_ref: &'static str,
+    /// Whether the situation is statically or only dynamically detectable.
+    pub detect: Detectability,
+    /// The detector in this workspace that catches (a family including)
+    /// this entry, if one exists yet.
+    pub detected_by: Option<UbKind>,
+}
+
+/// Aggregate counts over the catalog, matching the paper's headline
+/// numbers.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_ub::catalog_counts;
+///
+/// let c = catalog_counts();
+/// assert_eq!(c.total, 221);
+/// assert_eq!(c.statically_detectable, 92);
+/// assert_eq!(c.dynamically_detectable, 129);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogCounts {
+    /// Total number of catalogued undefined behaviors (221).
+    pub total: usize,
+    /// Entries diagnosable from the program text alone (92).
+    pub statically_detectable: usize,
+    /// Entries diagnosable only by executing the program (129).
+    pub dynamically_detectable: usize,
+}
+
+macro_rules! entries {
+    ($(($id:expr, $detect:ident, $std_ref:expr, $summary:expr $(, $kind:ident)?)),+ $(,)?) => {
+        &[$(CatalogEntry {
+            id: $id,
+            summary: $summary,
+            std_ref: $std_ref,
+            detect: Detectability::$detect,
+            detected_by: entries!(@kind $($kind)?),
+        },)+]
+    };
+    (@kind) => { None };
+    (@kind $kind:ident) => { Some(UbKind::$kind) };
+}
+
+/// The full catalog, in standard order. See the module docs for the
+/// structure of the enumeration.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_ub::catalog;
+/// assert_eq!(catalog().len(), 221);
+/// assert_eq!(catalog()[0].id, 1);
+/// ```
+pub fn catalog() -> &'static [CatalogEntry] {
+    CATALOG
+}
+
+/// Count the catalog along the static/dynamic axis, asserting (in debug
+/// builds and tests) the paper's 221 = 92 + 129 split.
+pub fn catalog_counts() -> CatalogCounts {
+    let statically_detectable = CATALOG
+        .iter()
+        .filter(|e| e.detect == Detectability::Static)
+        .count();
+    let total = CATALOG.len();
+    let counts = CatalogCounts {
+        total,
+        statically_detectable,
+        dynamically_detectable: total - statically_detectable,
+    };
+    debug_assert_eq!(counts.total, 221, "catalog must enumerate 221 UBs");
+    debug_assert_eq!(counts.statically_detectable, 92, "92 static (§5.2.1)");
+    debug_assert_eq!(counts.dynamically_detectable, 129, "129 dynamic (§5.2.1)");
+    counts
+}
+
+static CATALOG: &[CatalogEntry] = entries![
+    // ----- clause 4 & 5: conformance, environment, translation -----
+    (1, Dynamic, "4:2", "A ''shall'' requirement appearing outside of a constraint or runtime-constraint is violated"),
+    (2, Static, "5.1.1.2:1", "A nonempty source file does not end in a newline, or ends in a newline immediately preceded by a backslash"),
+    (3, Static, "5.1.1.2:1", "A source file ends inside a preprocessing token or inside a comment"),
+    (4, Static, "5.1.2.2.1:1", "In a hosted environment, main is defined with a signature the implementation does not document", NonstandardMain),
+    (5, Static, "5.1.2.2.3:1", "The value returned from main is used after main's closing brace is reached in a function whose return type is incompatible with int"),
+    (6, Dynamic, "5.1.2.3:6", "The program's execution contains a data race on a non-atomic object"),
+    (7, Static, "5.2.1:3", "A character outside the basic source character set is encountered in a source file, except where permitted"),
+    (8, Static, "5.2.1.2:2", "An identifier, comment, string literal, character constant, or header name contains an invalid multibyte character"),
+    (9, Static, "5.2.1.2:2", "A multibyte character sequence does not begin and end in the initial shift state"),
+
+    // ----- 6.2: identifiers, linkage, storage, types -----
+    (10, Static, "6.2.2:7", "The same identifier appears with both internal and external linkage in a translation unit", MixedLinkage),
+    (11, Dynamic, "6.2.4:2", "An object is referred to outside of its lifetime", DeadObjectAccess),
+    (12, Dynamic, "6.2.4:2", "The value of a pointer is used after the lifetime of the object it pointed to has ended", DeadObjectAccess),
+    (13, Dynamic, "6.2.4:6", "The value of an automatic object is used while it is indeterminate", ReadIndeterminate),
+    (14, Dynamic, "6.2.6.1:5", "A trap representation is read by an lvalue expression that does not have character type", ReadIndeterminate),
+    (15, Dynamic, "6.2.6.1:5", "A trap representation is produced by a side effect that modifies an object through an lvalue without character type"),
+    (16, Dynamic, "6.2.6.1:4", "An object is copied byte-by-byte only in part and the partially copied value is then used as a pointer", PartialPointerUse),
+    (17, Dynamic, "6.2.6.2:4", "An arithmetic operation produces or consumes a negative zero in a way the implementation does not support"),
+    (18, Static, "6.2.7:2", "Two declarations of the same object or function in the same scope specify incompatible types", IncompatibleRedeclaration),
+
+    // ----- 6.3: conversions -----
+    (19, Dynamic, "6.3.1.4:1", "A floating-point value is converted to an integer type that cannot represent its integral part", FloatToIntOverflow),
+    (20, Dynamic, "6.3.1.5:1", "A real floating value being demoted cannot be represented, even approximately, in the narrower type"),
+    (21, Dynamic, "6.3.2.1:2", "An lvalue that does not designate an object when it is evaluated is used"),
+    (22, Static, "6.3.2.2:1", "The (nonexistent) value of a void expression is used", VoidValueUsed),
+    (23, Dynamic, "6.3.2.3:5", "A pointer is converted to an integer type and the result cannot be represented in it"),
+    (24, Dynamic, "6.3.2.3:7", "A pointer is converted to a pointer type for which the value is incorrectly aligned", MisalignedAccess),
+    (25, Static, "6.3.2.3:8", "A converted function pointer is used to call a function whose type is incompatible with the pointed-to type", CallWrongType),
+    (26, Static, "6.3.2.3", "A pointer to a function is converted to a pointer to an object type, or vice versa", FunctionObjectPointerCast),
+
+    // ----- 6.4: lexical elements -----
+    (27, Static, "6.4:3", "An unmatched ' or \" character is encountered on a logical source line during tokenization"),
+    (28, Static, "6.4.1:2", "A reserved keyword token is produced by macro replacement and used as something other than a keyword"),
+    (29, Static, "6.4.2.1:7", "Two identifiers differ only in nonsignificant characters"),
+    (30, Static, "6.4.2.2:2", "The identifier __func__ is explicitly declared"),
+    (31, Static, "6.4.3:2", "A universal character name is formed by token concatenation"),
+    (32, Dynamic, "6.4.5:7", "The program attempts to modify a string literal", ModifyStringLiteral),
+    (33, Static, "6.4.7:3", "The characters ', \\, //, or /* occur between the < and > delimiters of a header name"),
+
+    // ----- 6.5: expressions -----
+    (34, Dynamic, "6.5:2", "A side effect on a scalar object is unsequenced relative to another side effect on the same object", UnsequencedSideEffect),
+    (35, Dynamic, "6.5:2", "A side effect on a scalar object is unsequenced relative to a value computation using the value of the same object", UnsequencedSideEffect),
+    (36, Dynamic, "6.5:5", "An exceptional condition (result not mathematically defined or not representable) occurs during expression evaluation", SignedOverflow),
+    (37, Dynamic, "6.5:7", "An object is accessed through an lvalue of a type incompatible with its effective type", AccessWrongEffectiveType),
+    (38, Static, "6.5.1.1:3", "A generic selection has no matching association and no default association"),
+    (39, Dynamic, "6.5.2.2:6", "A function is called with a number of arguments that disagrees with the number of parameters in its definition", CallWrongArity),
+    (40, Dynamic, "6.5.2.2:6", "A function defined without a prototype is called with argument types incompatible with its parameter types", CallWrongType),
+    (41, Dynamic, "6.5.2.2:9", "A function is called through an expression of a type incompatible with the type of the function's definition", CallWrongType),
+    (42, Dynamic, "6.5.2.2:1", "The expression that denotes the called function does not designate a function", CallNonFunction),
+    (43, Dynamic, "6.5.3.2:4", "The unary * operator is applied to a null or otherwise invalid pointer value", NullDereference),
+    (44, Dynamic, "6.5.3.2:4", "The unary * operator is applied to a pointer to an object past the end of its array", OutOfBoundsRead),
+    (45, Static, "6.5.3.2:4", "The operand of unary * is a pointer to void whose pointed-to value is used", VoidDereference),
+    (46, Dynamic, "6.5.5:5", "The second operand of the / or % operator is zero", DivisionByZero),
+    (47, Dynamic, "6.5.5:6", "The quotient of integer division or remainder is not representable (e.g. INT_MIN / -1)", DivisionOverflow),
+    (48, Dynamic, "6.5.6:8", "Pointer arithmetic produces a result that points neither into, nor one past the end of, the same array object", PointerArithmeticOutOfBounds),
+    (49, Dynamic, "6.5.6:8", "The result of pointer arithmetic that points one past the last element of an array object is dereferenced", OutOfBoundsRead),
+    (50, Dynamic, "6.5.6:9", "Two pointers that do not point into, or one past the end of, the same array object are subtracted", PointerSubtractionDifferentObjects),
+    (51, Dynamic, "6.5.6:9", "The difference of two pointers is not representable in ptrdiff_t"),
+    (52, Dynamic, "6.5.7:3", "The shift amount is negative", ShiftByNegative),
+    (53, Dynamic, "6.5.7:3", "The shift amount is greater than or equal to the width of the promoted left operand", ShiftTooFar),
+    (54, Dynamic, "6.5.7:4", "A negative value is shifted left", ShiftOfNegative),
+    (55, Dynamic, "6.5.7:4", "The result of a left shift of a signed value is not representable in the result type", ShiftOverflow),
+    (56, Dynamic, "6.5.8:5", "Pointers that do not point into the same aggregate object are compared with a relational operator", PointerCompareDifferentObjects),
+    (57, Dynamic, "6.5.16.1:3", "The objects in a simple assignment overlap and have incompatible effective types"),
+
+    // ----- 6.6 & 6.7: constants and declarations -----
+    (58, Static, "6.6:4", "A constant expression in an initializer is not, or does not evaluate to, a constant"),
+    (59, Static, "6.7:3", "The same identifier is declared more than once in the same scope with incompatible declarations", IncompatibleRedeclaration),
+    (60, Static, "6.7.2.1:16", "A member of an atomic structure or union is accessed"),
+    (61, Static, "6.7.2.3:4", "The same type tag is declared with different kinds of tag (struct vs union vs enum)"),
+    (62, Static, "6.7.3:2", "The restrict qualifier is applied to a type that is not a pointer to an object type", RestrictNonPointer),
+    (63, Dynamic, "6.7.3:6", "An attempt is made to modify an object defined with a const-qualified type through a non-const lvalue", WriteToConst),
+    (64, Static, "6.7.3:7", "An attempt is made to refer to an object defined with a volatile-qualified type through a non-volatile lvalue"),
+    (65, Static, "6.7.3:9", "A function type is specified with type qualifiers", QualifiedFunctionType),
+    (66, Dynamic, "6.7.3.1:4", "A restrict-qualified pointer's object is accessed through an independent second pointer during the block", RestrictOverlap),
+    (67, Dynamic, "6.7.3.1:11", "An object designated through a restrict-qualified pointer is modified after being also accessed through another pointer", RestrictOverlap),
+    (68, Static, "6.7.4:6", "A call to a function declared with an inline definition that references an identifier with internal linkage is made from another translation unit"),
+    (69, Static, "6.7.6.2:1", "An array is declared with a constant size that is not greater than zero", ArraySizeNotPositive),
+    (70, Dynamic, "6.7.6.2:5", "A variable length array is declared whose size, when evaluated, is not greater than zero", VlaSizeNotPositive),
+    (71, Dynamic, "6.7.6.2:5", "The size expression of a variable length array changes between declarations that are required to be compatible"),
+    (72, Static, "6.7.6.3:15", "Two declarations of a function specify parameter lists that cannot be composed into a compatible type", IncompatibleRedeclaration),
+    (73, Static, "6.7.9:11", "The initializer for a scalar is neither a single expression nor a single expression enclosed in braces"),
+    (74, Dynamic, "6.7.9:23", "The value of an unnamed structure or union member with indeterminate value is used", ReadIndeterminate),
+
+    // ----- 6.8 & 6.9: statements and external definitions -----
+    (75, Static, "6.8.6.1:1", "A goto statement jumps into the scope of an identifier with variably modified type", JumpIntoVlaScope),
+    (76, Static, "6.8.6.1:1", "A switch statement transfers control into the scope of an identifier with variably modified type", JumpIntoVlaScope),
+    (77, Dynamic, "6.9.1:12", "The closing brace of a value-returning function is reached and the caller uses the (nonexistent) return value", MissingReturnValueUsed),
+    (78, Static, "6.9.1:12", "A return statement without an expression appears in a value-returning function whose result is used on a constant path", ReturnWithoutValue),
+    (79, Static, "6.9:5", "An identifier with external linkage is used but has no external definition, or more than one", DuplicateExternalDefinition),
+    (80, Static, "6.9:5", "More than one external definition appears for an identifier with internal linkage that is used", DuplicateExternalDefinition),
+
+    // ----- 6.10: preprocessing directives -----
+    (81, Static, "6.10.1:4", "The token defined is generated during the expansion of a #if or #elif expression"),
+    (82, Static, "6.10.2:4", "A #include directive, after macro expansion, does not match one of the two header name forms"),
+    (83, Static, "6.10.2:5", "A header name formed by macro expansion contains a character sequence with no mapping"),
+    (84, Static, "6.10.3:11", "There are sequences of preprocessing tokens within a macro argument that would otherwise act as directives"),
+    (85, Static, "6.10.3.1:1", "The result of macro argument substitution is not a valid preprocessing token sequence"),
+    (86, Static, "6.10.3.2:2", "The result of the # operator is not a valid string literal"),
+    (87, Static, "6.10.3.3:3", "The result of the ## operator is not a valid preprocessing token"),
+    (88, Static, "6.10.4:3", "The #line directive specifies a line number of zero or greater than 2147483647"),
+    (89, Static, "6.10.4:4", "A #line directive, after macro expansion, does not match one of the defined forms"),
+    (90, Static, "6.10.6:1", "A non-STDC #pragma directive causes the translator to behave in an undocumented way"),
+    (91, Static, "6.10.8:2", "A predefined macro name, or the identifier defined, is the subject of a #define or #undef directive"),
+
+    // ----- 7.1: library conventions -----
+    (92, Static, "7.1.2:4", "A standard header is included while a macro with the same name as one of its keywords is defined"),
+    (93, Static, "7.1.2:4", "A standard header is included within an external declaration or definition"),
+    (94, Static, "7.1.3:2", "A reserved identifier (leading underscore, or a library name with external linkage) is declared or defined by the program"),
+    (95, Static, "7.1.3:2", "The program removes the definition of a macro defined in a standard header with #undef"),
+    (96, Dynamic, "7.1.4:1", "A library function is called with an invalid argument value (out of domain, null pointer, insufficient object)", InvalidLibraryArgument),
+    (97, Dynamic, "7.1.4:1", "A library function that writes through a pointer argument is passed a pointer to a const-qualified or undersized object", InvalidLibraryArgument),
+    (98, Static, "7.1.4:2", "A macro definition of a library function is suppressed in a way other than the permitted ones to access an actual function that is not declared"),
+    (99, Static, "7.2.1.1:2", "The expression given to the assert macro does not have a scalar type"),
+
+    // ----- 7.3 – 7.12: complex, character handling, errno, float env, math -----
+    (100, Static, "7.3.4:1", "The CX_LIMITED_RANGE pragma is used in a position other than the permitted ones"),
+    (101, Dynamic, "7.4:1", "A character handling function (<ctype.h>) is passed an argument that is neither representable as unsigned char nor EOF", InvalidLibraryArgument),
+    (102, Static, "7.5:2", "A macro definition of errno is suppressed in order to access an actual object, or the program defines an identifier errno"),
+    (103, Dynamic, "7.6:2", "A floating-point status flag is touched while the FENV_ACCESS pragma is off and the program then depends on it"),
+    (104, Static, "7.6.1:2", "The FENV_ACCESS pragma is used in a position other than the permitted ones"),
+    (105, Dynamic, "7.8.2.1:2", "The absolute value of an intmax_t argument to imaxabs cannot be represented", SignedOverflow),
+    (106, Dynamic, "7.8.2.2:3", "The result of imaxdiv is not representable, or the divisor is zero", DivisionByZero),
+    (107, Dynamic, "7.9:2", "The program modifies the structure pointed to by the value returned by localeconv"),
+    (108, Dynamic, "7.11.1.1:8", "The string pointed to by the value returned by setlocale is modified by the program"),
+    (109, Dynamic, "7.12:1", "A math function is called with an argument outside the domain over which it is defined", InvalidLibraryArgument),
+
+    // ----- 7.13: setjmp/longjmp -----
+    (110, Static, "7.13.1.1:5", "The setjmp macro is used in a context other than the four permitted expression-statement forms"),
+    (111, Dynamic, "7.13.2.1:2", "longjmp is called with a jmp_buf whose corresponding setjmp invocation's function has already returned", DeadObjectAccess),
+    (112, Dynamic, "7.13.2.1:3", "After a longjmp, a non-volatile automatic object modified between setjmp and longjmp is read", ReadIndeterminate),
+
+    // ----- 7.14: signal handling -----
+    (113, Static, "7.14.1.1:3", "A signal handler refers to an object with static or thread storage duration that is not a lock-free atomic or volatile sig_atomic_t"),
+    (114, Static, "7.14.1.1:3", "A signal handler calls a standard library function other than the small permitted set"),
+    (115, Dynamic, "7.14.1.1:4", "A signal handler returns after a computational exception signal (SIGFPE, SIGILL, SIGSEGV) was raised"),
+    (116, Dynamic, "7.14.2.1:2", "The signal function is used in a multi-threaded program"),
+
+    // ----- 7.16: variable arguments -----
+    (117, Dynamic, "7.16:3", "The va_arg macro is invoked on a va_list that was passed to a function that invoked va_arg on it, without an intervening va_start"),
+    (118, Dynamic, "7.16.1:2", "A macro from <stdarg.h> is invoked on a va_list that was not initialized by va_start or va_copy, or after va_end"),
+    (119, Dynamic, "7.16.1.1:2", "va_arg is invoked when there is no actual next argument", CallWrongArity),
+    (120, Dynamic, "7.16.1.1:2", "va_arg is invoked with a type incompatible with the type of the actual next argument", CallWrongType),
+    (121, Static, "7.16.1.4:4", "The parameter named in va_start is declared with register storage class, a function type, an array type, or a type incompatible after promotion"),
+    (122, Dynamic, "7.16.1.3:2", "va_copy or va_start is invoked to reinitialize a va_list without an intervening va_end"),
+
+    // ----- 7.19 – 7.20: stddef, stdint -----
+    (123, Static, "7.19:4", "The macro offsetof is used with a type that is not a structure type, or with a member designator that is a bit-field"),
+    (124, Static, "7.20.4:1", "An INTn_C or UINTn_C macro argument is not a decimal, octal, or hexadecimal constant in range"),
+
+    // ----- 7.21: input/output -----
+    (125, Dynamic, "7.21.2:2", "A binary stream's file position indicator is used after writing, in a way that relies on unwritten padding"),
+    (126, Dynamic, "7.21.3:4", "A FILE object is used after the associated file has been closed", DeadObjectAccess),
+    (127, Static, "7.21.3:4", "A copy of a FILE object is used in place of the original stream object"),
+    (128, Dynamic, "7.21.5.3:4", "An output operation on an update-mode stream is followed by input without an intervening flush or positioning call"),
+    (129, Static, "7.21.6.1:2", "A printf-family format string contains an invalid conversion specification", FormatMismatch),
+    (130, Static, "7.21.6.1:7", "A printf-family length modifier is applied to a conversion specifier it is not defined for", FormatMismatch),
+    (131, Dynamic, "7.21.6.1:9", "A printf-family conversion specification is incompatible with the type of the corresponding argument", FormatMismatch),
+    (132, Dynamic, "7.21.6.1:2", "There are insufficient arguments for a printf-family format string", FormatMismatch),
+    (133, Dynamic, "7.21.6.1:6", "The %s conversion of a printf-family function is passed a pointer to a sequence that is not a string", InvalidLibraryArgument),
+    (134, Dynamic, "7.21.6.1:8", "An aggregate or union, or a pointer to one, is passed where a printf conversion expects otherwise", FormatMismatch),
+    (135, Static, "7.21.6.2:2", "A scanf-family format string contains an invalid conversion specification", FormatMismatch),
+    (136, Dynamic, "7.21.6.2:10", "A scanf-family receiving object's type is incompatible with the conversion specification", FormatMismatch),
+    (137, Dynamic, "7.21.6.2:13", "The result of a scanf-family numeric conversion cannot be represented in the receiving object"),
+    (138, Dynamic, "7.21.7.10:2", "ungetc is called on a stream whose file position indicator is zero after a successful call"),
+
+    // ----- 7.22: general utilities -----
+    (139, Dynamic, "7.22.1.3:8", "strtod/strtol-family endptr processing relies on a string that is modified concurrently"),
+    (140, Dynamic, "7.22.1.4:5", "A strtol-family function would produce a value outside the representable range and the caller uses the unchecked result"),
+    (141, Dynamic, "7.22.3:1", "A pointer returned by an allocation function is used to access an object after the allocation has been deallocated", DeadObjectAccess),
+    (142, Dynamic, "7.22.3.3:2", "free or realloc is passed a pointer that was not returned by an allocation function", FreeNonHeapPointer),
+    (143, Dynamic, "7.22.3.3:2", "free or realloc is passed a pointer into the middle of an allocated object", FreeInteriorPointer),
+    (144, Dynamic, "7.22.3.3:2", "free or realloc is passed a pointer to an allocation that has already been deallocated", DoubleFree),
+    (145, Dynamic, "7.22.3.4:3", "The value of a pointer to an object reallocated by realloc is used after the call", DeadObjectAccess),
+    (146, Dynamic, "7.22.4.1:2", "abort is called while output to an open stream is pending and the stream's state is then relied on"),
+    (147, Dynamic, "7.22.4.4:2", "exit is called more than once, or exit is called during the processing of atexit handlers"),
+    (148, Dynamic, "7.22.4.4:3", "A function registered with atexit calls longjmp to jump out of its invocation"),
+    (149, Dynamic, "7.22.4.7:3", "The string pointed to by the value returned by getenv is modified by the program"),
+    (150, Dynamic, "7.22.5.1:4", "The comparison function passed to bsearch or qsort alters the contents of the array, or returns inconsistent orderings"),
+    (151, Dynamic, "7.22.5.1:2", "bsearch is applied to an array that is not sorted according to the comparison function"),
+    (152, Dynamic, "7.22.6.1:2", "The absolute value of an int argument to abs cannot be represented (INT_MIN)", SignedOverflow),
+    (153, Dynamic, "7.22.6.2:3", "The result of div, ldiv, or lldiv is not representable, or the divisor is zero", DivisionByZero),
+    (154, Dynamic, "7.22.7:1", "A multibyte conversion function is passed a sequence that does not form a valid multibyte character"),
+    (155, Dynamic, "7.22.8:1", "A multibyte string conversion function overflows the destination array", OutOfBoundsWrite),
+
+    // ----- 7.24: string handling -----
+    (156, Dynamic, "7.24.1:2", "A string function is passed a character array that does not contain a null terminator within its bounds", OutOfBoundsRead),
+    (157, Dynamic, "7.24.2.1:2", "memcpy is called with overlapping source and destination objects", RestrictOverlap),
+    (158, Dynamic, "7.24.2.3:2", "strcpy is called with overlapping source and destination strings", RestrictOverlap),
+    (159, Dynamic, "7.24.2.4:2", "strncpy is called with overlapping source and destination objects", RestrictOverlap),
+    (160, Dynamic, "7.24.3.1:2", "strcat is called with overlapping source and destination strings", RestrictOverlap),
+    (161, Dynamic, "7.24.1:2", "A string function writes past the end of the destination array", OutOfBoundsWrite),
+    (162, Dynamic, "7.24.5.8:2", "strtok is called with a null first argument before any call with a non-null first argument"),
+    (163, Dynamic, "7.24.5.8:2", "strtok is called from multiple threads on the same internal state"),
+
+    // ----- 7.26 – 7.27: threads, time -----
+    (164, Dynamic, "7.26.1:3", "A thread-specific storage destructor, mutex, or condition variable is used after being destroyed", DeadObjectAccess),
+    (165, Dynamic, "7.26.4.3:2", "A mutex is unlocked by a thread that did not lock it, or a plain mutex is locked recursively"),
+    (166, Dynamic, "7.26.5.6:2", "thrd_join or thrd_detach is called on a thread that was previously joined or detached"),
+    (167, Dynamic, "7.27.3.1:2", "The broken-down time passed to asctime contains members outside their normal ranges, overflowing the internal buffer", OutOfBoundsWrite),
+
+    // ----- 7.29 – 7.30: wide character handling -----
+    (168, Dynamic, "7.29.1:5", "A wide string function is passed a wide character array without a null wide character within its bounds", OutOfBoundsRead),
+    (169, Dynamic, "7.29.1:5", "A wide string function writes past the end of its destination array", OutOfBoundsWrite),
+    (170, Dynamic, "7.29.2.1:2", "A wide printf-family conversion specification is incompatible with the corresponding argument", FormatMismatch),
+    (171, Dynamic, "7.29.2.2:10", "A wide scanf-family receiving object's type is incompatible with the conversion specification", FormatMismatch),
+    (172, Dynamic, "7.29.6.1:2", "An mbstate_t object holding an inconsistent or indeterminate state is passed to a restartable conversion function", ReadIndeterminate),
+    (173, Dynamic, "7.30.2.1:2", "A wide character classification function is passed a value that is neither a valid wchar_t nor WEOF", InvalidLibraryArgument),
+
+    // ----- additional undefinedness identified in the normative text -----
+    // The paper's enumeration goes beyond Annex J.2: the standard's text
+    // makes further situations undefined that the annex does not collect.
+    (174, Dynamic, "6.2.4:5", "A non-lvalue expression with structure type whose array member is accessed after the next sequence point", DeadObjectAccess),
+    (175, Static, "6.2.5:25", "A type is declared that requires more storage than the implementation can represent at translation time"),
+    (176, Dynamic, "6.3.1.3:3", "A signed integer conversion raises an implementation-defined signal the program does not handle"),
+    (177, Static, "6.4.4.4:9", "A multi-character character constant's value is relied upon across implementations in a conforming-critical context"),
+    (178, Static, "6.5.2.3:6", "A common initial sequence of unions is inspected without a visible union declaration"),
+    (179, Dynamic, "6.5.2.5:16", "A compound literal with automatic storage duration is accessed after its block terminates", DeadObjectAccess),
+    (180, Dynamic, "6.5.3.4:2", "sizeof is applied to an expression that dereferences an invalid pointer in a variably modified context", NullDereference),
+    (181, Static, "6.5.4:3", "A cast specifies a conversion between incomplete types other than void"),
+    (182, Dynamic, "6.5.9:7", "Pointers to objects obtained from distinct allocations are compared for equality after one has been freed", DeadObjectAccess),
+    (183, Static, "6.7.1:6", "The _Thread_local specifier is combined with function declarations or incomplete initialization"),
+    (184, Static, "6.7.2.2:4", "An enumerator's value is specified by an expression that is not an integer constant expression"),
+    (185, Dynamic, "6.7.5:3", "An object declared _Alignas with a weaker alignment than another declaration of the same object is accessed", MisalignedAccess),
+    (186, Static, "6.7.6.3:12", "A function declarator with an identifier list appears other than as part of a function definition"),
+    (187, Dynamic, "6.7.9:10", "An object with static storage duration is read during initialization of another translation unit's objects before its own"),
+    (188, Static, "6.10.3:9", "A function-like macro invocation spans files via inclusion such that its arguments are incomplete"),
+    (189, Static, "6.11:2", "An obsolescent feature whose behavior the standard no longer defines is used in a strictly conforming context"),
+    (190, Static, "7.1.2:3", "A file with the same name as a standard header, not provided by the implementation, is placed in the standard include search path"),
+    (191, Static, "7.12:2", "The macro math_errhandling is undefined or the identifier is redefined by the program"),
+    (192, Static, "7.13:2", "The program declares setjmp as an identifier with external linkage, suppressing its macro definition"),
+    (193, Static, "7.16.1.4:2", "va_start is invoked in a function that is declared without a variable argument list"),
+    (194, Dynamic, "7.24.2.1:2", "memcpy through a restrict-qualified parameter accesses an object also accessed through the other parameter", RestrictOverlap),
+    (195, Static, "7.25:3", "The macro definition of a type-generic math macro is suppressed to access an actual function of that name"),
+
+    // ----- paper-identified refinements of expression UB families -----
+    (196, Dynamic, "6.5.2.1:2", "An array subscript expression evaluates to a position outside the array object", OutOfBoundsRead),
+    (197, Dynamic, "6.5.2.1:2", "An array subscript expression used as an assignment target lies outside the array object", OutOfBoundsWrite),
+    (198, Dynamic, "6.5.2.2", "A function designator obtained from a non-function object pointer is invoked", CallNonFunction),
+    (199, Dynamic, "6.5.2.4:2", "Postfix increment or decrement overflows the promoted operand type", SignedOverflow),
+    (200, Dynamic, "6.5.3.1:2", "Prefix increment or decrement overflows the promoted operand type", SignedOverflow),
+    (201, Dynamic, "6.5.3.3:3", "Unary minus applied to the most negative value of a signed type", SignedOverflow),
+    (202, Static, "6.5.3.4:1", "sizeof is applied to a function designator or an incomplete type"),
+    (203, Dynamic, "6.5.6:7", "A pointer to a non-array object is treated as a pointer into an array of length greater than one", PointerArithmeticOutOfBounds),
+    (204, Dynamic, "6.5.16:3", "The assignment's stored value is accessed by an unsequenced read in the same expression", UnsequencedSideEffect),
+    (205, Static, "6.5.17", "A comma expression appears where a constant expression is required and is relied upon as constant"),
+    (206, Dynamic, "6.2.6.1:6", "Padding bytes of a structure object are read as if they carried the value last stored", ReadIndeterminate),
+    (207, Dynamic, "6.2.6.1:7", "A union member is read when the last store was to a member that does not fully overlap it", ReadIndeterminate),
+    (208, Static, "6.7.2.1:2", "A flexible array member appears anywhere other than as the last member of a structure with more than one named member"),
+    (209, Dynamic, "6.7.2.1:18", "A structure with a flexible array member is accessed beyond the storage actually allocated for it", OutOfBoundsRead),
+    (210, Static, "6.7.6.1", "A pointer declarator nests more deeply than the implementation's documented translation limit in a conforming-critical context"),
+    (211, Static, "6.7.6.2:2", "An array declarator's element type is an incomplete or function type"),
+    (212, Static, "6.9.1:2", "The declarator of a function definition does not specify a function type"),
+    (213, Static, "6.9.2:3", "A tentative definition with internal linkage has an incomplete type at the end of the translation unit"),
+    (214, Static, "6.10.2:3", "An #include directive nests more deeply than the translation limit in a way the implementation does not support"),
+    (215, Static, "6.10.3.4:3", "Macro rescanning produces a directive-like line that the program depends on being processed"),
+    (216, Static, "7.1.1:2", "A string is passed to a library function with a length exceeding the documented translation-time limit"),
+    (217, Dynamic, "7.21.6.3:2", "printf is called with the %n conversion targeting a const-qualified object", WriteToConst),
+    (218, Dynamic, "7.22.3.1:2", "aligned_alloc is called with a size that is not an integral multiple of the alignment, and the result is accessed", MisalignedAccess),
+    (219, Dynamic, "7.22.4.6:2", "getenv's internal buffer is relied upon across calls that overwrite it", DeadObjectAccess),
+    (220, Static, "7.26.1:2", "The ONCE_FLAG_INIT initializer is applied to an object of a type other than once_flag"),
+    (221, Static, "7.31.12:2", "A library feature identified as deprecated is used in a way whose behavior the standard ceases to define"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Detectability;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn counts_match_the_paper() {
+        let c = catalog_counts();
+        assert_eq!(
+            (c.total, c.statically_detectable, c.dynamically_detectable),
+            (221, 92, 129),
+            "§5.2.1 split violated"
+        );
+    }
+
+    #[test]
+    fn ids_are_sequential_from_one() {
+        for (i, e) in catalog().iter().enumerate() {
+            assert_eq!(e.id as usize, i + 1, "entry {} out of order", e.summary);
+        }
+    }
+
+    #[test]
+    fn every_entry_has_std_ref_and_summary() {
+        for e in catalog() {
+            assert!(!e.std_ref.is_empty(), "entry {} missing std_ref", e.id);
+            assert!(e.std_ref.starts_with(|c: char| c.is_ascii_digit()));
+            assert!(!e.summary.is_empty(), "entry {} missing summary", e.id);
+        }
+    }
+
+    #[test]
+    fn detectors_agree_on_detectability() {
+        // A dynamic detector may also cover entries the paper classifies as
+        // statically detectable (a static UB can always be found at run
+        // time too), but a static-only entry must never be mapped to a
+        // detector that claims *less* capability than the catalog requires:
+        // if the catalog says an entry is dynamic, its detector must be
+        // dynamic.
+        for e in catalog() {
+            if let Some(k) = e.detected_by {
+                if e.detect == Detectability::Dynamic {
+                    assert_eq!(
+                        k.detectability(),
+                        Detectability::Dynamic,
+                        "entry {} is dynamic but detector {k:?} is static",
+                        e.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_detector_family_is_reachable_from_catalog() {
+        let mapped: BTreeSet<UbKind> = catalog().iter().filter_map(|e| e.detected_by).collect();
+        // Not every UbKind needs to appear (some are workspace-internal
+        // refinements), but the flagship ones from the paper must.
+        for k in [
+            UbKind::UnsequencedSideEffect,
+            UbKind::DivisionByZero,
+            UbKind::SignedOverflow,
+            UbKind::OutOfBoundsRead,
+            UbKind::ReadIndeterminate,
+            UbKind::ShiftTooFar,
+            UbKind::DeadObjectAccess,
+        ] {
+            assert!(mapped.contains(&k), "{k:?} unreachable from catalog");
+        }
+    }
+}

@@ -24,6 +24,8 @@
 //! assert!(info.std_ref.contains("6.5"));
 //! ```
 
+#![deny(missing_docs)]
+
 mod catalog;
 mod class;
 mod kind;

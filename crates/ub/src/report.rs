@@ -81,7 +81,12 @@ pub struct UbError {
 impl UbError {
     /// Create a report for the given kind with no location attached yet.
     pub fn new(kind: UbKind) -> UbError {
-        UbError { kind, loc: None, function: None, detail: None }
+        UbError {
+            kind,
+            loc: None,
+            function: None,
+            detail: None,
+        }
     }
 
     /// Attach a source location (keeps an existing one if already set, so

@@ -1,0 +1,112 @@
+//! Invariant tests over the §5.2.1 catalog and the `UbKind` taxonomy,
+//! checked from outside the crate the way downstream users see them.
+
+use cundef_ub::{catalog, catalog_counts, Detectability, UbKind};
+use std::collections::BTreeSet;
+
+#[test]
+fn the_headline_numbers() {
+    let c = catalog_counts();
+    assert_eq!(c.total, 221);
+    assert_eq!(c.statically_detectable, 92);
+    assert_eq!(c.dynamically_detectable, 129);
+    assert_eq!(c.statically_detectable + c.dynamically_detectable, c.total);
+    assert_eq!(catalog().len(), c.total);
+}
+
+#[test]
+fn entry_ids_are_unique_and_dense() {
+    let ids: BTreeSet<u16> = catalog().iter().map(|e| e.id).collect();
+    assert_eq!(ids.len(), 221, "duplicate catalog ids");
+    assert_eq!(*ids.first().unwrap(), 1);
+    assert_eq!(*ids.last().unwrap(), 221);
+}
+
+#[test]
+fn every_entry_cites_the_standard() {
+    for e in catalog() {
+        assert!(
+            e.std_ref
+                .split(':')
+                .next()
+                .unwrap()
+                .split('.')
+                .all(|p| p.parse::<u32>().is_ok()),
+            "entry {} has malformed std_ref {:?}",
+            e.id,
+            e.std_ref
+        );
+    }
+}
+
+#[test]
+fn summaries_are_nonempty_and_unique() {
+    let mut seen = BTreeSet::new();
+    for e in catalog() {
+        assert!(!e.summary.is_empty(), "entry {} has no summary", e.id);
+        assert!(
+            seen.insert(e.summary),
+            "entry {} duplicates summary {:?}",
+            e.id,
+            e.summary
+        );
+    }
+}
+
+#[test]
+fn error_codes_are_unique_across_kinds() {
+    let codes: BTreeSet<u16> = UbKind::ALL.iter().map(|k| k.code()).collect();
+    assert_eq!(codes.len(), UbKind::ALL.len());
+}
+
+#[test]
+fn all_is_sorted_by_code() {
+    let codes: Vec<u16> = UbKind::ALL.iter().map(|k| k.code()).collect();
+    let mut sorted = codes.clone();
+    sorted.sort_unstable();
+    assert_eq!(codes, sorted, "UbKind::ALL must stay in code order");
+}
+
+#[test]
+fn language_entries_precede_library_entries_in_annex_order() {
+    // The first block of the enumeration mirrors Annex J.2: language
+    // clauses (4–6.10) before the library clause (7.x).
+    let first_library = catalog()
+        .iter()
+        .position(|e| e.std_ref.starts_with("7."))
+        .unwrap();
+    assert!(
+        catalog()[..first_library]
+            .iter()
+            .all(|e| !e.std_ref.starts_with("7.")),
+        "library entry before position {first_library}"
+    );
+}
+
+#[test]
+fn dynamic_entries_map_only_to_dynamic_detectors() {
+    for e in catalog() {
+        if let (Detectability::Dynamic, Some(k)) = (e.detect, e.detected_by) {
+            assert_eq!(
+                k.detectability(),
+                Detectability::Dynamic,
+                "entry {} is dynamic but mapped to static detector {k:?}",
+                e.id
+            );
+        }
+    }
+}
+
+#[test]
+fn flagship_error_16_is_the_unsequenced_one() {
+    let entry = catalog()
+        .iter()
+        .find(|e| e.detected_by == Some(UbKind::UnsequencedSideEffect))
+        .expect("catalog maps something to UnsequencedSideEffect");
+    assert!(entry.std_ref.starts_with("6.5"));
+    assert_eq!(UbKind::UnsequencedSideEffect.code(), 16);
+    assert_eq!(
+        UbKind::UnsequencedSideEffect.detectability(),
+        Detectability::Dynamic
+    );
+}

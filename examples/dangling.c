@@ -1,0 +1,11 @@
+/* Access to an object outside its lifetime (C11 6.2.4:2): escape()
+ * returns the address of a local whose lifetime ends at return. */
+int *escape(void) {
+    int local = 5;
+    return &local;
+}
+
+int main(void) {
+    int *p = escape();
+    return *p;
+}

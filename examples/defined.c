@@ -1,0 +1,13 @@
+/* A fully defined program, for contrast: cundef exits 0 on it. */
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+int main(void) {
+    return gcd(252, 105);
+}

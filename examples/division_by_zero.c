@@ -1,0 +1,7 @@
+/* Division by zero (C11 6.5.5:5), reached through data flow rather
+ * than a literal `1 / 0` a compiler would warn about. */
+int main(void) {
+    int n = 10;
+    int d = n - 10;
+    return n / d;
+}

@@ -1,0 +1,11 @@
+/* free() of an already freed allocation (C11 7.22.3.3:2).
+ * Note: this subset models memory in int-sized cells, so malloc(2)
+ * allocates two ints. */
+int main(void) {
+    int *p = malloc(2);
+    p[0] = 1;
+    p[1] = 2;
+    free(p);
+    free(p);
+    return 0;
+}

@@ -1,0 +1,5 @@
+/* Dereference of a null pointer (C11 6.5.3.2:4). */
+int main(void) {
+    int *p = 0;
+    return *p;
+}

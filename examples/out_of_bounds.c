@@ -1,0 +1,10 @@
+/* Out-of-bounds array read (C11 6.5.6:8): the loop runs one element
+ * past the end. */
+int main(void) {
+    int a[4] = {1, 2, 3, 4};
+    int sum = 0;
+    for (int i = 0; i <= 4; i++) {
+        sum += a[i];
+    }
+    return sum;
+}

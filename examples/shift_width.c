@@ -1,0 +1,5 @@
+/* Shift amount not less than the width of the type (C11 6.5.7:3). */
+int main(void) {
+    int bits = 32;
+    return 1 << bits;
+}

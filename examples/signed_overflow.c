@@ -1,0 +1,10 @@
+/* Signed integer overflow (C11 6.5:5): INT_MAX + 1. */
+int main(void) {
+    int big = 2147483647;
+    int i = 0;
+    while (i < 2) {
+        big = big + 1;
+        i = i + 1;
+    }
+    return big;
+}

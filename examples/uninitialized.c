@@ -1,0 +1,10 @@
+/* Use of an indeterminate value (C11 6.2.4:6 / 6.2.6.1:5): y is read
+ * before anything is stored in it. */
+int main(void) {
+    int x = 3;
+    int y;
+    if (x > 10) {
+        y = 1;
+    }
+    return x + y;
+}

@@ -1,0 +1,7 @@
+/* The paper's flagship example: two unsequenced side effects on x
+ * (C11 6.5:2). kcc reports this as Error: 00016. */
+int main(void) {
+    int x = 0;
+    x = x++ + 1;
+    return x;
+}

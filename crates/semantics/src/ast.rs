@@ -150,10 +150,11 @@ pub enum Stmt {
     /// `continue;`
     Continue(SourceLoc),
     /// Compound statement; entering opens a scope, leaving ends the
-    /// lifetimes of the objects declared inside (§6.2.4:6).
-    Block(Vec<Stmt>),
-    /// The empty statement `;`.
-    Empty,
+    /// lifetimes of the objects declared inside (§6.2.4:6). The location
+    /// is the opening brace's.
+    Block(Vec<Stmt>, SourceLoc),
+    /// The empty statement `;`; the location is the semicolon's.
+    Empty(SourceLoc),
 }
 
 /// A function parameter.

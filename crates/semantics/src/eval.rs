@@ -127,7 +127,9 @@ enum Flow {
     Normal,
     Break,
     Continue,
-    Return(Value),
+    /// A `return`, carrying the value and the statement's position so
+    /// reports about the returned value can point at the `return` itself.
+    Return(Value, SourceLoc),
 }
 
 /// One scalar access performed during an expression evaluation.
@@ -201,6 +203,9 @@ struct Object {
 
 struct Frame {
     func: String,
+    /// Whether the executing function returns `void`, cached at call time
+    /// so `return;` can classify itself without rescanning the unit.
+    returns_void: bool,
     /// Innermost scope last; each scope maps names to object indices.
     scopes: Vec<Vec<(String, usize)>>,
     /// Every object created in this frame, for lifetime termination.
@@ -253,10 +258,26 @@ impl<'a> Interp<'a> {
             };
         }
         match self.call(main, Vec::new(), main.loc) {
+            // An explicit `return;` leaves `main` without a value, and the
+            // host environment uses that value as the termination status
+            // (§5.1.2.2.3:1 covers only reaching the closing `}`).
+            Ok((Value::Missing(UbKind::ReturnWithoutValue), loc)) => Outcome::Undefined(
+                UbError::new(UbKind::ReturnWithoutValue)
+                    .at(loc)
+                    .in_function("main")
+                    .with_detail(
+                        "`return;` in `main`, whose value the host uses as the termination status",
+                    ),
+            ),
             // Reaching the `}` of `main` returns 0 (C11 §5.1.2.2.3:1).
-            Ok(Value::Missing(_)) => Outcome::Completed(0),
-            Ok(Value::Int(v)) => Outcome::Completed(v),
-            Ok(Value::Ptr(_)) => Outcome::Completed(1),
+            Ok((Value::Missing(_), _)) => Outcome::Completed(0),
+            Ok((Value::Int(v), _)) => Outcome::Completed(v),
+            // `main` returns `int`; a pointer coming back is an ill-typed
+            // program outside the modeled semantics, not an exit code.
+            Ok((Value::Ptr(_), loc)) => Outcome::Unsupported {
+                message: "`main` returned a pointer, but is declared to return `int`".into(),
+                loc,
+            },
             Err(Stop::Ub(e)) => Outcome::Undefined(e),
             Err(Stop::Unsupported(message, loc)) => Outcome::Unsupported { message, loc },
         }
@@ -557,6 +578,21 @@ impl<'a> Interp<'a> {
             }
             ExprKind::AddrOf(inner) => {
                 let (p, fp) = self.eval_place(inner)?;
+                // `&a` on an array designator is the one place an array
+                // does not decay (§6.3.2.1:3); its result would have
+                // array-pointer type, which the subset cannot express.
+                // Reject it rather than silently meaning `&a[0]` — that
+                // reinterpretation is what lets `*&a = 5` or `(&a)[0]`
+                // dodge the modifiable-lvalue rule.
+                if matches!(inner.kind, ExprKind::Ident(_)) && self.objects[p.obj].is_array {
+                    return Err(Stop::Unsupported(
+                        format!(
+                            "`&{}` has array-pointer type, which is outside the subset",
+                            self.object_name(p.obj)
+                        ),
+                        e.loc,
+                    ));
+                }
                 Ok((Value::Ptr(p), fp))
             }
             ExprKind::Index(base, idx) => {
@@ -810,9 +846,26 @@ impl<'a> Interp<'a> {
         Ok(Value::Int(wide))
     }
 
+    /// Whether `e` is an integer constant expression (§6.6:6) within the
+    /// subset: built only from constants and arithmetic on them.
+    fn is_constant_expr(e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::IntLit(_) => true,
+            ExprKind::Unary(_, a) => Self::is_constant_expr(a),
+            ExprKind::Binary(_, a, b) | ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
+                Self::is_constant_expr(a) && Self::is_constant_expr(b)
+            }
+            ExprKind::Conditional(c, t, f) => {
+                Self::is_constant_expr(c) && Self::is_constant_expr(t) && Self::is_constant_expr(f)
+            }
+            _ => false,
+        }
+    }
+
     /// An array designator is not a modifiable lvalue (§6.3.2.1:1);
     /// `a = …` and `a++` on an array name are rejected rather than
-    /// silently treated as element-0 stores.
+    /// silently treated as element-0 stores. Spellings through `&a`
+    /// (`*&a`, `(&a)[0]`) are already rejected when `&a` is evaluated.
     fn check_modifiable(&self, place: &Expr, p: Pointer, loc: SourceLoc) -> EResult<()> {
         if matches!(place.kind, ExprKind::Ident(_)) && self.objects[p.obj].is_array {
             return Err(Stop::Unsupported(
@@ -853,18 +906,33 @@ impl<'a> Interp<'a> {
         // …while the update's side effect is sequenced only after those
         // value computations: it still conflicts with any *other* write to
         // the same scalar in either operand (`x = x++`).
+        self.check_update_conflict(&fp, p, loc, "assignment to")?;
+        self.write_cell(p, stored, loc, &mut fp)?;
+        Ok((stored, fp))
+    }
+
+    /// §6.5:2 — the update side effect of an assignment or `++`/`--` is
+    /// unsequenced with the value computations around it, so it conflicts
+    /// with any other write to the same scalar in the operand footprint
+    /// (`x = x++`, `a[(a[0]=0)]++`).
+    fn check_update_conflict(
+        &self,
+        fp: &Footprint,
+        p: Pointer,
+        loc: SourceLoc,
+        action: &str,
+    ) -> EResult<()> {
         if fp.writes(p.obj, p.off) {
             return Err(self.ub(
                 UbKind::UnsequencedSideEffect,
                 loc,
                 format!(
-                    "assignment to `{}` unsequenced with another side effect on it",
+                    "{action} `{}` unsequenced with another side effect on it",
                     self.object_name(p.obj)
                 ),
             ));
         }
-        self.write_cell(p, stored, loc, &mut fp)?;
-        Ok((stored, fp))
+        Ok(())
     }
 
     /// Shared engine for `++`/`--`; returns ((old, new), footprint).
@@ -896,6 +964,16 @@ impl<'a> Interp<'a> {
             Value::Ptr(ptr) => Value::Ptr(self.pointer_add(ptr, delta, loc)?),
             Value::Missing(_) => unreachable!(),
         };
+        self.check_update_conflict(
+            &fp,
+            p,
+            loc,
+            if delta > 0 {
+                "increment of"
+            } else {
+                "decrement of"
+            },
+        )?;
         self.write_cell(p, new, loc, &mut fp)?;
         Ok(((old, new), fp))
     }
@@ -931,7 +1009,7 @@ impl<'a> Interp<'a> {
             // The callee's effects are indeterminately sequenced with the
             // rest of the caller's expression, not unsequenced: they do
             // not join the caller's footprint.
-            let ret = self.call(func, vals, loc)?;
+            let (ret, _) = self.call(func, vals, loc)?;
             return Ok((ret, fp));
         }
         match name {
@@ -951,8 +1029,8 @@ impl<'a> Interp<'a> {
                         format!("malloc({n}) with a negative size"),
                     ));
                 }
-                let id = self.objects.len();
-                let obj = self.alloc(format!("heap object #{id}"), n as usize, true, true);
+                let obj = self.alloc(String::new(), n as usize, true, true);
+                self.objects[obj].name = format!("heap object #{obj}");
                 Ok((Value::Ptr(Pointer { obj, off: 0 }), fp))
             }
             "free" => {
@@ -1009,12 +1087,18 @@ impl<'a> Interp<'a> {
 
     // ----- statements -----
 
-    fn call(&mut self, func: &'a Function, args: Vec<Value>, loc: SourceLoc) -> EResult<Value> {
+    fn call(
+        &mut self,
+        func: &'a Function,
+        args: Vec<Value>,
+        loc: SourceLoc,
+    ) -> EResult<(Value, SourceLoc)> {
         if self.frames.len() >= self.limits.max_call_depth {
             return Err(Stop::Unsupported("call depth limit exceeded".into(), loc));
         }
         self.frames.push(Frame {
             func: func.name.clone(),
+            returns_void: func.returns_void,
             scopes: vec![Vec::new()],
             created: Vec::new(),
         });
@@ -1029,14 +1113,17 @@ impl<'a> Interp<'a> {
                 .expect("scope just pushed")
                 .push((param.name.clone(), obj));
         }
-        let mut result = Value::Missing(if func.returns_void {
-            UbKind::VoidValueUsed
-        } else {
-            UbKind::MissingReturnValueUsed
-        });
+        let mut result = (
+            Value::Missing(if func.returns_void {
+                UbKind::VoidValueUsed
+            } else {
+                UbKind::MissingReturnValueUsed
+            }),
+            func.loc,
+        );
         let mut stopped = None;
         match self.exec_block(&func.body) {
-            Ok(Flow::Return(v)) => result = v,
+            Ok(Flow::Return(v, l)) => result = (v, l),
             Ok(_) => {}
             Err(stop) => stopped = Some(stop),
         }
@@ -1091,9 +1178,33 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn exec_stmt(&mut self, s: &'a Stmt) -> EResult<Flow> {
+    /// Source position of a statement, for step-limit and engine-failure
+    /// reports.
+    fn stmt_loc(s: &Stmt) -> SourceLoc {
         match s {
-            Stmt::Empty => Ok(Flow::Normal),
+            Stmt::Decl(d) => d.loc,
+            Stmt::Expr(e) | Stmt::If(e, _, _) | Stmt::While(e, _) => e.loc,
+            Stmt::For(init, cond, step, body) => init
+                .as_deref()
+                .map(Self::stmt_loc)
+                .or_else(|| cond.as_ref().map(|e| e.loc))
+                .or_else(|| step.as_ref().map(|e| e.loc))
+                .unwrap_or_else(|| Self::stmt_loc(body)),
+            Stmt::Return(_, loc)
+            | Stmt::Break(loc)
+            | Stmt::Continue(loc)
+            | Stmt::Block(_, loc)
+            | Stmt::Empty(loc) => *loc,
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &'a Stmt) -> EResult<Flow> {
+        // Statements count toward the step limit too, so that loops whose
+        // iterations evaluate no expressions (`for (;;) ;`) still hit
+        // `max_steps` instead of spinning forever.
+        self.tick(Self::stmt_loc(s))?;
+        match s {
+            Stmt::Empty(_) => Ok(Flow::Normal),
             Stmt::Decl(d) => {
                 self.exec_decl(d)?;
                 Ok(Flow::Normal)
@@ -1107,9 +1218,9 @@ impl<'a> Interp<'a> {
             Stmt::If(cond, then, els) => {
                 let (v, _) = self.eval(cond)?;
                 if self.truthy(v, cond.loc)? {
-                    self.exec_one(then)
+                    self.exec_stmt(then)
                 } else if let Some(els) = els {
-                    self.exec_one(els)
+                    self.exec_stmt(els)
                 } else {
                     Ok(Flow::Normal)
                 }
@@ -1119,9 +1230,9 @@ impl<'a> Interp<'a> {
                 if !self.truthy(v, cond.loc)? {
                     return Ok(Flow::Normal);
                 }
-                match self.exec_one(body)? {
+                match self.exec_stmt(body)? {
                     Flow::Break => return Ok(Flow::Normal),
-                    Flow::Return(v) => return Ok(Flow::Return(v)),
+                    Flow::Return(v, l) => return Ok(Flow::Return(v, l)),
                     Flow::Normal | Flow::Continue => {}
                 }
             },
@@ -1151,13 +1262,25 @@ impl<'a> Interp<'a> {
                         let (v, _) = self.eval(e)?;
                         self.use_value(v, *loc)?
                     }
-                    None => Value::Missing(UbKind::MissingReturnValueUsed),
+                    // An explicit `return;` in a value-returning function
+                    // carries §6.9.1:12's explicit-return form (catalog
+                    // entry 78), distinct from reaching the closing brace;
+                    // in a `void` function its (nonexistent) value is a
+                    // void expression's (§6.3.2.2:1).
+                    None => {
+                        let void = self.frames.last().is_some_and(|f| f.returns_void);
+                        Value::Missing(if void {
+                            UbKind::VoidValueUsed
+                        } else {
+                            UbKind::ReturnWithoutValue
+                        })
+                    }
                 };
-                Ok(Flow::Return(v))
+                Ok(Flow::Return(v, *loc))
             }
             Stmt::Break(_) => Ok(Flow::Break),
             Stmt::Continue(_) => Ok(Flow::Continue),
-            Stmt::Block(body) => self.exec_block(body),
+            Stmt::Block(body, _) => self.exec_block(body),
         }
     }
 
@@ -1178,9 +1301,9 @@ impl<'a> Interp<'a> {
                     return Ok(Flow::Normal);
                 }
             }
-            match self.exec_one(body)? {
+            match self.exec_stmt(body)? {
                 Flow::Break => return Ok(Flow::Normal),
-                Flow::Return(v) => return Ok(Flow::Return(v)),
+                Flow::Return(v, l) => return Ok(Flow::Return(v, l)),
                 Flow::Normal | Flow::Continue => {}
             }
             if let Some(step) = step {
@@ -1189,17 +1312,7 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// Execute a single statement that is a branch target, giving it its
-    /// own scope when it is not already a block.
-    fn exec_one(&mut self, s: &'a Stmt) -> EResult<Flow> {
-        match s {
-            Stmt::Block(body) => self.exec_block(body),
-            other => self.exec_stmt(other),
-        }
-    }
-
     fn exec_decl(&mut self, d: &'a Decl) -> EResult<()> {
-        self.tick(d.loc)?;
         let in_scope = self
             .frames
             .last()
@@ -1220,8 +1333,9 @@ impl<'a> Interp<'a> {
             Some(size) => {
                 // A constant non-positive size is the *static* form of the
                 // defect (§6.7.6.2:1); a computed one is the VLA form
-                // (§6.7.6.2:5).
-                let constant = matches!(size.kind, ExprKind::IntLit(_));
+                // (§6.7.6.2:5). `-1` or `1-2` are integer constant
+                // expressions even though they are not literal tokens.
+                let constant = Self::is_constant_expr(size);
                 let (v, _) = self.eval(size)?;
                 let n = self.as_int(v, size.loc)?;
                 if n <= 0 {
@@ -1523,15 +1637,97 @@ mod tests {
 
     #[test]
     fn loops_hit_the_step_limit_not_the_stack() {
-        let unit = parse("int main(void) { while (1) { } return 0; }").unwrap();
-        let outcome = Interp::new(
-            &unit,
-            Limits {
-                max_steps: 10_000,
-                max_call_depth: 16,
-            },
-        )
-        .run_main();
+        // Including loops whose iterations evaluate no expressions at all:
+        // every statement and every `for` iteration must tick.
+        for src in [
+            "int main(void) { while (1) { } return 0; }",
+            "int main(void) { for (;;) { } return 0; }",
+            "int main(void) { for (;;) ; return 0; }",
+            "int main(void) { for (;;) { ; } return 0; }",
+        ] {
+            let unit = parse(src).unwrap();
+            let outcome = Interp::new(
+                &unit,
+                Limits {
+                    max_steps: 10_000,
+                    max_call_depth: 16,
+                },
+            )
+            .run_main();
+            assert!(
+                matches!(outcome, Outcome::Unsupported { .. }),
+                "{src}: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incdec_update_conflicts_with_writes_in_its_operand() {
+        // The ++ side effect and the subscript's assignment are two
+        // unsequenced side effects on a[0], exactly like `a[(a[0]=0)] = 7`.
+        assert_eq!(
+            ub_kind("int main(void) { int a[1]; a[(a[0]=0)]++; return a[0]; }"),
+            UbKind::UnsequencedSideEffect
+        );
+    }
+
+    #[test]
+    fn negative_constant_array_size_is_the_static_form() {
+        // Any integer constant expression selects the static form, not
+        // just a literal token.
+        assert_eq!(
+            ub_kind("int main(void) { int a[-1]; return 0; }"),
+            UbKind::ArraySizeNotPositive
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int a[1-2]; return 0; }"),
+            UbKind::ArraySizeNotPositive
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int n = -1; int a[n]; return 0; }"),
+            UbKind::VlaSizeNotPositive
+        );
+    }
+
+    #[test]
+    fn address_of_array_designator_is_outside_the_semantics() {
+        // `&a` is the non-decay case of §6.3.2.1:3; its array-pointer type
+        // is outside the subset, so every spelling of a store through it
+        // (`*&a`, `(&a)[0]`, `*(&a + 0)`) is rejected, not reinterpreted
+        // as an element-0 store.
+        for src in [
+            "int main(void) { int a[2]; *&a = 5; return 0; }",
+            "int main(void) { int a[2]; (&a)[0] = 5; return 0; }",
+            "int main(void) { int a[2]; *(&a + 0) = 5; return 0; }",
+        ] {
+            let unit = parse(src).unwrap();
+            let outcome = Interp::new(&unit, Limits::default()).run_main();
+            assert!(
+                matches!(outcome, Outcome::Unsupported { .. }),
+                "{src}: {outcome:?}"
+            );
+        }
+        // But `*&x` on a scalar stays a plain store.
+        assert_eq!(
+            run("int main(void) { int x; *&x = 5; return x; }").exit_code(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn plain_return_in_main_is_not_a_silent_exit_zero() {
+        let outcome = run("int main(void) {\n  int x = 0;\n  return;\n}");
+        let err = outcome.ub().expect("should be UB").clone();
+        assert_eq!(err.kind(), UbKind::ReturnWithoutValue);
+        // The report points at the `return;`, not at main's header.
+        assert_eq!(err.loc().map(|l| l.line), Some(3));
+        // Reaching the `}` still gets the implicit 0 (§5.1.2.2.3:1).
+        assert_eq!(run("int main(void) { int x = 1; }").exit_code(), Some(0));
+    }
+
+    #[test]
+    fn main_returning_a_pointer_is_outside_the_semantics() {
+        let outcome = run("int main(void) { int x = 0; return &x; }");
         assert!(
             matches!(outcome, Outcome::Unsupported { .. }),
             "{outcome:?}"

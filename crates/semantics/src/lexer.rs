@@ -13,7 +13,7 @@ use std::fmt;
 pub enum Tok {
     /// Identifier or keyword (keywords are distinguished by the parser).
     Ident(String),
-    /// Decimal integer constant.
+    /// Integer constant (decimal, octal, or hexadecimal in the source).
     Int(i64),
     /// Punctuator, e.g. `"+="`, `"("`, `"<<"`.
     Punct(&'static str),
@@ -158,10 +158,14 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
     Ok(toks)
 }
 
-/// Parse a decimal or hexadecimal constant that fits in `int`.
+/// Parse a decimal, octal, or hexadecimal constant that fits in `int`.
 fn parse_int_constant(text: &str) -> Option<i64> {
     let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16).ok()?
+    } else if text.len() > 1 && text.starts_with('0') {
+        // A leading zero makes the constant octal (C11 §6.4.4.1); this
+        // also rejects `8`/`9` digits rather than reinterpreting them.
+        i64::from_str_radix(&text[1..], 8).ok()?
     } else if text.chars().all(|c| c.is_ascii_digit()) {
         text.parse::<i64>().ok()?
     } else {
@@ -193,6 +197,17 @@ mod tests {
     fn hex_constants() {
         let toks = lex("0x10").unwrap();
         assert_eq!(toks[0].tok, Tok::Int(16));
+    }
+
+    #[test]
+    fn octal_constants() {
+        let toks = lex("010").unwrap();
+        assert_eq!(toks[0].tok, Tok::Int(8));
+        let toks = lex("0").unwrap();
+        assert_eq!(toks[0].tok, Tok::Int(0));
+        // `09` is not a valid octal constant (§6.4.4.1) and must fail
+        // loudly instead of being reinterpreted as decimal.
+        assert!(lex("09").is_err());
     }
 
     #[test]

@@ -266,7 +266,7 @@ impl Parser {
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
         let loc = self.loc();
         if self.eat_punct(";") {
-            return Ok(Stmt::Empty);
+            return Ok(Stmt::Empty(loc));
         }
         if self.eat_punct("{") {
             let mut body = Vec::new();
@@ -276,7 +276,7 @@ impl Parser {
                 }
                 body.push(self.stmt()?);
             }
-            return Ok(Stmt::Block(body));
+            return Ok(Stmt::Block(body, loc));
         }
         if self.eat_keyword("int") {
             return Ok(Stmt::Decl(self.decl()?));

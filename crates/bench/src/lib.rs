@@ -1,0 +1,301 @@
+//! Minimal criterion-compatible benchmark harness.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real `criterion` crate cannot be vendored. This crate provides the
+//! subset of criterion's API surface the workspace needs — `Criterion`,
+//! `bench_function`, `Bencher::iter`, a `--test` smoke mode, and a
+//! machine-readable JSON summary — with the same CLI contract, so the
+//! `benches/` suite can be ported to the real criterion unchanged if the
+//! dependency ever becomes available.
+//!
+//! Methodology (documented in `docs/PERFORMANCE.md`):
+//!
+//! 1. each benchmark is warmed up for [`Criterion::warmup_time`];
+//! 2. the harness picks an iteration count per sample so one sample takes
+//!    roughly [`Criterion::sample_time`];
+//! 3. [`Criterion::samples`] samples are collected and summarized as
+//!    median / mean / standard deviation of nanoseconds per iteration
+//!    (the median is the headline number: it is robust to scheduler
+//!    noise);
+//! 4. `summary_json` renders all results, for `BENCH_eval.json`.
+
+#![deny(missing_docs)]
+
+pub mod corpus;
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median of the per-sample ns/iter values.
+    pub median_ns: f64,
+    /// Mean of the per-sample ns/iter values.
+    pub mean_ns: f64,
+    /// Standard deviation of the per-sample ns/iter values.
+    pub stddev_ns: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Per-benchmark timing state handed to the closure under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times back to back.
+    ///
+    /// The closure's result is passed through [`black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver. Mirrors criterion's `Criterion` type.
+pub struct Criterion {
+    /// Smoke mode (`--test`): run each benchmark exactly once and record
+    /// no timings. Used by CI so the suite cannot rot without paying the
+    /// cost (or noise) of real measurement.
+    pub test_mode: bool,
+    /// Samples per benchmark.
+    pub samples: usize,
+    /// Warmup duration before sampling.
+    pub warmup_time: Duration,
+    /// Target wall-clock duration of one sample.
+    pub sample_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: false,
+            samples: 25,
+            warmup_time: Duration::from_millis(300),
+            sample_time: Duration::from_millis(20),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build a driver from the process's command-line arguments.
+    ///
+    /// Recognizes criterion's `--test` flag (smoke mode) and ignores the
+    /// `--bench` flag cargo passes to bench binaries. `--samples N`
+    /// overrides the sample count.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--samples" => {
+                    if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                        c.samples = n;
+                    }
+                }
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Run one benchmark: warm up, choose an iteration count, sample, and
+    /// record the summary. In `--test` mode the closure runs once with a
+    /// single iteration and nothing is recorded.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            eprintln!("{name}: ok (smoke)");
+            return;
+        }
+        // Warmup, and estimate the cost of one iteration while at it.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup_time {
+            f(&mut b);
+            warmup_iters += 1;
+        }
+        let est_per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let iters_per_sample =
+            ((self.sample_time.as_nanos() as f64 / est_per_iter).round() as u64).max(1);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let var = per_iter_ns
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / per_iter_ns.len() as f64;
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            samples: per_iter_ns.len(),
+            iters_per_sample,
+        };
+        eprintln!(
+            "{name}: median {:.1} µs/iter (mean {:.1} µs, σ {:.1} µs, {} × {} iters)",
+            m.median_ns / 1e3,
+            m.mean_ns / 1e3,
+            m.stddev_ns / 1e3,
+            m.samples,
+            m.iters_per_sample,
+        );
+        self.results.push(m);
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Render the recorded measurements as a JSON array (hand-rolled; the
+    /// container has no serde).
+    pub fn summary_json(&self) -> String {
+        measurements_json(&self.results)
+    }
+}
+
+/// Render a slice of measurements as a JSON array.
+pub fn measurements_json(results: &[Measurement]) -> String {
+    let mut out = String::from("[");
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"stddev_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            m.name, m.median_ns, m.mean_ns, m.stddev_ns, m.samples, m.iters_per_sample
+        );
+    }
+    out.push_str("\n  ]");
+    out
+}
+
+/// Parse the `benchmarks` array out of a summary JSON file previously
+/// written by this harness (used to compare against a recorded baseline).
+///
+/// This is a narrow parser for the exact shape `measurements_json`
+/// produces, not a general JSON reader.
+pub fn parse_measurements(json: &str) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for obj in json.split('{').skip(1) {
+        let Some(body) = obj.split('}').next() else {
+            continue;
+        };
+        let field = |key: &str| -> Option<&str> {
+            let pat = format!("\"{key}\":");
+            let rest = &body[body.find(&pat)? + pat.len()..];
+            Some(rest.split([',', '\n']).next()?.trim())
+        };
+        let name = match field("name") {
+            Some(v) => v.trim_matches([' ', '"']).to_string(),
+            None => continue,
+        };
+        let num = |key: &str| field(key).and_then(|v| v.parse::<f64>().ok());
+        let (Some(median_ns), Some(mean_ns), Some(stddev_ns)) =
+            (num("median_ns"), num("mean_ns"), num("stddev_ns"))
+        else {
+            continue;
+        };
+        out.push(Measurement {
+            name,
+            median_ns,
+            mean_ns,
+            stddev_ns,
+            samples: num("samples").unwrap_or(0.0) as usize,
+            iters_per_sample: num("iters_per_sample").unwrap_or(0.0) as u64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert_eq!(runs, 1);
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn measurement_roundtrips_through_json() {
+        let ms = vec![Measurement {
+            name: "arith".into(),
+            median_ns: 1234.5,
+            mean_ns: 1300.0,
+            stddev_ns: 42.0,
+            samples: 25,
+            iters_per_sample: 17,
+        }];
+        let parsed = parse_measurements(&measurements_json(&ms));
+        assert_eq!(parsed, ms);
+    }
+
+    #[test]
+    fn sampling_records_results() {
+        let mut c = Criterion {
+            samples: 3,
+            warmup_time: Duration::from_millis(1),
+            sample_time: Duration::from_millis(1),
+            ..Criterion::default()
+        };
+        c.bench_function("spin", |b| b.iter(|| black_box(7u64).wrapping_mul(3)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns > 0.0);
+    }
+}

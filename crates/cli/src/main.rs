@@ -3,24 +3,26 @@
 //! Runs `.c` snippets (in the supported subset) through the
 //! `cundef-semantics` pipeline and renders any undefined behavior as a
 //! kcc-style report carrying the catalog code and C11 section reference.
+//!
+//! With `--batch`, many files are checked in parallel across worker
+//! threads. Each worker owns its own parser and evaluator (translation
+//! units share nothing — each carries its own interner and arenas), so
+//! the files partition cleanly and verdicts and output are identical to
+//! a sequential run, in input order.
 
 use cundef_semantics::{check_translation_unit, Outcome};
 use cundef_ub::{catalog, catalog_counts, Detectability};
+use std::fmt::Write as _;
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Print to stdout, ignoring broken pipes (`cundef … | head` must not
 /// panic; the exit code still reflects the analysis).
 macro_rules! say {
     ($($t:tt)*) => {
         let _ = writeln!(std::io::stdout(), $($t)*);
-    };
-}
-
-/// Like [`say!`] without the trailing newline.
-macro_rules! say_raw {
-    ($($t:tt)*) => {
-        let _ = write!(std::io::stdout(), $($t)*);
     };
 }
 
@@ -40,6 +42,11 @@ USAGE:
 
 OPTIONS:
     --catalog     Print the paper's §5.2.1 catalog summary and exit
+    --batch       Check the files in parallel across worker threads;
+                  verdicts and output order are identical to a
+                  sequential run
+    --jobs N      Worker threads for --batch (default: the machine's
+                  available parallelism)
     -q, --quiet   Only print reports, no per-file success lines
     -h, --help    Print this help
     --version     Print version
@@ -52,8 +59,11 @@ EXIT STATUS:
 fn main() -> ExitCode {
     let mut files = Vec::new();
     let mut quiet = false;
+    let mut batch = false;
+    let mut jobs: Option<usize> = None;
     let mut no_more_options = false;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if no_more_options {
             files.push(arg);
             continue;
@@ -73,6 +83,14 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "-q" | "--quiet" => quiet = true,
+            "--batch" => batch = true,
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => jobs = Some(n),
+                _ => {
+                    complain!("error: `--jobs` needs a positive integer\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             other if other.starts_with('-') => {
                 complain!("error: unknown option `{other}`\n\n{USAGE}");
                 return ExitCode::from(2);
@@ -84,14 +102,31 @@ fn main() -> ExitCode {
         complain!("error: no input files\n\n{USAGE}");
         return ExitCode::from(2);
     }
+    if jobs.is_some() && !batch {
+        complain!("error: `--jobs` only applies to `--batch` runs\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
 
     let mut any_undefined = false;
     let mut any_engine_failure = false;
-    for file in &files {
-        match check_file(file, quiet) {
-            FileResult::Defined => {}
-            FileResult::Undefined => any_undefined = true,
-            FileResult::EngineFailure => any_engine_failure = true,
+    let mut emit = |r: &FileReport| {
+        let _ = std::io::stdout().write_all(r.stdout.as_bytes());
+        let _ = std::io::stderr().write_all(r.stderr.as_bytes());
+        match r.verdict {
+            Verdict::Defined => {}
+            Verdict::Undefined => any_undefined = true,
+            Verdict::EngineFailure => any_engine_failure = true,
+        }
+    };
+    if batch {
+        for r in &check_batch(&files, quiet, jobs) {
+            emit(r);
+        }
+    } else {
+        // Sequential mode streams: each verdict prints as its file
+        // finishes, and nothing accumulates across files.
+        for f in &files {
+            emit(&check_file(f, quiet));
         }
     }
     if any_undefined {
@@ -103,41 +138,94 @@ fn main() -> ExitCode {
     }
 }
 
-enum FileResult {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
     Defined,
     Undefined,
     EngineFailure,
 }
 
-fn check_file(path: &str, quiet: bool) -> FileResult {
-    let source = match std::fs::read_to_string(path) {
-        Ok(s) => s,
+/// The outcome of checking one file, with its rendered output buffered
+/// so parallel workers never interleave and ordering matches the input.
+struct FileReport {
+    verdict: Verdict,
+    stdout: String,
+    stderr: String,
+}
+
+fn check_file(path: &str, quiet: bool) -> FileReport {
+    let mut out = String::new();
+    let mut err = String::new();
+    let verdict = match std::fs::read_to_string(path) {
         Err(e) => {
-            complain!("{path}: cannot read file: {e}");
-            return FileResult::EngineFailure;
+            let _ = writeln!(err, "{path}: cannot read file: {e}");
+            Verdict::EngineFailure
         }
-    };
-    match check_translation_unit(&source) {
-        Err(parse_err) => {
-            complain!("{path}: {parse_err}");
-            FileResult::EngineFailure
-        }
-        Ok(Outcome::Completed(exit)) => {
-            if !quiet {
-                say!("{path}: no undefined behavior detected (program returned {exit})");
+        Ok(source) => match check_translation_unit(&source) {
+            Err(parse_err) => {
+                let _ = writeln!(err, "{path}: {parse_err}");
+                Verdict::EngineFailure
             }
-            FileResult::Defined
-        }
-        Ok(Outcome::Undefined(err)) => {
-            say!("{path}:");
-            say_raw!("{}", err.to_diagnostic());
-            FileResult::Undefined
-        }
-        Ok(Outcome::Unsupported { message, loc }) => {
-            complain!("{path}: checker limitation at {loc}: {message}");
-            FileResult::EngineFailure
-        }
+            Ok(Outcome::Completed(exit)) => {
+                if !quiet {
+                    let _ = writeln!(
+                        out,
+                        "{path}: no undefined behavior detected (program returned {exit})"
+                    );
+                }
+                Verdict::Defined
+            }
+            Ok(Outcome::Undefined(report)) => {
+                let _ = writeln!(out, "{path}:");
+                let _ = write!(out, "{}", report.to_diagnostic());
+                Verdict::Undefined
+            }
+            Ok(Outcome::Unsupported { message, loc }) => {
+                let _ = writeln!(err, "{path}: checker limitation at {loc}: {message}");
+                Verdict::EngineFailure
+            }
+        },
+    };
+    FileReport {
+        verdict,
+        stdout: out,
+        stderr: err,
     }
+}
+
+/// Check `files` across worker threads. Work is handed out by an atomic
+/// cursor; every worker runs its own parser + evaluator, so nothing is
+/// shared but the results vector. Reports come back in input order.
+fn check_batch(files: &[String], quiet: bool, jobs: Option<usize>) -> Vec<FileReport> {
+    let workers = jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(files.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<FileReport>>> = files.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= files.len() {
+                    break;
+                }
+                let report = check_file(&files[i], quiet);
+                *slots[i].lock().expect("result slot poisoned") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every file checked")
+        })
+        .collect()
 }
 
 fn print_catalog_summary() {

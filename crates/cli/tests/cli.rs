@@ -32,7 +32,7 @@ fn detects_the_flagship_unsequenced_example() {
 }
 
 #[test]
-fn detects_at_least_six_distinct_dynamic_kinds_across_examples() {
+fn detects_every_readme_family_across_examples() {
     let cases = [
         ("examples/unsequenced.c", "00016"),
         ("examples/division_by_zero.c", "00002"),
@@ -43,6 +43,9 @@ fn detects_at_least_six_distinct_dynamic_kinds_across_examples() {
         ("examples/dangling.c", "00022"),
         ("examples/double_free.c", "00042"),
         ("examples/null_deref.c", "00020"),
+        ("examples/call_arity.c", "00050"),
+        ("examples/vla_size.c", "00071"),
+        ("examples/bad_free.c", "00040"),
     ];
     for (file, code) in cases {
         let out = cundef(&[file]);
@@ -79,6 +82,64 @@ fn catalog_summary_prints_the_split() {
     assert!(stdout.contains("221"), "{stdout}");
     assert!(stdout.contains("92"), "{stdout}");
     assert!(stdout.contains("129"), "{stdout}");
+}
+
+/// Every shipped example, in sorted order (as a shell glob would pass
+/// them).
+fn all_examples() -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(workspace_root().join("examples"))
+        .expect("examples dir")
+        .map(|e| {
+            format!(
+                "examples/{}",
+                e.expect("dir entry").file_name().to_string_lossy()
+            )
+        })
+        .filter(|f| f.ends_with(".c"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn batch_mode_matches_sequential_verdicts_and_output() {
+    let files = all_examples();
+    assert!(
+        files.len() >= 12,
+        "example sweep looks too small: {files:?}"
+    );
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+
+    let sequential = cundef(&refs);
+    let mut batch_args = vec!["--batch"];
+    batch_args.extend(&refs);
+    let batch = cundef(&batch_args);
+
+    assert_eq!(batch.status.code(), sequential.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&batch.stdout),
+        String::from_utf8_lossy(&sequential.stdout),
+        "batch stdout must be byte-identical to sequential"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&batch.stderr),
+        String::from_utf8_lossy(&sequential.stderr),
+    );
+
+    // And with an explicit worker count exceeding the file count.
+    let mut jobs_args = vec!["--batch", "--jobs", "32"];
+    jobs_args.extend(&refs);
+    let with_jobs = cundef(&jobs_args);
+    assert_eq!(with_jobs.status.code(), sequential.status.code());
+    assert_eq!(with_jobs.stdout, sequential.stdout);
+}
+
+#[test]
+fn batch_jobs_requires_a_positive_integer() {
+    let out = cundef(&["--batch", "--jobs", "zero", "examples/defined.c"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = cundef(&["--batch", "--jobs", "0", "examples/defined.c"]);
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

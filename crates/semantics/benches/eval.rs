@@ -1,0 +1,127 @@
+//! Criterion-style benchmark suite over the generated corpus.
+//!
+//! Run with `cargo bench -p cundef-semantics`. Each corpus program is
+//! measured twice: `parse/…` (lexer + parser + resolver only) and
+//! `check/…` (the full pipeline including evaluation). Results are
+//! written to `BENCH_eval.json` at the workspace root, together with the
+//! recorded pre-refactor baseline (`benches/baseline.json`) and the
+//! per-benchmark speedup, so the performance trajectory is tracked in
+//! the repository itself.
+//!
+//! Flags: `--test` (CI smoke mode: run once, no timing, no JSON),
+//! `--samples N`, `--record-baseline` (rewrite `benches/baseline.json`
+//! instead of `BENCH_eval.json`).
+
+use cundef_bench::{black_box, corpus, measurements_json, parse_measurements, Criterion};
+use cundef_semantics::{check_translation_unit, parser};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/semantics -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .parent()
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn main() {
+    let mut c = Criterion::from_args();
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    let programs = corpus::standard();
+
+    // The corpus is meant to exercise the *defined* fast path; a program
+    // that stops early would silently benchmark much less work.
+    for p in &programs {
+        let outcome = check_translation_unit(&p.source)
+            .unwrap_or_else(|e| panic!("{}: corpus program failed to parse: {e}", p.name));
+        assert!(
+            outcome.exit_code().is_some(),
+            "{}: corpus program must run to completion, got {outcome:?}",
+            p.name
+        );
+    }
+
+    for p in &programs {
+        c.bench_function(&format!("parse/{}", p.name), |b| {
+            b.iter(|| parser::parse(black_box(&p.source)).expect("corpus parses"))
+        });
+        c.bench_function(&format!("check/{}", p.name), |b| {
+            b.iter(|| check_translation_unit(black_box(&p.source)).expect("corpus parses"))
+        });
+    }
+
+    if c.test_mode {
+        return;
+    }
+
+    let baseline_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("benches/baseline.json");
+    if record_baseline {
+        // Note: describes how the file was produced, not which engine it
+        // measured — anyone re-recording on their machine measures the
+        // evaluator as of their checkout.
+        let json = format!(
+            "{{\n  \"note\": \"baseline recorded by `cargo bench -p cundef-semantics -- \
+             --record-baseline`; BENCH_eval.json speedups are relative to this file, so \
+             re-record it before comparing across machines or commits\",\n  \
+             \"benchmarks\": {}\n}}\n",
+            c.summary_json()
+        );
+        std::fs::write(&baseline_path, json).expect("write baseline.json");
+        eprintln!("recorded baseline to {}", baseline_path.display());
+        return;
+    }
+
+    let mut out = String::from("{\n  \"suite\": \"eval\",\n");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo bench -p cundef-semantics\","
+    );
+    let _ = writeln!(out, "  \"benchmarks\": {},", c.summary_json());
+
+    let baseline_json = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let baseline = parse_measurements(&baseline_json);
+    if baseline.is_empty() {
+        out.push_str("  \"baseline\": null\n");
+    } else {
+        // Carry the baseline file's own provenance note through, so the
+        // comparison is labeled by whatever was actually recorded.
+        let note = baseline_json
+            .split("\"note\":")
+            .nth(1)
+            .and_then(|rest| rest.split('"').nth(1))
+            .unwrap_or("benches/baseline.json");
+        let _ = writeln!(
+            out,
+            "  \"baseline\": {{\n    \"source\": \"{note}\",\n    \"benchmarks\": {}\n  }},",
+            measurements_json(&baseline)
+        );
+        out.push_str("  \"speedup_vs_baseline\": {");
+        let mut ratios = Vec::new();
+        let mut first = true;
+        for b in &baseline {
+            let Some(cur) = c.results().iter().find(|m| m.name == b.name) else {
+                continue;
+            };
+            let ratio = b.median_ns / cur.median_ns;
+            ratios.push(ratio);
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {:.2}", b.name, ratio);
+        }
+        if !ratios.is_empty() {
+            let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            let _ = write!(out, ",\n    \"geomean\": {geomean:.2}");
+        }
+        out.push_str("\n  }\n");
+    }
+    out.push_str("}\n");
+
+    let out_path = workspace_root().join("BENCH_eval.json");
+    std::fs::write(&out_path, out).expect("write BENCH_eval.json");
+    eprintln!("wrote {}", out_path.display());
+}

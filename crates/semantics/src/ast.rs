@@ -1,11 +1,27 @@
-//! Abstract syntax for the supported C subset.
+//! Abstract syntax for the supported C subset, arena-allocated.
 //!
 //! The AST is deliberately close to the grammar of C11 §6.5–§6.8 for the
 //! constructs it covers; every expression node carries the [`SourceLoc`]
 //! of its principal operator so diagnostics can point at the exact
 //! undefined operation.
+//!
+//! Nodes live in two flat arenas owned by the [`TranslationUnit`]
+//! (`exprs: Vec<Expr>`, `stmts: Vec<Stmt>`) and refer to each other by
+//! index ([`ExprId`], [`StmtId`]) instead of `Box` pointers, and
+//! identifiers are interned [`Symbol`]s instead of `String`s. Parsing a
+//! unit therefore performs O(1) large allocations instead of one per
+//! node, and walking the tree touches contiguous memory.
 
+use crate::intern::{Interner, Symbol};
 use cundef_ub::SourceLoc;
+
+/// Index of an [`Expr`] in its unit's expression arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExprId(pub(crate) u32);
+
+/// Index of a [`Stmt`] in its unit's statement arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StmtId(pub(crate) u32);
 
 /// A type in the subset: `int`, or finitely-nested pointers to `int`.
 ///
@@ -83,51 +99,85 @@ pub struct Expr {
 pub enum ExprKind {
     /// Integer constant.
     IntLit(i64),
-    /// Identifier reference.
-    Ident(String),
+    /// Identifier reference that the resolution pass could not bind to a
+    /// declaration. Evaluating it reports an undeclared identifier — at
+    /// runtime, so unreached dead code stays unreported, exactly as
+    /// before slot resolution.
+    Ident(Symbol),
+    /// Identifier reference bound to a frame-relative slot by the
+    /// resolution pass. The [`Symbol`] keeps the original spelling for
+    /// diagnostics.
+    Slot(SlotId, Symbol),
     /// Unary operator application.
-    Unary(UnaryOp, Box<Expr>),
+    Unary(UnaryOp, ExprId),
     /// Binary operator application; both operands are unsequenced (§6.5:2).
-    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Binary(BinOp, ExprId, ExprId),
     /// Short-circuit `&&` with its sequence point (§6.5.13:4).
-    LogicalAnd(Box<Expr>, Box<Expr>),
+    LogicalAnd(ExprId, ExprId),
     /// Short-circuit `||` with its sequence point (§6.5.14:4).
-    LogicalOr(Box<Expr>, Box<Expr>),
+    LogicalOr(ExprId, ExprId),
     /// `c ? t : f` with a sequence point after `c` (§6.5.15:4).
-    Conditional(Box<Expr>, Box<Expr>, Box<Expr>),
+    Conditional(ExprId, ExprId, ExprId),
     /// Simple (`None`) or compound (`Some(op)`) assignment.
-    Assign(Box<Expr>, Option<BinOp>, Box<Expr>),
+    Assign(ExprId, Option<BinOp>, ExprId),
     /// Prefix `++`/`--`; the `i64` is +1 or -1.
-    PreIncDec(Box<Expr>, i64),
+    PreIncDec(ExprId, i64),
     /// Postfix `++`/`--`; the `i64` is +1 or -1.
-    PostIncDec(Box<Expr>, i64),
+    PostIncDec(ExprId, i64),
     /// Pointer dereference `*e`.
-    Deref(Box<Expr>),
+    Deref(ExprId),
     /// Address-of `&e`.
-    AddrOf(Box<Expr>),
+    AddrOf(ExprId),
     /// Array subscript `a[i]`, identical to `*(a + i)` (§6.5.2.1:2).
-    Index(Box<Expr>, Box<Expr>),
+    Index(ExprId, ExprId),
     /// Function call; argument evaluations are unsequenced (§6.5.2.2:10).
-    Call(String, Vec<Expr>),
+    Call(Symbol, Vec<ExprId>),
     /// Comma operator with its sequence point (§6.5.17:2).
-    Comma(Box<Expr>, Box<Expr>),
+    Comma(ExprId, ExprId),
+}
+
+/// A frame-relative variable slot assigned by the resolution pass.
+///
+/// At runtime each call frame owns a dense array of objects indexed by
+/// slot, so a variable reference is a single array load instead of a
+/// scan of scope name lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub(crate) u32);
+
+impl SlotId {
+    /// The slot index within its function's frame.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
 /// One declaration: `int x;`, `int x = e;`, `int a[N];`, `int *p;`, …
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Decl {
     /// Declared identifier.
-    pub name: String,
+    pub name: Symbol,
     /// Element (or scalar) type.
     pub ty: Ty,
     /// For arrays, the size expression (possibly a VLA size).
-    pub array_size: Option<Expr>,
+    pub array_size: Option<ExprId>,
     /// Scalar initializer, if any.
-    pub init: Option<Expr>,
+    pub init: Option<ExprId>,
     /// Brace-enclosed array initializer, if any.
-    pub array_init: Option<Vec<Expr>>,
+    pub array_init: Option<Vec<ExprId>>,
     /// Position of the declared identifier.
     pub loc: SourceLoc,
+    /// Frame slot assigned by the resolution pass.
+    pub slot: SlotId,
+    /// Whether the size expression is an integer constant expression
+    /// (§6.6:6), precomputed by the resolver: selects the static
+    /// (`ArraySizeNotPositive`) vs. VLA (`VlaSizeNotPositive`) form of
+    /// the non-positive-size defect without re-walking the tree.
+    pub const_size: bool,
+    /// Set by the resolver when this declaration redeclares a name
+    /// already declared in the same scope; executing it is reported as a
+    /// checker limitation (the subset has no linkage rules to make
+    /// redeclaration meaningful).
+    pub redeclaration: bool,
 }
 
 /// A statement in the subset of C11 §6.8.
@@ -136,15 +186,15 @@ pub enum Stmt {
     /// Local declaration.
     Decl(Decl),
     /// Expression statement; its end is a full-expression boundary.
-    Expr(Expr),
+    Expr(ExprId),
     /// `if`/`else`.
-    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    If(ExprId, StmtId, Option<StmtId>),
     /// `while` loop.
-    While(Expr, Box<Stmt>),
+    While(ExprId, StmtId),
     /// `for` loop; all three header slots are optional.
-    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    For(Option<StmtId>, Option<ExprId>, Option<ExprId>, StmtId),
     /// `return` with optional value; the location is the keyword's.
-    Return(Option<Expr>, SourceLoc),
+    Return(Option<ExprId>, SourceLoc),
     /// `break;`
     Break(SourceLoc),
     /// `continue;`
@@ -152,7 +202,7 @@ pub enum Stmt {
     /// Compound statement; entering opens a scope, leaving ends the
     /// lifetimes of the objects declared inside (§6.2.4:6). The location
     /// is the opening brace's.
-    Block(Vec<Stmt>, SourceLoc),
+    Block(Vec<StmtId>, SourceLoc),
     /// The empty statement `;`; the location is the semicolon's.
     Empty(SourceLoc),
 }
@@ -161,7 +211,7 @@ pub enum Stmt {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Param {
     /// Parameter name.
-    pub name: String,
+    pub name: Symbol,
     /// Parameter type.
     pub ty: Ty,
 }
@@ -170,27 +220,82 @@ pub struct Param {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
     /// Function name.
-    pub name: String,
+    pub name: Symbol,
     /// Parameters in declaration order (empty for `(void)`).
     pub params: Vec<Param>,
     /// Whether the return type is `void`.
     pub returns_void: bool,
     /// Body statements.
-    pub body: Vec<Stmt>,
+    pub body: Vec<StmtId>,
     /// Position of the function name in its definition.
     pub loc: SourceLoc,
+    /// Total number of frame slots (parameters + declarations), filled
+    /// by the resolution pass.
+    pub n_slots: u32,
 }
 
-/// A parsed translation unit: a sequence of function definitions.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// A parsed translation unit: a sequence of function definitions plus
+/// the arenas and symbol table all of its nodes live in.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TranslationUnit {
     /// The functions, in source order.
     pub functions: Vec<Function>,
+    /// Expression arena; [`ExprId`]s index into it.
+    pub exprs: Vec<Expr>,
+    /// Statement arena; [`StmtId`]s index into it.
+    pub stmts: Vec<Stmt>,
+    /// Identifier table for the whole unit.
+    pub interner: Interner,
+    /// `symbol index -> function index`, built by the resolution pass;
+    /// makes call-target lookup O(1) instead of a name scan per call.
+    pub func_by_symbol: Vec<Option<u32>>,
 }
 
 impl TranslationUnit {
-    /// Look up a function by name.
-    pub fn function(&self, name: &str) -> Option<&Function> {
-        self.functions.iter().find(|f| f.name == name)
+    /// The expression behind an id.
+    #[inline]
+    pub fn expr(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// The statement behind an id.
+    #[inline]
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.stmts[id.0 as usize]
+    }
+
+    /// Append an expression to the arena.
+    pub fn push_expr(&mut self, e: Expr) -> ExprId {
+        let id = u32::try_from(self.exprs.len()).expect("fewer than 2^32 expressions");
+        self.exprs.push(e);
+        ExprId(id)
+    }
+
+    /// Append a statement to the arena.
+    pub fn push_stmt(&mut self, s: Stmt) -> StmtId {
+        let id = u32::try_from(self.stmts.len()).expect("fewer than 2^32 statements");
+        self.stmts.push(s);
+        StmtId(id)
+    }
+
+    /// Look up a function by interned name.
+    pub fn function(&self, name: Symbol) -> Option<&Function> {
+        self.func_by_symbol
+            .get(name.index())
+            .copied()
+            .flatten()
+            .map(|i| &self.functions[i as usize])
+    }
+
+    /// Look up a function by spelling (convenience for tests and tools).
+    pub fn function_named(&self, name: &str) -> Option<&Function> {
+        self.functions
+            .iter()
+            .find(|f| self.interner.resolve(f.name) == name)
+    }
+
+    /// The spelling of a function's name.
+    pub fn name_of(&self, f: &Function) -> &str {
+        self.interner.resolve(f.name)
     }
 }

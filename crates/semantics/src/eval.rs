@@ -5,10 +5,10 @@
 //! get *stuck* on undefined programs:
 //!
 //! - **sequencing footprints** (§6.5:2) — every expression evaluation
-//!   returns, along with its value, the set of scalar reads and writes it
-//!   performed; at each unsequenced combination point (binary operands,
-//!   call arguments) conflicting footprints raise
-//!   [`UbKind::UnsequencedSideEffect`];
+//!   records the scalar reads and writes it performs into a shared
+//!   footprint arena; at each unsequenced combination point (binary
+//!   operands, call arguments) the two operand ranges are checked for
+//!   conflicts, raising [`UbKind::UnsequencedSideEffect`];
 //! - **object lifetimes** (§6.2.4) — block exit and `free` end lifetimes,
 //!   so later uses of dangling pointers raise
 //!   [`UbKind::DeadObjectAccess`], and bad `free`s raise the
@@ -26,9 +26,27 @@
 //! called function are treated as indeterminately sequenced with respect
 //! to the caller's expression (C11 §6.5.2.2:10), so they are not added to
 //! the caller's footprint.
+//!
+//! # Execution-core layout
+//!
+//! The engine is slot-resolved and allocation-free on its hot paths:
+//!
+//! - variable references were bound to frame-relative slots by
+//!   [`crate::resolve`], so a lookup is `slots[frame.slot_base + slot]` —
+//!   one array load, no name scan;
+//! - frames share one `slots` stack and one `created`-objects stack
+//!   (marks delimit each frame/block), so calls and blocks push no
+//!   per-entry vectors;
+//! - sequencing footprints live in one shared arena; full expressions
+//!   truncate back to their mark at each sequence point;
+//! - diagnostics borrow identifier spellings from the unit's interner and
+//!   only allocate when an error report is actually built (the cold
+//!   path).
 
-use crate::ast::{BinOp, Decl, Expr, ExprKind, Function, Stmt, TranslationUnit, UnaryOp};
+use crate::ast::{BinOp, Decl, ExprId, ExprKind, Stmt, StmtId, TranslationUnit, UnaryOp};
+use crate::intern::{kw, Symbol};
 use cundef_ub::{SourceLoc, UbError, UbKind};
+use std::borrow::Cow;
 
 /// Resource bounds for one execution, so that the checker terminates on
 /// looping inputs without claiming anything about them.
@@ -114,13 +132,25 @@ const INT_MIN: i64 = i32::MIN as i64;
 const INT_MAX: i64 = i32::MAX as i64;
 const INT_WIDTH: i64 = 32;
 
+/// Sentinel in the slot stack for "declaration not yet executed".
+const SLOT_NONE: usize = usize::MAX;
+
 /// Why evaluation stopped early (internal control flow).
 enum Stop {
     Ub(UbError),
     Unsupported(String, SourceLoc),
 }
 
-type EResult<T> = Result<T, Stop>;
+/// Errors travel boxed: `Stop` is ~10 words of report text, and an
+/// unboxed error variant would widen every `Result` the evaluator
+/// returns — a memcpy per expression node on the hot path.
+type EResult<T> = Result<T, Box<Stop>>;
+
+/// Cold-path constructor for engine-limitation stops.
+#[cold]
+fn stop_unsupported(message: impl Into<String>, loc: SourceLoc) -> Box<Stop> {
+    Box::new(Stop::Unsupported(message.into(), loc))
+}
 
 /// Statement-level control flow.
 enum Flow {
@@ -132,7 +162,8 @@ enum Flow {
     Return(Value, SourceLoc),
 }
 
-/// One scalar access performed during an expression evaluation.
+/// One scalar access performed during an expression evaluation, recorded
+/// in the shared footprint arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Access {
     obj: usize,
@@ -140,76 +171,69 @@ struct Access {
     write: bool,
 }
 
-/// The set of scalar-object accesses an evaluation performed, used to
-/// decide §6.5:2 at unsequenced combination points.
-#[derive(Debug, Clone, Default)]
-struct Footprint {
-    accesses: Vec<Access>,
+/// The storage of one object: a dedicated variant for the ubiquitous
+/// single-cell scalar avoids a heap allocation per declaration.
+enum Cells {
+    /// A scalar: exactly one cell.
+    One(Option<Value>),
+    /// An array or heap block.
+    Many(Vec<Option<Value>>),
 }
 
-impl Footprint {
-    fn push_read(&mut self, obj: usize, off: i64) {
-        self.accesses.push(Access {
-            obj,
-            off,
-            write: false,
-        });
-    }
-
-    fn push_write(&mut self, obj: usize, off: i64) {
-        self.accesses.push(Access {
-            obj,
-            off,
-            write: true,
-        });
-    }
-
-    /// Merge a footprint that is *sequenced* after this one (no check).
-    fn then(&mut self, later: Footprint) {
-        self.accesses.extend(later.accesses);
-    }
-
-    /// Find a conflicting pair between two unsequenced footprints: a
-    /// write on one side with any access of the same scalar on the other.
-    fn conflict_with(&self, other: &Footprint) -> Option<(usize, i64)> {
-        for a in &self.accesses {
-            for b in &other.accesses {
-                if a.obj == b.obj && a.off == b.off && (a.write || b.write) {
-                    return Some((a.obj, a.off));
-                }
-            }
+impl Cells {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Cells::One(_) => 1,
+            Cells::Many(v) => v.len(),
         }
-        None
     }
 
-    /// A location written on either side, matching `(obj, off)`.
-    fn writes(&self, obj: usize, off: i64) -> bool {
-        self.accesses
-            .iter()
-            .any(|a| a.write && a.obj == obj && a.off == off)
+    #[inline]
+    fn get(&self, i: usize) -> Option<Value> {
+        match self {
+            Cells::One(v) => *v,
+            Cells::Many(v) => v[i],
+        }
     }
+
+    #[inline]
+    fn set(&mut self, i: usize, value: Option<Value>) {
+        match self {
+            Cells::One(v) => *v = value,
+            Cells::Many(v) => v[i] = value,
+        }
+    }
+}
+
+/// How an object is named in diagnostics; rendered lazily so the hot
+/// path never formats or clones a string.
+enum ObjName {
+    /// A declared identifier, spelled via the unit's interner.
+    Sym(Symbol),
+    /// An anonymous heap allocation, shown as `heap object #<index>`.
+    Heap,
 }
 
 /// One memory object: a run of `int`-sized cells with a lifetime.
 struct Object {
-    cells: Vec<Option<Value>>,
+    cells: Cells,
     alive: bool,
     heap: bool,
     /// Whether this is an array object (its designator decays, §6.3.2.1:3).
     is_array: bool,
-    /// Display name for diagnostics (`x`, `heap object #3`, …).
-    name: String,
+    /// Display name for diagnostics.
+    name: ObjName,
 }
 
 struct Frame {
-    func: String,
+    /// Index of the executing function in the unit.
+    func: u32,
     /// Whether the executing function returns `void`, cached at call time
     /// so `return;` can classify itself without rescanning the unit.
     returns_void: bool,
-    /// Innermost scope last; each scope maps names to object indices.
-    scopes: Vec<Vec<(String, usize)>>,
-    /// Every object created in this frame, for lifetime termination.
-    created: Vec<usize>,
+    /// Base of this frame's region of the shared slot stack.
+    slot_base: usize,
 }
 
 /// The interpreter for one translation unit.
@@ -228,6 +252,19 @@ pub struct Interp<'a> {
     limits: Limits,
     objects: Vec<Object>,
     frames: Vec<Frame>,
+    /// Shared slot stack: each frame owns `slots[frame.slot_base..]` up
+    /// to its function's `n_slots`. Entries are object indices or
+    /// [`SLOT_NONE`].
+    slots: Vec<usize>,
+    /// Shared stack of automatic (non-heap) objects, for lifetime
+    /// termination; frames and blocks remember their base and kill the
+    /// suffix on exit.
+    created: Vec<usize>,
+    /// Shared footprint arena; full expressions truncate to their mark at
+    /// each sequence point.
+    fp: Vec<Access>,
+    /// Shared argument-passing stack, so calls don't allocate a `Vec`.
+    args: Vec<Value>,
     steps: u64,
 }
 
@@ -239,25 +276,37 @@ impl<'a> Interp<'a> {
             limits,
             objects: Vec::new(),
             frames: Vec::new(),
+            slots: Vec::new(),
+            created: Vec::new(),
+            fp: Vec::new(),
+            args: Vec::new(),
             steps: 0,
         }
     }
 
     /// Execute the program from `main` and report what happened.
     pub fn run_main(mut self) -> Outcome {
-        let Some(main) = self.unit.function("main") else {
+        let main_idx = self
+            .unit
+            .func_by_symbol
+            .get(kw::MAIN.index())
+            .copied()
+            .flatten();
+        let Some(main_idx) = main_idx else {
             return Outcome::Unsupported {
                 message: "translation unit defines no `main` function".into(),
                 loc: SourceLoc::default(),
             };
         };
+        let main = &self.unit.functions[main_idx as usize];
         if !main.params.is_empty() {
             return Outcome::Unsupported {
                 message: "only `int main(void)` is supported as the entry point".into(),
                 loc: main.loc,
             };
         }
-        match self.call(main, Vec::new(), main.loc) {
+        let loc = main.loc;
+        match self.call(main_idx, self.args.len(), loc) {
             // An explicit `return;` leaves `main` without a value, and the
             // host environment uses that value as the termination status
             // (§5.1.2.2.3:1 covers only reaching the closing `}`).
@@ -278,8 +327,10 @@ impl<'a> Interp<'a> {
                 message: "`main` returned a pointer, but is declared to return `int`".into(),
                 loc,
             },
-            Err(Stop::Ub(e)) => Outcome::Undefined(e),
-            Err(Stop::Unsupported(message, loc)) => Outcome::Unsupported { message, loc },
+            Err(stop) => match *stop {
+                Stop::Ub(e) => Outcome::Undefined(e),
+                Stop::Unsupported(message, loc) => Outcome::Unsupported { message, loc },
+            },
         }
     }
 
@@ -288,60 +339,86 @@ impl<'a> Interp<'a> {
     fn tick(&mut self, loc: SourceLoc) -> EResult<()> {
         self.steps += 1;
         if self.steps > self.limits.max_steps {
-            return Err(Stop::Unsupported(
-                "evaluation step limit exceeded".into(),
-                loc,
-            ));
+            return Err(stop_unsupported("evaluation step limit exceeded", loc));
         }
         Ok(())
     }
 
-    fn func_name(&self) -> String {
-        self.frames
-            .last()
-            .map(|f| f.func.clone())
-            .unwrap_or_default()
+    /// Spelling of an interned identifier.
+    #[inline]
+    fn name(&self, sym: Symbol) -> &str {
+        self.unit.interner.resolve(sym)
     }
 
-    fn ub(&self, kind: UbKind, loc: SourceLoc, detail: impl Into<String>) -> Stop {
-        Stop::Ub(
+    /// Name of the executing function, borrowed from the interner.
+    fn func_name(&self) -> &str {
+        self.frames
+            .last()
+            .map(|f| self.name(self.unit.functions[f.func as usize].name))
+            .unwrap_or("")
+    }
+
+    /// Build an undefined-behavior stop. This is the cold path: only here
+    /// are the function name and object names rendered into owned
+    /// strings for the report.
+    #[cold]
+    fn ub(&self, kind: UbKind, loc: SourceLoc, detail: impl Into<String>) -> Box<Stop> {
+        Box::new(Stop::Ub(
             UbError::new(kind)
                 .at(loc)
                 .in_function(self.func_name())
                 .with_detail(detail.into()),
-        )
+        ))
     }
 
-    fn object_name(&self, obj: usize) -> String {
-        self.objects[obj].name.clone()
+    /// Display name of an object, borrowed for declared identifiers and
+    /// formatted only for anonymous heap blocks.
+    fn object_name(&self, obj: usize) -> Cow<'_, str> {
+        match self.objects[obj].name {
+            ObjName::Sym(sym) => Cow::Borrowed(self.name(sym)),
+            ObjName::Heap => Cow::Owned(format!("heap object #{obj}")),
+        }
     }
 
-    fn lookup(&self, name: &str) -> Option<usize> {
-        let frame = self.frames.last()?;
-        frame.scopes.iter().rev().find_map(|scope| {
-            scope
-                .iter()
-                .rev()
-                .find(|(n, _)| n == name)
-                .map(|(_, id)| *id)
-        })
+    /// Object bound to a resolved slot in the current frame, if its
+    /// declaration has executed.
+    #[inline]
+    fn slot_object(&self, slot: crate::ast::SlotId) -> Option<usize> {
+        let frame = self.frames.last().expect("active frame");
+        match self.slots[frame.slot_base + slot.index()] {
+            SLOT_NONE => None,
+            obj => Some(obj),
+        }
     }
 
-    fn alloc(&mut self, name: String, cells: usize, heap: bool, is_array: bool) -> usize {
+    fn alloc(&mut self, name: ObjName, cells: usize, heap: bool, is_array: bool) -> usize {
         let id = self.objects.len();
+        let cells = if cells == 1 {
+            Cells::One(None)
+        } else {
+            Cells::Many(vec![None; cells])
+        };
         self.objects.push(Object {
-            cells: vec![None; cells],
+            cells,
             alive: true,
             heap,
             is_array,
             name,
         });
         if !heap {
-            if let Some(frame) = self.frames.last_mut() {
-                frame.created.push(id);
-            }
+            self.created.push(id);
         }
         id
+    }
+
+    /// End the lifetime of every automatic object created at or after
+    /// `base` (block or frame exit, §6.2.4:2/:6).
+    fn kill_created_from(&mut self, base: usize) {
+        for i in base..self.created.len() {
+            let obj = self.created[i];
+            self.objects[obj].alive = false;
+        }
+        self.created.truncate(base);
     }
 
     // ----- checked memory access -----
@@ -360,7 +437,7 @@ impl<'a> Interp<'a> {
         Ok(())
     }
 
-    fn read_cell(&mut self, p: Pointer, loc: SourceLoc, fp: &mut Footprint) -> EResult<Value> {
+    fn read_cell(&mut self, p: Pointer, loc: SourceLoc) -> EResult<Value> {
         self.check_live(p, loc)?;
         let len = self.objects[p.obj].cells.len() as i64;
         if p.off < 0 || p.off >= len {
@@ -375,9 +452,13 @@ impl<'a> Interp<'a> {
                 ),
             ));
         }
-        match self.objects[p.obj].cells[p.off as usize] {
+        match self.objects[p.obj].cells.get(p.off as usize) {
             Some(v) => {
-                fp.push_read(p.obj, p.off);
+                self.fp.push(Access {
+                    obj: p.obj,
+                    off: p.off,
+                    write: false,
+                });
                 Ok(v)
             }
             None => Err(self.ub(
@@ -388,13 +469,7 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn write_cell(
-        &mut self,
-        p: Pointer,
-        v: Value,
-        loc: SourceLoc,
-        fp: &mut Footprint,
-    ) -> EResult<()> {
+    fn write_cell(&mut self, p: Pointer, v: Value, loc: SourceLoc) -> EResult<()> {
         self.check_live(p, loc)?;
         let len = self.objects[p.obj].cells.len() as i64;
         if p.off < 0 || p.off >= len {
@@ -409,28 +484,63 @@ impl<'a> Interp<'a> {
                 ),
             ));
         }
-        self.objects[p.obj].cells[p.off as usize] = Some(v);
-        fp.push_write(p.obj, p.off);
+        self.objects[p.obj].cells.set(p.off as usize, Some(v));
+        self.fp.push(Access {
+            obj: p.obj,
+            off: p.off,
+            write: true,
+        });
         Ok(())
     }
 
     // ----- sequencing -----
 
-    fn combine_unsequenced(
+    /// §6.5:2 at an unsequenced combination point: the accesses in
+    /// `fp[a_start..mid]` (first operand) and `fp[mid..]` (second
+    /// operand) conflict if a write on one side pairs with any access of
+    /// the same scalar on the other. The merged footprint is simply the
+    /// whole range — the arena already holds both sides back to back.
+    fn check_unsequenced(&self, a_start: usize, mid: usize, loc: SourceLoc) -> EResult<()> {
+        let (a, b) = self.fp[a_start..].split_at(mid - a_start);
+        for x in a {
+            for y in b {
+                if x.obj == y.obj && x.off == y.off && (x.write || y.write) {
+                    return Err(self.ub(
+                        UbKind::UnsequencedSideEffect,
+                        loc,
+                        format!("unsequenced accesses to `{}`", self.object_name(x.obj)),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// §6.5:2 — the update side effect of an assignment or `++`/`--` is
+    /// unsequenced with the value computations around it, so it conflicts
+    /// with any other write to the same scalar in the operand footprint
+    /// (`x = x++`, `a[(a[0]=0)]++`).
+    fn check_update_conflict(
         &self,
-        mut a: Footprint,
-        b: Footprint,
+        fp_start: usize,
+        p: Pointer,
         loc: SourceLoc,
-    ) -> EResult<Footprint> {
-        if let Some((obj, _)) = a.conflict_with(&b) {
+        action: &str,
+    ) -> EResult<()> {
+        if self.fp[fp_start..]
+            .iter()
+            .any(|a| a.write && a.obj == p.obj && a.off == p.off)
+        {
             return Err(self.ub(
                 UbKind::UnsequencedSideEffect,
                 loc,
-                format!("unsequenced accesses to `{}`", self.object_name(obj)),
+                format!(
+                    "{action} `{}` unsequenced with another side effect on it",
+                    self.object_name(p.obj)
+                ),
             ));
         }
-        a.then(b);
-        Ok(a)
+        Ok(())
     }
 
     // ----- values -----
@@ -446,8 +556,8 @@ impl<'a> Interp<'a> {
     fn as_int(&self, v: Value, loc: SourceLoc) -> EResult<i64> {
         match self.use_value(v, loc)? {
             Value::Int(n) => Ok(n),
-            Value::Ptr(_) => Err(Stop::Unsupported(
-                "expected an integer, found a pointer".into(),
+            Value::Ptr(_) => Err(stop_unsupported(
+                "expected an integer, found a pointer",
                 loc,
             )),
             Value::Missing(_) => unreachable!("use_value filters Missing"),
@@ -469,146 +579,165 @@ impl<'a> Interp<'a> {
 
     // ----- expression evaluation -----
 
-    fn eval(&mut self, e: &Expr) -> EResult<(Value, Footprint)> {
-        self.tick(e.loc)?;
-        match &e.kind {
-            ExprKind::IntLit(v) => Ok((Value::Int(*v), Footprint::default())),
-            ExprKind::Ident(name) => {
-                let Some(obj) = self.lookup(name) else {
-                    return Err(Stop::Unsupported(
-                        format!("use of undeclared identifier `{name}`"),
-                        e.loc,
+    /// Evaluate a *full expression* (§6.8:4): its footprint dies at the
+    /// sequence point that ends it.
+    fn eval_full(&mut self, e: ExprId) -> EResult<Value> {
+        let mark = self.fp.len();
+        let v = self.eval(e)?;
+        self.fp.truncate(mark);
+        Ok(v)
+    }
+
+    fn eval(&mut self, e: ExprId) -> EResult<Value> {
+        let unit = self.unit;
+        let expr = unit.expr(e);
+        let loc = expr.loc;
+        self.tick(loc)?;
+        match &expr.kind {
+            ExprKind::IntLit(v) => Ok(Value::Int(*v)),
+            ExprKind::Ident(sym) => Err(stop_unsupported(
+                format!("use of undeclared identifier `{}`", self.name(*sym)),
+                loc,
+            )),
+            ExprKind::Slot(slot, sym) => {
+                let Some(obj) = self.slot_object(*slot) else {
+                    return Err(stop_unsupported(
+                        format!(
+                            "use of `{}` before its declaration executed",
+                            self.name(*sym)
+                        ),
+                        loc,
                     ));
                 };
                 if self.objects[obj].is_array {
                     // Array designators decay to a pointer to the first
                     // element (§6.3.2.1:3); no cell is read.
-                    return Ok((Value::Ptr(Pointer { obj, off: 0 }), Footprint::default()));
+                    return Ok(Value::Ptr(Pointer { obj, off: 0 }));
                 }
-                let mut fp = Footprint::default();
-                let v = self.read_cell(Pointer { obj, off: 0 }, e.loc, &mut fp)?;
-                Ok((v, fp))
+                self.read_cell(Pointer { obj, off: 0 }, loc)
             }
             ExprKind::Unary(op, inner) => {
-                let (v, fp) = self.eval(inner)?;
-                let v = self.use_value(v, e.loc)?;
+                let v = self.eval(*inner)?;
+                let v = self.use_value(v, loc)?;
                 let out = match (op, v) {
                     (UnaryOp::Neg, Value::Int(n)) => {
                         let r = -n;
                         if !(INT_MIN..=INT_MAX).contains(&r) {
                             return Err(self.ub(
                                 UbKind::SignedOverflow,
-                                e.loc,
+                                loc,
                                 format!("-({n}) is not representable in int"),
                             ));
                         }
                         Value::Int(r)
                     }
                     (UnaryOp::Not, v) => {
-                        let t = self.truthy(v, e.loc)?;
+                        let t = self.truthy(v, loc)?;
                         Value::Int(if t { 0 } else { 1 })
                     }
                     (UnaryOp::BitNot, Value::Int(n)) => Value::Int(!(n as i32) as i64),
                     (UnaryOp::Neg | UnaryOp::BitNot, Value::Ptr(_)) => {
-                        return Err(Stop::Unsupported(
-                            "arithmetic unary operator applied to a pointer".into(),
-                            e.loc,
+                        return Err(stop_unsupported(
+                            "arithmetic unary operator applied to a pointer",
+                            loc,
                         ))
                     }
                     (_, Value::Missing(_)) => unreachable!(),
                 };
-                Ok((out, fp))
+                Ok(out)
             }
             ExprKind::Binary(op, l, r) => {
-                let (lv, lfp) = self.eval(l)?;
-                let (rv, rfp) = self.eval(r)?;
-                let fp = self.combine_unsequenced(lfp, rfp, e.loc)?;
-                let lv = self.use_value(lv, e.loc)?;
-                let rv = self.use_value(rv, e.loc)?;
-                let out = self.apply_binop(*op, lv, rv, e.loc)?;
-                Ok((out, fp))
+                let start = self.fp.len();
+                let lv = self.eval(*l)?;
+                let mid = self.fp.len();
+                let rv = self.eval(*r)?;
+                self.check_unsequenced(start, mid, loc)?;
+                let lv = self.use_value(lv, loc)?;
+                let rv = self.use_value(rv, loc)?;
+                self.apply_binop(*op, lv, rv, loc)
             }
             ExprKind::LogicalAnd(l, r) => {
-                let (lv, mut fp) = self.eval(l)?;
+                let lv = self.eval(*l)?;
                 // Sequence point after the first operand (§6.5.13:4).
-                if !self.truthy(lv, e.loc)? {
-                    return Ok((Value::Int(0), fp));
+                if !self.truthy(lv, loc)? {
+                    return Ok(Value::Int(0));
                 }
-                let (rv, rfp) = self.eval(r)?;
-                fp.then(rfp);
-                let t = self.truthy(rv, e.loc)?;
-                Ok((Value::Int(t as i64), fp))
+                let rv = self.eval(*r)?;
+                let t = self.truthy(rv, loc)?;
+                Ok(Value::Int(t as i64))
             }
             ExprKind::LogicalOr(l, r) => {
-                let (lv, mut fp) = self.eval(l)?;
-                if self.truthy(lv, e.loc)? {
-                    return Ok((Value::Int(1), fp));
+                let lv = self.eval(*l)?;
+                if self.truthy(lv, loc)? {
+                    return Ok(Value::Int(1));
                 }
-                let (rv, rfp) = self.eval(r)?;
-                fp.then(rfp);
-                let t = self.truthy(rv, e.loc)?;
-                Ok((Value::Int(t as i64), fp))
+                let rv = self.eval(*r)?;
+                let t = self.truthy(rv, loc)?;
+                Ok(Value::Int(t as i64))
             }
             ExprKind::Conditional(c, t, f) => {
-                let (cv, mut fp) = self.eval(c)?;
-                let branch = if self.truthy(cv, e.loc)? { t } else { f };
-                let (v, bfp) = self.eval(branch)?;
-                fp.then(bfp);
-                Ok((v, fp))
+                let cv = self.eval(*c)?;
+                let branch = if self.truthy(cv, loc)? { *t } else { *f };
+                self.eval(branch)
             }
             ExprKind::Comma(l, r) => {
-                let (_, mut fp) = self.eval(l)?;
-                let (v, rfp) = self.eval(r)?;
-                fp.then(rfp);
-                Ok((v, fp))
+                self.eval(*l)?;
+                self.eval(*r)
             }
-            ExprKind::Assign(place, op, rhs) => self.eval_assign(place, *op, rhs, e.loc),
+            ExprKind::Assign(place, op, rhs) => self.eval_assign(*place, *op, *rhs, loc),
             ExprKind::PreIncDec(place, delta) => {
-                let (v, fp) = self.eval_incdec(place, *delta, e.loc)?;
-                Ok((v.1, fp)) // prefix yields the new value
+                let (_, new) = self.eval_incdec(*place, *delta, loc)?;
+                Ok(new) // prefix yields the new value
             }
             ExprKind::PostIncDec(place, delta) => {
-                let (v, fp) = self.eval_incdec(place, *delta, e.loc)?;
-                Ok((v.0, fp)) // postfix yields the old value
+                let (old, _) = self.eval_incdec(*place, *delta, loc)?;
+                Ok(old) // postfix yields the old value
             }
             ExprKind::Deref(inner) => {
-                let (p, mut fp) = self.eval_pointer(inner, e.loc)?;
-                let v = self.read_cell(p, e.loc, &mut fp)?;
-                Ok((v, fp))
+                let p = self.eval_pointer(*inner, loc)?;
+                self.read_cell(p, loc)
             }
             ExprKind::AddrOf(inner) => {
-                let (p, fp) = self.eval_place(inner)?;
+                let p = self.eval_place(*inner)?;
                 // `&a` on an array designator is the one place an array
                 // does not decay (§6.3.2.1:3); its result would have
                 // array-pointer type, which the subset cannot express.
                 // Reject it rather than silently meaning `&a[0]` — that
                 // reinterpretation is what lets `*&a = 5` or `(&a)[0]`
                 // dodge the modifiable-lvalue rule.
-                if matches!(inner.kind, ExprKind::Ident(_)) && self.objects[p.obj].is_array {
-                    return Err(Stop::Unsupported(
+                if self.is_designator(*inner) && self.objects[p.obj].is_array {
+                    return Err(stop_unsupported(
                         format!(
                             "`&{}` has array-pointer type, which is outside the subset",
                             self.object_name(p.obj)
                         ),
-                        e.loc,
+                        loc,
                     ));
                 }
-                Ok((Value::Ptr(p), fp))
+                Ok(Value::Ptr(p))
             }
             ExprKind::Index(base, idx) => {
-                let (p, mut fp) = self.eval_index_place(base, idx, e.loc)?;
-                let v = self.read_cell(p, e.loc, &mut fp)?;
-                Ok((v, fp))
+                let p = self.eval_index_place(*base, *idx, loc)?;
+                self.read_cell(p, loc)
             }
-            ExprKind::Call(name, args) => self.eval_call(name, args, e.loc),
+            ExprKind::Call(name, args) => self.eval_call(*name, args, loc),
         }
     }
 
+    /// Whether `e` is a bare identifier reference (resolved or not) — the
+    /// designator cases for the array-decay and modifiable-lvalue rules.
+    fn is_designator(&self, e: ExprId) -> bool {
+        matches!(
+            self.unit.expr(e).kind,
+            ExprKind::Ident(_) | ExprKind::Slot(_, _)
+        )
+    }
+
     /// Evaluate an expression that must produce a usable pointer.
-    fn eval_pointer(&mut self, e: &Expr, loc: SourceLoc) -> EResult<(Pointer, Footprint)> {
-        let (v, fp) = self.eval(e)?;
+    fn eval_pointer(&mut self, e: ExprId, loc: SourceLoc) -> EResult<Pointer> {
+        let v = self.eval(e)?;
         match self.use_value(v, loc)? {
-            Value::Ptr(p) => Ok((p, fp)),
+            Value::Ptr(p) => Ok(p),
             Value::Int(0) => Err(self.ub(
                 UbKind::NullDereference,
                 loc,
@@ -625,39 +754,40 @@ impl<'a> Interp<'a> {
 
     /// Evaluate an lvalue to the place it designates. No cell is accessed;
     /// accesses happen in `read_cell`/`write_cell`.
-    fn eval_place(&mut self, e: &Expr) -> EResult<(Pointer, Footprint)> {
-        self.tick(e.loc)?;
-        match &e.kind {
-            ExprKind::Ident(name) => {
-                let Some(obj) = self.lookup(name) else {
-                    return Err(Stop::Unsupported(
-                        format!("use of undeclared identifier `{name}`"),
-                        e.loc,
-                    ));
-                };
-                Ok((Pointer { obj, off: 0 }, Footprint::default()))
-            }
-            ExprKind::Deref(inner) => self.eval_pointer(inner, e.loc),
-            ExprKind::Index(base, idx) => self.eval_index_place(base, idx, e.loc),
-            _ => Err(Stop::Unsupported(
-                "expression is not an lvalue".into(),
-                e.loc,
+    fn eval_place(&mut self, e: ExprId) -> EResult<Pointer> {
+        let unit = self.unit;
+        let expr = unit.expr(e);
+        let loc = expr.loc;
+        self.tick(loc)?;
+        match &expr.kind {
+            ExprKind::Ident(sym) => Err(stop_unsupported(
+                format!("use of undeclared identifier `{}`", self.name(*sym)),
+                loc,
             )),
+            ExprKind::Slot(slot, sym) => match self.slot_object(*slot) {
+                Some(obj) => Ok(Pointer { obj, off: 0 }),
+                None => Err(stop_unsupported(
+                    format!(
+                        "use of `{}` before its declaration executed",
+                        self.name(*sym)
+                    ),
+                    loc,
+                )),
+            },
+            ExprKind::Deref(inner) => self.eval_pointer(*inner, loc),
+            ExprKind::Index(base, idx) => self.eval_index_place(*base, *idx, loc),
+            _ => Err(stop_unsupported("expression is not an lvalue", loc)),
         }
     }
 
-    fn eval_index_place(
-        &mut self,
-        base: &Expr,
-        idx: &Expr,
-        loc: SourceLoc,
-    ) -> EResult<(Pointer, Footprint)> {
-        let (bp, bfp) = self.eval_pointer(base, loc)?;
-        let (iv, ifp) = self.eval(idx)?;
-        let fp = self.combine_unsequenced(bfp, ifp, loc)?;
+    fn eval_index_place(&mut self, base: ExprId, idx: ExprId, loc: SourceLoc) -> EResult<Pointer> {
+        let start = self.fp.len();
+        let bp = self.eval_pointer(base, loc)?;
+        let mid = self.fp.len();
+        let iv = self.eval(idx)?;
+        self.check_unsequenced(start, mid, loc)?;
         let i = self.as_int(iv, loc)?;
-        let p = self.pointer_add(bp, i, loc)?;
-        Ok((p, fp))
+        self.pointer_add(bp, i, loc)
     }
 
     /// `p + delta` with the §6.5.6:8 in-bounds-or-one-past rule.
@@ -745,15 +875,15 @@ impl<'a> Interp<'a> {
                 // A valid pointer never equals the null constant; comparing
                 // with a nonzero integer is outside the subset's types.
                 if n != 0 {
-                    return Err(Stop::Unsupported(
-                        "comparison of a pointer with a nonzero integer".into(),
+                    return Err(stop_unsupported(
+                        "comparison of a pointer with a nonzero integer",
                         loc,
                     ));
                 }
                 Ok(Value::Int((op == Ne) as i64))
             }
-            _ => Err(Stop::Unsupported(
-                "operator applied to incompatible operand types".into(),
+            _ => Err(stop_unsupported(
+                "operator applied to incompatible operand types",
                 loc,
             )),
         }
@@ -846,29 +976,13 @@ impl<'a> Interp<'a> {
         Ok(Value::Int(wide))
     }
 
-    /// Whether `e` is an integer constant expression (§6.6:6) within the
-    /// subset: built only from constants and arithmetic on them.
-    fn is_constant_expr(e: &Expr) -> bool {
-        match &e.kind {
-            ExprKind::IntLit(_) => true,
-            ExprKind::Unary(_, a) => Self::is_constant_expr(a),
-            ExprKind::Binary(_, a, b) | ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
-                Self::is_constant_expr(a) && Self::is_constant_expr(b)
-            }
-            ExprKind::Conditional(c, t, f) => {
-                Self::is_constant_expr(c) && Self::is_constant_expr(t) && Self::is_constant_expr(f)
-            }
-            _ => false,
-        }
-    }
-
     /// An array designator is not a modifiable lvalue (§6.3.2.1:1);
     /// `a = …` and `a++` on an array name are rejected rather than
     /// silently treated as element-0 stores. Spellings through `&a`
     /// (`*&a`, `(&a)[0]`) are already rejected when `&a` is evaluated.
-    fn check_modifiable(&self, place: &Expr, p: Pointer, loc: SourceLoc) -> EResult<()> {
-        if matches!(place.kind, ExprKind::Ident(_)) && self.objects[p.obj].is_array {
-            return Err(Stop::Unsupported(
+    fn check_modifiable(&self, place: ExprId, p: Pointer, loc: SourceLoc) -> EResult<()> {
+        if self.is_designator(place) && self.objects[p.obj].is_array {
+            return Err(stop_unsupported(
                 format!(
                     "array `{}` is not a modifiable lvalue",
                     self.object_name(p.obj)
@@ -881,24 +995,26 @@ impl<'a> Interp<'a> {
 
     fn eval_assign(
         &mut self,
-        place: &Expr,
+        place: ExprId,
         op: Option<BinOp>,
-        rhs: &Expr,
+        rhs: ExprId,
         loc: SourceLoc,
-    ) -> EResult<(Value, Footprint)> {
-        let (p, pfp) = self.eval_place(place)?;
+    ) -> EResult<Value> {
+        let start = self.fp.len();
+        let p = self.eval_place(place)?;
         self.check_modifiable(place, p, loc)?;
-        let (rv, rfp) = self.eval(rhs)?;
+        let mid = self.fp.len();
+        let rv = self.eval(rhs)?;
         // Value computations of the two operands are unsequenced with each
         // other (§6.5.16:3)…
-        let mut fp = self.combine_unsequenced(pfp, rfp, loc)?;
+        self.check_unsequenced(start, mid, loc)?;
         let rv = self.use_value(rv, loc)?;
         let stored = match op {
             None => rv,
             Some(op) => {
                 // Compound assignment reads the place once; that read is a
                 // value computation sequenced before the update.
-                let old = self.read_cell(p, loc, &mut fp)?;
+                let old = self.read_cell(p, loc)?;
                 let old = self.use_value(old, loc)?;
                 self.apply_binop(op, old, rv, loc)?
             }
@@ -906,45 +1022,22 @@ impl<'a> Interp<'a> {
         // …while the update's side effect is sequenced only after those
         // value computations: it still conflicts with any *other* write to
         // the same scalar in either operand (`x = x++`).
-        self.check_update_conflict(&fp, p, loc, "assignment to")?;
-        self.write_cell(p, stored, loc, &mut fp)?;
-        Ok((stored, fp))
+        self.check_update_conflict(start, p, loc, "assignment to")?;
+        self.write_cell(p, stored, loc)?;
+        Ok(stored)
     }
 
-    /// §6.5:2 — the update side effect of an assignment or `++`/`--` is
-    /// unsequenced with the value computations around it, so it conflicts
-    /// with any other write to the same scalar in the operand footprint
-    /// (`x = x++`, `a[(a[0]=0)]++`).
-    fn check_update_conflict(
-        &self,
-        fp: &Footprint,
-        p: Pointer,
-        loc: SourceLoc,
-        action: &str,
-    ) -> EResult<()> {
-        if fp.writes(p.obj, p.off) {
-            return Err(self.ub(
-                UbKind::UnsequencedSideEffect,
-                loc,
-                format!(
-                    "{action} `{}` unsequenced with another side effect on it",
-                    self.object_name(p.obj)
-                ),
-            ));
-        }
-        Ok(())
-    }
-
-    /// Shared engine for `++`/`--`; returns ((old, new), footprint).
+    /// Shared engine for `++`/`--`; returns (old, new).
     fn eval_incdec(
         &mut self,
-        place: &Expr,
+        place: ExprId,
         delta: i64,
         loc: SourceLoc,
-    ) -> EResult<((Value, Value), Footprint)> {
-        let (p, mut fp) = self.eval_place(place)?;
+    ) -> EResult<(Value, Value)> {
+        let start = self.fp.len();
+        let p = self.eval_place(place)?;
         self.check_modifiable(place, p, loc)?;
-        let old = self.read_cell(p, loc, &mut fp)?;
+        let old = self.read_cell(p, loc)?;
         let old = self.use_value(old, loc)?;
         let new = match old {
             Value::Int(n) => {
@@ -965,7 +1058,7 @@ impl<'a> Interp<'a> {
             Value::Missing(_) => unreachable!(),
         };
         self.check_update_conflict(
-            &fp,
+            start,
             p,
             loc,
             if delta > 0 {
@@ -974,145 +1067,163 @@ impl<'a> Interp<'a> {
                 "decrement of"
             },
         )?;
-        self.write_cell(p, new, loc, &mut fp)?;
-        Ok(((old, new), fp))
+        self.write_cell(p, new, loc)?;
+        Ok((old, new))
     }
 
-    fn eval_call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        loc: SourceLoc,
-    ) -> EResult<(Value, Footprint)> {
+    fn eval_call(&mut self, name: Symbol, args: &'a [ExprId], loc: SourceLoc) -> EResult<Value> {
         // Argument evaluations are unsequenced with each other
-        // (§6.5.2.2:10), so their footprints combine pairwise.
-        let mut vals = Vec::with_capacity(args.len());
-        let mut fp = Footprint::default();
-        for a in args {
-            let (v, afp) = self.eval(a)?;
-            fp = self.combine_unsequenced(fp, afp, loc)?;
-            vals.push(self.use_value(v, a.loc)?);
+        // (§6.5.2.2:10), so each new argument's footprint is checked
+        // against everything the previous arguments did.
+        let unit = self.unit;
+        let fp_start = self.fp.len();
+        let argv_base = self.args.len();
+        for &a in args {
+            let mid = self.fp.len();
+            let v = self.eval(a)?;
+            self.check_unsequenced(fp_start, mid, loc)?;
+            let v = self.use_value(v, unit.expr(a).loc)?;
+            self.args.push(v);
         }
-        if let Some(func) = self.unit.function(name) {
-            if func.params.len() != vals.len() {
+        let nargs = self.args.len() - argv_base;
+        let target = unit.func_by_symbol.get(name.index()).copied().flatten();
+        if let Some(func_idx) = target {
+            let func = &unit.functions[func_idx as usize];
+            if func.params.len() != nargs {
                 return Err(self.ub(
                     UbKind::CallWrongArity,
                     loc,
                     format!(
                         "`{}` takes {} argument(s), called with {}",
-                        name,
+                        self.name(name),
                         func.params.len(),
-                        vals.len()
+                        nargs
                     ),
                 ));
             }
             // The callee's effects are indeterminately sequenced with the
             // rest of the caller's expression, not unsequenced: they do
-            // not join the caller's footprint.
-            let (ret, _) = self.call(func, vals, loc)?;
-            return Ok((ret, fp));
+            // not join the caller's footprint (`call` truncates to its
+            // mark).
+            let (ret, _) = self.call(func_idx, argv_base, loc)?;
+            return Ok(ret);
         }
-        match name {
-            "malloc" => {
-                if vals.len() != 1 {
-                    return Err(self.ub(
-                        UbKind::CallWrongArity,
-                        loc,
-                        format!("`malloc` takes 1 argument, called with {}", vals.len()),
-                    ));
-                }
-                let n = self.as_int(vals[0], loc)?;
-                if n < 0 {
-                    return Err(self.ub(
-                        UbKind::InvalidLibraryArgument,
-                        loc,
-                        format!("malloc({n}) with a negative size"),
-                    ));
-                }
-                let obj = self.alloc(String::new(), n as usize, true, true);
-                self.objects[obj].name = format!("heap object #{obj}");
-                Ok((Value::Ptr(Pointer { obj, off: 0 }), fp))
+        if name == kw::MALLOC {
+            if nargs != 1 {
+                return Err(self.ub(
+                    UbKind::CallWrongArity,
+                    loc,
+                    format!("`malloc` takes 1 argument, called with {nargs}"),
+                ));
             }
-            "free" => {
-                if vals.len() != 1 {
-                    return Err(self.ub(
-                        UbKind::CallWrongArity,
-                        loc,
-                        format!("`free` takes 1 argument, called with {}", vals.len()),
-                    ));
-                }
-                match vals[0] {
-                    Value::Int(0) => Ok((Value::Missing(UbKind::VoidValueUsed), fp)), // free(NULL)
-                    Value::Int(n) => Err(self.ub(
-                        UbKind::FreeNonHeapPointer,
-                        loc,
-                        format!("free() of integer value {n}"),
-                    )),
-                    Value::Ptr(p) => {
-                        let object = &self.objects[p.obj];
-                        if !object.heap {
-                            return Err(self.ub(
-                                UbKind::FreeNonHeapPointer,
-                                loc,
-                                format!("free() of `{}`, which is not heap-allocated", object.name),
-                            ));
-                        }
-                        if !object.alive {
-                            return Err(self.ub(
-                                UbKind::DoubleFree,
-                                loc,
-                                format!("`{}` was already freed", object.name),
-                            ));
-                        }
-                        if p.off != 0 {
-                            return Err(self.ub(
-                                UbKind::FreeInteriorPointer,
-                                loc,
-                                format!("free() of `{}` at interior offset {}", object.name, p.off),
-                            ));
-                        }
-                        self.objects[p.obj].alive = false;
-                        Ok((Value::Missing(UbKind::VoidValueUsed), fp))
+            let v = self.args[argv_base];
+            self.args.truncate(argv_base);
+            let n = self.as_int(v, loc)?;
+            if n < 0 {
+                return Err(self.ub(
+                    UbKind::InvalidLibraryArgument,
+                    loc,
+                    format!("malloc({n}) with a negative size"),
+                ));
+            }
+            let obj = self.alloc(ObjName::Heap, n as usize, true, true);
+            return Ok(Value::Ptr(Pointer { obj, off: 0 }));
+        }
+        if name == kw::FREE {
+            if nargs != 1 {
+                return Err(self.ub(
+                    UbKind::CallWrongArity,
+                    loc,
+                    format!("`free` takes 1 argument, called with {nargs}"),
+                ));
+            }
+            let v = self.args[argv_base];
+            self.args.truncate(argv_base);
+            return match v {
+                Value::Int(0) => Ok(Value::Missing(UbKind::VoidValueUsed)), // free(NULL)
+                Value::Int(n) => Err(self.ub(
+                    UbKind::FreeNonHeapPointer,
+                    loc,
+                    format!("free() of integer value {n}"),
+                )),
+                Value::Ptr(p) => {
+                    let object = &self.objects[p.obj];
+                    if !object.heap {
+                        return Err(self.ub(
+                            UbKind::FreeNonHeapPointer,
+                            loc,
+                            format!(
+                                "free() of `{}`, which is not heap-allocated",
+                                self.object_name(p.obj)
+                            ),
+                        ));
                     }
-                    Value::Missing(_) => unreachable!(),
+                    if !object.alive {
+                        return Err(self.ub(
+                            UbKind::DoubleFree,
+                            loc,
+                            format!("`{}` was already freed", self.object_name(p.obj)),
+                        ));
+                    }
+                    if p.off != 0 {
+                        return Err(self.ub(
+                            UbKind::FreeInteriorPointer,
+                            loc,
+                            format!(
+                                "free() of `{}` at interior offset {}",
+                                self.object_name(p.obj),
+                                p.off
+                            ),
+                        ));
+                    }
+                    self.objects[p.obj].alive = false;
+                    Ok(Value::Missing(UbKind::VoidValueUsed))
                 }
-            }
-            _ => Err(self.ub(
-                UbKind::CallNonFunction,
-                loc,
-                format!("`{name}` does not designate a function in this translation unit"),
-            )),
+                Value::Missing(_) => unreachable!(),
+            };
         }
+        Err(self.ub(
+            UbKind::CallNonFunction,
+            loc,
+            format!(
+                "`{}` does not designate a function in this translation unit",
+                self.name(name)
+            ),
+        ))
     }
 
     // ----- statements -----
 
+    /// Execute a call to `functions[func_idx]` whose argument values sit
+    /// at `args[argv_base..]` on the shared argument stack.
     fn call(
         &mut self,
-        func: &'a Function,
-        args: Vec<Value>,
+        func_idx: u32,
+        argv_base: usize,
         loc: SourceLoc,
     ) -> EResult<(Value, SourceLoc)> {
+        let unit = self.unit;
+        let func = &unit.functions[func_idx as usize];
         if self.frames.len() >= self.limits.max_call_depth {
-            return Err(Stop::Unsupported("call depth limit exceeded".into(), loc));
+            return Err(stop_unsupported("call depth limit exceeded", loc));
         }
+        let slot_base = self.slots.len();
+        self.slots
+            .resize(slot_base + func.n_slots as usize, SLOT_NONE);
+        let created_base = self.created.len();
+        let fp_mark = self.fp.len();
         self.frames.push(Frame {
-            func: func.name.clone(),
+            func: func_idx,
             returns_void: func.returns_void,
-            scopes: vec![Vec::new()],
-            created: Vec::new(),
+            slot_base,
         });
-        for (param, arg) in func.params.iter().zip(args) {
-            let obj = self.alloc(param.name.clone(), 1, false, false);
-            self.objects[obj].cells[0] = Some(arg);
-            self.frames
-                .last_mut()
-                .expect("frame just pushed")
-                .scopes
-                .last_mut()
-                .expect("scope just pushed")
-                .push((param.name.clone(), obj));
+        for (i, param) in func.params.iter().enumerate() {
+            let arg = self.args[argv_base + i];
+            let obj = self.alloc(ObjName::Sym(param.name), 1, false, false);
+            self.objects[obj].cells.set(0, Some(arg));
+            self.slots[slot_base + i] = obj;
         }
+        self.args.truncate(argv_base);
         let mut result = (
             Value::Missing(if func.returns_void {
                 UbKind::VoidValueUsed
@@ -1129,25 +1240,23 @@ impl<'a> Interp<'a> {
         }
         // Lifetimes of the frame's automatic objects end now (§6.2.4:2),
         // even when unwinding on an error, so diagnostics stay accurate.
-        let frame = self.frames.pop().expect("frame pushed above");
-        for obj in frame.created {
-            self.objects[obj].alive = false;
-        }
+        self.kill_created_from(created_base);
+        self.slots.truncate(slot_base);
+        // The callee's accesses are indeterminately sequenced with the
+        // caller's expression: drop them from the shared arena.
+        self.fp.truncate(fp_mark);
+        self.frames.pop().expect("frame pushed above");
         match stopped {
             Some(stop) => Err(stop),
             None => Ok(result),
         }
     }
 
-    fn exec_block(&mut self, body: &'a [Stmt]) -> EResult<Flow> {
-        self.frames
-            .last_mut()
-            .expect("active frame")
-            .scopes
-            .push(Vec::new());
+    fn exec_block(&mut self, body: &'a [StmtId]) -> EResult<Flow> {
+        let created_base = self.created.len();
         let mut flow = Flow::Normal;
         let mut stopped = None;
-        for s in body {
+        for &s in body {
             match self.exec_stmt(s) {
                 Ok(Flow::Normal) => {}
                 Ok(other) => {
@@ -1162,16 +1271,7 @@ impl<'a> Interp<'a> {
         }
         // Leaving the block ends the lifetime of everything declared in it
         // (§6.2.4:6): pointers that escaped the block are now dangling.
-        let scope = self
-            .frames
-            .last_mut()
-            .expect("active frame")
-            .scopes
-            .pop()
-            .expect("scope");
-        for (_, obj) in scope {
-            self.objects[obj].alive = false;
-        }
+        self.kill_created_from(created_base);
         match stopped {
             Some(stop) => Err(stop),
             None => Ok(flow),
@@ -1180,16 +1280,15 @@ impl<'a> Interp<'a> {
 
     /// Source position of a statement, for step-limit and engine-failure
     /// reports.
-    fn stmt_loc(s: &Stmt) -> SourceLoc {
+    fn stmt_loc(unit: &TranslationUnit, s: &Stmt) -> SourceLoc {
         match s {
             Stmt::Decl(d) => d.loc,
-            Stmt::Expr(e) | Stmt::If(e, _, _) | Stmt::While(e, _) => e.loc,
+            Stmt::Expr(e) | Stmt::If(e, _, _) | Stmt::While(e, _) => unit.expr(*e).loc,
             Stmt::For(init, cond, step, body) => init
-                .as_deref()
-                .map(Self::stmt_loc)
-                .or_else(|| cond.as_ref().map(|e| e.loc))
-                .or_else(|| step.as_ref().map(|e| e.loc))
-                .unwrap_or_else(|| Self::stmt_loc(body)),
+                .map(|s| Self::stmt_loc(unit, unit.stmt(s)))
+                .or_else(|| cond.map(|e| unit.expr(e).loc))
+                .or_else(|| step.map(|e| unit.expr(e).loc))
+                .unwrap_or_else(|| Self::stmt_loc(unit, unit.stmt(*body))),
             Stmt::Return(_, loc)
             | Stmt::Break(loc)
             | Stmt::Continue(loc)
@@ -1198,12 +1297,14 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn exec_stmt(&mut self, s: &'a Stmt) -> EResult<Flow> {
+    fn exec_stmt(&mut self, s: StmtId) -> EResult<Flow> {
+        let unit = self.unit;
+        let stmt = unit.stmt(s);
         // Statements count toward the step limit too, so that loops whose
         // iterations evaluate no expressions (`for (;;) ;`) still hit
         // `max_steps` instead of spinning forever.
-        self.tick(Self::stmt_loc(s))?;
-        match s {
+        self.tick(Self::stmt_loc(unit, stmt))?;
+        match stmt {
             Stmt::Empty(_) => Ok(Flow::Normal),
             Stmt::Decl(d) => {
                 self.exec_decl(d)?;
@@ -1212,54 +1313,42 @@ impl<'a> Interp<'a> {
             Stmt::Expr(e) => {
                 // A full expression: its footprint dies at the sequence
                 // point that ends the statement (§6.8:4).
-                self.eval(e)?;
+                self.eval_full(*e)?;
                 Ok(Flow::Normal)
             }
             Stmt::If(cond, then, els) => {
-                let (v, _) = self.eval(cond)?;
-                if self.truthy(v, cond.loc)? {
-                    self.exec_stmt(then)
+                let v = self.eval_full(*cond)?;
+                if self.truthy(v, unit.expr(*cond).loc)? {
+                    self.exec_stmt(*then)
                 } else if let Some(els) = els {
-                    self.exec_stmt(els)
+                    self.exec_stmt(*els)
                 } else {
                     Ok(Flow::Normal)
                 }
             }
             Stmt::While(cond, body) => loop {
-                let (v, _) = self.eval(cond)?;
-                if !self.truthy(v, cond.loc)? {
+                let v = self.eval_full(*cond)?;
+                if !self.truthy(v, unit.expr(*cond).loc)? {
                     return Ok(Flow::Normal);
                 }
-                match self.exec_stmt(body)? {
+                match self.exec_stmt(*body)? {
                     Flow::Break => return Ok(Flow::Normal),
                     Flow::Return(v, l) => return Ok(Flow::Return(v, l)),
                     Flow::Normal | Flow::Continue => {}
                 }
             },
             Stmt::For(init, cond, step, body) => {
-                // The init declaration's scope is the whole loop.
-                self.frames
-                    .last_mut()
-                    .expect("active frame")
-                    .scopes
-                    .push(Vec::new());
-                let result = self.exec_for(init.as_deref(), cond.as_ref(), step.as_ref(), body);
-                let scope = self
-                    .frames
-                    .last_mut()
-                    .expect("active frame")
-                    .scopes
-                    .pop()
-                    .expect("scope");
-                for (_, obj) in scope {
-                    self.objects[obj].alive = false;
-                }
+                // The init declaration's scope is the whole loop; its
+                // object dies when the loop is left.
+                let created_base = self.created.len();
+                let result = self.exec_for(*init, *cond, *step, *body);
+                self.kill_created_from(created_base);
                 result
             }
             Stmt::Return(e, loc) => {
                 let v = match e {
                     Some(e) => {
-                        let (v, _) = self.eval(e)?;
+                        let v = self.eval_full(*e)?;
                         self.use_value(v, *loc)?
                     }
                     // An explicit `return;` in a value-returning function
@@ -1286,18 +1375,19 @@ impl<'a> Interp<'a> {
 
     fn exec_for(
         &mut self,
-        init: Option<&'a Stmt>,
-        cond: Option<&'a Expr>,
-        step: Option<&'a Expr>,
-        body: &'a Stmt,
+        init: Option<StmtId>,
+        cond: Option<ExprId>,
+        step: Option<ExprId>,
+        body: StmtId,
     ) -> EResult<Flow> {
+        let unit = self.unit;
         if let Some(init) = init {
             self.exec_stmt(init)?;
         }
         loop {
             if let Some(cond) = cond {
-                let (v, _) = self.eval(cond)?;
-                if !self.truthy(v, cond.loc)? {
+                let v = self.eval_full(cond)?;
+                if !self.truthy(v, unit.expr(cond).loc)? {
                     return Ok(Flow::Normal);
                 }
             }
@@ -1307,39 +1397,31 @@ impl<'a> Interp<'a> {
                 Flow::Normal | Flow::Continue => {}
             }
             if let Some(step) = step {
-                self.eval(step)?;
+                self.eval_full(step)?;
             }
         }
     }
 
     fn exec_decl(&mut self, d: &'a Decl) -> EResult<()> {
-        let in_scope = self
-            .frames
-            .last()
-            .expect("active frame")
-            .scopes
-            .last()
-            .expect("scope")
-            .iter()
-            .any(|(n, _)| *n == d.name);
-        if in_scope {
-            return Err(Stop::Unsupported(
-                format!("redeclaration of `{}` in the same scope", d.name),
+        if d.redeclaration {
+            return Err(stop_unsupported(
+                format!("redeclaration of `{}` in the same scope", self.name(d.name)),
                 d.loc,
             ));
         }
-        let cells = match &d.array_size {
+        let unit = self.unit;
+        let cells = match d.array_size {
             None => 1,
             Some(size) => {
                 // A constant non-positive size is the *static* form of the
                 // defect (§6.7.6.2:1); a computed one is the VLA form
                 // (§6.7.6.2:5). `-1` or `1-2` are integer constant
-                // expressions even though they are not literal tokens.
-                let constant = Self::is_constant_expr(size);
-                let (v, _) = self.eval(size)?;
-                let n = self.as_int(v, size.loc)?;
+                // expressions even though they are not literal tokens;
+                // the resolver precomputed which applies.
+                let v = self.eval_full(size)?;
+                let n = self.as_int(v, unit.expr(size).loc)?;
                 if n <= 0 {
-                    let kind = if constant {
+                    let kind = if d.const_size {
                         UbKind::ArraySizeNotPositive
                     } else {
                         UbKind::VlaSizeNotPositive
@@ -1347,48 +1429,45 @@ impl<'a> Interp<'a> {
                     return Err(self.ub(
                         kind,
                         d.loc,
-                        format!("array `{}` declared with size {n}", d.name),
+                        format!("array `{}` declared with size {n}", self.name(d.name)),
                     ));
                 }
                 n as usize
             }
         };
-        let obj = self.alloc(d.name.clone(), cells, false, d.array_size.is_some());
+        let obj = self.alloc(ObjName::Sym(d.name), cells, false, d.array_size.is_some());
         // The declared identifier's scope begins at the end of its
         // declarator (§6.2.1:7) — *before* the initializer, so that
         // `int x = x;` reads the new, indeterminate x, not an outer one.
-        self.frames
-            .last_mut()
-            .expect("active frame")
-            .scopes
-            .last_mut()
-            .expect("scope")
-            .push((d.name.clone(), obj));
-        if let Some(init) = &d.init {
-            let (v, _) = self.eval(init)?;
-            let v = self.use_value(v, init.loc)?;
-            self.objects[obj].cells[0] = Some(v);
+        // The resolver mirrored this ordering; binding the slot here
+        // makes it true dynamically.
+        let slot_base = self.frames.last().expect("active frame").slot_base;
+        self.slots[slot_base + d.slot.index()] = obj;
+        if let Some(init) = d.init {
+            let v = self.eval_full(init)?;
+            let v = self.use_value(v, unit.expr(init).loc)?;
+            self.objects[obj].cells.set(0, Some(v));
         }
         if let Some(items) = &d.array_init {
             if items.len() > cells {
-                return Err(Stop::Unsupported(
+                return Err(stop_unsupported(
                     format!(
                         "excess initializers for `{}` (array size {}, {} initializers)",
-                        d.name,
+                        self.name(d.name),
                         cells,
                         items.len()
                     ),
                     d.loc,
                 ));
             }
-            for (i, item) in items.iter().enumerate() {
-                let (v, _) = self.eval(item)?;
-                let v = self.use_value(v, item.loc)?;
-                self.objects[obj].cells[i] = Some(v);
+            for (i, &item) in items.iter().enumerate() {
+                let v = self.eval_full(item)?;
+                let v = self.use_value(v, unit.expr(item).loc)?;
+                self.objects[obj].cells.set(i, Some(v));
             }
             // Remaining elements are initialized to zero (§6.7.9:21).
             for i in items.len()..cells {
-                self.objects[obj].cells[i] = Some(Value::Int(0));
+                self.objects[obj].cells.set(i, Some(Value::Int(0)));
             }
         }
         Ok(())
@@ -1778,5 +1857,91 @@ mod tests {
         let err = outcome.ub().expect("should be UB").clone();
         assert_eq!(err.function(), Some("main"));
         assert_eq!(err.loc().map(|l| l.line), Some(3));
+    }
+
+    #[test]
+    fn undeclared_identifiers_in_dead_code_stay_unreported() {
+        // Resolution leaves unbound names as lazy runtime errors, so a
+        // never-executed reference does not change the verdict — exactly
+        // the pre-slot-resolution behavior.
+        assert_eq!(
+            run("int main(void) { if (0) { ghost; } return 0; }").exit_code(),
+            Some(0)
+        );
+        let outcome = run("int main(void) { ghost; return 0; }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. }
+                if message.contains("ghost")),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn redeclaration_is_reported_only_when_executed() {
+        let outcome = run("int main(void) { int x = 1; int x = 2; return x; }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. }
+                if message.contains("redeclaration of `x`")),
+            "{outcome:?}"
+        );
+        // A redeclaration in never-reached code is not reported.
+        assert_eq!(
+            run("int main(void) { if (0) { int y = 1; int y = 2; y; } return 0; }").exit_code(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn slot_resolved_diagnostics_print_the_original_spelling() {
+        // Two distinct slots share the spelling `x`; the report must name
+        // `x`, not a slot number, and point at the inner use.
+        let outcome = run("int main(void) {\n  int x = 1;\n  {\n    int x;\n    return x;\n  }\n}");
+        let err = outcome.ub().expect("should be UB").clone();
+        assert_eq!(err.kind(), UbKind::ReadIndeterminate);
+        assert_eq!(err.detail(), Some("`x` holds an indeterminate value"));
+        assert_eq!(err.loc().map(|l| l.line), Some(5));
+    }
+
+    #[test]
+    fn redeclaring_a_parameter_at_body_top_level_is_rejected() {
+        // Parameters share the body's outermost block scope (§6.2.1:4),
+        // so this is a redeclaration — every C compiler rejects it, and
+        // the checker must not hand down a clean verdict.
+        let outcome = run("int f(int a) { int a = 2; return a; } int main(void) { return f(1); }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. }
+                if message.contains("redeclaration of `a`")),
+            "{outcome:?}"
+        );
+        // A *nested* block may still shadow a parameter.
+        assert_eq!(
+            run("int f(int a) { { int a = 2; return a; } } int main(void) { return f(1); }")
+                .exit_code(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn use_before_declaration_in_same_block_sees_the_outer_object() {
+        // §6.2.1:7: before the block's own `int x` is reached, `x` still
+        // means the outer declaration — slot resolution must not bind the
+        // earlier use to the later declaration.
+        assert_eq!(
+            run("int main(void) { int x = 7; { int y = x; int x = 1; return y * 10 + x; } }")
+                .exit_code(),
+            Some(71)
+        );
+    }
+
+    #[test]
+    fn recursion_works_on_the_shared_stacks() {
+        assert_eq!(
+            run(
+                "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+                 int main(void) { return fib(10); }"
+            )
+            .exit_code(),
+            Some(55)
+        );
     }
 }

@@ -1,0 +1,188 @@
+//! String interning: identifiers as small integers.
+//!
+//! Every identifier in a translation unit is interned once into a
+//! [`Symbol`] — a `u32` index into the unit's [`Interner`] — so that the
+//! parser, the resolver, and the evaluator compare and hash plain
+//! integers instead of strings, and so AST nodes carry 4 bytes instead of
+//! a heap-allocated `String`. The original spelling is recovered through
+//! [`Interner::resolve`] only when a diagnostic is rendered.
+//!
+//! Keywords and the recognized library functions are pre-interned at
+//! fixed indices (the `kw` module), which turns the parser's keyword
+//! tests into integer comparisons.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned identifier: an index into the owning [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The index, for table-based side lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this symbol is a C keyword of the subset (pre-interned at
+    /// the front of every interner), and therefore not a valid
+    /// identifier.
+    pub fn is_keyword(self) -> bool {
+        self.0 < kw::KEYWORD_COUNT
+    }
+}
+
+/// Pre-interned symbols: keywords first, then known library functions
+/// and `main`.
+pub mod kw {
+    use super::Symbol;
+
+    macro_rules! preinterned {
+        ($($name:ident => $text:literal),* $(,)?) => {
+            preinterned!(@build 0u32; $($name => $text),*);
+            /// Spellings of all pre-interned symbols, in index order.
+            pub(super) const SPELLINGS: &[&str] = &[$($text),*];
+        };
+        (@build $idx:expr; $name:ident => $text:literal $(, $rest:ident => $rtext:literal)*) => {
+            #[doc = concat!("The pre-interned symbol for `", $text, "`.")]
+            pub const $name: Symbol = Symbol($idx);
+            preinterned!(@build $idx + 1; $($rest => $rtext),*);
+        };
+        (@build $idx:expr;) => {};
+    }
+
+    preinterned! {
+        INT => "int",
+        VOID => "void",
+        IF => "if",
+        ELSE => "else",
+        WHILE => "while",
+        FOR => "for",
+        RETURN => "return",
+        BREAK => "break",
+        CONTINUE => "continue",
+        GOTO => "goto",
+        MALLOC => "malloc",
+        FREE => "free",
+        MAIN => "main",
+    }
+
+    /// Number of leading symbols that are keywords (everything up to and
+    /// including `goto`; `malloc`/`free`/`main` are ordinary
+    /// identifiers).
+    pub(super) const KEYWORD_COUNT: u32 = GOTO.0 + 1;
+}
+
+/// A symbol table mapping identifier spellings to [`Symbol`]s and back.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::intern::{kw, Interner};
+///
+/// let mut interner = Interner::new();
+/// let x = interner.intern("x");
+/// assert_eq!(interner.intern("x"), x);
+/// assert_eq!(interner.resolve(x), "x");
+/// assert_eq!(interner.intern("while"), kw::WHILE);
+/// assert!(kw::WHILE.is_keyword());
+/// assert!(!x.is_keyword());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl Default for Interner {
+    fn default() -> Interner {
+        Interner::new()
+    }
+}
+
+impl Interner {
+    /// Create an interner with the keywords and known library names
+    /// pre-interned at their fixed [`kw`] indices.
+    pub fn new() -> Interner {
+        let mut interner = Interner {
+            names: Vec::with_capacity(kw::SPELLINGS.len() + 16),
+            map: HashMap::with_capacity(kw::SPELLINGS.len() + 16),
+        };
+        for s in kw::SPELLINGS {
+            interner.intern(s);
+        }
+        interner
+    }
+
+    /// Intern `text`, returning the existing symbol if already present.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(&id) = self.map.get(text) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("fewer than 2^32 identifiers");
+        self.names.push(text.to_string());
+        self.map.insert(text.to_string(), id);
+        Symbol(id)
+    }
+
+    /// The spelling of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was interned by a different interner and is out of
+    /// range for this one.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of interned symbols (including the pre-interned ones).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner holds no symbols. Never true in practice
+    /// (keywords are pre-interned), provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_preinterned_at_fixed_indices() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("int"), kw::INT);
+        assert_eq!(i.intern("goto"), kw::GOTO);
+        assert_eq!(i.intern("malloc"), kw::MALLOC);
+        assert_eq!(i.intern("main"), kw::MAIN);
+    }
+
+    #[test]
+    fn keyword_predicate_covers_exactly_the_keywords() {
+        assert!(kw::INT.is_keyword());
+        assert!(kw::GOTO.is_keyword());
+        assert!(!kw::MALLOC.is_keyword());
+        assert!(!kw::FREE.is_keyword());
+        assert!(!kw::MAIN.is_keyword());
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_resolvable() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+    }
+}

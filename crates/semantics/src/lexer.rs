@@ -5,14 +5,17 @@
 //! [`LexError`]s with their position rather than being silently dropped —
 //! a file outside the subset must fail loudly, never be half-analyzed.
 
+use crate::intern::{Interner, Symbol};
 use cundef_ub::SourceLoc;
 use std::fmt;
 
 /// A lexical token.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tok {
-    /// Identifier or keyword (keywords are distinguished by the parser).
-    Ident(String),
+    /// Identifier or keyword, interned (keywords are pre-interned at
+    /// fixed [`crate::intern::kw`] indices, so the parser distinguishes
+    /// them with integer compares).
+    Ident(Symbol),
     /// Integer constant (decimal, octal, or hexadecimal in the source).
     Int(i64),
     /// Punctuator, e.g. `"+="`, `"("`, `"<<"`.
@@ -20,7 +23,7 @@ pub enum Tok {
 }
 
 /// A token plus its source position.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Token {
     /// The token itself.
     pub tok: Tok,
@@ -53,18 +56,22 @@ const PUNCTS: &[&str] = &[
     "|", "?", ":", ";", ",", "(", ")", "{", "}", "[", "]",
 ];
 
-/// Tokenize `source` into a vector of positioned tokens.
+/// Tokenize `source` into a vector of positioned tokens, interning every
+/// identifier into `interner`.
 ///
 /// # Examples
 ///
 /// ```
+/// use cundef_semantics::intern::Interner;
 /// use cundef_semantics::lexer::{lex, Tok};
 ///
-/// let toks = lex("x <<= 2;").unwrap();
+/// let mut interner = Interner::new();
+/// let toks = lex("x <<= 2;", &mut interner).unwrap();
 /// assert_eq!(toks[1].tok, Tok::Punct("<<="));
 /// assert_eq!(toks[0].loc.line, 1);
+/// assert!(matches!(toks[0].tok, Tok::Ident(sym) if interner.resolve(sym) == "x"));
 /// ```
-pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+pub fn lex(source: &str, interner: &mut Interner) -> Result<Vec<Token>, LexError> {
     let bytes = source.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0;
@@ -119,7 +126,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
             let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
             toks.push(Token {
-                tok: Tok::Ident(text.to_string()),
+                tok: Tok::Ident(interner.intern(text)),
                 loc,
             });
             continue;
@@ -180,45 +187,68 @@ fn parse_int_constant(text: &str) -> Option<i64> {
 mod tests {
     use super::*;
 
+    fn lex1(source: &str) -> Result<Vec<Token>, LexError> {
+        lex(source, &mut Interner::new())
+    }
+
     #[test]
     fn maximal_munch_prefers_longest_punct() {
-        let toks = lex("a<<=b").unwrap();
+        let toks = lex1("a<<=b").unwrap();
         assert_eq!(toks[1].tok, Tok::Punct("<<="));
     }
 
     #[test]
     fn comments_and_positions() {
-        let toks = lex("// c\n/* block\n*/ x").unwrap();
+        let toks = lex1("// c\n/* block\n*/ x").unwrap();
         assert_eq!(toks.len(), 1);
         assert_eq!(toks[0].loc, cundef_ub::SourceLoc::new(3, 4));
     }
 
     #[test]
+    fn identifiers_intern_to_the_same_symbol() {
+        let mut interner = Interner::new();
+        let toks = lex("abc xyz abc", &mut interner).unwrap();
+        assert_eq!(toks[0].tok, toks[2].tok);
+        assert_ne!(toks[0].tok, toks[1].tok);
+        let Tok::Ident(sym) = toks[0].tok else {
+            panic!("expected identifier");
+        };
+        assert_eq!(interner.resolve(sym), "abc");
+    }
+
+    #[test]
+    fn keywords_intern_to_their_fixed_symbols() {
+        let toks = lex1("while free").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident(crate::intern::kw::WHILE));
+        assert_eq!(toks[1].tok, Tok::Ident(crate::intern::kw::FREE));
+    }
+
+    #[test]
     fn hex_constants() {
-        let toks = lex("0x10").unwrap();
+        let toks = lex1("0x10").unwrap();
         assert_eq!(toks[0].tok, Tok::Int(16));
     }
 
     #[test]
     fn octal_constants() {
-        let toks = lex("010").unwrap();
+        let toks = lex1("010").unwrap();
         assert_eq!(toks[0].tok, Tok::Int(8));
-        let toks = lex("0").unwrap();
+        let toks = lex1("0").unwrap();
         assert_eq!(toks[0].tok, Tok::Int(0));
         // `09` is not a valid octal constant (§6.4.4.1) and must fail
         // loudly instead of being reinterpreted as decimal.
-        assert!(lex("09").is_err());
+        assert!(lex1("09").is_err());
     }
 
     #[test]
     fn out_of_range_constant_is_rejected() {
-        assert!(lex("2147483648").is_err());
-        assert!(lex("2147483647").is_ok());
+        assert!(lex1("2147483648").is_err());
+        assert!(lex1("2147483647").is_ok());
     }
 
     #[test]
     fn unknown_character_is_reported_with_position() {
-        let err = lex("x @").unwrap_err();
+        let err = lex1("x @").unwrap_err();
         assert_eq!(err.loc, cundef_ub::SourceLoc::new(1, 3));
     }
 }

@@ -5,9 +5,14 @@
 //! [`cundef_ub`] names and classifies undefined behaviors, this crate
 //! *detects* them by actually running programs. It contains:
 //!
+//! - [`intern`] — identifier interning ([`Symbol`]s instead of strings);
 //! - [`lexer`] — tokenizer for the supported C subset;
-//! - [`ast`] — the abstract syntax (expressions, statements, functions);
+//! - [`ast`] — the abstract syntax, arena-allocated (`ExprId`/`StmtId`
+//!   indices instead of boxed nodes);
 //! - [`parser`] — recursive-descent parser producing the AST;
+//! - [`resolve`] — the resolution pass that binds every variable
+//!   reference to a frame-relative slot, so execution never scans scope
+//!   name lists;
 //! - [`eval`] — an evaluator that tracks sequencing footprints, object
 //!   lifetimes, initialization state, and value ranges, and stops with a
 //!   [`cundef_ub::UbError`] the moment an execution would "get stuck" on
@@ -37,10 +42,13 @@
 
 pub mod ast;
 pub mod eval;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
+pub mod resolve;
 
 pub use eval::{Interp, Limits, Outcome, Pointer, Value};
+pub use intern::{Interner, Symbol};
 pub use parser::ParseError;
 
 /// Parse and execute a translation unit, starting from `main`.

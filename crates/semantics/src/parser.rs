@@ -5,10 +5,19 @@
 //! operands are siblings of which operators — matches the standard's.
 //! Anything outside the subset is a [`ParseError`], never a silent
 //! reinterpretation.
+//!
+//! The parser builds directly into the [`TranslationUnit`]'s arenas:
+//! every node push is an append to a flat `Vec`, identifiers are interned
+//! [`Symbol`]s, and keyword tests are integer compares against the
+//! pre-interned [`kw`] symbols. [`parse`] finishes by running the
+//! [`crate::resolve`] pass, so the unit it returns is always
+//! slot-resolved and ready to execute.
 
 use crate::ast::{
-    BinOp, Decl, Expr, ExprKind, Function, Param, Stmt, TranslationUnit, Ty, UnaryOp,
+    BinOp, Decl, Expr, ExprId, ExprKind, Function, Param, SlotId, Stmt, StmtId, TranslationUnit,
+    Ty, UnaryOp,
 };
+use crate::intern::{kw, Symbol};
 use crate::lexer::{lex, LexError, Tok, Token};
 use cundef_ub::SourceLoc;
 use std::fmt;
@@ -39,11 +48,8 @@ impl From<LexError> for ParseError {
     }
 }
 
-const KEYWORDS: &[&str] = &[
-    "int", "void", "if", "else", "while", "for", "return", "break", "continue", "goto",
-];
-
-/// Parse a whole translation unit (a sequence of function definitions).
+/// Parse a whole translation unit (a sequence of function definitions)
+/// and resolve every variable reference to a frame slot.
 ///
 /// # Examples
 ///
@@ -51,24 +57,28 @@ const KEYWORDS: &[&str] = &[
 /// use cundef_semantics::parser::parse;
 ///
 /// let unit = parse("int main(void) { return 0; }").unwrap();
-/// assert_eq!(unit.functions[0].name, "main");
+/// assert_eq!(unit.name_of(&unit.functions[0]), "main");
 ///
 /// let err = parse("int main(void) { goto l; }").unwrap_err();
 /// assert!(err.message.contains("goto"));
 /// ```
 pub fn parse(source: &str) -> Result<TranslationUnit, ParseError> {
-    let toks = lex(source)?;
-    let mut p = Parser { toks, pos: 0 };
     let mut unit = TranslationUnit::default();
+    let toks = lex(source, &mut unit.interner)?;
+    let mut p = Parser { toks, pos: 0, unit };
     while !p.at_end() {
-        unit.functions.push(p.function()?);
+        let f = p.function()?;
+        p.unit.functions.push(f);
     }
+    let mut unit = p.unit;
+    crate::resolve::resolve(&mut unit);
     Ok(unit)
 }
 
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    unit: TranslationUnit,
 }
 
 impl Parser {
@@ -76,8 +86,8 @@ impl Parser {
         self.pos >= self.toks.len()
     }
 
-    fn peek(&self) -> Option<&Token> {
-        self.toks.get(self.pos)
+    fn peek(&self) -> Option<Token> {
+        self.toks.get(self.pos).copied()
     }
 
     fn loc(&self) -> SourceLoc {
@@ -93,8 +103,12 @@ impl Parser {
         })
     }
 
+    fn mk(&mut self, kind: ExprKind, loc: SourceLoc) -> ExprId {
+        self.unit.push_expr(Expr { kind, loc })
+    }
+
     fn eat_punct(&mut self, p: &str) -> bool {
-        if matches!(self.peek(), Some(Token { tok: Tok::Punct(q), .. }) if *q == p) {
+        if matches!(self.peek(), Some(Token { tok: Tok::Punct(q), .. }) if q == p) {
             self.pos += 1;
             true
         } else {
@@ -111,7 +125,7 @@ impl Parser {
         }
     }
 
-    fn eat_keyword(&mut self, kw: &str) -> bool {
+    fn eat_keyword(&mut self, kw: Symbol) -> bool {
         if matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if s == kw) {
             self.pos += 1;
             true
@@ -120,18 +134,21 @@ impl Parser {
         }
     }
 
-    fn peek_keyword(&self, kw: &str) -> bool {
+    fn peek_keyword(&self, kw: Symbol) -> bool {
         matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if s == kw)
     }
 
-    fn ident(&mut self) -> Result<(String, SourceLoc), ParseError> {
-        match self.peek().cloned() {
+    fn ident(&mut self) -> Result<(Symbol, SourceLoc), ParseError> {
+        match self.peek() {
             Some(Token {
                 tok: Tok::Ident(s),
                 loc,
             }) => {
-                if KEYWORDS.contains(&s.as_str()) {
-                    return self.err(format!("unexpected keyword `{s}`"));
+                if s.is_keyword() {
+                    return self.err(format!(
+                        "unexpected keyword `{}`",
+                        self.unit.interner.resolve(s)
+                    ));
                 }
                 self.pos += 1;
                 Ok((s, loc))
@@ -151,14 +168,14 @@ impl Parser {
     }
 
     fn function(&mut self) -> Result<Function, ParseError> {
-        let returns_void = if self.eat_keyword("void") {
+        let returns_void = if self.eat_keyword(kw::VOID) {
             true
-        } else if self.eat_keyword("int") {
+        } else if self.eat_keyword(kw::INT) {
             false
         } else {
             // `goto` and other unsupported statements surface here with a
             // tailored message; anything else gets the generic one.
-            if self.peek_keyword("goto") {
+            if self.peek_keyword(kw::GOTO) {
                 return self.err("`goto` is outside the supported subset");
             }
             return self.err("expected `int` or `void` at start of function definition");
@@ -170,11 +187,11 @@ impl Parser {
         self.expect_punct("(")?;
         let mut params = Vec::new();
         if !self.eat_punct(")") {
-            if self.eat_keyword("void") {
+            if self.eat_keyword(kw::VOID) {
                 self.expect_punct(")")?;
             } else {
                 loop {
-                    if !self.eat_keyword("int") {
+                    if !self.eat_keyword(kw::INT) {
                         return self.err("expected `int` parameter type");
                     }
                     let ty = self.pointer_suffix(Ty::Int);
@@ -193,7 +210,8 @@ impl Parser {
             if self.at_end() {
                 return self.err("unterminated function body");
             }
-            body.push(self.stmt()?);
+            let s = self.block_item()?;
+            body.push(s);
         }
         Ok(Function {
             name,
@@ -201,6 +219,7 @@ impl Parser {
             returns_void,
             body,
             loc,
+            n_slots: 0, // filled by the resolver
         })
     }
 
@@ -258,15 +277,28 @@ impl Parser {
             init,
             array_init,
             loc,
+            slot: SlotId(u32::MAX),
+            const_size: false,
+            redeclaration: false,
         })
     }
 
     // ----- statements -----
 
-    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+    /// An item in block position (C11 §6.8.2): a declaration or a
+    /// statement.
+    fn block_item(&mut self) -> Result<StmtId, ParseError> {
+        if self.eat_keyword(kw::INT) {
+            let d = self.decl()?;
+            return Ok(self.unit.push_stmt(Stmt::Decl(d)));
+        }
+        self.stmt()
+    }
+
+    fn stmt(&mut self) -> Result<StmtId, ParseError> {
         let loc = self.loc();
         if self.eat_punct(";") {
-            return Ok(Stmt::Empty(loc));
+            return Ok(self.unit.push_stmt(Stmt::Empty(loc)));
         }
         if self.eat_punct("{") {
             let mut body = Vec::new();
@@ -274,41 +306,47 @@ impl Parser {
                 if self.at_end() {
                     return self.err("unterminated block");
                 }
-                body.push(self.stmt()?);
+                let s = self.block_item()?;
+                body.push(s);
             }
-            return Ok(Stmt::Block(body, loc));
+            return Ok(self.unit.push_stmt(Stmt::Block(body, loc)));
         }
-        if self.eat_keyword("int") {
-            return Ok(Stmt::Decl(self.decl()?));
+        if self.peek_keyword(kw::INT) {
+            // In C11's grammar a declaration is not a statement: it can
+            // appear in a block (§6.8.2) or a `for` init clause (§6.8.5),
+            // but not as the lone body of `if`/`while`/`for`/`else`.
+            return self.err("a declaration needs a surrounding block here");
         }
-        if self.eat_keyword("if") {
+        if self.eat_keyword(kw::IF) {
             self.expect_punct("(")?;
             let cond = self.expr()?;
             self.expect_punct(")")?;
-            let then = Box::new(self.stmt()?);
-            let els = if self.eat_keyword("else") {
-                Some(Box::new(self.stmt()?))
+            let then = self.stmt()?;
+            let els = if self.eat_keyword(kw::ELSE) {
+                Some(self.stmt()?)
             } else {
                 None
             };
-            return Ok(Stmt::If(cond, then, els));
+            return Ok(self.unit.push_stmt(Stmt::If(cond, then, els)));
         }
-        if self.eat_keyword("while") {
+        if self.eat_keyword(kw::WHILE) {
             self.expect_punct("(")?;
             let cond = self.expr()?;
             self.expect_punct(")")?;
-            return Ok(Stmt::While(cond, Box::new(self.stmt()?)));
+            let body = self.stmt()?;
+            return Ok(self.unit.push_stmt(Stmt::While(cond, body)));
         }
-        if self.eat_keyword("for") {
+        if self.eat_keyword(kw::FOR) {
             self.expect_punct("(")?;
             let init = if self.eat_punct(";") {
                 None
-            } else if self.eat_keyword("int") {
-                Some(Box::new(Stmt::Decl(self.decl()?)))
+            } else if self.eat_keyword(kw::INT) {
+                let d = self.decl()?;
+                Some(self.unit.push_stmt(Stmt::Decl(d)))
             } else {
                 let e = self.expr()?;
                 self.expect_punct(";")?;
-                Some(Box::new(Stmt::Expr(e)))
+                Some(self.unit.push_stmt(Stmt::Expr(e)))
             };
             let cond = if self.eat_punct(";") {
                 None
@@ -324,35 +362,36 @@ impl Parser {
                 self.expect_punct(")")?;
                 Some(e)
             };
-            return Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)));
+            let body = self.stmt()?;
+            return Ok(self.unit.push_stmt(Stmt::For(init, cond, step, body)));
         }
-        if self.eat_keyword("return") {
+        if self.eat_keyword(kw::RETURN) {
             if self.eat_punct(";") {
-                return Ok(Stmt::Return(None, loc));
+                return Ok(self.unit.push_stmt(Stmt::Return(None, loc)));
             }
             let e = self.expr()?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Return(Some(e), loc));
+            return Ok(self.unit.push_stmt(Stmt::Return(Some(e), loc)));
         }
-        if self.eat_keyword("break") {
+        if self.eat_keyword(kw::BREAK) {
             self.expect_punct(";")?;
-            return Ok(Stmt::Break(loc));
+            return Ok(self.unit.push_stmt(Stmt::Break(loc)));
         }
-        if self.eat_keyword("continue") {
+        if self.eat_keyword(kw::CONTINUE) {
             self.expect_punct(";")?;
-            return Ok(Stmt::Continue(loc));
+            return Ok(self.unit.push_stmt(Stmt::Continue(loc)));
         }
-        if self.peek_keyword("goto") {
+        if self.peek_keyword(kw::GOTO) {
             return self.err("`goto` is outside the supported subset");
         }
         let e = self.expr()?;
         self.expect_punct(";")?;
-        Ok(Stmt::Expr(e))
+        Ok(self.unit.push_stmt(Stmt::Expr(e)))
     }
 
     // ----- expressions, by C11 precedence -----
 
-    fn expr(&mut self) -> Result<Expr, ParseError> {
+    fn expr(&mut self) -> Result<ExprId, ParseError> {
         let mut e = self.assignment()?;
         while matches!(
             self.peek(),
@@ -364,20 +403,17 @@ impl Parser {
             let loc = self.loc();
             self.pos += 1;
             let rhs = self.assignment()?;
-            e = Expr {
-                kind: ExprKind::Comma(Box::new(e), Box::new(rhs)),
-                loc,
-            };
+            e = self.mk(ExprKind::Comma(e, rhs), loc);
         }
         Ok(e)
     }
 
-    fn assignment(&mut self) -> Result<Expr, ParseError> {
+    fn assignment(&mut self) -> Result<ExprId, ParseError> {
         let lhs = self.conditional()?;
         let op = match self.peek() {
             Some(Token {
                 tok: Tok::Punct(p), ..
-            }) => match *p {
+            }) => match p {
                 "=" => Some(None),
                 "+=" => Some(Some(BinOp::Add)),
                 "-=" => Some(Some(BinOp::Sub)),
@@ -397,15 +433,12 @@ impl Parser {
             let loc = self.loc();
             self.pos += 1;
             let rhs = self.assignment()?;
-            return Ok(Expr {
-                kind: ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)),
-                loc,
-            });
+            return Ok(self.mk(ExprKind::Assign(lhs, op, rhs), loc));
         }
         Ok(lhs)
     }
 
-    fn conditional(&mut self) -> Result<Expr, ParseError> {
+    fn conditional(&mut self) -> Result<ExprId, ParseError> {
         let cond = self.binary(0)?;
         if matches!(
             self.peek(),
@@ -419,16 +452,13 @@ impl Parser {
             let then = self.expr()?;
             self.expect_punct(":")?;
             let els = self.conditional()?;
-            return Ok(Expr {
-                kind: ExprKind::Conditional(Box::new(cond), Box::new(then), Box::new(els)),
-                loc,
-            });
+            return Ok(self.mk(ExprKind::Conditional(cond, then, els), loc));
         }
         Ok(cond)
     }
 
     /// Binary operators by precedence level, lowest first.
-    fn binary(&mut self, level: usize) -> Result<Expr, ParseError> {
+    fn binary(&mut self, level: usize) -> Result<ExprId, ParseError> {
         const LEVELS: &[&[(&str, Option<BinOp>)]] = &[
             &[("||", None)],
             &[("&&", None)],
@@ -456,20 +486,16 @@ impl Parser {
         let mut lhs = self.binary(level + 1)?;
         'scan: loop {
             for (p, op) in LEVELS[level] {
-                if matches!(self.peek(), Some(Token { tok: Tok::Punct(q), .. }) if q == p) {
+                if matches!(self.peek(), Some(Token { tok: Tok::Punct(q), .. }) if q == *p) {
                     let loc = self.loc();
                     self.pos += 1;
                     let rhs = self.binary(level + 1)?;
-                    lhs = Expr {
-                        kind: match op {
-                            Some(op) => ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)),
-                            None if *p == "&&" => {
-                                ExprKind::LogicalAnd(Box::new(lhs), Box::new(rhs))
-                            }
-                            None => ExprKind::LogicalOr(Box::new(lhs), Box::new(rhs)),
-                        },
-                        loc,
+                    let kind = match op {
+                        Some(op) => ExprKind::Binary(*op, lhs, rhs),
+                        None if *p == "&&" => ExprKind::LogicalAnd(lhs, rhs),
+                        None => ExprKind::LogicalOr(lhs, rhs),
                     };
+                    lhs = self.mk(kind, loc);
                     continue 'scan;
                 }
             }
@@ -477,21 +503,15 @@ impl Parser {
         }
     }
 
-    fn unary(&mut self) -> Result<Expr, ParseError> {
+    fn unary(&mut self) -> Result<ExprId, ParseError> {
         let loc = self.loc();
         if self.eat_punct("++") {
             let e = self.unary()?;
-            return Ok(Expr {
-                kind: ExprKind::PreIncDec(Box::new(e), 1),
-                loc,
-            });
+            return Ok(self.mk(ExprKind::PreIncDec(e, 1), loc));
         }
         if self.eat_punct("--") {
             let e = self.unary()?;
-            return Ok(Expr {
-                kind: ExprKind::PreIncDec(Box::new(e), -1),
-                loc,
-            });
+            return Ok(self.mk(ExprKind::PreIncDec(e, -1), loc));
         }
         for (p, mk) in [
             ("-", Some(UnaryOp::Neg)),
@@ -502,52 +522,34 @@ impl Parser {
             if self.eat_punct(p) {
                 let e = self.unary()?;
                 return Ok(match mk {
-                    Some(op) => Expr {
-                        kind: ExprKind::Unary(op, Box::new(e)),
-                        loc,
-                    },
+                    Some(op) => self.mk(ExprKind::Unary(op, e), loc),
                     None => e, // unary plus only performs promotion
                 });
             }
         }
         if self.eat_punct("*") {
             let e = self.unary()?;
-            return Ok(Expr {
-                kind: ExprKind::Deref(Box::new(e)),
-                loc,
-            });
+            return Ok(self.mk(ExprKind::Deref(e), loc));
         }
         if self.eat_punct("&") {
             let e = self.unary()?;
-            return Ok(Expr {
-                kind: ExprKind::AddrOf(Box::new(e)),
-                loc,
-            });
+            return Ok(self.mk(ExprKind::AddrOf(e), loc));
         }
         self.postfix()
     }
 
-    fn postfix(&mut self) -> Result<Expr, ParseError> {
+    fn postfix(&mut self) -> Result<ExprId, ParseError> {
         let mut e = self.primary()?;
         loop {
             let loc = self.loc();
             if self.eat_punct("[") {
                 let idx = self.expr()?;
                 self.expect_punct("]")?;
-                e = Expr {
-                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
-                    loc,
-                };
+                e = self.mk(ExprKind::Index(e, idx), loc);
             } else if self.eat_punct("++") {
-                e = Expr {
-                    kind: ExprKind::PostIncDec(Box::new(e), 1),
-                    loc,
-                };
+                e = self.mk(ExprKind::PostIncDec(e, 1), loc);
             } else if self.eat_punct("--") {
-                e = Expr {
-                    kind: ExprKind::PostIncDec(Box::new(e), -1),
-                    loc,
-                };
+                e = self.mk(ExprKind::PostIncDec(e, -1), loc);
             } else if matches!(
                 self.peek(),
                 Some(Token {
@@ -555,10 +557,18 @@ impl Parser {
                     ..
                 })
             ) {
-                let name = match &e.kind {
-                    ExprKind::Ident(name) => name.clone(),
+                let callee = self.unit.expr(e);
+                let (name, name_loc) = match callee.kind {
+                    ExprKind::Ident(name) => (name, callee.loc),
                     _ => return self.err("only direct calls of named functions are supported"),
                 };
+                // The Call node carries the symbol itself; reclaim the
+                // callee's Ident node (it is the most recent push — no
+                // postfix operator intervened, or `e` wouldn't be an
+                // Ident) instead of leaking a dead arena slot per call.
+                if e.0 as usize == self.unit.exprs.len() - 1 {
+                    self.unit.exprs.pop();
+                }
                 self.pos += 1;
                 let mut args = Vec::new();
                 if !self.eat_punct(")") {
@@ -570,36 +580,30 @@ impl Parser {
                         self.expect_punct(",")?;
                     }
                 }
-                e = Expr {
-                    kind: ExprKind::Call(name, args),
-                    loc: e.loc,
-                };
+                e = self.mk(ExprKind::Call(name, args), name_loc);
             } else {
                 return Ok(e);
             }
         }
     }
 
-    fn primary(&mut self) -> Result<Expr, ParseError> {
+    fn primary(&mut self) -> Result<ExprId, ParseError> {
         let loc = self.loc();
-        match self.peek().cloned() {
+        match self.peek() {
             Some(Token {
                 tok: Tok::Int(v), ..
             }) => {
                 self.pos += 1;
-                Ok(Expr {
-                    kind: ExprKind::IntLit(v),
-                    loc,
-                })
+                Ok(self.mk(ExprKind::IntLit(v), loc))
             }
             Some(Token {
                 tok: Tok::Ident(s), ..
-            }) if !KEYWORDS.contains(&s.as_str()) => {
+            }) if s == kw::GOTO => self.err("`goto` is outside the supported subset"),
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) if !s.is_keyword() => {
                 self.pos += 1;
-                Ok(Expr {
-                    kind: ExprKind::Ident(s),
-                    loc,
-                })
+                Ok(self.mk(ExprKind::Ident(s), loc))
             }
             Some(Token {
                 tok: Tok::Punct("("),
@@ -610,10 +614,6 @@ impl Parser {
                 self.expect_punct(")")?;
                 Ok(e)
             }
-            Some(Token {
-                tok: Tok::Ident(ref s),
-                ..
-            }) if s == "goto" => self.err("`goto` is outside the supported subset"),
             _ => self.err("expected expression"),
         }
     }
@@ -624,38 +624,50 @@ mod tests {
     use super::*;
     use crate::ast::ExprKind as E;
 
-    fn expr_of(src: &str) -> Expr {
+    /// The top-level expression of `int main(void) {{ {src}; }}`.
+    fn unit_and_expr(src: &str) -> (TranslationUnit, ExprId) {
         let unit = parse(&format!("int main(void) {{ {src}; }}")).unwrap();
-        match &unit.functions[0].body[0] {
-            Stmt::Expr(e) => e.clone(),
+        let main = unit.function_named("main").unwrap();
+        match unit.stmt(main.body[0]) {
+            Stmt::Expr(e) => {
+                let e = *e;
+                (unit, e)
+            }
             s => panic!("expected expr stmt, got {s:?}"),
         }
     }
 
     #[test]
     fn precedence_mul_over_add() {
-        let e = expr_of("1 + 2 * 3");
-        match e.kind {
+        let (unit, e) = unit_and_expr("1 + 2 * 3");
+        match unit.expr(e).kind {
             E::Binary(BinOp::Add, _, rhs) => {
-                assert!(matches!(rhs.kind, E::Binary(BinOp::Mul, _, _)));
+                assert!(matches!(unit.expr(rhs).kind, E::Binary(BinOp::Mul, _, _)));
             }
-            k => panic!("unexpected {k:?}"),
+            ref k => panic!("unexpected {k:?}"),
         }
     }
 
     #[test]
     fn assignment_is_right_associative() {
-        let e = expr_of("a = b = 1");
-        match e.kind {
-            E::Assign(_, None, rhs) => assert!(matches!(rhs.kind, E::Assign(_, None, _))),
-            k => panic!("unexpected {k:?}"),
+        let (unit, e) = unit_and_expr("a = b = 1");
+        match unit.expr(e).kind {
+            E::Assign(_, None, rhs) => {
+                assert!(matches!(unit.expr(rhs).kind, E::Assign(_, None, _)));
+            }
+            ref k => panic!("unexpected {k:?}"),
         }
     }
 
     #[test]
     fn postfix_binds_tighter_than_prefix() {
-        let e = expr_of("*p++");
-        assert!(matches!(e.kind, E::Deref(ref inner) if matches!(inner.kind, E::PostIncDec(_, 1))));
+        let (unit, e) = unit_and_expr("*p++");
+        match unit.expr(e).kind {
+            E::Deref(inner) => {
+                assert!(matches!(unit.expr(inner).kind, E::PostIncDec(_, 1)));
+            }
+            ref k => panic!("unexpected {k:?}"),
+        }
     }
 
     #[test]
@@ -671,6 +683,7 @@ mod tests {
                 .unwrap();
         assert_eq!(unit.functions.len(), 2);
         assert_eq!(unit.functions[0].params.len(), 2);
+        assert_eq!(unit.name_of(&unit.functions[0]), "add");
     }
 
     #[test]
@@ -692,7 +705,39 @@ mod tests {
 
     #[test]
     fn comma_operator_parses_at_expression_level() {
-        let e = expr_of("(a = 1, a + 1)");
-        assert!(matches!(e.kind, E::Comma(_, _)));
+        let (unit, e) = unit_and_expr("(a = 1, a + 1)");
+        assert!(matches!(unit.expr(e).kind, E::Comma(_, _)));
+    }
+
+    #[test]
+    fn declarations_are_block_items_not_statements() {
+        // C11 §6.8.2/§6.8.5: a declaration may appear in a block or a
+        // `for` init clause, but not as the lone body of a control
+        // statement.
+        assert!(parse("int main(void) { for (int i = 0; i < 1; i++) { } return 0; }").is_ok());
+        for src in [
+            "int main(void) { if (1) int x = 1; return 0; }",
+            "int main(void) { while (0) int x = 1; return 0; }",
+            "int main(void) { for (;;) int x = 1; return 0; }",
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(
+                err.message.contains("declaration"),
+                "{src}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn call_nodes_intern_the_callee_name() {
+        let (unit, e) = unit_and_expr("f(1, 2)");
+        match &unit.expr(e).kind {
+            E::Call(name, args) => {
+                assert_eq!(unit.interner.resolve(*name), "f");
+                assert_eq!(args.len(), 2);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
     }
 }

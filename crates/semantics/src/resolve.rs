@@ -1,0 +1,351 @@
+//! Name resolution: binds every variable reference to a frame slot.
+//!
+//! This pass runs once, between parsing and evaluation, and turns the
+//! evaluator's name lookups into array indexing:
+//!
+//! - every parameter and declaration in a function is assigned a dense,
+//!   frame-relative [`SlotId`] (shadowing declarations get distinct
+//!   slots, so the same lexical name can refer to different slots at
+//!   different program points);
+//! - every [`ExprKind::Ident`] that is visible from a declaration is
+//!   rewritten to [`ExprKind::Slot`], keeping the original [`Symbol`] so
+//!   diagnostics still print the identifier as it was spelled;
+//! - identifiers with *no* visible declaration are left as `Ident` — the
+//!   evaluator reports them only if they are actually reached, exactly as
+//!   the pre-resolution engine did for dead code;
+//! - same-scope redeclarations are flagged on the [`Decl`] (reported
+//!   when executed, preserving lazy semantics), and array-size
+//!   constant-ness (§6.6:6) is precomputed for the static-vs-VLA
+//!   classification of non-positive sizes;
+//! - a `symbol -> function` table is built so call-target lookup is O(1).
+//!
+//! Scoping follows C11 §6.2.1: a declaration's scope begins at the end of
+//! its declarator — after its array size, before its initializer — so
+//! `int x = x;` binds the initializer's `x` to the *new* declaration, and
+//! a use of a name textually before its declaration in the same block
+//! binds to an outer declaration (or stays unresolved).
+
+use crate::ast::{Decl, ExprId, ExprKind, SlotId, Stmt, StmtId, TranslationUnit};
+use crate::intern::Symbol;
+use cundef_ub::SourceLoc;
+
+/// Resolve `unit` in place. Called by [`crate::parser::parse`]; a unit
+/// that came out of `parse` is always resolved.
+pub fn resolve(unit: &mut TranslationUnit) {
+    let mut func_by_symbol = vec![None; unit.interner.len()];
+    for (i, f) in unit.functions.iter().enumerate() {
+        // First definition wins, matching lookup order before this table
+        // existed.
+        let entry = &mut func_by_symbol[f.name.index()];
+        if entry.is_none() {
+            *entry = Some(i as u32);
+        }
+    }
+    unit.func_by_symbol = func_by_symbol;
+
+    for i in 0..unit.functions.len() {
+        let mut r = Resolver {
+            scopes: Vec::with_capacity(8),
+            next_slot: 0,
+        };
+        // Parameters share the function body's outermost block scope
+        // (C11 §6.2.1:4, §6.9.1:9), so a top-level body declaration of a
+        // parameter's name is a redeclaration, not a shadow.
+        r.scopes.push(Vec::new());
+        for p in &unit.functions[i].params {
+            let slot = r.fresh_slot();
+            r.scopes
+                .last_mut()
+                .expect("param scope")
+                .push((p.name, slot));
+        }
+        let body = std::mem::take(&mut unit.functions[i].body);
+        for &s in &body {
+            r.resolve_stmt(unit, s);
+        }
+        unit.functions[i].body = body;
+        unit.functions[i].n_slots = r.next_slot;
+    }
+}
+
+struct Resolver {
+    /// Innermost scope last; each scope maps names to slots.
+    scopes: Vec<Vec<(Symbol, SlotId)>>,
+    next_slot: u32,
+}
+
+impl Resolver {
+    fn fresh_slot(&mut self) -> SlotId {
+        let slot = SlotId(self.next_slot);
+        self.next_slot += 1;
+        slot
+    }
+
+    fn lookup(&self, name: Symbol) -> Option<SlotId> {
+        self.scopes.iter().rev().find_map(|scope| {
+            scope
+                .iter()
+                .rev()
+                .find(|(n, _)| *n == name)
+                .map(|(_, slot)| *slot)
+        })
+    }
+
+    fn in_current_scope(&self, name: Symbol) -> bool {
+        self.scopes
+            .last()
+            .expect("active scope")
+            .iter()
+            .any(|(n, _)| *n == name)
+    }
+
+    fn resolve_stmt(&mut self, unit: &mut TranslationUnit, s: StmtId) {
+        // Take the statement out of the arena so we can walk children
+        // through `unit` without aliasing; every path below puts it back.
+        let placeholder = Stmt::Empty(SourceLoc::default());
+        let mut stmt = std::mem::replace(&mut unit.stmts[s.0 as usize], placeholder);
+        match &mut stmt {
+            Stmt::Decl(d) => self.resolve_decl(unit, d),
+            Stmt::Expr(e) => self.resolve_expr(unit, *e),
+            Stmt::If(cond, then, els) => {
+                self.resolve_expr(unit, *cond);
+                let (then, els) = (*then, *els);
+                self.resolve_stmt(unit, then);
+                if let Some(els) = els {
+                    self.resolve_stmt(unit, els);
+                }
+            }
+            Stmt::While(cond, body) => {
+                self.resolve_expr(unit, *cond);
+                let body = *body;
+                self.resolve_stmt(unit, body);
+            }
+            Stmt::For(init, cond, step, body) => {
+                // The init declaration's scope is the whole loop (§6.8.5:5).
+                self.scopes.push(Vec::new());
+                let (init, cond, step, body) = (*init, *cond, *step, *body);
+                if let Some(init) = init {
+                    self.resolve_stmt(unit, init);
+                }
+                if let Some(cond) = cond {
+                    self.resolve_expr(unit, cond);
+                }
+                if let Some(step) = step {
+                    self.resolve_expr(unit, step);
+                }
+                self.resolve_stmt(unit, body);
+                self.scopes.pop();
+            }
+            Stmt::Return(e, _) => {
+                if let Some(e) = *e {
+                    self.resolve_expr(unit, e);
+                }
+            }
+            Stmt::Block(body, _) => {
+                self.scopes.push(Vec::new());
+                for &child in body.iter() {
+                    self.resolve_stmt(unit, child);
+                }
+                self.scopes.pop();
+            }
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty(_) => {}
+        }
+        unit.stmts[s.0 as usize] = stmt;
+    }
+
+    fn resolve_decl(&mut self, unit: &mut TranslationUnit, d: &mut Decl) {
+        // The declarator (including its array size) is resolved in the
+        // scope *outside* the new binding: `int n = 2; { int n[n]; }`
+        // sizes the array with the outer n (§6.2.1:7).
+        if let Some(size) = d.array_size {
+            self.resolve_expr(unit, size);
+            d.const_size = is_constant_expr(unit, size);
+        }
+        d.redeclaration = self.in_current_scope(d.name);
+        d.slot = self.fresh_slot();
+        self.scopes
+            .last_mut()
+            .expect("active scope")
+            .push((d.name, d.slot));
+        // The initializer sees the new binding: `int x = x;` reads the
+        // fresh, indeterminate x.
+        if let Some(init) = d.init {
+            self.resolve_expr(unit, init);
+        }
+        // `d` lives outside the arena while its statement is detached, so
+        // iterating it while resolving through `unit` does not alias.
+        if let Some(items) = &d.array_init {
+            for &item in items {
+                self.resolve_expr(unit, item);
+            }
+        }
+    }
+
+    fn resolve_expr(&mut self, unit: &mut TranslationUnit, e: ExprId) {
+        let kind = &unit.exprs[e.0 as usize].kind;
+        match *kind {
+            ExprKind::IntLit(_) => {}
+            ExprKind::Ident(sym) => {
+                if let Some(slot) = self.lookup(sym) {
+                    unit.exprs[e.0 as usize].kind = ExprKind::Slot(slot, sym);
+                }
+            }
+            // Already-resolved nodes only appear if resolve ran twice;
+            // re-resolving is a no-op either way.
+            ExprKind::Slot(_, _) => {}
+            ExprKind::Unary(_, a)
+            | ExprKind::Deref(a)
+            | ExprKind::AddrOf(a)
+            | ExprKind::PreIncDec(a, _)
+            | ExprKind::PostIncDec(a, _) => self.resolve_expr(unit, a),
+            ExprKind::Binary(_, a, b)
+            | ExprKind::LogicalAnd(a, b)
+            | ExprKind::LogicalOr(a, b)
+            | ExprKind::Assign(a, _, b)
+            | ExprKind::Index(a, b)
+            | ExprKind::Comma(a, b) => {
+                self.resolve_expr(unit, a);
+                self.resolve_expr(unit, b);
+            }
+            ExprKind::Conditional(c, t, f) => {
+                self.resolve_expr(unit, c);
+                self.resolve_expr(unit, t);
+                self.resolve_expr(unit, f);
+            }
+            ExprKind::Call(_, ref args) => {
+                let n = args.len();
+                for i in 0..n {
+                    let ExprKind::Call(_, args) = &unit.exprs[e.0 as usize].kind else {
+                        unreachable!("node kind cannot change under us");
+                    };
+                    let a = args[i];
+                    self.resolve_expr(unit, a);
+                }
+            }
+        }
+    }
+}
+
+/// Whether `e` is an integer constant expression (§6.6:6) within the
+/// subset: built only from constants and arithmetic on them.
+fn is_constant_expr(unit: &TranslationUnit, e: ExprId) -> bool {
+    match unit.expr(e).kind {
+        ExprKind::IntLit(_) => true,
+        ExprKind::Unary(_, a) => is_constant_expr(unit, a),
+        ExprKind::Binary(_, a, b) | ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
+            is_constant_expr(unit, a) && is_constant_expr(unit, b)
+        }
+        ExprKind::Conditional(c, t, f) => {
+            is_constant_expr(unit, c) && is_constant_expr(unit, t) && is_constant_expr(unit, f)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// All `(slot, spelling)` pairs for resolved identifier references in
+    /// `main`, in arena (roughly source) order.
+    fn slots_of(src: &str) -> Vec<(u32, String)> {
+        let unit = parse(src).unwrap();
+        unit.exprs
+            .iter()
+            .filter_map(|e| match e.kind {
+                ExprKind::Slot(slot, sym) => Some((slot.0, unit.interner.resolve(sym).to_string())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn params_and_locals_get_dense_slots() {
+        let unit = parse("int f(int a, int b) { int c = a + b; return c; }").unwrap();
+        assert_eq!(unit.functions[0].n_slots, 3);
+    }
+
+    #[test]
+    fn shadowing_gets_a_distinct_slot() {
+        let refs = slots_of("int main(void) { int x = 1; { int x = 2; x; } x; return 0; }");
+        // inner `x;` and outer `x;` reference different slots with the
+        // same spelling.
+        let inner = refs.iter().find(|(s, _)| *s == 1).expect("inner ref");
+        let outer = refs.iter().find(|(s, _)| *s == 0).expect("outer ref");
+        assert_eq!(inner.1, "x");
+        assert_eq!(outer.1, "x");
+    }
+
+    #[test]
+    fn use_before_declaration_binds_the_outer_name() {
+        // The `x` in `int y = x;` appears before the block's own `int x`,
+        // so it must bind to the outer declaration (slot 0), not the
+        // later one.
+        let unit =
+            parse("int main(void) { int x = 1; { int y = x; int x = 2; return y + x; } }").unwrap();
+        let refs: Vec<_> = unit
+            .exprs
+            .iter()
+            .filter_map(|e| match e.kind {
+                ExprKind::Slot(slot, sym) if unit.interner.resolve(sym) == "x" => Some(slot.0),
+                _ => None,
+            })
+            .collect();
+        // First x reference -> outer slot 0; the one in `return y + x`
+        // -> the block's own x.
+        assert_eq!(refs.first(), Some(&0));
+        assert!(refs.iter().any(|&s| s != 0));
+    }
+
+    #[test]
+    fn unresolved_identifiers_stay_ident() {
+        let unit = parse("int main(void) { if (0) { ghost; } return 0; }").unwrap();
+        assert!(unit
+            .exprs
+            .iter()
+            .any(|e| matches!(e.kind, ExprKind::Ident(s) if unit.interner.resolve(s) == "ghost")));
+    }
+
+    #[test]
+    fn same_scope_redeclaration_is_flagged_lazily() {
+        let unit = parse("int main(void) { int x = 1; int x = 2; return x; }").unwrap();
+        let redecls: Vec<_> = unit
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Decl(d) => Some(d.redeclaration),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(redecls, vec![false, true]);
+    }
+
+    #[test]
+    fn array_size_constness_is_precomputed() {
+        let unit =
+            parse("int main(void) { int n = 3; int a[2 + 2]; int b[n]; return 0; }").unwrap();
+        let consts: Vec<_> = unit
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Decl(d) if d.array_size.is_some() => Some(d.const_size),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consts, vec![true, false]);
+    }
+
+    #[test]
+    fn function_table_maps_names_to_first_definition() {
+        let unit = parse(
+            "int f(void) { return 1; } int g(void) { return 2; } int main(void) { return f(); }",
+        )
+        .unwrap();
+        let f = unit.interner.resolve(unit.functions[0].name);
+        assert_eq!(f, "f");
+        let sym = unit.functions[0].name;
+        assert_eq!(unit.func_by_symbol[sym.index()], Some(0));
+        assert!(unit.function(sym).is_some());
+    }
+}

@@ -1,0 +1,8 @@
+/* free() of a pointer that no allocation function returned
+ * (C11 7.22.3.3:2): here, the address of an automatic object. */
+int main(void) {
+    int x = 7;
+    int *p = &x;
+    free(p);
+    return x;
+}

@@ -1,0 +1,10 @@
+/* Calling a function with the wrong number of arguments (C11 6.5.2.2:6).
+ * Without a prototype in scope this is undefined, not a constraint
+ * violation — the callee reads parameters that were never passed. */
+int add(int a, int b) {
+    return a + b;
+}
+
+int main(void) {
+    return add(1);
+}

@@ -1,0 +1,9 @@
+/* A variable length array whose computed size is not positive
+ * (C11 6.7.6.2:5). The size is a runtime value, so only a dynamic
+ * semantics catches it — the static form (a constant size) is a
+ * different catalog entry. */
+int main(void) {
+    int n = 3 - 3;
+    int a[n];
+    return 0;
+}

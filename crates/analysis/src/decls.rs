@@ -1,0 +1,138 @@
+//! Translation-unit–level declaration and linkage rules.
+//!
+//! Everything here is decidable from the list of function definitions
+//! alone: the subset has no separate declarations, so every definition is
+//! also the prototype every other check sees.
+
+use cundef_semantics::ast::{Function, TranslationUnit};
+use cundef_ub::{UbError, UbKind};
+
+/// Run the declaration pass over a whole unit.
+pub fn check(unit: &TranslationUnit, findings: &mut Vec<UbError>) {
+    for (i, f) in unit.functions.iter().enumerate() {
+        let name = unit.name_of(f);
+
+        // §6.7.3:9 — a function type specified with type qualifiers.
+        if f.fn_quals.any() {
+            findings.push(
+                UbError::new(UbKind::QualifiedFunctionType)
+                    .at(f.loc)
+                    .in_function(name)
+                    .with_detail(format!("function type of `{name}` carries type qualifiers")),
+            );
+        }
+
+        // §5.1.2.2.1:1 — `main` must be defined as `int main(void)` (the
+        // `argc`/`argv` form is outside the subset, and nothing else is
+        // documented by this implementation).
+        if name == "main" {
+            if f.returns_void || f.ret_ptr > 0 {
+                findings.push(nonstandard_main(f, "`main` must return `int`"));
+            } else if !f.params.is_empty() {
+                findings.push(nonstandard_main(
+                    f,
+                    "only `int main(void)` is documented by this implementation",
+                ));
+            } else if f.is_static {
+                findings.push(nonstandard_main(f, "`main` declared `static`"));
+            }
+        }
+
+        // Redefinitions: compare against the first definition of the
+        // same name (the one the resolver's call table binds).
+        if let Some(first) = unit.functions[..i].iter().find(|g| g.name == f.name) {
+            let kind = if first.is_static != f.is_static {
+                // §6.2.2:7 — the identifier appears with both internal
+                // and external linkage in one translation unit.
+                UbKind::MixedLinkage
+            } else if !compatible_signatures(first, f) {
+                // §6.7.6.3:15 / §6.7:3 — incompatible redeclaration.
+                UbKind::IncompatibleRedeclaration
+            } else {
+                // §6.9:5 — more than one definition of the identifier.
+                UbKind::DuplicateExternalDefinition
+            };
+            findings.push(
+                UbError::new(kind)
+                    .at(f.loc)
+                    .in_function(name)
+                    .with_detail(format!(
+                        "`{name}` is already defined at line {}",
+                        first.loc.line
+                    )),
+            );
+        }
+    }
+}
+
+fn nonstandard_main(f: &Function, detail: &str) -> UbError {
+    UbError::new(UbKind::NonstandardMain)
+        .at(f.loc)
+        .in_function("main")
+        .with_detail(detail)
+}
+
+/// Whether two definitions of one name declare compatible function types
+/// (§6.7.6.3:15): same return shape, same parameter list.
+fn compatible_signatures(a: &Function, b: &Function) -> bool {
+    a.returns_void == b.returns_void
+        && a.ret_ptr == b.ret_ptr
+        && a.params.len() == b.params.len()
+        && a.params.iter().zip(&b.params).all(|(p, q)| p.ty == q.ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cundef_semantics::parser::parse;
+
+    fn kinds_of(src: &str) -> Vec<UbKind> {
+        let unit = parse(src).unwrap();
+        let mut findings = Vec::new();
+        check(&unit, &mut findings);
+        findings.iter().map(|e| e.kind()).collect()
+    }
+
+    #[test]
+    fn duplicate_definitions_are_flagged_by_flavor() {
+        assert_eq!(
+            kinds_of("int f(void) { return 1; } int f(void) { return 2; } int main(void) { return f(); }"),
+            vec![UbKind::DuplicateExternalDefinition]
+        );
+        assert_eq!(
+            kinds_of(
+                "int f(void) { return 1; } int f(int x) { return x; } int main(void) { return 0; }"
+            ),
+            vec![UbKind::IncompatibleRedeclaration]
+        );
+        assert_eq!(
+            kinds_of("static int f(void) { return 1; } int f(void) { return 2; } int main(void) { return 0; }"),
+            vec![UbKind::MixedLinkage]
+        );
+    }
+
+    #[test]
+    fn nonstandard_main_signatures() {
+        assert_eq!(
+            kinds_of("void main(void) { return; }"),
+            vec![UbKind::NonstandardMain]
+        );
+        assert_eq!(
+            kinds_of("int main(int x) { return x; }"),
+            vec![UbKind::NonstandardMain]
+        );
+        assert_eq!(
+            kinds_of("static int main(void) { return 0; }"),
+            vec![UbKind::NonstandardMain]
+        );
+        assert_eq!(kinds_of("int main(void) { return 0; }"), vec![]);
+    }
+
+    #[test]
+    fn qualified_function_types_are_flagged() {
+        assert_eq!(
+            kinds_of("int f(void) const { return 1; } int main(void) { return 0; }"),
+            vec![UbKind::QualifiedFunctionType]
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Translation-phase static semantic analysis: the *semantics of
+//! translation* half of "Defining the Undefinedness of C".
+//!
+//! Where `cundef-semantics` detects undefined behavior by *executing* a
+//! program until its semantics gets stuck, this crate checks the program
+//! text alone — the paper's §5.2.1 classifies 92 of C11's 221 undefined
+//! behaviors as detectable this way, and a real-world checker must police
+//! them before (or without) any run: headers, libraries, and dead code
+//! have no executions to observe.
+//!
+//! [`analyze`] walks the interned, slot-resolved AST produced by
+//! [`cundef_semantics::parser::parse`] — no re-parsing, no second symbol
+//! table — and runs four passes:
+//!
+//! - **`decls`** ([`decls`]) — translation-unit–level declaration rules:
+//!   duplicate and incompatible function definitions (§6.9:5, §6.7.6.3),
+//!   mixed internal/external linkage (§6.2.2:7), qualified function
+//!   types (§6.7.3:9), and nonstandard `main` signatures (§5.1.2.2.1);
+//! - **`types`** ([`types`]) — a C-subset type system over the expression
+//!   language: object types and qualifiers (`const` writes, `restrict`
+//!   placement, `void` objects), implicit-conversion legality at call
+//!   boundaries (arity and argument types against the visible
+//!   definition), uses of `void` values, and function designators
+//!   converted to object pointers;
+//! - **`labels`** ([`labels`]) — statement/label constraints: duplicate
+//!   labels, `goto` to nowhere, duplicate or non-constant `case` labels,
+//!   and jumps (`goto` or `switch` dispatch) into the scope of a
+//!   variably modified declaration (§6.8.6.1:1, §6.8.4.2:2);
+//! - **`constexpr`** — the constant-expression engine
+//!   ([`cundef_semantics::consteval`]) applied wherever §6.6 requires a
+//!   constant: array sizes and case labels. Undefined operations inside
+//!   them (`int a[1 << 40];`) surface with the same [`UbKind`] the
+//!   evaluator would raise, so constant-foldable instances of *dynamic*
+//!   defects are caught without running anything.
+//!
+//! Every finding is an ordinary [`cundef_ub::UbError`] and renders
+//! through the same kcc-style [`cundef_ub::Diagnostic`] machinery as the
+//! evaluator's reports. [`static_checks`] is the analyzer's half of the
+//! workspace detector registry; together with
+//! [`cundef_semantics::eval::detected_kinds`] it backs the catalog
+//! invariant that every `detected_by` link points at a checker that
+//! exists.
+
+#![deny(missing_docs)]
+
+pub mod decls;
+pub mod labels;
+pub mod types;
+
+use cundef_semantics::ast::TranslationUnit;
+use cundef_ub::{UbError, UbKind};
+
+/// Run every translation-phase pass over a resolved unit.
+///
+/// Returns all findings, ordered by source position (then by error code,
+/// so reports are deterministic when several defects share a line).
+///
+/// # Examples
+///
+/// ```
+/// use cundef_analysis::analyze;
+/// use cundef_semantics::parser::parse;
+/// use cundef_ub::UbKind;
+///
+/// // No `main`, never executed — and statically undefined anyway.
+/// let unit = parse("int helper(void) { int a[2 - 9]; return 0; }").unwrap();
+/// let findings = analyze(&unit);
+/// assert_eq!(findings[0].kind(), UbKind::ArraySizeNotPositive);
+///
+/// let unit = parse("int main(void) { return 0; }").unwrap();
+/// assert!(analyze(&unit).is_empty());
+/// ```
+pub fn analyze(unit: &TranslationUnit) -> Vec<UbError> {
+    let mut findings = Vec::new();
+    decls::check(unit, &mut findings);
+    for func in &unit.functions {
+        types::check(unit, func, &mut findings);
+        labels::check(unit, func, &mut findings);
+    }
+    findings.sort_by_key(|e| {
+        let loc = e.loc().unwrap_or_default();
+        (loc.line, loc.col, e.kind().code())
+    });
+    findings
+}
+
+/// The analyzer's detector registry: every [`UbKind`] a translation-phase
+/// pass can report, with the name of the pass that reports it.
+///
+/// Kinds with `Detectability::Static` appear only here; a handful of
+/// *dynamic* kinds also appear because their constant-foldable instances
+/// (`case 1 / 0:`, `int a[1 << 40];`) or prototype-visible instances
+/// (call arity/argument types) are decidable at translation time.
+pub fn static_checks() -> &'static [(UbKind, &'static str)] {
+    use UbKind::*;
+    &[
+        // declaration & linkage rules
+        (NonstandardMain, "decls"),
+        (MixedLinkage, "decls"),
+        (DuplicateExternalDefinition, "decls"),
+        (IncompatibleRedeclaration, "decls"),
+        (QualifiedFunctionType, "decls"),
+        // the type system (ReturnWithoutValue needs the statement walk,
+        // which lives in the types pass)
+        (ReturnWithoutValue, "types"),
+        (IncompleteTypeObject, "types"),
+        (RestrictNonPointer, "types"),
+        (VoidValueUsed, "types"),
+        (VoidDereference, "types"),
+        (FunctionObjectPointerCast, "types"),
+        (CallWrongType, "types"),
+        (CallWrongArity, "types"),
+        (WriteToConst, "types"),
+        // label & switch constraints
+        (DuplicateLabel, "labels"),
+        (UndeclaredLabel, "labels"),
+        (DuplicateCaseLabel, "labels"),
+        (NonConstantCaseLabel, "labels"),
+        (JumpIntoVlaScope, "labels"),
+        // the constant-expression engine
+        (ArraySizeNotPositive, "constexpr"),
+        (DivisionByZero, "constexpr"),
+        (ModuloByZero, "constexpr"),
+        (DivisionOverflow, "constexpr"),
+        (SignedOverflow, "constexpr"),
+        (ShiftByNegative, "constexpr"),
+        (ShiftTooFar, "constexpr"),
+        (ShiftOfNegative, "constexpr"),
+        (ShiftOverflow, "constexpr"),
+    ]
+}
+
+/// The pass that reports `kind`, if the analyzer covers it.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_analysis::pass_for;
+/// use cundef_ub::UbKind;
+///
+/// assert_eq!(pass_for(UbKind::DuplicateCaseLabel), Some("labels"));
+/// assert_eq!(pass_for(UbKind::DoubleFree), None); // evaluator territory
+/// ```
+pub fn pass_for(kind: UbKind) -> Option<&'static str> {
+    static_checks()
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(_, pass)| *pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cundef_semantics::parser::parse;
+
+    fn kinds_of(src: &str) -> Vec<UbKind> {
+        analyze(&parse(src).unwrap())
+            .iter()
+            .map(|e| e.kind())
+            .collect()
+    }
+
+    #[test]
+    fn clean_programs_produce_no_findings() {
+        for src in [
+            "int main(void) { return 0; }",
+            "int add(int a, int b) { return a + b; } int main(void) { return add(1, 2); }",
+            "int main(void) { const int x = 3; int a[2 + 2]; return x + a[0] * 0; }",
+            "int main(void) { int n = 3; int a[n]; return 0; }", // VLA: dynamic territory
+            "void quiet(void) { return; } int main(void) { quiet(); return 0; }",
+            "int main(void) { int x = 1; switch (x) { case 1: x = 2; break; default: x = 3; } return x; }",
+            "int main(void) { goto done; done: return 0; }",
+        ] {
+            assert_eq!(kinds_of(src), vec![], "{src}");
+        }
+    }
+
+    #[test]
+    fn findings_are_ordered_by_position() {
+        let src = "int main(void) {\n  void v;\n  int a[0];\n  return 0;\n}\n";
+        let findings = analyze(&parse(src).unwrap());
+        let kinds: Vec<UbKind> = findings.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![UbKind::IncompleteTypeObject, UbKind::ArraySizeNotPositive]
+        );
+        assert!(findings[0].loc().unwrap().line < findings[1].loc().unwrap().line);
+    }
+
+    #[test]
+    fn registry_is_duplicate_free_and_self_describing() {
+        let mut kinds: Vec<UbKind> = static_checks().iter().map(|(k, _)| *k).collect();
+        let n = kinds.len();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), n, "duplicate kind in static_checks()");
+        for (_, pass) in static_checks() {
+            assert!(matches!(*pass, "decls" | "types" | "labels" | "constexpr"));
+        }
+        // Spot-check that pass names track the reporting module.
+        assert_eq!(pass_for(UbKind::ReturnWithoutValue), Some("types"));
+        assert_eq!(pass_for(UbKind::NonstandardMain), Some("decls"));
+    }
+}

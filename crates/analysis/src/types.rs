@@ -1,0 +1,759 @@
+//! The type-checking pass: a real (if small) C type system over the
+//! subset's expression language.
+//!
+//! The walker mirrors the resolver's scope discipline exactly (§6.2.1:
+//! a declaration's scope opens after its declarator, parameters share
+//! the body's outermost block) and computes a value type for every
+//! expression bottom-up. It reports:
+//!
+//! - objects declared with an incomplete type (`void x;`, §6.7:7);
+//! - `restrict` on non-pointer types (§6.7.3:2);
+//! - same-scope redeclarations with incompatible types (§6.7:3);
+//! - assignments and `++`/`--` on objects defined `const` (§6.7.3:6 —
+//!   also caught dynamically, but here before any run);
+//! - uses of the (nonexistent) value of a `void` expression (§6.3.2.2:1);
+//! - dereferences of pointers to `void` (§6.3.2.1/6.5.3.2);
+//! - function designators converted to object values (§6.3.2.3);
+//! - calls whose arity or argument types contradict the visible
+//!   definition (§6.5.2.2) — every definition is a prototype in this
+//!   subset, so these are decidable at translation time;
+//! - `return;` in `main`, whose value the host always uses (§6.9.1:12);
+//! - constant array sizes that are not positive, or whose constant
+//!   expressions are themselves undefined (§6.7.6.2:1, §6.6:4).
+
+use cundef_semantics::ast::{
+    BinOp, Decl, ExprId, ExprKind, Function, SlotId, Stmt, StmtId, TranslationUnit, Ty,
+};
+use cundef_semantics::consteval::{const_eval, ConstStop};
+use cundef_semantics::intern::Symbol;
+use cundef_ub::{SourceLoc, UbError, UbKind};
+
+/// The analyzer's value types: what an expression would evaluate to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Type {
+    /// 32-bit `int`.
+    Int,
+    /// Pointer of the given depth; `void_base` marks `void` under the
+    /// stars (`void *` is `Ptr { depth: 1, void_base: true }`).
+    Ptr { depth: u8, void_base: bool },
+    /// The value of a `void` expression — using it is a finding.
+    Void,
+    /// Outside the analyzable fragment (undeclared names, dynamic
+    /// mixes); the checker stays silent rather than guessing.
+    Unknown,
+}
+
+/// What a frame slot was declared as.
+struct SlotInfo {
+    ty: Ty,
+    is_array: bool,
+    is_const: bool,
+}
+
+/// Run the type pass over one function.
+pub fn check(unit: &TranslationUnit, func: &Function, findings: &mut Vec<UbError>) {
+    let mut w = TypeWalker {
+        unit,
+        fname: unit.name_of(func),
+        is_main: unit.name_of(func) == "main" && !func.returns_void,
+        slots: (0..func.n_slots).map(|_| None).collect(),
+        scopes: vec![Vec::new()],
+        findings,
+    };
+    for (i, p) in func.params.iter().enumerate() {
+        w.slots[i] = Some(SlotInfo {
+            ty: p.ty.clone(),
+            is_array: false,
+            is_const: false,
+        });
+        w.scopes[0].push((p.name, SlotId::from_index(i)));
+    }
+    for &s in &func.body {
+        w.stmt(s);
+    }
+}
+
+struct TypeWalker<'a> {
+    unit: &'a TranslationUnit,
+    fname: &'a str,
+    is_main: bool,
+    slots: Vec<Option<SlotInfo>>,
+    /// Innermost scope last, mirroring the resolver: used to find the
+    /// *previous* declaration a redeclaration clashes with.
+    scopes: Vec<Vec<(Symbol, SlotId)>>,
+    findings: &'a mut Vec<UbError>,
+}
+
+impl<'a> TypeWalker<'a> {
+    fn report(&mut self, kind: UbKind, loc: SourceLoc, detail: String) {
+        self.findings.push(
+            UbError::new(kind)
+                .at(loc)
+                .in_function(self.fname)
+                .with_detail(detail),
+        );
+    }
+
+    fn name(&self, sym: Symbol) -> &'a str {
+        self.unit.interner.resolve(sym)
+    }
+
+    // ----- statements -----
+
+    fn stmt(&mut self, s: StmtId) {
+        match self.unit.stmt(s) {
+            Stmt::Decl(d) => self.decl(d),
+            Stmt::Expr(e) => {
+                // A full expression's value is discarded; `void` is fine.
+                self.ty_of(*e);
+            }
+            Stmt::If(c, then, els) => {
+                self.value(*c);
+                self.stmt(*then);
+                if let Some(els) = els {
+                    self.stmt(*els);
+                }
+            }
+            Stmt::While(c, body) => {
+                self.value(*c);
+                self.stmt(*body);
+            }
+            Stmt::For(init, cond, step, body) => {
+                self.scopes.push(Vec::new());
+                if let Some(init) = init {
+                    self.stmt(*init);
+                }
+                if let Some(cond) = cond {
+                    self.value(*cond);
+                }
+                if let Some(step) = step {
+                    self.ty_of(*step);
+                }
+                self.stmt(*body);
+                self.scopes.pop();
+            }
+            Stmt::Return(Some(e), _) => {
+                self.value(*e);
+            }
+            Stmt::Return(None, loc) => {
+                if self.is_main {
+                    // §6.9.1:12, static form: the host always uses
+                    // `main`'s value as the termination status.
+                    self.report(
+                        UbKind::ReturnWithoutValue,
+                        *loc,
+                        "`return;` in `main`, whose value the host uses as the termination status"
+                            .into(),
+                    );
+                }
+            }
+            Stmt::Block(items, _) => {
+                self.scopes.push(Vec::new());
+                for &item in items {
+                    self.stmt(item);
+                }
+                self.scopes.pop();
+            }
+            Stmt::Switch(c, body, _) => {
+                self.value(*c);
+                self.stmt(*body);
+            }
+            // Case expressions are constant-checked by the labels pass.
+            Stmt::Case(_, inner, _) | Stmt::Default(inner, _) | Stmt::Label(_, inner, _) => {
+                self.stmt(*inner)
+            }
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Goto(_, _) | Stmt::Empty(_) => {}
+        }
+    }
+
+    fn decl(&mut self, d: &Decl) {
+        let dname = self.name(d.name);
+
+        // §6.7:7 — an object's type must be complete by the end of its
+        // declarator; bare `void` never is.
+        if d.ty.ptr_depth() == 0 && *d.ty.base() == Ty::Void {
+            self.report(
+                UbKind::IncompleteTypeObject,
+                d.loc,
+                format!("object `{dname}` declared with incomplete type `void`"),
+            );
+        }
+
+        // §6.7.3:2 — restrict only qualifies pointer-to-object types.
+        if d.base_restrict || (d.quals.is_restrict && d.ty.ptr_depth() == 0) {
+            self.report(
+                UbKind::RestrictNonPointer,
+                d.loc,
+                format!("`restrict` qualifies the non-pointer type of `{dname}`"),
+            );
+        }
+
+        // The array size is resolved in the scope outside the binding.
+        if let Some(size) = d.array_size {
+            if d.const_size {
+                match const_eval(self.unit, size) {
+                    Ok(n) if n <= 0 => self.report(
+                        UbKind::ArraySizeNotPositive,
+                        d.loc,
+                        format!("array `{dname}` declared with size {n}"),
+                    ),
+                    Ok(_) => {}
+                    Err(ConstStop::Ub { kind, detail, loc }) => {
+                        // §6.6:4 — the constant expression itself is
+                        // undefined; report the arithmetic defect.
+                        self.report(
+                            kind,
+                            loc,
+                            format!("in the size of array `{dname}`: {detail}"),
+                        )
+                    }
+                    // `const_size` was precomputed by the resolver.
+                    Err(ConstStop::NotConst(_)) => {}
+                }
+            } else {
+                // A VLA size is an ordinary runtime expression.
+                self.value(size);
+            }
+        }
+
+        // §6.7:3 — a same-scope redeclaration with a different type. The
+        // resolver flagged the redeclaration; the previous binding is
+        // still the innermost-scope entry for the name.
+        if d.redeclaration {
+            let prev = self
+                .scopes
+                .last()
+                .and_then(|scope| scope.iter().rev().find(|(n, _)| *n == d.name))
+                .map(|(_, slot)| *slot);
+            if let Some(prev) = prev {
+                if let Some(info) = &self.slots[prev.index()] {
+                    if info.ty != d.ty || info.is_array != d.array_size.is_some() {
+                        self.report(
+                            UbKind::IncompatibleRedeclaration,
+                            d.loc,
+                            format!("`{dname}` redeclared with an incompatible type"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // The binding opens before the initializer (§6.2.1:7).
+        self.scopes
+            .last_mut()
+            .expect("active scope")
+            .push((d.name, d.slot));
+        self.slots[d.slot.index()] = Some(SlotInfo {
+            ty: d.ty.clone(),
+            is_array: d.array_size.is_some(),
+            is_const: d.quals.is_const,
+        });
+
+        if let Some(init) = d.init {
+            self.value(init);
+        }
+        if let Some(items) = &d.array_init {
+            for &item in items {
+                self.value(item);
+            }
+        }
+    }
+
+    // ----- expressions -----
+
+    /// Type of an expression whose *value* is consumed: a `void` result
+    /// is §6.3.2.2:1.
+    fn value(&mut self, e: ExprId) -> Type {
+        let t = self.ty_of(e);
+        if t == Type::Void {
+            let loc = self.unit.expr(e).loc;
+            self.report(
+                UbKind::VoidValueUsed,
+                loc,
+                "the value of a void expression is used".into(),
+            );
+            return Type::Unknown;
+        }
+        t
+    }
+
+    fn ty_of(&mut self, e: ExprId) -> Type {
+        let expr = self.unit.expr(e);
+        let loc = expr.loc;
+        match &expr.kind {
+            ExprKind::IntLit(_) => Type::Int,
+            ExprKind::Ident(sym) => {
+                // The resolver left this unbound: either undeclared
+                // (lazy, the evaluator's business) or a function
+                // designator leaking into value position — the subset
+                // has only object pointers for it to convert to.
+                if self.is_function(*sym) {
+                    let n = self.name(*sym);
+                    self.report(
+                        UbKind::FunctionObjectPointerCast,
+                        loc,
+                        format!("function designator `{n}` used as an object value"),
+                    );
+                }
+                Type::Unknown
+            }
+            ExprKind::Slot(slot, _) => self.slot_type(*slot),
+            ExprKind::Unary(_, a) => {
+                let t = self.value(*a);
+                if t == Type::Int {
+                    Type::Int
+                } else {
+                    Type::Unknown
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.value(*a);
+                let tb = self.value(*b);
+                binary_type(*op, ta, tb)
+            }
+            ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
+                self.value(*a);
+                self.value(*b);
+                Type::Int
+            }
+            ExprKind::Conditional(c, t, f) => {
+                self.value(*c);
+                let tt = self.ty_of(*t);
+                let tf = self.ty_of(*f);
+                if tt == tf {
+                    tt
+                } else {
+                    Type::Unknown
+                }
+            }
+            ExprKind::Assign(place, _, rhs) => {
+                let tp = self.place(*place, loc);
+                self.value(*rhs);
+                tp
+            }
+            ExprKind::PreIncDec(p, _) | ExprKind::PostIncDec(p, _) => self.place(*p, loc),
+            ExprKind::Deref(a) => {
+                let t = self.value(*a);
+                self.deref_type(t, loc)
+            }
+            ExprKind::AddrOf(a) => {
+                if let ExprKind::Ident(sym) = self.unit.expr(*a).kind {
+                    if self.is_function(sym) {
+                        let n = self.name(sym);
+                        self.report(
+                            UbKind::FunctionObjectPointerCast,
+                            loc,
+                            format!("`&{n}` converts a function pointer to an object pointer"),
+                        );
+                        return Type::Unknown;
+                    }
+                }
+                // `&array` has array-pointer type, outside the subset
+                // (the evaluator rejects it); stay agnostic here.
+                if let ExprKind::Slot(slot, _) = self.unit.expr(*a).kind {
+                    if self.slots[slot.index()]
+                        .as_ref()
+                        .is_some_and(|i| i.is_array)
+                    {
+                        return Type::Unknown;
+                    }
+                }
+                match self.ty_of(*a) {
+                    Type::Int => Type::Ptr {
+                        depth: 1,
+                        void_base: false,
+                    },
+                    Type::Ptr { depth, void_base } => Type::Ptr {
+                        depth: depth.saturating_add(1),
+                        void_base,
+                    },
+                    _ => Type::Unknown,
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let tb = self.value(*base);
+                self.value(*idx);
+                self.deref_type(tb, loc)
+            }
+            ExprKind::Call(sym, args) => self.call(*sym, args, loc),
+            ExprKind::Comma(a, b) => {
+                self.ty_of(*a);
+                self.ty_of(*b)
+            }
+        }
+    }
+
+    /// An lvalue being stored to: flags writes to `const`-defined
+    /// objects (§6.7.3:6) and types the place.
+    fn place(&mut self, e: ExprId, op_loc: SourceLoc) -> Type {
+        let expr = self.unit.expr(e);
+        match &expr.kind {
+            ExprKind::Slot(slot, sym) => {
+                if self.slots[slot.index()]
+                    .as_ref()
+                    .is_some_and(|i| i.is_const)
+                {
+                    let n = self.name(*sym);
+                    self.report(
+                        UbKind::WriteToConst,
+                        op_loc,
+                        format!("`{n}` is defined with a const-qualified type"),
+                    );
+                }
+                self.slot_type(*slot)
+            }
+            // `a[i] = …` on an array defined const.
+            ExprKind::Index(base, _) => {
+                if let ExprKind::Slot(slot, sym) = self.unit.expr(*base).kind {
+                    let info = self.slots[slot.index()].as_ref();
+                    if info.is_some_and(|i| i.is_const && i.is_array) {
+                        let n = self.name(sym);
+                        self.report(
+                            UbKind::WriteToConst,
+                            op_loc,
+                            format!("`{n}` is defined with a const-qualified type"),
+                        );
+                    }
+                }
+                self.ty_of(e)
+            }
+            _ => self.ty_of(e),
+        }
+    }
+
+    fn call(&mut self, sym: Symbol, args: &[ExprId], loc: SourceLoc) -> Type {
+        let name = self.name(sym);
+        let target = self
+            .unit
+            .func_by_symbol
+            .get(sym.index())
+            .copied()
+            .flatten()
+            .map(|i| &self.unit.functions[i as usize]);
+        let Some(func) = target else {
+            // `malloc`/`free` are modeled; anything else unknown is the
+            // evaluator's lazy CallNonFunction.
+            for &a in args {
+                self.value(a);
+            }
+            return match name {
+                "malloc" => Type::Ptr {
+                    depth: 1,
+                    void_base: false,
+                },
+                "free" => Type::Void,
+                _ => Type::Unknown,
+            };
+        };
+        // §6.5.2.2:2/:6 — every definition is a visible prototype here,
+        // so arity and argument types are translation-time questions.
+        if func.params.len() != args.len() {
+            self.report(
+                UbKind::CallWrongArity,
+                loc,
+                format!(
+                    "`{name}` takes {} argument(s), called with {}",
+                    func.params.len(),
+                    args.len()
+                ),
+            );
+        }
+        for (i, &a) in args.iter().enumerate() {
+            let ta = self.value(a);
+            let Some(param) = func.params.get(i) else {
+                continue;
+            };
+            let pt = type_of_ty(&param.ty);
+            if !arg_compatible(ta, pt, &self.unit.expr(a).kind) {
+                let pname = self.name(param.name);
+                self.report(
+                    UbKind::CallWrongType,
+                    loc,
+                    format!(
+                        "argument {} of `{name}` is incompatible with parameter `{pname}`",
+                        i + 1
+                    ),
+                );
+            }
+        }
+        if func.returns_void {
+            Type::Void
+        } else if func.ret_ptr > 0 {
+            Type::Ptr {
+                depth: func.ret_ptr,
+                void_base: false,
+            }
+        } else {
+            Type::Int
+        }
+    }
+
+    fn deref_type(&mut self, t: Type, loc: SourceLoc) -> Type {
+        match t {
+            Type::Ptr {
+                depth: 1,
+                void_base: true,
+            } => {
+                // §6.3.2.1 / catalog entry 45 — the pointed-to value of
+                // a `void *` cannot be used.
+                self.report(
+                    UbKind::VoidDereference,
+                    loc,
+                    "dereference of a pointer to void".into(),
+                );
+                Type::Unknown
+            }
+            Type::Ptr { depth: 1, .. } => Type::Int,
+            Type::Ptr { depth, void_base } => Type::Ptr {
+                depth: depth - 1,
+                void_base,
+            },
+            _ => Type::Unknown,
+        }
+    }
+
+    fn slot_type(&self, slot: SlotId) -> Type {
+        match &self.slots[slot.index()] {
+            Some(info) if info.is_array => Type::Ptr {
+                depth: info.ty.ptr_depth().saturating_add(1),
+                void_base: *info.ty.base() == Ty::Void,
+            },
+            Some(info) => type_of_ty(&info.ty),
+            None => Type::Unknown,
+        }
+    }
+
+    fn is_function(&self, sym: Symbol) -> bool {
+        self.unit
+            .func_by_symbol
+            .get(sym.index())
+            .copied()
+            .flatten()
+            .is_some()
+    }
+}
+
+fn type_of_ty(ty: &Ty) -> Type {
+    match ty {
+        Ty::Int => Type::Int,
+        Ty::Void => Type::Void,
+        Ty::Ptr(_) => Type::Ptr {
+            depth: ty.ptr_depth(),
+            void_base: *ty.base() == Ty::Void,
+        },
+    }
+}
+
+fn binary_type(op: BinOp, ta: Type, tb: Type) -> Type {
+    use BinOp::*;
+    match (ta, tb) {
+        (Type::Int, Type::Int) => Type::Int,
+        (p @ Type::Ptr { .. }, Type::Int) if matches!(op, Add | Sub) => p,
+        (Type::Int, p @ Type::Ptr { .. }) if op == Add => p,
+        // Subtraction and comparisons of pointers yield `int` here.
+        (Type::Ptr { .. }, Type::Ptr { .. }) => Type::Int,
+        _ => Type::Unknown,
+    }
+}
+
+/// Whether an argument of type `ta` may initialize a parameter of type
+/// `pt` (§6.5.2.2:2 via §6.5.16.1): identical types, any pointer for
+/// `void *` (either direction), or the null pointer constant `0`.
+fn arg_compatible(ta: Type, pt: Type, arg: &ExprKind) -> bool {
+    match (ta, pt) {
+        (Type::Unknown, _) | (_, Type::Unknown) => true,
+        (a, b) if a == b => true,
+        (Type::Int, Type::Ptr { .. }) => matches!(arg, ExprKind::IntLit(0)),
+        (
+            Type::Ptr { .. },
+            Type::Ptr {
+                depth: 1,
+                void_base: true,
+            },
+        ) => true,
+        (
+            Type::Ptr {
+                depth: 1,
+                void_base: true,
+            },
+            Type::Ptr { .. },
+        ) => true,
+        (Type::Ptr { depth: a, .. }, Type::Ptr { depth: b, .. }) => a == b,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cundef_semantics::parser::parse;
+
+    fn kinds_of(src: &str) -> Vec<UbKind> {
+        let unit = parse(src).unwrap();
+        let mut findings = Vec::new();
+        for f in &unit.functions {
+            check(&unit, f, &mut findings);
+        }
+        findings.iter().map(|e| e.kind()).collect()
+    }
+
+    #[test]
+    fn void_objects_and_restrict_placement() {
+        assert_eq!(
+            kinds_of("int main(void) { void v; return 0; }"),
+            vec![UbKind::IncompleteTypeObject]
+        );
+        assert_eq!(
+            kinds_of("int main(void) { restrict int x; return 0; }"),
+            vec![UbKind::RestrictNonPointer]
+        );
+        assert_eq!(
+            kinds_of("int main(void) { restrict int *p; return 0; }"),
+            vec![UbKind::RestrictNonPointer]
+        );
+        // …but restrict on the pointer itself is fine.
+        assert_eq!(
+            kinds_of("int main(void) { int * restrict p; return 0; }"),
+            vec![]
+        );
+        // `void *p` is a fine declaration; dereferencing it is not.
+        assert_eq!(kinds_of("int main(void) { void *p; return 0; }"), vec![]);
+    }
+
+    #[test]
+    fn void_values_and_void_deref() {
+        assert_eq!(
+            kinds_of("void f(void) { return; } int main(void) { int x = f(); return x; }"),
+            vec![UbKind::VoidValueUsed]
+        );
+        assert_eq!(
+            kinds_of("int main(void) { void *p; int x = *p; return x; }"),
+            vec![UbKind::VoidDereference]
+        );
+        // Discarding a void call is fine.
+        assert_eq!(
+            kinds_of("void f(void) { return; } int main(void) { f(); return 0; }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn incompatible_redeclarations_in_block_scope() {
+        assert_eq!(
+            kinds_of("int main(void) { int x = 0; int *x; return 0; }"),
+            vec![UbKind::IncompatibleRedeclaration]
+        );
+        assert_eq!(
+            kinds_of("int main(void) { int a[3]; int a; return 0; }"),
+            vec![UbKind::IncompatibleRedeclaration]
+        );
+        // Same-type redeclaration stays the evaluator's lazy verdict.
+        assert_eq!(
+            kinds_of("int main(void) { int x = 0; int x; return 0; }"),
+            vec![]
+        );
+        // Shadowing in an inner scope is not a redeclaration.
+        assert_eq!(
+            kinds_of("int main(void) { int x = 0; { int *x; } return 0; }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn const_writes_are_static_findings() {
+        assert_eq!(
+            kinds_of("int main(void) { const int x = 1; x = 2; return x; }"),
+            vec![UbKind::WriteToConst]
+        );
+        assert_eq!(
+            kinds_of("int main(void) { const int x = 1; x++; return x; }"),
+            vec![UbKind::WriteToConst]
+        );
+        assert_eq!(
+            kinds_of("int main(void) { const int a[2] = {1, 2}; a[0] = 3; return 0; }"),
+            vec![UbKind::WriteToConst]
+        );
+        // const pointer to mutable data: writes through it are fine.
+        assert_eq!(
+            kinds_of("int main(void) { int x = 1; int * const p = &x; *p = 2; return x; }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn call_arity_and_argument_types_against_the_definition() {
+        assert_eq!(
+            kinds_of("int add(int a, int b) { return a + b; } int main(void) { return add(1); }"),
+            vec![UbKind::CallWrongArity]
+        );
+        assert_eq!(
+            kinds_of(
+                "int deref(int *p) { return *p; } int main(void) { int x = 5; return deref(x); }"
+            ),
+            vec![UbKind::CallWrongType]
+        );
+        assert_eq!(
+            kinds_of(
+                "int f(int x) { return x; } int main(void) { int y = 0; int *p = &y; return f(p); }"
+            ),
+            vec![UbKind::CallWrongType]
+        );
+        // The null pointer constant converts to any pointer type.
+        assert_eq!(
+            kinds_of("int f(int *p) { return p == 0; } int main(void) { return f(0); }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn function_designators_do_not_convert_to_object_values() {
+        assert_eq!(
+            kinds_of("int f(void) { return 1; } int main(void) { int *p; p = f; return 0; }"),
+            vec![UbKind::FunctionObjectPointerCast]
+        );
+        assert_eq!(
+            kinds_of("int f(void) { return 1; } int main(void) { int *p = &f; return 0; }"),
+            vec![UbKind::FunctionObjectPointerCast]
+        );
+        // A local may shadow the function name.
+        assert_eq!(
+            kinds_of("int f(void) { return 1; } int main(void) { int f = 2; return f; }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn constant_array_sizes_fold_at_translation_time() {
+        assert_eq!(
+            kinds_of("int dead(void) { int a[1 - 4]; return 0; }"),
+            vec![UbKind::ArraySizeNotPositive]
+        );
+        assert_eq!(
+            kinds_of("int dead(void) { int a[1 << 40]; return 0; }"),
+            vec![UbKind::ShiftTooFar]
+        );
+        assert_eq!(
+            kinds_of("int dead(void) { int a[1 / 0]; return 0; }"),
+            vec![UbKind::DivisionByZero]
+        );
+        // VLAs stay dynamic.
+        assert_eq!(
+            kinds_of("int main(void) { int n = 0; int a[n]; return 0; }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn bare_return_in_main_is_static() {
+        assert_eq!(
+            kinds_of("int main(void) { return; }"),
+            vec![UbKind::ReturnWithoutValue]
+        );
+        // In other value-returning functions the caller may ignore the
+        // value, so the verdict stays dynamic.
+        assert_eq!(
+            kinds_of("int f(void) { return; } int main(void) { f(); return 0; }"),
+            vec![]
+        );
+    }
+}

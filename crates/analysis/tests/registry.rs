@@ -1,0 +1,122 @@
+//! The detector registry invariants: every `detected_by` link in the
+//! §5.2.1 catalog must point at a checker that actually exists — the
+//! translation-phase analyzer for static kinds, the evaluator for
+//! dynamic ones. This test lives in the analysis crate because it is the
+//! only place that can see both registries.
+
+use cundef_analysis::{pass_for, static_checks};
+use cundef_semantics::eval::detected_kinds;
+use cundef_ub::{catalog, Detectability, UbKind};
+use std::collections::BTreeSet;
+
+fn analyzer_kinds() -> BTreeSet<UbKind> {
+    static_checks().iter().map(|(k, _)| *k).collect()
+}
+
+fn evaluator_kinds() -> BTreeSet<UbKind> {
+    detected_kinds().iter().copied().collect()
+}
+
+#[test]
+fn every_link_points_at_an_existing_checker() {
+    let analyzer = analyzer_kinds();
+    let evaluator = evaluator_kinds();
+    for e in catalog() {
+        let Some(kind) = e.detected_by else { continue };
+        assert!(
+            analyzer.contains(&kind) || evaluator.contains(&kind),
+            "catalog entry {} ({}) links {kind:?}, which no checker implements",
+            e.id,
+            e.std_ref
+        );
+    }
+}
+
+#[test]
+fn static_entries_are_covered_at_translation_time() {
+    // A statically detectable entry must be caught without running the
+    // program: its kind needs a named analysis pass.
+    let analyzer = analyzer_kinds();
+    for e in catalog() {
+        let Some(kind) = e.detected_by else { continue };
+        if e.detect == Detectability::Static {
+            assert!(
+                analyzer.contains(&kind),
+                "static catalog entry {} links {kind:?}, which has no analysis pass",
+                e.id
+            );
+            assert!(pass_for(kind).is_some());
+        }
+    }
+}
+
+#[test]
+fn every_static_kind_with_a_catalog_link_names_its_pass() {
+    // The reverse direction: each Detectability::Static kind referenced
+    // from the catalog resolves to exactly one of the analyzer's passes.
+    for e in catalog() {
+        let Some(kind) = e.detected_by else { continue };
+        if kind.detectability() == Detectability::Static {
+            assert!(
+                pass_for(kind).is_some(),
+                "static kind {kind:?} (entry {}) is not in static_checks()",
+                e.id
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_links_resolve_to_the_evaluator_or_constant_folding() {
+    // Dynamic entries are the evaluator's job; a handful of dynamic
+    // kinds are also constant-foldable and registered by the analyzer,
+    // but that never substitutes for the evaluator on a kind the
+    // evaluator claims.
+    let evaluator = evaluator_kinds();
+    let analyzer = analyzer_kinds();
+    for e in catalog() {
+        let Some(kind) = e.detected_by else { continue };
+        if e.detect == Detectability::Dynamic {
+            assert!(
+                evaluator.contains(&kind) || analyzer.contains(&kind),
+                "dynamic catalog entry {} links {kind:?}, which neither phase detects",
+                e.id
+            );
+        }
+    }
+}
+
+#[test]
+fn registries_do_not_claim_unknown_kinds() {
+    // Both registries only name kinds that exist in the taxonomy (true
+    // by construction in Rust) and the analyzer's static claims line up
+    // with detectability: every Detectability::Static kind in the
+    // registry really is static.
+    for (kind, pass) in static_checks() {
+        if kind.detectability() == Detectability::Static {
+            assert!(!pass.is_empty(), "{kind:?} registered without a pass name");
+        } else {
+            // Dynamic kinds in the analyzer must also be known to the
+            // evaluator or be pure constant-folding/type-checking wins:
+            // either way the pass name documents where they surface.
+            assert!(
+                matches!(*pass, "constexpr" | "types"),
+                "dynamic kind {kind:?} registered under unexpected pass `{pass}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_counts_meet_the_acceptance_bar() {
+    let linked: Vec<_> = catalog()
+        .iter()
+        .filter(|e| e.detected_by.is_some())
+        .collect();
+    assert!(linked.len() >= 25, "only {} links", linked.len());
+    let static_covered = linked
+        .iter()
+        .filter(|e| e.detect == Detectability::Static)
+        .count();
+    assert!(static_covered >= 15, "only {static_covered} static links");
+}

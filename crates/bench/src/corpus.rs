@@ -119,6 +119,75 @@ pub fn standard() -> Vec<Program> {
     ]
 }
 
+/// A `switch` with `n` cases plus labels and gotos: stresses the
+/// analyzer's label pass (case constant-folding, duplicate detection)
+/// and the evaluator's dispatch scan. Free of violations.
+pub fn switch_heavy(n: u32) -> String {
+    let mut src = String::from(
+        "int main(void) {\n  int s = 0;\n  for (int i = 0; i < 64; i++) {\n    switch (i) {\n",
+    );
+    for k in 0..n {
+        src.push_str(&format!("      case {k}: s = (s + {k}) % 8191; break;\n"));
+    }
+    src.push_str("      default: s = s % 8191;\n    }\n  }\n  return s & 127;\n}\n");
+    src
+}
+
+/// `n` blocks, each declaring qualified objects, arrays with constant
+/// sizes, and *static violations* — incompatible redeclarations and
+/// writes to const — so the analyzer's type pass both walks and reports
+/// at scale. The program is statically doomed on purpose: it benchmarks
+/// the translation phase, never the evaluator.
+pub fn static_violations(n: u32) -> String {
+    let mut src = String::from("int scratch(void) {\n  int s = 0;\n");
+    for k in 0..n {
+        src.push_str(&format!(
+            "  {{\n    const int c{k} = {k};\n    int a{k}[4 + {k}];\n    \
+             int x{k} = c{k};\n    int *x{k};\n    s += a{k}[0] * 0 + x{k};\n  }}\n"
+        ));
+    }
+    src.push_str("  return s;\n}\n");
+    src
+}
+
+/// Deep expression trees over many call sites: stresses the analyzer's
+/// bottom-up typing and call checking. Free of violations.
+pub fn call_types(n: u32) -> String {
+    let mut src = String::from(
+        "int mix(int a, int b) { return (a + b) % 8191; }\n\
+         int pick(int *p, int i) { return p[i & 7]; }\n\
+         int main(void) {\n  int buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n  int s = 0;\n",
+    );
+    for k in 0..n {
+        src.push_str(&format!(
+            "  s = mix(s, pick(buf, {k}) + mix({k}, s % 63));\n"
+        ));
+    }
+    src.push_str("  return s & 127;\n}\n");
+    src
+}
+
+/// The analyzer-facing corpus for the `analyze/*` benchmark group:
+/// translation-phase throughput over clean and statically-violating
+/// programs. These are *not* run by the evaluator benchmarks —
+/// `static_violations` programs never execute at all.
+pub fn analysis() -> Vec<Program> {
+    vec![
+        Program {
+            name: "switch/n256".into(),
+            source: switch_heavy(256),
+        },
+        Program {
+            name: "violations/n200".into(),
+            source: static_violations(200),
+        },
+        Program {
+            name: "calltypes/n400".into(),
+            source: call_types(400),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +200,20 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
         assert!(names[0].starts_with("arith/"));
+    }
+
+    #[test]
+    fn analysis_corpus_names_are_unique() {
+        let mut names: Vec<_> = analysis().into_iter().map(|p| p.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn static_violation_generator_scales() {
+        assert!(static_violations(3).matches("const int").count() == 3);
+        assert!(switch_heavy(5).matches("case").count() == 5);
     }
 }

@@ -1,16 +1,32 @@
-//! `cundef` — a kcc-style dynamic undefined-behavior checker.
+//! `cundef` — a kcc-style undefined-behavior checker.
 //!
-//! Runs `.c` snippets (in the supported subset) through the
-//! `cundef-semantics` pipeline and renders any undefined behavior as a
-//! kcc-style report carrying the catalog code and C11 section reference.
+//! Runs `.c` snippets (in the supported subset) through a two-phase
+//! pipeline mirroring the paper's split between the *semantics of
+//! translation* and the *semantics of execution*:
+//!
+//! 1. **translation phase** — `cundef-analysis` checks the resolved AST
+//!    for statically detectable undefinedness (declaration/scope rules,
+//!    the type system, label/switch constraints, undefined constant
+//!    expressions). Files with no `main` — headers, libraries, code you
+//!    cannot run — are fully checkable here.
+//! 2. **execution phase** — the `cundef-semantics` evaluator runs the
+//!    program and gets stuck on dynamic undefinedness.
+//!
+//! `--phase translation|execution|all` selects the phases (default
+//! `all`). A file whose translation phase already found undefinedness is
+//! *not* executed: it is statically doomed, and running it would only
+//! duplicate or shadow the report.
 //!
 //! With `--batch`, many files are checked in parallel across worker
-//! threads. Each worker owns its own parser and evaluator (translation
-//! units share nothing — each carries its own interner and arenas), so
-//! the files partition cleanly and verdicts and output are identical to
-//! a sequential run, in input order.
+//! threads. Each worker owns its own parser, analyzer, and evaluator
+//! (translation units share nothing — each carries its own interner and
+//! arenas), so the files partition cleanly and verdicts and output are
+//! identical to a sequential run, in input order.
 
-use cundef_semantics::{check_translation_unit, Outcome};
+use cundef_analysis::analyze;
+use cundef_semantics::eval::{Interp, Limits, Outcome};
+use cundef_semantics::intern::kw;
+use cundef_semantics::parser;
 use cundef_ub::{catalog, catalog_counts, Detectability};
 use std::fmt::Write as _;
 use std::io::Write;
@@ -34,13 +50,17 @@ macro_rules! complain {
 }
 
 const USAGE: &str = "\
-cundef — dynamic undefined-behavior checker for C snippets
+cundef — undefined-behavior checker for C snippets
 (reproduction of `kcc` from \"Defining the Undefinedness of C\", PLDI 2015)
 
 USAGE:
     cundef [OPTIONS] <FILE>...
 
 OPTIONS:
+    --phase PHASE Which phase(s) to run: `translation` (static checks
+                  only — works on files with no `main`), `execution`
+                  (run the program), or `all` (default: translation
+                  first; a statically doomed file is not executed)
     --catalog     Print the paper's §5.2.1 catalog summary and exit
     --batch       Check the files in parallel across worker threads;
                   verdicts and output order are identical to a
@@ -52,15 +72,27 @@ OPTIONS:
     --version     Print version
 
 EXIT STATUS:
-    0  every file ran to completion with no undefined behavior
+    0  every file checked clean in the selected phases
     1  undefined behavior was detected in at least one file
     2  usage error, unreadable file, or input outside the subset";
+
+/// Which checking phases to run on each file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Static analysis only; nothing is executed.
+    Translation,
+    /// Execution only (the pre-analysis behavior).
+    Execution,
+    /// Translation first; execution only for files that pass it.
+    All,
+}
 
 fn main() -> ExitCode {
     let mut files = Vec::new();
     let mut quiet = false;
     let mut batch = false;
     let mut jobs: Option<usize> = None;
+    let mut phase = Phase::All;
     let mut no_more_options = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +102,17 @@ fn main() -> ExitCode {
         }
         match arg.as_str() {
             "--" => no_more_options = true,
+            "--phase" => match args.next().as_deref() {
+                Some("translation") => phase = Phase::Translation,
+                Some("execution") => phase = Phase::Execution,
+                Some("all") => phase = Phase::All,
+                _ => {
+                    complain!(
+                        "error: `--phase` needs `translation`, `execution`, or `all`\n\n{USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "-h" | "--help" => {
                 say!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -119,14 +162,14 @@ fn main() -> ExitCode {
         }
     };
     if batch {
-        for r in &check_batch(&files, quiet, jobs) {
+        for r in &check_batch(&files, quiet, jobs, phase) {
             emit(r);
         }
     } else {
         // Sequential mode streams: each verdict prints as its file
         // finishes, and nothing accumulates across files.
         for f in &files {
-            emit(&check_file(f, quiet));
+            emit(&check_file(f, quiet, phase));
         }
     }
     if any_undefined {
@@ -153,38 +196,97 @@ struct FileReport {
     stderr: String,
 }
 
-fn check_file(path: &str, quiet: bool) -> FileReport {
+fn check_file(path: &str, quiet: bool, phase: Phase) -> FileReport {
     let mut out = String::new();
     let mut err = String::new();
-    let verdict = match std::fs::read_to_string(path) {
+    let source = match std::fs::read_to_string(path) {
         Err(e) => {
             let _ = writeln!(err, "{path}: cannot read file: {e}");
+            return FileReport {
+                verdict: Verdict::EngineFailure,
+                stdout: out,
+                stderr: err,
+            };
+        }
+        Ok(source) => source,
+    };
+    let unit = match parser::parse(&source) {
+        Err(parse_err) => {
+            let _ = writeln!(err, "{path}: {parse_err}");
+            return FileReport {
+                verdict: Verdict::EngineFailure,
+                stdout: out,
+                stderr: err,
+            };
+        }
+        Ok(unit) => unit,
+    };
+
+    // Translation phase: static checks over the resolved AST. A file
+    // that fails here is statically doomed — running it would duplicate
+    // (or shadow) the report, so execution is skipped.
+    if phase != Phase::Execution {
+        let findings = analyze(&unit);
+        if !findings.is_empty() {
+            let _ = writeln!(out, "{path}:");
+            for finding in &findings {
+                let _ = write!(out, "{}", finding.to_diagnostic());
+            }
+            return FileReport {
+                verdict: Verdict::Undefined,
+                stdout: out,
+                stderr: err,
+            };
+        }
+        if phase == Phase::Translation {
+            if !quiet {
+                let _ = writeln!(out, "{path}: translation phase found no undefined behavior");
+            }
+            return FileReport {
+                verdict: Verdict::Defined,
+                stdout: out,
+                stderr: err,
+            };
+        }
+    }
+
+    // Execution phase. A unit with no `main` has nothing to execute —
+    // that is a note, not an error, so translation-only inputs (headers,
+    // libraries) pass through the default pipeline cleanly.
+    if unit.function(kw::MAIN).is_none() {
+        if !quiet {
+            let note = if phase == Phase::All {
+                "nothing to execute (no `main`); translation phase found no undefined behavior"
+            } else {
+                "nothing to execute (translation unit defines no `main`)"
+            };
+            let _ = writeln!(out, "{path}: {note}");
+        }
+        return FileReport {
+            verdict: Verdict::Defined,
+            stdout: out,
+            stderr: err,
+        };
+    }
+    let verdict = match Interp::new(&unit, Limits::default()).run_main() {
+        Outcome::Completed(exit) => {
+            if !quiet {
+                let _ = writeln!(
+                    out,
+                    "{path}: no undefined behavior detected (program returned {exit})"
+                );
+            }
+            Verdict::Defined
+        }
+        Outcome::Undefined(report) => {
+            let _ = writeln!(out, "{path}:");
+            let _ = write!(out, "{}", report.to_diagnostic());
+            Verdict::Undefined
+        }
+        Outcome::Unsupported { message, loc } => {
+            let _ = writeln!(err, "{path}: checker limitation at {loc}: {message}");
             Verdict::EngineFailure
         }
-        Ok(source) => match check_translation_unit(&source) {
-            Err(parse_err) => {
-                let _ = writeln!(err, "{path}: {parse_err}");
-                Verdict::EngineFailure
-            }
-            Ok(Outcome::Completed(exit)) => {
-                if !quiet {
-                    let _ = writeln!(
-                        out,
-                        "{path}: no undefined behavior detected (program returned {exit})"
-                    );
-                }
-                Verdict::Defined
-            }
-            Ok(Outcome::Undefined(report)) => {
-                let _ = writeln!(out, "{path}:");
-                let _ = write!(out, "{}", report.to_diagnostic());
-                Verdict::Undefined
-            }
-            Ok(Outcome::Unsupported { message, loc }) => {
-                let _ = writeln!(err, "{path}: checker limitation at {loc}: {message}");
-                Verdict::EngineFailure
-            }
-        },
     };
     FileReport {
         verdict,
@@ -194,9 +296,15 @@ fn check_file(path: &str, quiet: bool) -> FileReport {
 }
 
 /// Check `files` across worker threads. Work is handed out by an atomic
-/// cursor; every worker runs its own parser + evaluator, so nothing is
-/// shared but the results vector. Reports come back in input order.
-fn check_batch(files: &[String], quiet: bool, jobs: Option<usize>) -> Vec<FileReport> {
+/// cursor; every worker runs its own parser + analyzer + evaluator, so
+/// nothing is shared but the results vector. Reports come back in input
+/// order.
+fn check_batch(
+    files: &[String],
+    quiet: bool,
+    jobs: Option<usize>,
+    phase: Phase,
+) -> Vec<FileReport> {
     let workers = jobs
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -213,7 +321,7 @@ fn check_batch(files: &[String], quiet: bool, jobs: Option<usize>) -> Vec<FileRe
                 if i >= files.len() {
                     break;
                 }
-                let report = check_file(&files[i], quiet);
+                let report = check_file(&files[i], quiet, phase);
                 *slots[i].lock().expect("result slot poisoned") = Some(report);
             });
         }

@@ -46,6 +46,10 @@ fn detects_every_readme_family_across_examples() {
         ("examples/call_arity.c", "00050"),
         ("examples/vla_size.c", "00071"),
         ("examples/bad_free.c", "00040"),
+        ("examples/static_redecl.c", "00074"),
+        ("examples/case_dup.c", "00083"),
+        ("examples/neg_array_static.c", "00070"),
+        ("examples/void_object.c", "00082"),
     ];
     for (file, code) in cases {
         let out = cundef(&[file]);
@@ -139,6 +143,111 @@ fn batch_jobs_requires_a_positive_integer() {
     let out = cundef(&["--batch", "--jobs", "zero", "examples/defined.c"]);
     assert_eq!(out.status.code(), Some(2));
     let out = cundef(&["--batch", "--jobs", "0", "examples/defined.c"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The four translation-phase examples: file, expected static code, and
+/// the dynamic decoy code the evaluator would report if it ever ran.
+const STATIC_EXAMPLES: [(&str, &str, Option<&str>); 4] = [
+    ("examples/static_redecl.c", "00074", Some("00002")),
+    ("examples/case_dup.c", "00083", Some("00002")),
+    ("examples/neg_array_static.c", "00070", None), // no main at all
+    ("examples/void_object.c", "00082", Some("00002")),
+];
+
+#[test]
+fn static_examples_are_flagged_without_being_executed() {
+    for (file, code, decoy) in STATIC_EXAMPLES {
+        for mode in [
+            &["--phase", "translation", file][..],
+            &[file][..],
+            &["--batch", file][..],
+        ] {
+            let out = cundef(mode);
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert_eq!(
+                out.status.code(),
+                Some(1),
+                "{file} {mode:?} should be undefined\n{stdout}"
+            );
+            assert!(
+                stdout.contains(&format!("Error: {code}")),
+                "{file} {mode:?}: expected {code}:\n{stdout}"
+            );
+            // The decoy dynamic defect sits on an earlier line: seeing
+            // only the static code proves the evaluator never entered
+            // the program.
+            if let Some(decoy) = decoy {
+                assert!(
+                    !stdout.contains(&format!("Error: {decoy}")),
+                    "{file} {mode:?}: decoy {decoy} reported — the evaluator ran:\n{stdout}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn phase_execution_reaches_the_decoy_instead() {
+    // The same file, restricted to the execution phase, must hit the
+    // dynamic decoy — demonstrating the phases are genuinely different
+    // detectors over one program.
+    let out = cundef(&["--phase", "execution", "examples/static_redecl.c"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout.contains("Error: 00002"), "{stdout}");
+    assert!(!stdout.contains("Error: 00074"), "{stdout}");
+}
+
+#[test]
+fn phase_translation_passes_clean_and_dynamic_only_files() {
+    // defined.c is clean in both phases; division_by_zero.c is only
+    // dynamically undefined, so the translation phase alone passes it.
+    for file in ["examples/defined.c", "examples/division_by_zero.c"] {
+        let out = cundef(&["--phase", "translation", file]);
+        assert_eq!(out.status.code(), Some(0), "{file}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("translation phase found no undefined behavior"),
+            "{file}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn files_without_main_are_a_note_not_an_error() {
+    let path = std::env::temp_dir().join("cundef_header_lib.c");
+    std::fs::write(&path, "int helper(int x) { return x + 1; }\n").unwrap();
+    let path = path.to_str().unwrap();
+
+    // Default (phase-less) runs: translation-only checking works out of
+    // the box — exit 0 with a "nothing to execute" note.
+    let out = cundef(&[path]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("nothing to execute"), "{stdout}");
+
+    // Explicit phases agree.
+    for args in [
+        &["--phase", "translation", path][..],
+        &["--phase", "execution", path][..],
+        &["--batch", path][..],
+    ] {
+        let out = cundef(args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}");
+    }
+
+    // Quiet mode stays silent about it.
+    let out = cundef(&["-q", path]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn phase_option_rejects_unknown_values() {
+    let out = cundef(&["--phase", "bogus", "examples/defined.c"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = cundef(&["--phase"]);
     assert_eq!(out.status.code(), Some(2));
 }
 

@@ -2,8 +2,11 @@
 //!
 //! Run with `cargo bench -p cundef-semantics`. Each corpus program is
 //! measured twice: `parse/…` (lexer + parser + resolver only) and
-//! `check/…` (the full pipeline including evaluation). Results are
-//! written to `BENCH_eval.json` at the workspace root, together with the
+//! `check/…` (the full pipeline including evaluation); the
+//! analyzer-facing corpus is measured as `analyze/…` (the translation
+//! phase over a pre-parsed unit, the hot path of
+//! `cundef --phase translation` over a codebase). Results are written
+//! to `BENCH_eval.json` at the workspace root, together with the
 //! recorded pre-refactor baseline (`benches/baseline.json`) and the
 //! per-benchmark speedup, so the performance trajectory is tracked in
 //! the repository itself.
@@ -50,6 +53,27 @@ fn main() {
         });
         c.bench_function(&format!("check/{}", p.name), |b| {
             b.iter(|| check_translation_unit(black_box(&p.source)).expect("corpus parses"))
+        });
+    }
+
+    // Translation-phase throughput: the analyzer over pre-parsed units —
+    // the hot path of `cundef --phase translation` across a codebase.
+    // The standard corpus must stay analysis-clean (it is executed
+    // above); the analysis corpus includes statically-violating programs
+    // so reporting is measured too.
+    for p in &programs {
+        let unit = parser::parse(&p.source).expect("corpus parses");
+        assert!(
+            cundef_analysis::analyze(&unit).is_empty(),
+            "{}: evaluator corpus must be analysis-clean",
+            p.name
+        );
+    }
+    for p in &corpus::analysis() {
+        let unit = parser::parse(&p.source)
+            .unwrap_or_else(|e| panic!("{}: analysis corpus failed to parse: {e}", p.name));
+        c.bench_function(&format!("analyze/{}", p.name), |b| {
+            b.iter(|| cundef_analysis::analyze(black_box(&unit)))
         });
     }
 

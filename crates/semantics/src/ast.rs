@@ -23,18 +23,72 @@ pub struct ExprId(pub(crate) u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StmtId(pub(crate) u32);
 
-/// A type in the subset: `int`, or finitely-nested pointers to `int`.
+/// A type in the subset: `int`, `void`, or finitely-nested pointers.
 ///
 /// Arrays are not first-class types here; they exist only in declarations
 /// (see [`Decl::array_size`]) and decay to pointers everywhere else,
-/// mirroring C's usage. `void` appears only as a parameter-list marker and
-/// as a return type.
+/// mirroring C's usage. `void` is an incomplete type: it is legal behind a
+/// pointer (`void *p`) and as a return/parameter-list marker, and the
+/// translation-phase analyzer rejects objects declared with it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Ty {
     /// The 32-bit signed `int` type.
     Int,
+    /// The incomplete `void` type.
+    Void,
     /// A pointer to another type in the subset.
     Ptr(Box<Ty>),
+}
+
+impl Ty {
+    /// Pointer depth: 0 for `int`/`void`, 1 for `int *`, 2 for `int **`, …
+    pub fn ptr_depth(&self) -> u8 {
+        match self {
+            Ty::Int | Ty::Void => 0,
+            Ty::Ptr(inner) => 1 + inner.ptr_depth(),
+        }
+    }
+
+    /// The non-pointer type at the bottom of the pointer chain.
+    pub fn base(&self) -> &Ty {
+        match self {
+            Ty::Ptr(inner) => inner.base(),
+            other => other,
+        }
+    }
+}
+
+/// Type qualifiers attached to a declaration (C11 §6.7.3).
+///
+/// The evaluator is dynamically typed and ignores `volatile`; `const`
+/// participates in both the static checker (assignment to a
+/// `const`-qualified object) and the evaluator (writes through any lvalue
+/// to an object *defined* const, §6.7.3:6), and `restrict` is only
+/// meaningful on pointer types (§6.7.3:2 — the analyzer rejects the rest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Quals {
+    /// `const` appeared among the qualifiers.
+    pub is_const: bool,
+    /// `volatile` appeared among the qualifiers.
+    pub is_volatile: bool,
+    /// `restrict` appeared among the qualifiers.
+    pub is_restrict: bool,
+}
+
+impl Quals {
+    /// Whether any qualifier is present.
+    pub fn any(self) -> bool {
+        self.is_const || self.is_volatile || self.is_restrict
+    }
+
+    /// Union of two qualifier sets.
+    pub fn merge(self, other: Quals) -> Quals {
+        Quals {
+            is_const: self.is_const || other.is_const,
+            is_volatile: self.is_volatile || other.is_volatile,
+            is_restrict: self.is_restrict || other.is_restrict,
+        }
+    }
 }
 
 /// A unary operator (C11 §6.5.3).
@@ -149,6 +203,13 @@ impl SlotId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Build a slot id from a frame index. Parameters occupy slots
+    /// `0..n_params` in declaration order; external passes (like the
+    /// static analyzer) use this to mirror the resolver's layout.
+    pub fn from_index(i: usize) -> SlotId {
+        SlotId(u32::try_from(i).expect("fewer than 2^32 slots"))
+    }
 }
 
 /// One declaration: `int x;`, `int x = e;`, `int a[N];`, `int *p;`, …
@@ -164,6 +225,15 @@ pub struct Decl {
     pub init: Option<ExprId>,
     /// Brace-enclosed array initializer, if any.
     pub array_init: Option<Vec<ExprId>>,
+    /// Qualifiers on the declared object's (outermost) type: the last
+    /// `*`'s qualifiers for a pointer declarator, the base specifier's
+    /// otherwise. `int * const p` has a const *pointer*; `const int x`
+    /// has a const `int`.
+    pub quals: Quals,
+    /// `restrict` appeared qualifying the non-pointer base type of a
+    /// pointer declarator (`restrict int *p`) — always a violation of
+    /// §6.7.3:2, which only admits restrict on pointer-to-object types.
+    pub base_restrict: bool,
     /// Position of the declared identifier.
     pub loc: SourceLoc,
     /// Frame slot assigned by the resolution pass.
@@ -203,6 +273,22 @@ pub enum Stmt {
     /// lifetimes of the objects declared inside (§6.2.4:6). The location
     /// is the opening brace's.
     Block(Vec<StmtId>, SourceLoc),
+    /// `switch` statement (§6.8.4.2); the location is the keyword's.
+    Switch(ExprId, StmtId, SourceLoc),
+    /// `case e: stmt` label inside a `switch`; the expression must be an
+    /// integer constant expression (§6.8.4.2:3). The location is the
+    /// keyword's.
+    Case(ExprId, StmtId, SourceLoc),
+    /// `default: stmt` label inside a `switch`; the location is the
+    /// keyword's.
+    Default(StmtId, SourceLoc),
+    /// `name: stmt` — an ordinary label (§6.8.1); the location is the
+    /// label identifier's.
+    Label(Symbol, StmtId, SourceLoc),
+    /// `goto name;` (§6.8.6.1). Parsed and statically checked (label
+    /// existence, duplicate labels, jumps into variably-modified scope);
+    /// *executing* one is outside the modeled semantics.
+    Goto(Symbol, SourceLoc),
     /// The empty statement `;`; the location is the semicolon's.
     Empty(SourceLoc),
 }
@@ -225,6 +311,17 @@ pub struct Function {
     pub params: Vec<Param>,
     /// Whether the return type is `void`.
     pub returns_void: bool,
+    /// Pointer depth of the return type (`int *f(void)` has 1). Zero for
+    /// plain `int` and for `void`.
+    pub ret_ptr: u8,
+    /// Whether the definition carries the `static` storage-class
+    /// specifier (internal linkage, §6.2.2:3).
+    pub is_static: bool,
+    /// Qualifiers written *after* the parameter list (`int f(void)
+    /// const`). C's grammar has no place for them; accepting them lets
+    /// the analyzer diagnose the qualified function type (§6.7.3:9)
+    /// instead of bailing with a parse error.
+    pub fn_quals: Quals,
     /// Body statements.
     pub body: Vec<StmtId>,
     /// Position of the function name in its definition.
@@ -232,6 +329,12 @@ pub struct Function {
     /// Total number of frame slots (parameters + declarations), filled
     /// by the resolution pass.
     pub n_slots: u32,
+    /// Labels defined in the body (`name: …`), in source order, collected
+    /// by the resolution pass for the translation-phase analyzer.
+    pub labels: Vec<(Symbol, SourceLoc)>,
+    /// `goto` targets appearing in the body, in source order, collected
+    /// by the resolution pass for the translation-phase analyzer.
+    pub gotos: Vec<(Symbol, SourceLoc)>,
 }
 
 /// A parsed translation unit: a sequence of function definitions plus

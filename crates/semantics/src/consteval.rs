@@ -1,0 +1,313 @@
+//! Integer constant expressions (C11 §6.6), evaluated at translation
+//! time.
+//!
+//! Two layers live here:
+//!
+//! - [`int_arith`] / [`int_neg`] — the *shared arithmetic core*: 32-bit
+//!   `int` semantics with every undefined case (overflow, division by
+//!   zero, the four shift rules) reported as a `(UbKind, detail)` pair.
+//!   The evaluator uses it at run time and [`const_eval`] uses it at
+//!   translation time, so the two phases can never disagree about what
+//!   `1 << 40` means.
+//! - [`const_eval`] — the constant-expression engine: evaluates the
+//!   subset of expressions §6.6 admits (constants, arithmetic, `&&`/`||`
+//!   with their short circuits, `?:`). Anything else — identifiers,
+//!   assignments, calls, the comma operator (§6.6:3) — is
+//!   [`ConstStop::NotConst`]. An undefined operation *inside* a constant
+//!   expression violates §6.6:4 ("each constant expression shall
+//!   evaluate to a constant in the range of representable values") and
+//!   comes back as [`ConstStop::Ub`] carrying the same [`UbKind`] the
+//!   evaluator would have raised.
+//!
+//! This is what lets the translation-phase analyzer diagnose
+//! `int a[1 << 40];` or a division by zero in a `case` label in code
+//! that is never executed.
+
+use crate::ast::{BinOp, ExprId, ExprKind, TranslationUnit, UnaryOp};
+use cundef_ub::{SourceLoc, UbKind};
+
+const INT_MIN: i64 = i32::MIN as i64;
+const INT_MAX: i64 = i32::MAX as i64;
+const INT_WIDTH: i64 = 32;
+
+/// Why an expression has no translation-time value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstStop {
+    /// The expression is not an integer constant expression (it contains
+    /// an identifier, assignment, call, comma operator, …).
+    NotConst(SourceLoc),
+    /// The expression is constant but evaluating it is undefined
+    /// (§6.6:4): the same defect the evaluator would raise at run time.
+    Ub {
+        /// The category of undefined behavior.
+        kind: UbKind,
+        /// Rendered description of the offending operation.
+        detail: String,
+        /// Position of the offending operator.
+        loc: SourceLoc,
+    },
+}
+
+/// `-n` in 32-bit `int` arithmetic.
+pub fn int_neg(n: i64) -> Result<i64, (UbKind, String)> {
+    let r = -n;
+    if !(INT_MIN..=INT_MAX).contains(&r) {
+        return Err((
+            UbKind::SignedOverflow,
+            format!("-({n}) is not representable in int"),
+        ));
+    }
+    Ok(r)
+}
+
+/// `a <op> b` in 32-bit `int` arithmetic, with every undefined case
+/// reported: §6.5:5 (overflow), §6.5.5:5/:6 (division), §6.5.7:3/:4
+/// (shifts).
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::consteval::int_arith;
+/// use cundef_semantics::ast::BinOp;
+/// use cundef_ub::UbKind;
+///
+/// assert_eq!(int_arith(BinOp::Add, 2, 2), Ok(4));
+/// assert_eq!(int_arith(BinOp::Div, 1, 0).unwrap_err().0, UbKind::DivisionByZero);
+/// assert_eq!(int_arith(BinOp::Shl, 1, 40).unwrap_err().0, UbKind::ShiftTooFar);
+/// ```
+pub fn int_arith(op: BinOp, a: i64, b: i64) -> Result<i64, (UbKind, String)> {
+    use BinOp::*;
+    let wide = match op {
+        Add => a + b,
+        Sub => a - b,
+        Mul => a * b,
+        Div | Rem => {
+            if b == 0 {
+                let kind = if op == Div {
+                    UbKind::DivisionByZero
+                } else {
+                    UbKind::ModuloByZero
+                };
+                return Err((kind, format!("{a} {} 0", symbol(op))));
+            }
+            if a == INT_MIN && b == -1 {
+                return Err((
+                    UbKind::DivisionOverflow,
+                    format!("{a} {} -1 is not representable", symbol(op)),
+                ));
+            }
+            if op == Div {
+                a / b
+            } else {
+                a % b
+            }
+        }
+        Shl | Shr => {
+            if b < 0 {
+                return Err((
+                    UbKind::ShiftByNegative,
+                    format!("shift amount {b} is negative"),
+                ));
+            }
+            if b >= INT_WIDTH {
+                return Err((
+                    UbKind::ShiftTooFar,
+                    format!("shift amount {b} >= width {INT_WIDTH}"),
+                ));
+            }
+            if op == Shl {
+                if a < 0 {
+                    return Err((
+                        UbKind::ShiftOfNegative,
+                        format!("left shift of negative value {a}"),
+                    ));
+                }
+                let r = a << b;
+                if r > INT_MAX {
+                    return Err((
+                        UbKind::ShiftOverflow,
+                        format!("{a} << {b} is not representable in int"),
+                    ));
+                }
+                r
+            } else {
+                // Right shift of a negative value is implementation-
+                // defined, not undefined (§6.5.7:5); model arithmetic
+                // shift like every mainstream implementation.
+                a >> b
+            }
+        }
+        Lt => (a < b) as i64,
+        Le => (a <= b) as i64,
+        Gt => (a > b) as i64,
+        Ge => (a >= b) as i64,
+        Eq => (a == b) as i64,
+        Ne => (a != b) as i64,
+        BitAnd => ((a as i32) & (b as i32)) as i64,
+        BitXor => ((a as i32) ^ (b as i32)) as i64,
+        BitOr => ((a as i32) | (b as i32)) as i64,
+    };
+    if !(INT_MIN..=INT_MAX).contains(&wide) {
+        return Err((
+            UbKind::SignedOverflow,
+            format!("{a} {} {b} is not representable in int", symbol(op)),
+        ));
+    }
+    Ok(wide)
+}
+
+/// The spelling of a binary operator, for diagnostics.
+pub fn symbol(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Rem => "%",
+        Shl => "<<",
+        Shr => ">>",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        Eq => "==",
+        Ne => "!=",
+        BitAnd => "&",
+        BitXor => "^",
+        BitOr => "|",
+    }
+}
+
+/// Evaluate `e` as an integer constant expression (§6.6).
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::consteval::{const_eval, ConstStop};
+/// use cundef_semantics::parser::parse;
+/// use cundef_semantics::ast::{ExprKind, Stmt};
+///
+/// let unit = parse("int main(void) { int a[2 + 3]; return 0; }").unwrap();
+/// let size = unit.stmts.iter().find_map(|s| match s {
+///     Stmt::Decl(d) => d.array_size,
+///     _ => None,
+/// }).unwrap();
+/// assert_eq!(const_eval(&unit, size), Ok(5));
+/// ```
+pub fn const_eval(unit: &TranslationUnit, e: ExprId) -> Result<i64, ConstStop> {
+    let expr = unit.expr(e);
+    let loc = expr.loc;
+    let ub = |(kind, detail): (UbKind, String)| ConstStop::Ub { kind, detail, loc };
+    match &expr.kind {
+        ExprKind::IntLit(v) => Ok(*v),
+        ExprKind::Unary(op, inner) => {
+            let v = const_eval(unit, *inner)?;
+            match op {
+                UnaryOp::Neg => int_neg(v).map_err(ub),
+                UnaryOp::Not => Ok((v == 0) as i64),
+                UnaryOp::BitNot => Ok(!(v as i32) as i64),
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            let a = const_eval(unit, *l)?;
+            let b = const_eval(unit, *r)?;
+            int_arith(*op, a, b).map_err(ub)
+        }
+        ExprKind::LogicalAnd(l, r) => {
+            // The unevaluated operand of a short circuit is exempt from
+            // §6.6:4, mirroring run-time semantics (§6.5.13:4).
+            if const_eval(unit, *l)? == 0 {
+                return Ok(0);
+            }
+            Ok((const_eval(unit, *r)? != 0) as i64)
+        }
+        ExprKind::LogicalOr(l, r) => {
+            if const_eval(unit, *l)? != 0 {
+                return Ok(1);
+            }
+            Ok((const_eval(unit, *r)? != 0) as i64)
+        }
+        ExprKind::Conditional(c, t, f) => {
+            let cv = const_eval(unit, *c)?;
+            const_eval(unit, if cv != 0 { *t } else { *f })
+        }
+        // Everything else — identifiers, assignments, calls, the comma
+        // operator (explicitly banned by §6.6:3) — is not a constant
+        // expression.
+        _ => Err(ConstStop::NotConst(loc)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Stmt;
+    use crate::parser::parse;
+
+    /// Constant-evaluate the size expression of the first array
+    /// declaration in `main`.
+    fn eval_size(size_src: &str) -> Result<i64, ConstStop> {
+        let unit = parse(&format!(
+            "int main(void) {{ int a[{size_src}]; return 0; }}"
+        ))
+        .unwrap();
+        let size = unit
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Decl(d) => d.array_size,
+                _ => None,
+            })
+            .expect("array decl");
+        const_eval(&unit, size)
+    }
+
+    #[test]
+    fn arithmetic_and_logic_fold() {
+        assert_eq!(eval_size("2 + 3 * 4"), Ok(14));
+        assert_eq!(eval_size("1 ? 7 : 1 / 0"), Ok(7));
+        assert_eq!(eval_size("0 && 1 / 0"), Ok(0));
+        assert_eq!(eval_size("1 || 1 / 0"), Ok(1));
+        assert_eq!(eval_size("~0 + 2"), Ok(1));
+    }
+
+    #[test]
+    fn undefined_constant_operations_carry_their_kind() {
+        match eval_size("1 / 0") {
+            Err(ConstStop::Ub { kind, .. }) => assert_eq!(kind, UbKind::DivisionByZero),
+            other => panic!("unexpected {other:?}"),
+        }
+        match eval_size("1 << 40") {
+            Err(ConstStop::Ub { kind, .. }) => assert_eq!(kind, UbKind::ShiftTooFar),
+            other => panic!("unexpected {other:?}"),
+        }
+        match eval_size("2147483647 + 1") {
+            Err(ConstStop::Ub { kind, .. }) => assert_eq!(kind, UbKind::SignedOverflow),
+            other => panic!("unexpected {other:?}"),
+        }
+        match eval_size("-2147483647 - 1 - 1") {
+            Err(ConstStop::Ub { kind, .. }) => assert_eq!(kind, UbKind::SignedOverflow),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_constant_forms_are_not_const() {
+        let unit = parse("int main(void) { int n = 3; int a[n]; return 0; }").unwrap();
+        let size = unit
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Decl(d) => d.array_size,
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(
+            const_eval(&unit, size),
+            Err(ConstStop::NotConst(_))
+        ));
+        // The comma operator is banned from constant expressions (§6.6:3).
+        assert!(matches!(eval_size("(1, 2)"), Err(ConstStop::NotConst(_))));
+    }
+}

@@ -44,9 +44,53 @@
 //!   path).
 
 use crate::ast::{BinOp, Decl, ExprId, ExprKind, Stmt, StmtId, TranslationUnit, UnaryOp};
+use crate::consteval::{self, ConstStop};
 use crate::intern::{kw, Symbol};
 use cundef_ub::{SourceLoc, UbError, UbKind};
 use std::borrow::Cow;
+
+/// Every [`UbKind`] this evaluator can raise, in code order.
+///
+/// This is the evaluator's side of the workspace's detector registry: the
+/// catalog's `detected_by` links are checked (by the analysis crate's
+/// invariant tests) against this list and the static analyzer's, so a
+/// link can never point at a detector that does not exist. A unit test
+/// greps this file to keep the list honest in both directions.
+pub fn detected_kinds() -> &'static [UbKind] {
+    use UbKind::*;
+    &[
+        DivisionByZero,
+        ModuloByZero,
+        SignedOverflow,
+        DivisionOverflow,
+        ShiftByNegative,
+        ShiftTooFar,
+        ShiftOfNegative,
+        ShiftOverflow,
+        UnsequencedSideEffect,
+        NullDereference,
+        DeadObjectAccess,
+        OutOfBoundsRead,
+        OutOfBoundsWrite,
+        PointerArithmeticOutOfBounds,
+        PointerSubtractionDifferentObjects,
+        PointerCompareDifferentObjects,
+        ReadIndeterminate,
+        WriteToConst,
+        FreeNonHeapPointer,
+        FreeInteriorPointer,
+        DoubleFree,
+        CallWrongArity,
+        MissingReturnValueUsed,
+        CallNonFunction,
+        InvalidLibraryArgument,
+        ArraySizeNotPositive,
+        VlaSizeNotPositive,
+        VoidValueUsed,
+        ReturnWithoutValue,
+        NonConstantCaseLabel,
+    ]
+}
 
 /// Resource bounds for one execution, so that the checker terminates on
 /// looping inputs without claiming anything about them.
@@ -130,7 +174,6 @@ impl Outcome {
 
 const INT_MIN: i64 = i32::MIN as i64;
 const INT_MAX: i64 = i32::MAX as i64;
-const INT_WIDTH: i64 = 32;
 
 /// Sentinel in the slot stack for "declaration not yet executed".
 const SLOT_NONE: usize = usize::MAX;
@@ -222,6 +265,10 @@ struct Object {
     heap: bool,
     /// Whether this is an array object (its designator decays, §6.3.2.1:3).
     is_array: bool,
+    /// Whether the object was *defined* with a const-qualified type:
+    /// modifying it through any lvalue is UB (§6.7.3:6), not just through
+    /// the declared name.
+    is_const: bool,
     /// Display name for diagnostics.
     name: ObjName,
 }
@@ -265,6 +312,10 @@ pub struct Interp<'a> {
     fp: Vec<Access>,
     /// Shared argument-passing stack, so calls don't allocate a `Vec`.
     args: Vec<Value>,
+    /// Case-label values, folded once per label (§6.8.4.2:3 makes them
+    /// translation-time constants) so a switch inside a loop does not
+    /// re-walk its constant expressions on every dispatch.
+    case_values: std::collections::HashMap<u32, i64>,
     steps: u64,
 }
 
@@ -280,6 +331,7 @@ impl<'a> Interp<'a> {
             created: Vec::new(),
             fp: Vec::new(),
             args: Vec::new(),
+            case_values: std::collections::HashMap::new(),
             steps: 0,
         }
     }
@@ -403,6 +455,7 @@ impl<'a> Interp<'a> {
             alive: true,
             heap,
             is_array,
+            is_const: false,
             name,
         });
         if !heap {
@@ -481,6 +534,18 @@ impl<'a> Interp<'a> {
                     p.off,
                     self.object_name(p.obj),
                     len
+                ),
+            ));
+        }
+        if self.objects[p.obj].is_const {
+            // §6.7.3:6 — the object was *defined* const; the lvalue used
+            // for the store does not matter.
+            return Err(self.ub(
+                UbKind::WriteToConst,
+                loc,
+                format!(
+                    "write to `{}`, which is defined with a const-qualified type",
+                    self.object_name(p.obj)
                 ),
             ));
         }
@@ -620,17 +685,10 @@ impl<'a> Interp<'a> {
                 let v = self.eval(*inner)?;
                 let v = self.use_value(v, loc)?;
                 let out = match (op, v) {
-                    (UnaryOp::Neg, Value::Int(n)) => {
-                        let r = -n;
-                        if !(INT_MIN..=INT_MAX).contains(&r) {
-                            return Err(self.ub(
-                                UbKind::SignedOverflow,
-                                loc,
-                                format!("-({n}) is not representable in int"),
-                            ));
-                        }
-                        Value::Int(r)
-                    }
+                    (UnaryOp::Neg, Value::Int(n)) => match consteval::int_neg(n) {
+                        Ok(r) => Value::Int(r),
+                        Err((kind, detail)) => return Err(self.ub(kind, loc, detail)),
+                    },
                     (UnaryOp::Not, v) => {
                         let t = self.truthy(v, loc)?;
                         Value::Int(if t { 0 } else { 1 })
@@ -889,91 +947,14 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// `int` arithmetic, delegated to the shared core in
+    /// [`crate::consteval`] so the run-time and translation-time phases
+    /// agree on every undefined case.
     fn int_binop(&self, op: BinOp, a: i64, b: i64, loc: SourceLoc) -> EResult<Value> {
-        use BinOp::*;
-        let wide = match op {
-            Add => a + b,
-            Sub => a - b,
-            Mul => a * b,
-            Div | Rem => {
-                if b == 0 {
-                    let kind = if op == Div {
-                        UbKind::DivisionByZero
-                    } else {
-                        UbKind::ModuloByZero
-                    };
-                    return Err(self.ub(kind, loc, format!("{a} {} 0", symbol(op))));
-                }
-                if a == INT_MIN && b == -1 {
-                    return Err(self.ub(
-                        UbKind::DivisionOverflow,
-                        loc,
-                        format!("{a} {} -1 is not representable", symbol(op)),
-                    ));
-                }
-                if op == Div {
-                    a / b
-                } else {
-                    a % b
-                }
-            }
-            Shl | Shr => {
-                if b < 0 {
-                    return Err(self.ub(
-                        UbKind::ShiftByNegative,
-                        loc,
-                        format!("shift amount {b} is negative"),
-                    ));
-                }
-                if b >= INT_WIDTH {
-                    return Err(self.ub(
-                        UbKind::ShiftTooFar,
-                        loc,
-                        format!("shift amount {b} >= width {INT_WIDTH}"),
-                    ));
-                }
-                if op == Shl {
-                    if a < 0 {
-                        return Err(self.ub(
-                            UbKind::ShiftOfNegative,
-                            loc,
-                            format!("left shift of negative value {a}"),
-                        ));
-                    }
-                    let r = a << b;
-                    if r > INT_MAX {
-                        return Err(self.ub(
-                            UbKind::ShiftOverflow,
-                            loc,
-                            format!("{a} << {b} is not representable in int"),
-                        ));
-                    }
-                    r
-                } else {
-                    // Right shift of a negative value is implementation-
-                    // defined, not undefined (§6.5.7:5); model arithmetic
-                    // shift like every mainstream implementation.
-                    a >> b
-                }
-            }
-            Lt => (a < b) as i64,
-            Le => (a <= b) as i64,
-            Gt => (a > b) as i64,
-            Ge => (a >= b) as i64,
-            Eq => (a == b) as i64,
-            Ne => (a != b) as i64,
-            BitAnd => ((a as i32) & (b as i32)) as i64,
-            BitXor => ((a as i32) ^ (b as i32)) as i64,
-            BitOr => ((a as i32) | (b as i32)) as i64,
-        };
-        if !(INT_MIN..=INT_MAX).contains(&wide) {
-            return Err(self.ub(
-                UbKind::SignedOverflow,
-                loc,
-                format!("{a} {} {b} is not representable in int", symbol(op)),
-            ));
+        match consteval::int_arith(op, a, b) {
+            Ok(v) => Ok(Value::Int(v)),
+            Err((kind, detail)) => Err(self.ub(kind, loc, detail)),
         }
-        Ok(Value::Int(wide))
     }
 
     /// An array designator is not a modifiable lvalue (§6.3.2.1:1);
@@ -1293,6 +1274,11 @@ impl<'a> Interp<'a> {
             | Stmt::Break(loc)
             | Stmt::Continue(loc)
             | Stmt::Block(_, loc)
+            | Stmt::Switch(_, _, loc)
+            | Stmt::Case(_, _, loc)
+            | Stmt::Default(_, loc)
+            | Stmt::Label(_, _, loc)
+            | Stmt::Goto(_, loc)
             | Stmt::Empty(loc) => *loc,
         }
     }
@@ -1370,6 +1356,172 @@ impl<'a> Interp<'a> {
             Stmt::Break(_) => Ok(Flow::Break),
             Stmt::Continue(_) => Ok(Flow::Continue),
             Stmt::Block(body, _) => self.exec_block(body),
+            Stmt::Switch(cond, body, loc) => self.exec_switch(*cond, *body, *loc),
+            // Labels are transparent when reached sequentially; `switch`
+            // dispatch is the only place they select anything.
+            Stmt::Case(_, inner, _) | Stmt::Default(inner, _) | Stmt::Label(_, inner, _) => {
+                self.exec_stmt(*inner)
+            }
+            Stmt::Goto(target, loc) => Err(stop_unsupported(
+                format!(
+                    "executing `goto {}` is outside the modeled semantics \
+                     (translation-phase label checks still apply)",
+                    self.name(*target)
+                ),
+                *loc,
+            )),
+        }
+    }
+
+    /// Execute a `switch` statement (§6.8.4.2): evaluate the controlling
+    /// expression, select the matching `case` (or `default`) at the top
+    /// level of the body, and run from there with ordinary fallthrough;
+    /// `break` leaves the switch.
+    fn exec_switch(&mut self, cond: ExprId, body: StmtId, loc: SourceLoc) -> EResult<Flow> {
+        let unit = self.unit;
+        let v = self.eval_full(cond)?;
+        let v = self.as_int(v, unit.expr(cond).loc)?;
+        let Stmt::Block(items, _) = unit.stmt(body) else {
+            // `switch (e) case K: stmt;` — a single (possibly labeled)
+            // statement as the body.
+            return match self.select_in_chain(body, v)? {
+                Some(s) => match self.exec_stmt(s)? {
+                    Flow::Break => Ok(Flow::Normal),
+                    flow => Ok(flow),
+                },
+                None => Ok(Flow::Normal),
+            };
+        };
+        // Scan the top level of the body, descending through chains of
+        // labels (`case 1: case 2: stmt`), for the case matching `v`;
+        // remember the first `default:` as the fallback.
+        let mut target = None;
+        let mut default = None;
+        'scan: for (i, &s) in items.iter().enumerate() {
+            let mut cur = s;
+            loop {
+                match unit.stmt(cur) {
+                    Stmt::Case(e, inner, _) => {
+                        if self.case_value(*e)? == v {
+                            target = Some(i);
+                            break 'scan;
+                        }
+                        cur = *inner;
+                    }
+                    Stmt::Default(inner, _) => {
+                        if default.is_none() {
+                            default = Some(i);
+                        }
+                        cur = *inner;
+                    }
+                    Stmt::Label(_, inner, _) => cur = *inner,
+                    _ => break,
+                }
+            }
+        }
+        let start = match target {
+            Some(t) => t,
+            None => {
+                // No top-level case matched. A case hiding below the top
+                // level (Duff-style) could still match `v` — falling back
+                // to `default:` or skipping the body would be a *wrong
+                // verdict*, so the engine must stop instead.
+                if items.iter().any(|&s| self.hides_nested_case(s)) {
+                    return Err(stop_unsupported(
+                        "case labels below the top level of a switch body are \
+                         outside the modeled semantics",
+                        loc,
+                    ));
+                }
+                match default {
+                    Some(d) => d,
+                    // Control jumps past the body (§6.8.4.2:7).
+                    None => return Ok(Flow::Normal),
+                }
+            }
+        };
+        // Execute the tail of the body as a partial block: declarations
+        // jumped over never execute (their slots stay unbound), and the
+        // block's lifetimes end on exit as usual.
+        match self.exec_block(&items[start..])? {
+            Flow::Break => Ok(Flow::Normal),
+            flow => Ok(flow),
+        }
+    }
+
+    /// For a non-block `switch` body: walk the label chain wrapping the
+    /// single statement and decide whether `v` selects it.
+    fn select_in_chain(&mut self, s: StmtId, v: i64) -> EResult<Option<StmtId>> {
+        let unit = self.unit;
+        let mut cur = s;
+        let mut matched_case = false;
+        let mut saw_default = false;
+        loop {
+            match unit.stmt(cur) {
+                Stmt::Case(e, inner, _) => {
+                    matched_case = matched_case || self.case_value(*e)? == v;
+                    cur = *inner;
+                }
+                Stmt::Default(inner, _) => {
+                    saw_default = true;
+                    cur = *inner;
+                }
+                Stmt::Label(_, inner, _) => cur = *inner,
+                other => {
+                    if matched_case {
+                        return Ok(Some(cur));
+                    }
+                    // Without a matching chain case, a label nested
+                    // deeper could still be the real dispatch target —
+                    // stop rather than misjudge (even past a chain-level
+                    // `default:`, which nested cases would outrank).
+                    if stmt_contains_case(unit, other) {
+                        return Err(stop_unsupported(
+                            "case labels below the top level of a switch body are \
+                             outside the modeled semantics",
+                            Self::stmt_loc(unit, other),
+                        ));
+                    }
+                    return Ok(if saw_default { Some(cur) } else { None });
+                }
+            }
+        }
+    }
+
+    /// The translation-time value of a `case` label (§6.8.4.2:3),
+    /// folded once and memoized (error outcomes abort execution, so only
+    /// successful folds need caching).
+    fn case_value(&mut self, e: ExprId) -> EResult<i64> {
+        if let Some(&v) = self.case_values.get(&e.0) {
+            return Ok(v);
+        }
+        match consteval::const_eval(self.unit, e) {
+            Ok(v) => {
+                self.case_values.insert(e.0, v);
+                Ok(v)
+            }
+            Err(ConstStop::NotConst(loc)) => Err(self.ub(
+                UbKind::NonConstantCaseLabel,
+                loc,
+                "case label is not an integer constant expression",
+            )),
+            Err(ConstStop::Ub { kind, detail, loc }) => {
+                Err(self.ub(kind, loc, format!("in a case label: {detail}")))
+            }
+        }
+    }
+
+    /// Whether a top-level switch-body item hides `case`/`default` labels
+    /// below the label chain the dispatch scan walks.
+    fn hides_nested_case(&self, s: StmtId) -> bool {
+        let mut cur = s;
+        loop {
+            match self.unit.stmt(cur) {
+                Stmt::Case(_, inner, _) | Stmt::Default(inner, _) | Stmt::Label(_, inner, _) => {
+                    cur = *inner
+                }
+                other => return stmt_contains_case(self.unit, other),
+            }
         }
     }
 
@@ -1436,6 +1588,7 @@ impl<'a> Interp<'a> {
             }
         };
         let obj = self.alloc(ObjName::Sym(d.name), cells, false, d.array_size.is_some());
+        self.objects[obj].is_const = d.quals.is_const;
         // The declared identifier's scope begins at the end of its
         // declarator (§6.2.1:7) — *before* the initializer, so that
         // `int x = x;` reads the new, indeterminate x, not an outer one.
@@ -1474,25 +1627,27 @@ impl<'a> Interp<'a> {
     }
 }
 
-fn symbol(op: BinOp) -> &'static str {
-    use BinOp::*;
-    match op {
-        Add => "+",
-        Sub => "-",
-        Mul => "*",
-        Div => "/",
-        Rem => "%",
-        Shl => "<<",
-        Shr => ">>",
-        Lt => "<",
-        Le => "<=",
-        Gt => ">",
-        Ge => ">=",
-        Eq => "==",
-        Ne => "!=",
-        BitAnd => "&",
-        BitXor => "^",
-        BitOr => "|",
+/// Whether `s` contains a `case` or `default` label belonging to the
+/// *enclosing* switch (i.e. not descending into nested `switch` bodies,
+/// whose labels are their own).
+fn stmt_contains_case(unit: &TranslationUnit, s: &Stmt) -> bool {
+    let at = |id: StmtId| stmt_contains_case(unit, unit.stmt(id));
+    match s {
+        Stmt::Case(_, _, _) | Stmt::Default(_, _) => true,
+        Stmt::Label(_, inner, _) => at(*inner),
+        Stmt::If(_, then, els) => at(*then) || els.is_some_and(at),
+        Stmt::While(_, body) => at(*body),
+        Stmt::For(init, _, _, body) => init.is_some_and(at) || at(*body),
+        Stmt::Block(items, _) => items.iter().any(|&i| at(i)),
+        // A nested switch owns its labels.
+        Stmt::Switch(_, _, _) => false,
+        Stmt::Decl(_)
+        | Stmt::Expr(_)
+        | Stmt::Return(_, _)
+        | Stmt::Break(_)
+        | Stmt::Continue(_)
+        | Stmt::Goto(_, _)
+        | Stmt::Empty(_) => false,
     }
 }
 
@@ -1943,5 +2098,184 @@ mod tests {
             .exit_code(),
             Some(55)
         );
+    }
+
+    #[test]
+    fn switch_selects_matches_and_falls_through() {
+        assert_eq!(
+            run("int main(void) { int x = 2; int r = 0; \
+                 switch (x) { case 1: r = 1; break; case 2: r = 2; break; default: r = 9; } \
+                 return r; }")
+            .exit_code(),
+            Some(2)
+        );
+        // Fallthrough: case 1 runs into case 2's statements.
+        assert_eq!(
+            run("int main(void) { int r = 0; \
+                 switch (1) { case 1: r += 1; case 2: r += 10; break; default: r += 100; } \
+                 return r; }")
+            .exit_code(),
+            Some(11)
+        );
+        // No match and no default skips the body entirely.
+        assert_eq!(
+            run("int main(void) { int r = 5; switch (7) { case 1: r = 1; } return r; }")
+                .exit_code(),
+            Some(5)
+        );
+        // Default is selected regardless of its position.
+        assert_eq!(
+            run("int main(void) { int r = 0; \
+                 switch (3) { default: r = 9; break; case 1: r = 1; } return r; }")
+            .exit_code(),
+            Some(9)
+        );
+        // Chained labels select the shared statement.
+        assert_eq!(
+            run("int main(void) { int r = 0; switch (2) { case 1: case 2: r = 4; } return r; }")
+                .exit_code(),
+            Some(4)
+        );
+        // Single-statement body.
+        assert_eq!(
+            run("int main(void) { int r = 0; switch (1) case 1: r = 3; return r; }").exit_code(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn switch_case_labels_must_be_constant_when_dispatched() {
+        assert_eq!(
+            ub_kind("int main(void) { int k = 1; switch (1) { case k: return 1; } return 0; }"),
+            UbKind::NonConstantCaseLabel
+        );
+        // An undefined operation inside a case's constant expression is
+        // the corresponding arithmetic defect.
+        assert_eq!(
+            ub_kind("int main(void) { switch (1) { case 1 / 0: return 1; } return 0; }"),
+            UbKind::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn switch_with_nested_cases_is_unsupported_not_misjudged() {
+        let outcome = run("int main(void) { switch (9) { case 1: ; { case 2: ; } } return 0; }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. }
+                if message.contains("top level of a switch")),
+            "{outcome:?}"
+        );
+        // A nested case outranks the top-level `default:` in real C
+        // (here it would execute `case 2` and return 5) — the engine
+        // must stop rather than dispatch to default and misjudge.
+        let outcome = run("int main(void) { int r = 0; \
+             switch (2) { case 1: r = 1; break; { case 2: r = 5; break; } default: r = 9; } \
+             return r; }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. }
+                if message.contains("top level of a switch")),
+            "{outcome:?}"
+        );
+        // Same for a single-statement body whose chain `default:` wraps
+        // nested cases.
+        let outcome =
+            run("int main(void) { int r = 0; switch (2) default: { case 2: r = 5; } return r; }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. }
+                if message.contains("top level of a switch")),
+            "{outcome:?}"
+        );
+        // But a *matching* top-level case still dispatches even with
+        // nested labels elsewhere (a valid program cannot duplicate the
+        // matched value).
+        assert_eq!(
+            run("int main(void) { int r = 0; \
+                 switch (1) { case 1: r = 7; break; { case 2: r = 5; } } return r; }")
+            .exit_code(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn break_leaves_the_switch_but_return_propagates() {
+        assert_eq!(
+            run("int main(void) { switch (1) { case 1: return 42; } return 0; }").exit_code(),
+            Some(42)
+        );
+        // `continue` inside a switch belongs to the enclosing loop.
+        assert_eq!(
+            run("int main(void) { int s = 0; \
+                 for (int i = 0; i < 3; i++) { switch (i) { case 1: continue; } s += 1; } \
+                 return s; }")
+            .exit_code(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn labels_are_transparent_but_goto_execution_is_unsupported() {
+        assert_eq!(
+            run("int main(void) { int r = 0; here: r = 6; return r; }").exit_code(),
+            Some(6)
+        );
+        let outcome = run("int main(void) { goto out; out: return 0; }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. } if message.contains("goto")),
+            "{outcome:?}"
+        );
+        // An unreached goto stays unreported, like all lazy verdicts.
+        assert_eq!(
+            run("int main(void) { if (0) goto out; out: return 1; }").exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn writes_to_const_defined_objects_are_ub() {
+        assert_eq!(
+            ub_kind("int main(void) { const int x = 1; x = 2; return x; }"),
+            UbKind::WriteToConst
+        );
+        // …even through a pointer (§6.7.3:6 is about the definition).
+        assert_eq!(
+            ub_kind("int main(void) { const int x = 1; int *p = &x; *p = 2; return x; }"),
+            UbKind::WriteToConst
+        );
+        // A const pointer to mutable data: the pointee stays writable.
+        assert_eq!(
+            run("int main(void) { int x = 1; int * const p = &x; *p = 5; return x; }").exit_code(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn detected_kinds_registry_matches_this_file() {
+        let src = include_str!("eval.rs");
+        // Every listed kind is actually referenced by the engine…
+        for k in detected_kinds() {
+            assert!(
+                src.contains(&format!("UbKind::{k:?}")),
+                "{k:?} is listed in detected_kinds() but never raised here"
+            );
+        }
+        // …and every kind the engine references is listed, so the
+        // registry cannot rot in either direction.
+        let listed: std::collections::BTreeSet<String> =
+            detected_kinds().iter().map(|k| format!("{k:?}")).collect();
+        for (idx, _) in src.match_indices("UbKind::") {
+            let name: String = src[idx + "UbKind::".len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            // Skip this test's own quoted `UbKind::` fragments, which are
+            // followed by punctuation rather than a variant name.
+            if name.is_empty() {
+                continue;
+            }
+            assert!(
+                listed.contains(&name),
+                "UbKind::{name} appears in eval.rs but is missing from detected_kinds()"
+            );
+        }
     }
 }

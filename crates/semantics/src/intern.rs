@@ -62,15 +62,22 @@ pub mod kw {
         BREAK => "break",
         CONTINUE => "continue",
         GOTO => "goto",
+        SWITCH => "switch",
+        CASE => "case",
+        DEFAULT => "default",
+        CONST => "const",
+        VOLATILE => "volatile",
+        RESTRICT => "restrict",
+        STATIC => "static",
         MALLOC => "malloc",
         FREE => "free",
         MAIN => "main",
     }
 
     /// Number of leading symbols that are keywords (everything up to and
-    /// including `goto`; `malloc`/`free`/`main` are ordinary
+    /// including `static`; `malloc`/`free`/`main` are ordinary
     /// identifiers).
-    pub(super) const KEYWORD_COUNT: u32 = GOTO.0 + 1;
+    pub(super) const KEYWORD_COUNT: u32 = STATIC.0 + 1;
 }
 
 /// A symbol table mapping identifier spellings to [`Symbol`]s and back.
@@ -162,6 +169,8 @@ mod tests {
         let mut i = Interner::new();
         assert_eq!(i.intern("int"), kw::INT);
         assert_eq!(i.intern("goto"), kw::GOTO);
+        assert_eq!(i.intern("switch"), kw::SWITCH);
+        assert_eq!(i.intern("restrict"), kw::RESTRICT);
         assert_eq!(i.intern("malloc"), kw::MALLOC);
         assert_eq!(i.intern("main"), kw::MAIN);
     }
@@ -170,6 +179,11 @@ mod tests {
     fn keyword_predicate_covers_exactly_the_keywords() {
         assert!(kw::INT.is_keyword());
         assert!(kw::GOTO.is_keyword());
+        assert!(kw::SWITCH.is_keyword());
+        assert!(kw::CASE.is_keyword());
+        assert!(kw::DEFAULT.is_keyword());
+        assert!(kw::CONST.is_keyword());
+        assert!(kw::STATIC.is_keyword());
         assert!(!kw::MALLOC.is_keyword());
         assert!(!kw::FREE.is_keyword());
         assert!(!kw::MAIN.is_keyword());

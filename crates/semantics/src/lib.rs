@@ -12,7 +12,12 @@
 //! - [`parser`] — recursive-descent parser producing the AST;
 //! - [`resolve`] — the resolution pass that binds every variable
 //!   reference to a frame-relative slot, so execution never scans scope
-//!   name lists;
+//!   name lists, and exports per-function label tables for the
+//!   translation-phase analyzer;
+//! - [`consteval`] — the integer constant-expression engine (§6.6),
+//!   shared by the evaluator (`case` dispatch) and the `cundef-analysis`
+//!   crate (array sizes, case labels) so the two phases agree on every
+//!   undefined constant operation;
 //! - [`eval`] — an evaluator that tracks sequencing footprints, object
 //!   lifetimes, initialization state, and value ranges, and stops with a
 //!   [`cundef_ub::UbError`] the moment an execution would "get stuck" on
@@ -41,6 +46,7 @@
 #![deny(missing_docs)]
 
 pub mod ast;
+pub mod consteval;
 pub mod eval;
 pub mod intern;
 pub mod lexer;
@@ -53,10 +59,12 @@ pub use parser::ParseError;
 
 /// Parse and execute a translation unit, starting from `main`.
 ///
-/// This is the one-call entry point used by the `cundef` CLI: it wires the
+/// This is the one-call *execution-phase* entry point: it wires the
 /// lexer, parser, and evaluator together with default [`Limits`]. A
 /// `ParseError` means the file is outside the supported subset; an
-/// [`Outcome`] is a verdict about the program's execution.
+/// [`Outcome`] is a verdict about the program's execution. (The `cundef`
+/// CLI parses once and runs the `cundef-analysis` translation phase
+/// first; use this directly when only dynamic detection is wanted.)
 ///
 /// # Examples
 ///

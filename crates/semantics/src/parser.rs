@@ -14,8 +14,8 @@
 //! slot-resolved and ready to execute.
 
 use crate::ast::{
-    BinOp, Decl, Expr, ExprId, ExprKind, Function, Param, SlotId, Stmt, StmtId, TranslationUnit,
-    Ty, UnaryOp,
+    BinOp, Decl, Expr, ExprId, ExprKind, Function, Param, Quals, SlotId, Stmt, StmtId,
+    TranslationUnit, Ty, UnaryOp,
 };
 use crate::intern::{kw, Symbol};
 use crate::lexer::{lex, LexError, Tok, Token};
@@ -59,13 +59,18 @@ impl From<LexError> for ParseError {
 /// let unit = parse("int main(void) { return 0; }").unwrap();
 /// assert_eq!(unit.name_of(&unit.functions[0]), "main");
 ///
-/// let err = parse("int main(void) { goto l; }").unwrap_err();
-/// assert!(err.message.contains("goto"));
+/// let err = parse("int main(void) { return 0 }").unwrap_err();
+/// assert!(err.message.contains("expected `;`"));
 /// ```
 pub fn parse(source: &str) -> Result<TranslationUnit, ParseError> {
     let mut unit = TranslationUnit::default();
     let toks = lex(source, &mut unit.interner)?;
-    let mut p = Parser { toks, pos: 0, unit };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        unit,
+        switch_depth: 0,
+    };
     while !p.at_end() {
         let f = p.function()?;
         p.unit.functions.push(f);
@@ -79,6 +84,10 @@ struct Parser {
     toks: Vec<Token>,
     pos: usize,
     unit: TranslationUnit,
+    /// Nesting depth of `switch` bodies, so `case`/`default` labels
+    /// outside any `switch` are parse errors (they could belong to no
+    /// statement, §6.8.1:2).
+    switch_depth: u32,
 }
 
 impl Parser {
@@ -88,6 +97,10 @@ impl Parser {
 
     fn peek(&self) -> Option<Token> {
         self.toks.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<Token> {
+        self.toks.get(self.pos + 1).copied()
     }
 
     fn loc(&self) -> SourceLoc {
@@ -159,30 +172,63 @@ impl Parser {
 
     // ----- declarations and functions -----
 
-    fn pointer_suffix(&mut self, base: Ty) -> Ty {
+    /// Consume a (possibly empty) run of type qualifiers.
+    fn qual_list(&mut self) -> Quals {
+        let mut q = Quals::default();
+        loop {
+            if self.eat_keyword(kw::CONST) {
+                q.is_const = true;
+            } else if self.eat_keyword(kw::VOLATILE) {
+                q.is_volatile = true;
+            } else if self.eat_keyword(kw::RESTRICT) {
+                q.is_restrict = true;
+            } else {
+                return q;
+            }
+        }
+    }
+
+    /// `('*' qual*)*` — pointer declarator suffix. Returns the derived
+    /// type and the qualifiers of the outermost `*` group (empty when no
+    /// pointer declarator was present).
+    fn pointer_suffix(&mut self, base: Ty) -> (Ty, Quals) {
         let mut ty = base;
+        let mut outer = Quals::default();
         while self.eat_punct("*") {
             ty = Ty::Ptr(Box::new(ty));
+            outer = self.qual_list();
         }
-        ty
+        (ty, outer)
+    }
+
+    /// Whether the next token can begin a declaration.
+    fn at_decl_start(&self) -> bool {
+        [kw::INT, kw::VOID, kw::CONST, kw::VOLATILE, kw::RESTRICT]
+            .iter()
+            .any(|&k| self.peek_keyword(k))
     }
 
     fn function(&mut self) -> Result<Function, ParseError> {
+        let is_static = self.eat_keyword(kw::STATIC);
+        // Qualifiers on the return type are legal and (like the return
+        // type's pointer qualifiers) meaningless to the caller (§6.7.6.3).
+        self.qual_list();
         let returns_void = if self.eat_keyword(kw::VOID) {
             true
         } else if self.eat_keyword(kw::INT) {
             false
         } else {
-            // `goto` and other unsupported statements surface here with a
-            // tailored message; anything else gets the generic one.
-            if self.peek_keyword(kw::GOTO) {
-                return self.err("`goto` is outside the supported subset");
-            }
             return self.err("expected `int` or `void` at start of function definition");
         };
-        // Pointer return types parse but are not tracked: values are
-        // dynamically typed in the evaluator.
-        while self.eat_punct("*") {}
+        self.qual_list();
+        // Pointer return types are tracked by depth only: runtime values
+        // are dynamically typed, but the analyzer's type checker wants
+        // the declared shape.
+        let mut ret_ptr: u8 = 0;
+        while self.eat_punct("*") {
+            ret_ptr = ret_ptr.saturating_add(1);
+            self.qual_list();
+        }
         let (name, loc) = self.ident()?;
         self.expect_punct("(")?;
         let mut params = Vec::new();
@@ -194,7 +240,7 @@ impl Parser {
                     if !self.eat_keyword(kw::INT) {
                         return self.err("expected `int` parameter type");
                     }
-                    let ty = self.pointer_suffix(Ty::Int);
+                    let (ty, _) = self.pointer_suffix(Ty::Int);
                     let (pname, _) = self.ident()?;
                     params.push(Param { name: pname, ty });
                     if self.eat_punct(")") {
@@ -204,6 +250,10 @@ impl Parser {
                 }
             }
         }
+        // C's grammar has no qualifiers after the parameter list; accept
+        // them anyway so the analyzer can report the qualified *function
+        // type* (§6.7.3:9) instead of a parse failure.
+        let fn_quals = self.qual_list();
         self.expect_punct("{")?;
         let mut body = Vec::new();
         while !self.eat_punct("}") {
@@ -217,15 +267,37 @@ impl Parser {
             name,
             params,
             returns_void,
+            ret_ptr,
+            is_static,
+            fn_quals,
             body,
             loc,
             n_slots: 0, // filled by the resolver
+            labels: Vec::new(),
+            gotos: Vec::new(),
         })
     }
 
     fn decl(&mut self) -> Result<Decl, ParseError> {
-        // `int` already consumed by the caller.
-        let ty = self.pointer_suffix(Ty::Int);
+        let mut base_quals = self.qual_list();
+        let base = if self.eat_keyword(kw::VOID) {
+            Ty::Void
+        } else if self.eat_keyword(kw::INT) {
+            Ty::Int
+        } else {
+            return self.err("expected `int` or `void` in declaration");
+        };
+        base_quals = base_quals.merge(self.qual_list());
+        let (ty, ptr_quals) = self.pointer_suffix(base);
+        // The declared object's qualifiers are the outermost `*` group's
+        // for a pointer declarator, the base specifier's otherwise; a
+        // `restrict` stuck on the non-pointer base of a pointer
+        // declarator is recorded for the analyzer (§6.7.3:2).
+        let (quals, base_restrict) = if ty.ptr_depth() == 0 {
+            (base_quals, false)
+        } else {
+            (ptr_quals, base_quals.is_restrict)
+        };
         let (name, loc) = self.ident()?;
         let mut array_size = None;
         if self.eat_punct("[") {
@@ -276,6 +348,8 @@ impl Parser {
             array_size,
             init,
             array_init,
+            quals,
+            base_restrict,
             loc,
             slot: SlotId(u32::MAX),
             const_size: false,
@@ -288,7 +362,7 @@ impl Parser {
     /// An item in block position (C11 §6.8.2): a declaration or a
     /// statement.
     fn block_item(&mut self) -> Result<StmtId, ParseError> {
-        if self.eat_keyword(kw::INT) {
+        if self.at_decl_start() {
             let d = self.decl()?;
             return Ok(self.unit.push_stmt(Stmt::Decl(d)));
         }
@@ -311,10 +385,11 @@ impl Parser {
             }
             return Ok(self.unit.push_stmt(Stmt::Block(body, loc)));
         }
-        if self.peek_keyword(kw::INT) {
+        if self.at_decl_start() {
             // In C11's grammar a declaration is not a statement: it can
             // appear in a block (§6.8.2) or a `for` init clause (§6.8.5),
-            // but not as the lone body of `if`/`while`/`for`/`else`.
+            // but not as the lone body of `if`/`while`/`for`/`else`, nor
+            // directly under a label (labels prefix statements, §6.8.1).
             return self.err("a declaration needs a surrounding block here");
         }
         if self.eat_keyword(kw::IF) {
@@ -340,7 +415,7 @@ impl Parser {
             self.expect_punct("(")?;
             let init = if self.eat_punct(";") {
                 None
-            } else if self.eat_keyword(kw::INT) {
+            } else if self.at_decl_start() {
                 let d = self.decl()?;
                 Some(self.unit.push_stmt(Stmt::Decl(d)))
             } else {
@@ -381,8 +456,58 @@ impl Parser {
             self.expect_punct(";")?;
             return Ok(self.unit.push_stmt(Stmt::Continue(loc)));
         }
-        if self.peek_keyword(kw::GOTO) {
-            return self.err("`goto` is outside the supported subset");
+        if self.eat_keyword(kw::SWITCH) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.switch_depth += 1;
+            let body = self.stmt();
+            self.switch_depth -= 1;
+            return Ok(self.unit.push_stmt(Stmt::Switch(cond, body?, loc)));
+        }
+        if self.peek_keyword(kw::CASE) {
+            if self.switch_depth == 0 {
+                return self.err("`case` label outside of a switch statement");
+            }
+            self.pos += 1;
+            // A case expression is a constant expression, i.e. a
+            // conditional expression in the grammar (§6.6:1) — its `:`
+            // belongs to `?:`, the label's own `:` follows it.
+            let e = self.conditional()?;
+            self.expect_punct(":")?;
+            let inner = self.stmt()?;
+            return Ok(self.unit.push_stmt(Stmt::Case(e, inner, loc)));
+        }
+        if self.peek_keyword(kw::DEFAULT) {
+            if self.switch_depth == 0 {
+                return self.err("`default` label outside of a switch statement");
+            }
+            self.pos += 1;
+            self.expect_punct(":")?;
+            let inner = self.stmt()?;
+            return Ok(self.unit.push_stmt(Stmt::Default(inner, loc)));
+        }
+        if self.eat_keyword(kw::GOTO) {
+            let (target, _) = self.ident()?;
+            self.expect_punct(";")?;
+            return Ok(self.unit.push_stmt(Stmt::Goto(target, loc)));
+        }
+        // An ordinary label: `name: statement` (§6.8.1).
+        if let (
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }),
+            Some(Token {
+                tok: Tok::Punct(":"),
+                ..
+            }),
+        ) = (self.peek(), self.peek2())
+        {
+            if !s.is_keyword() {
+                self.pos += 2;
+                let inner = self.stmt()?;
+                return Ok(self.unit.push_stmt(Stmt::Label(s, inner, loc)));
+            }
         }
         let e = self.expr()?;
         self.expect_punct(";")?;
@@ -598,9 +723,6 @@ impl Parser {
             }
             Some(Token {
                 tok: Tok::Ident(s), ..
-            }) if s == kw::GOTO => self.err("`goto` is outside the supported subset"),
-            Some(Token {
-                tok: Tok::Ident(s), ..
             }) if !s.is_keyword() => {
                 self.pos += 1;
                 Ok(self.mk(ExprKind::Ident(s), loc))
@@ -687,9 +809,83 @@ mod tests {
     }
 
     #[test]
-    fn goto_is_rejected_with_a_clear_message() {
-        let err = parse("int main(void) { goto out; }").unwrap_err();
-        assert!(err.message.contains("goto"), "{}", err.message);
+    fn goto_and_labels_parse() {
+        let unit = parse("int main(void) { goto out; out: return 0; }").unwrap();
+        let main = unit.function_named("main").unwrap();
+        assert!(matches!(unit.stmt(main.body[0]), Stmt::Goto(_, _)));
+        match unit.stmt(main.body[1]) {
+            Stmt::Label(sym, _, _) => assert_eq!(unit.interner.resolve(*sym), "out"),
+            s => panic!("expected label, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn switch_with_case_and_default_parses() {
+        let unit = parse(
+            "int main(void) { int x = 1; switch (x) { case 1: x = 2; break; default: x = 3; } return x; }",
+        )
+        .unwrap();
+        let main = unit.function_named("main").unwrap();
+        let Stmt::Switch(_, body, _) = unit.stmt(main.body[1]) else {
+            panic!("expected switch");
+        };
+        let Stmt::Block(items, _) = unit.stmt(*body) else {
+            panic!("expected block body");
+        };
+        assert!(matches!(unit.stmt(items[0]), Stmt::Case(_, _, _)));
+        assert!(matches!(unit.stmt(items[2]), Stmt::Default(_, _)));
+    }
+
+    #[test]
+    fn case_labels_outside_a_switch_are_rejected() {
+        for src in [
+            "int main(void) { case 1: return 0; }",
+            "int main(void) { default: return 0; }",
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.message.contains("switch"), "{src}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn qualifiers_and_void_objects_parse() {
+        let unit = parse(
+            "int main(void) { const int x = 1; int * restrict p; restrict int q; void v; void *w; return x; }",
+        )
+        .unwrap();
+        let decls: Vec<&Decl> = unit
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Decl(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert!(decls[0].quals.is_const && decls[0].ty == Ty::Int);
+        assert!(decls[1].quals.is_restrict && decls[1].ty.ptr_depth() == 1);
+        assert!(decls[2].quals.is_restrict && decls[2].ty.ptr_depth() == 0);
+        assert_eq!(decls[3].ty, Ty::Void);
+        assert_eq!(decls[4].ty, Ty::Ptr(Box::new(Ty::Void)));
+    }
+
+    #[test]
+    fn static_functions_and_return_pointer_depth() {
+        let unit = parse(
+            "static int helper(void) { return 1; } int **deep(void) { return 0; } \
+             int main(void) { return helper(); }",
+        )
+        .unwrap();
+        assert!(unit.functions[0].is_static);
+        assert_eq!(unit.functions[0].ret_ptr, 0);
+        assert_eq!(unit.functions[1].ret_ptr, 2);
+        assert!(!unit.functions[2].is_static);
+    }
+
+    #[test]
+    fn trailing_function_qualifiers_parse_for_the_analyzer() {
+        let unit = parse("int f(void) const { return 1; } int main(void) { return f(); }").unwrap();
+        assert!(unit.functions[0].fn_quals.is_const);
+        assert!(!unit.functions[1].fn_quals.any());
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub fn resolve(unit: &mut TranslationUnit) {
         let mut r = Resolver {
             scopes: Vec::with_capacity(8),
             next_slot: 0,
+            labels: Vec::new(),
+            gotos: Vec::new(),
         };
         // Parameters share the function body's outermost block scope
         // (C11 §6.2.1:4, §6.9.1:9), so a top-level body declaration of a
@@ -65,6 +67,8 @@ pub fn resolve(unit: &mut TranslationUnit) {
         }
         unit.functions[i].body = body;
         unit.functions[i].n_slots = r.next_slot;
+        unit.functions[i].labels = r.labels;
+        unit.functions[i].gotos = r.gotos;
     }
 }
 
@@ -72,6 +76,12 @@ struct Resolver {
     /// Innermost scope last; each scope maps names to slots.
     scopes: Vec<Vec<(Symbol, SlotId)>>,
     next_slot: u32,
+    /// Labels defined in the function, in source order — exported on the
+    /// [`crate::ast::Function`] for the translation-phase analyzer
+    /// (duplicate labels, goto targets, jumps into VLA scope).
+    labels: Vec<(Symbol, SourceLoc)>,
+    /// `goto` targets appearing in the function, in source order.
+    gotos: Vec<(Symbol, SourceLoc)>,
 }
 
 impl Resolver {
@@ -148,6 +158,26 @@ impl Resolver {
                 }
                 self.scopes.pop();
             }
+            Stmt::Switch(cond, body, _) => {
+                self.resolve_expr(unit, *cond);
+                let body = *body;
+                self.resolve_stmt(unit, body);
+            }
+            Stmt::Case(e, inner, _) => {
+                self.resolve_expr(unit, *e);
+                let inner = *inner;
+                self.resolve_stmt(unit, inner);
+            }
+            Stmt::Default(inner, _) => {
+                let inner = *inner;
+                self.resolve_stmt(unit, inner);
+            }
+            Stmt::Label(name, inner, loc) => {
+                self.labels.push((*name, *loc));
+                let inner = *inner;
+                self.resolve_stmt(unit, inner);
+            }
+            Stmt::Goto(target, loc) => self.gotos.push((*target, *loc)),
             Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty(_) => {}
         }
         unit.stmts[s.0 as usize] = stmt;
@@ -334,6 +364,24 @@ mod tests {
             })
             .collect();
         assert_eq!(consts, vec![true, false]);
+    }
+
+    #[test]
+    fn label_and_goto_tables_are_exported() {
+        let unit = parse("int main(void) { goto done; here: ; done: return 0; }").unwrap();
+        let main = unit.function_named("main").unwrap();
+        let labels: Vec<&str> = main
+            .labels
+            .iter()
+            .map(|(s, _)| unit.interner.resolve(*s))
+            .collect();
+        assert_eq!(labels, ["here", "done"]);
+        let gotos: Vec<&str> = main
+            .gotos
+            .iter()
+            .map(|(s, _)| unit.interner.resolve(*s))
+            .collect();
+        assert_eq!(gotos, ["done"]);
     }
 
     #[test]

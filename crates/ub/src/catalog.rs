@@ -22,6 +22,12 @@
 //! - optionally the [`UbKind`] detector in this workspace that catches it
 //!   (`detected_by`), linking the taxonomy to the executable semantics.
 //!
+//! A `detected_by` link is a coverage *claim*: it is only recorded when a
+//! checker for that kind actually exists — the evaluator for dynamic
+//! kinds, the `cundef-analysis` translation-phase analyzer for static
+//! ones. The analysis crate's invariant tests verify every link against
+//! both registries, so links cannot rot silently.
+//!
 //! The headline numbers are checked by [`catalog_counts`], which asserts
 //! the paper's 221 = 92 + 129 split at test time, and re-checked by the
 //! crate's invariant tests.
@@ -54,7 +60,9 @@ pub struct CatalogEntry {
     /// Whether the situation is statically or only dynamically detectable.
     pub detect: Detectability,
     /// The detector in this workspace that catches (a family including)
-    /// this entry, if one exists yet.
+    /// this entry, if one exists yet. Only recorded when the named kind
+    /// has a real checker: the evaluator or the translation-phase
+    /// analyzer.
     pub detected_by: Option<UbKind>,
 }
 
@@ -134,7 +142,7 @@ static CATALOG: &[CatalogEntry] = entries![
     (2, Static, "5.1.1.2:1", "A nonempty source file does not end in a newline, or ends in a newline immediately preceded by a backslash"),
     (3, Static, "5.1.1.2:1", "A source file ends inside a preprocessing token or inside a comment"),
     (4, Static, "5.1.2.2.1:1", "In a hosted environment, main is defined with a signature the implementation does not document", NonstandardMain),
-    (5, Static, "5.1.2.2.3:1", "The value returned from main is used after main's closing brace is reached in a function whose return type is incompatible with int"),
+    (5, Static, "5.1.2.2.3:1", "The value returned from main is used after main's closing brace is reached in a function whose return type is incompatible with int", NonstandardMain),
     (6, Dynamic, "5.1.2.3:6", "The program's execution contains a data race on a non-atomic object"),
     (7, Static, "5.2.1:3", "A character outside the basic source character set is encountered in a source file, except where permitted"),
     (8, Static, "5.2.1.2:2", "An identifier, comment, string literal, character constant, or header name contains an invalid multibyte character"),
@@ -147,17 +155,17 @@ static CATALOG: &[CatalogEntry] = entries![
     (13, Dynamic, "6.2.4:6", "The value of an automatic object is used while it is indeterminate", ReadIndeterminate),
     (14, Dynamic, "6.2.6.1:5", "A trap representation is read by an lvalue expression that does not have character type", ReadIndeterminate),
     (15, Dynamic, "6.2.6.1:5", "A trap representation is produced by a side effect that modifies an object through an lvalue without character type"),
-    (16, Dynamic, "6.2.6.1:4", "An object is copied byte-by-byte only in part and the partially copied value is then used as a pointer", PartialPointerUse),
+    (16, Dynamic, "6.2.6.1:4", "An object is copied byte-by-byte only in part and the partially copied value is then used as a pointer"),
     (17, Dynamic, "6.2.6.2:4", "An arithmetic operation produces or consumes a negative zero in a way the implementation does not support"),
     (18, Static, "6.2.7:2", "Two declarations of the same object or function in the same scope specify incompatible types", IncompatibleRedeclaration),
 
     // ----- 6.3: conversions -----
-    (19, Dynamic, "6.3.1.4:1", "A floating-point value is converted to an integer type that cannot represent its integral part", FloatToIntOverflow),
+    (19, Dynamic, "6.3.1.4:1", "A floating-point value is converted to an integer type that cannot represent its integral part"),
     (20, Dynamic, "6.3.1.5:1", "A real floating value being demoted cannot be represented, even approximately, in the narrower type"),
     (21, Dynamic, "6.3.2.1:2", "An lvalue that does not designate an object when it is evaluated is used"),
     (22, Static, "6.3.2.2:1", "The (nonexistent) value of a void expression is used", VoidValueUsed),
     (23, Dynamic, "6.3.2.3:5", "A pointer is converted to an integer type and the result cannot be represented in it"),
-    (24, Dynamic, "6.3.2.3:7", "A pointer is converted to a pointer type for which the value is incorrectly aligned", MisalignedAccess),
+    (24, Dynamic, "6.3.2.3:7", "A pointer is converted to a pointer type for which the value is incorrectly aligned"),
     (25, Static, "6.3.2.3:8", "A converted function pointer is used to call a function whose type is incompatible with the pointed-to type", CallWrongType),
     (26, Static, "6.3.2.3", "A pointer to a function is converted to a pointer to an object type, or vice versa", FunctionObjectPointerCast),
 
@@ -167,14 +175,14 @@ static CATALOG: &[CatalogEntry] = entries![
     (29, Static, "6.4.2.1:7", "Two identifiers differ only in nonsignificant characters"),
     (30, Static, "6.4.2.2:2", "The identifier __func__ is explicitly declared"),
     (31, Static, "6.4.3:2", "A universal character name is formed by token concatenation"),
-    (32, Dynamic, "6.4.5:7", "The program attempts to modify a string literal", ModifyStringLiteral),
+    (32, Dynamic, "6.4.5:7", "The program attempts to modify a string literal"),
     (33, Static, "6.4.7:3", "The characters ', \\, //, or /* occur between the < and > delimiters of a header name"),
 
     // ----- 6.5: expressions -----
     (34, Dynamic, "6.5:2", "A side effect on a scalar object is unsequenced relative to another side effect on the same object", UnsequencedSideEffect),
     (35, Dynamic, "6.5:2", "A side effect on a scalar object is unsequenced relative to a value computation using the value of the same object", UnsequencedSideEffect),
     (36, Dynamic, "6.5:5", "An exceptional condition (result not mathematically defined or not representable) occurs during expression evaluation", SignedOverflow),
-    (37, Dynamic, "6.5:7", "An object is accessed through an lvalue of a type incompatible with its effective type", AccessWrongEffectiveType),
+    (37, Dynamic, "6.5:7", "An object is accessed through an lvalue of a type incompatible with its effective type"),
     (38, Static, "6.5.1.1:3", "A generic selection has no matching association and no default association"),
     (39, Dynamic, "6.5.2.2:6", "A function is called with a number of arguments that disagrees with the number of parameters in its definition", CallWrongArity),
     (40, Dynamic, "6.5.2.2:6", "A function defined without a prototype is called with argument types incompatible with its parameter types", CallWrongType),
@@ -205,8 +213,8 @@ static CATALOG: &[CatalogEntry] = entries![
     (63, Dynamic, "6.7.3:6", "An attempt is made to modify an object defined with a const-qualified type through a non-const lvalue", WriteToConst),
     (64, Static, "6.7.3:7", "An attempt is made to refer to an object defined with a volatile-qualified type through a non-volatile lvalue"),
     (65, Static, "6.7.3:9", "A function type is specified with type qualifiers", QualifiedFunctionType),
-    (66, Dynamic, "6.7.3.1:4", "A restrict-qualified pointer's object is accessed through an independent second pointer during the block", RestrictOverlap),
-    (67, Dynamic, "6.7.3.1:11", "An object designated through a restrict-qualified pointer is modified after being also accessed through another pointer", RestrictOverlap),
+    (66, Dynamic, "6.7.3.1:4", "A restrict-qualified pointer's object is accessed through an independent second pointer during the block"),
+    (67, Dynamic, "6.7.3.1:11", "An object designated through a restrict-qualified pointer is modified after being also accessed through another pointer"),
     (68, Static, "6.7.4:6", "A call to a function declared with an inline definition that references an identifier with internal linkage is made from another translation unit"),
     (69, Static, "6.7.6.2:1", "An array is declared with a constant size that is not greater than zero", ArraySizeNotPositive),
     (70, Dynamic, "6.7.6.2:5", "A variable length array is declared whose size, when evaluated, is not greater than zero", VlaSizeNotPositive),
@@ -286,14 +294,14 @@ static CATALOG: &[CatalogEntry] = entries![
     (126, Dynamic, "7.21.3:4", "A FILE object is used after the associated file has been closed", DeadObjectAccess),
     (127, Static, "7.21.3:4", "A copy of a FILE object is used in place of the original stream object"),
     (128, Dynamic, "7.21.5.3:4", "An output operation on an update-mode stream is followed by input without an intervening flush or positioning call"),
-    (129, Static, "7.21.6.1:2", "A printf-family format string contains an invalid conversion specification", FormatMismatch),
-    (130, Static, "7.21.6.1:7", "A printf-family length modifier is applied to a conversion specifier it is not defined for", FormatMismatch),
-    (131, Dynamic, "7.21.6.1:9", "A printf-family conversion specification is incompatible with the type of the corresponding argument", FormatMismatch),
-    (132, Dynamic, "7.21.6.1:2", "There are insufficient arguments for a printf-family format string", FormatMismatch),
+    (129, Static, "7.21.6.1:2", "A printf-family format string contains an invalid conversion specification"),
+    (130, Static, "7.21.6.1:7", "A printf-family length modifier is applied to a conversion specifier it is not defined for"),
+    (131, Dynamic, "7.21.6.1:9", "A printf-family conversion specification is incompatible with the type of the corresponding argument"),
+    (132, Dynamic, "7.21.6.1:2", "There are insufficient arguments for a printf-family format string"),
     (133, Dynamic, "7.21.6.1:6", "The %s conversion of a printf-family function is passed a pointer to a sequence that is not a string", InvalidLibraryArgument),
-    (134, Dynamic, "7.21.6.1:8", "An aggregate or union, or a pointer to one, is passed where a printf conversion expects otherwise", FormatMismatch),
-    (135, Static, "7.21.6.2:2", "A scanf-family format string contains an invalid conversion specification", FormatMismatch),
-    (136, Dynamic, "7.21.6.2:10", "A scanf-family receiving object's type is incompatible with the conversion specification", FormatMismatch),
+    (134, Dynamic, "7.21.6.1:8", "An aggregate or union, or a pointer to one, is passed where a printf conversion expects otherwise"),
+    (135, Static, "7.21.6.2:2", "A scanf-family format string contains an invalid conversion specification"),
+    (136, Dynamic, "7.21.6.2:10", "A scanf-family receiving object's type is incompatible with the conversion specification"),
     (137, Dynamic, "7.21.6.2:13", "The result of a scanf-family numeric conversion cannot be represented in the receiving object"),
     (138, Dynamic, "7.21.7.10:2", "ungetc is called on a stream whose file position indicator is zero after a successful call"),
 
@@ -318,10 +326,10 @@ static CATALOG: &[CatalogEntry] = entries![
 
     // ----- 7.24: string handling -----
     (156, Dynamic, "7.24.1:2", "A string function is passed a character array that does not contain a null terminator within its bounds", OutOfBoundsRead),
-    (157, Dynamic, "7.24.2.1:2", "memcpy is called with overlapping source and destination objects", RestrictOverlap),
-    (158, Dynamic, "7.24.2.3:2", "strcpy is called with overlapping source and destination strings", RestrictOverlap),
-    (159, Dynamic, "7.24.2.4:2", "strncpy is called with overlapping source and destination objects", RestrictOverlap),
-    (160, Dynamic, "7.24.3.1:2", "strcat is called with overlapping source and destination strings", RestrictOverlap),
+    (157, Dynamic, "7.24.2.1:2", "memcpy is called with overlapping source and destination objects"),
+    (158, Dynamic, "7.24.2.3:2", "strcpy is called with overlapping source and destination strings"),
+    (159, Dynamic, "7.24.2.4:2", "strncpy is called with overlapping source and destination objects"),
+    (160, Dynamic, "7.24.3.1:2", "strcat is called with overlapping source and destination strings"),
     (161, Dynamic, "7.24.1:2", "A string function writes past the end of the destination array", OutOfBoundsWrite),
     (162, Dynamic, "7.24.5.8:2", "strtok is called with a null first argument before any call with a non-null first argument"),
     (163, Dynamic, "7.24.5.8:2", "strtok is called from multiple threads on the same internal state"),
@@ -335,8 +343,8 @@ static CATALOG: &[CatalogEntry] = entries![
     // ----- 7.29 – 7.30: wide character handling -----
     (168, Dynamic, "7.29.1:5", "A wide string function is passed a wide character array without a null wide character within its bounds", OutOfBoundsRead),
     (169, Dynamic, "7.29.1:5", "A wide string function writes past the end of its destination array", OutOfBoundsWrite),
-    (170, Dynamic, "7.29.2.1:2", "A wide printf-family conversion specification is incompatible with the corresponding argument", FormatMismatch),
-    (171, Dynamic, "7.29.2.2:10", "A wide scanf-family receiving object's type is incompatible with the conversion specification", FormatMismatch),
+    (170, Dynamic, "7.29.2.1:2", "A wide printf-family conversion specification is incompatible with the corresponding argument"),
+    (171, Dynamic, "7.29.2.2:10", "A wide scanf-family receiving object's type is incompatible with the conversion specification"),
     (172, Dynamic, "7.29.6.1:2", "An mbstate_t object holding an inconsistent or indeterminate state is passed to a restartable conversion function", ReadIndeterminate),
     (173, Dynamic, "7.30.2.1:2", "A wide character classification function is passed a value that is neither a valid wchar_t nor WEOF", InvalidLibraryArgument),
 
@@ -354,7 +362,7 @@ static CATALOG: &[CatalogEntry] = entries![
     (182, Dynamic, "6.5.9:7", "Pointers to objects obtained from distinct allocations are compared for equality after one has been freed", DeadObjectAccess),
     (183, Static, "6.7.1:6", "The _Thread_local specifier is combined with function declarations or incomplete initialization"),
     (184, Static, "6.7.2.2:4", "An enumerator's value is specified by an expression that is not an integer constant expression"),
-    (185, Dynamic, "6.7.5:3", "An object declared _Alignas with a weaker alignment than another declaration of the same object is accessed", MisalignedAccess),
+    (185, Dynamic, "6.7.5:3", "An object declared _Alignas with a weaker alignment than another declaration of the same object is accessed"),
     (186, Static, "6.7.6.3:12", "A function declarator with an identifier list appears other than as part of a function definition"),
     (187, Dynamic, "6.7.9:10", "An object with static storage duration is read during initialization of another translation unit's objects before its own"),
     (188, Static, "6.10.3:9", "A function-like macro invocation spans files via inclusion such that its arguments are incomplete"),
@@ -363,7 +371,7 @@ static CATALOG: &[CatalogEntry] = entries![
     (191, Static, "7.12:2", "The macro math_errhandling is undefined or the identifier is redefined by the program"),
     (192, Static, "7.13:2", "The program declares setjmp as an identifier with external linkage, suppressing its macro definition"),
     (193, Static, "7.16.1.4:2", "va_start is invoked in a function that is declared without a variable argument list"),
-    (194, Dynamic, "7.24.2.1:2", "memcpy through a restrict-qualified parameter accesses an object also accessed through the other parameter", RestrictOverlap),
+    (194, Dynamic, "7.24.2.1:2", "memcpy through a restrict-qualified parameter accesses an object also accessed through the other parameter"),
     (195, Static, "7.25:3", "The macro definition of a type-generic math macro is suppressed to access an actual function of that name"),
 
     // ----- paper-identified refinements of expression UB families -----
@@ -389,7 +397,7 @@ static CATALOG: &[CatalogEntry] = entries![
     (215, Static, "6.10.3.4:3", "Macro rescanning produces a directive-like line that the program depends on being processed"),
     (216, Static, "7.1.1:2", "A string is passed to a library function with a length exceeding the documented translation-time limit"),
     (217, Dynamic, "7.21.6.3:2", "printf is called with the %n conversion targeting a const-qualified object", WriteToConst),
-    (218, Dynamic, "7.22.3.1:2", "aligned_alloc is called with a size that is not an integral multiple of the alignment, and the result is accessed", MisalignedAccess),
+    (218, Dynamic, "7.22.3.1:2", "aligned_alloc is called with a size that is not an integral multiple of the alignment, and the result is accessed"),
     (219, Dynamic, "7.22.4.6:2", "getenv's internal buffer is relied upon across calls that overwrite it", DeadObjectAccess),
     (220, Static, "7.26.1:2", "The ONCE_FLAG_INIT initializer is applied to an object of a type other than once_flag"),
     (221, Static, "7.31.12:2", "A library feature identified as deprecated is used in a way whose behavior the standard ceases to define"),

@@ -191,6 +191,21 @@ ub_kinds! {
     /// `return` with no value in a value-returning function, where the
     /// caller uses the value — static form (constant control flow).
     ReturnWithoutValue = (81, "return without a value in a value-returning function", "6.9.1:12", Static, None),
+    /// Object declared with an incomplete type (`void x;`) — a
+    /// translation-time constraint violation (§6.7:7).
+    IncompleteTypeObject = (82, "Object declared with an incomplete type", "6.7:7", Static, None),
+    /// Two `case` labels (or two `default` labels) of one `switch` with
+    /// the same constant — a constraint violation (§6.8.4.2:3).
+    DuplicateCaseLabel = (83, "Duplicate case label in a switch statement", "6.8.4.2:3", Static, None),
+    /// A `case` label whose expression is not an integer constant
+    /// expression — a constraint violation (§6.8.4.2:3).
+    NonConstantCaseLabel = (84, "Case label is not an integer constant expression", "6.8.4.2:3", Static, None),
+    /// The same label name defined twice in one function — a constraint
+    /// violation (§6.8.1:3).
+    DuplicateLabel = (85, "Duplicate label name in a function", "6.8.1:3", Static, None),
+    /// `goto` naming a label that does not exist in the enclosing
+    /// function — a constraint violation (§6.8.6.1:1).
+    UndeclaredLabel = (86, "goto to a label not defined in the enclosing function", "6.8.6.1:1", Static, None),
 }
 
 impl UbKind {

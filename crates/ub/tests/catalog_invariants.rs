@@ -84,6 +84,33 @@ fn language_entries_precede_library_entries_in_annex_order() {
 }
 
 #[test]
+fn coverage_spans_both_phases() {
+    // The acceptance bar for the translation-phase subsystem: at least 25
+    // catalog entries are covered by a detector, at least 15 of them
+    // statically detectable (checked at translation time, before any
+    // execution). The per-link existence check — every linked kind has a
+    // real checker — lives in the analysis crate's registry tests, which
+    // can see both the analyzer and the evaluator.
+    let linked: Vec<_> = catalog()
+        .iter()
+        .filter(|e| e.detected_by.is_some())
+        .collect();
+    assert!(
+        linked.len() >= 25,
+        "only {} detected_by links",
+        linked.len()
+    );
+    let static_linked = linked
+        .iter()
+        .filter(|e| e.detect == Detectability::Static)
+        .count();
+    assert!(
+        static_linked >= 15,
+        "only {static_linked} statically detectable entries are covered"
+    );
+}
+
+#[test]
 fn dynamic_entries_map_only_to_dynamic_detectors() {
     for e in catalog() {
         if let (Detectability::Dynamic, Some(k)) = (e.detect, e.detected_by) {

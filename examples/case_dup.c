@@ -1,0 +1,19 @@
+/* Two case labels of one switch with the same constant value
+ * (C11 6.8.4.2:3) — a translation-phase finding. The `1 / t` decoy
+ * would be the evaluator's division by zero (00002) if this program
+ * were ever executed. */
+int main(void) {
+    int t = 0;
+    int decoy = 1 / t;
+    switch (t) {
+        case 2:
+            t = 3;
+            break;
+        case 1 + 1:
+            t = 4;
+            break;
+        default:
+            t = 5;
+    }
+    return t;
+}

@@ -1,0 +1,9 @@
+/* An array declared with a constant, non-positive size (C11 6.7.6.2:1).
+ * There is no main here at all: this file can never be executed, which
+ * is exactly the workload the translation phase exists for — checking
+ * headers and libraries you cannot run. */
+int scratch(void) {
+    int a[3 - 5];
+    a[0] = 1;
+    return a[0];
+}

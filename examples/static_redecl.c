@@ -1,0 +1,11 @@
+/* Same-scope redeclaration with an incompatible type (C11 6.7:3) —
+ * caught at translation time, before anything runs. The division by
+ * zero on the way to it is a decoy: if the evaluator ever executed
+ * this program it would report code 00002 first, so the 00074 report
+ * proves the file was statically doomed and never run. */
+int main(void) {
+    int z = 0;
+    int x = 1 / z;
+    int *x;
+    return 0;
+}

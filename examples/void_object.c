@@ -1,0 +1,11 @@
+/* An object declared with the incomplete type void (C11 6.7:7) —
+ * no storage can be allocated for it, so translation must reject it.
+ * The division by zero above it is a decoy: a dynamic checker would
+ * report 00002 first, so seeing only 00082 proves the program was
+ * never executed. */
+int main(void) {
+    int z = 0;
+    int decoy = 1 / z;
+    void nothing;
+    return 0;
+}

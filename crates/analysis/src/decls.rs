@@ -5,6 +5,7 @@
 //! also the prototype every other check sees.
 
 use cundef_semantics::ast::{Function, TranslationUnit};
+use cundef_semantics::ctype::IntTy;
 use cundef_ub::{UbError, UbKind};
 
 /// Run the declaration pass over a whole unit.
@@ -26,7 +27,7 @@ pub fn check(unit: &TranslationUnit, findings: &mut Vec<UbError>) {
         // `argc`/`argv` form is outside the subset, and nothing else is
         // documented by this implementation).
         if name == "main" {
-            if f.returns_void || f.ret_ptr > 0 {
+            if f.returns_void || f.ret_ptr > 0 || f.ret_scalar != IntTy::Int {
                 findings.push(nonstandard_main(f, "`main` must return `int`"));
             } else if !f.params.is_empty() {
                 findings.push(nonstandard_main(
@@ -73,10 +74,12 @@ fn nonstandard_main(f: &Function, detail: &str) -> UbError {
 }
 
 /// Whether two definitions of one name declare compatible function types
-/// (§6.7.6.3:15): same return shape, same parameter list.
+/// (§6.7.6.3:15): same return shape (including the scalar width), same
+/// parameter list.
 fn compatible_signatures(a: &Function, b: &Function) -> bool {
     a.returns_void == b.returns_void
         && a.ret_ptr == b.ret_ptr
+        && (a.returns_void || a.ret_scalar == b.ret_scalar)
         && a.params.len() == b.params.len()
         && a.params.iter().zip(&b.params).all(|(p, q)| p.ty == q.ty)
 }

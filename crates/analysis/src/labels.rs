@@ -111,8 +111,9 @@ struct SwitchFrame {
     /// see more VLAs than this sit inside a VLA scope the dispatch jump
     /// would enter.
     vla_base: usize,
-    /// Case values seen so far in this switch.
-    seen: Vec<i64>,
+    /// Case values (mathematical values of the folded constants) seen so
+    /// far in this switch.
+    seen: Vec<i128>,
     saw_default: bool,
 }
 
@@ -213,10 +214,17 @@ impl<'a> LabelWalker<'a> {
     }
 
     /// §6.8.4.2:3 — a case expression is an integer constant expression,
-    /// distinct from every other case of the same switch.
+    /// distinct from every other case of the same switch. Duplicates are
+    /// detected on the constants' mathematical values; the stricter
+    /// "same value *after conversion* to the promoted controlling type"
+    /// form (e.g. `case -1:` vs `case 4294967295u:` under an unsigned
+    /// controlling expression) needs the controlling expression's static
+    /// type, which this pass does not compute — such pairs are left to
+    /// the evaluator, whose dispatch does convert (§6.8.4.2:5).
     fn case_label(&mut self, e: cundef_semantics::ast::ExprId, loc: SourceLoc) {
         match const_eval(self.unit, e) {
             Ok(v) => {
+                let v = v.math();
                 let dup = self
                     .switches
                     .last()

@@ -108,6 +108,7 @@ pub fn static_checks() -> &'static [(UbKind, &'static str)] {
         (VoidValueUsed, "types"),
         (VoidDereference, "types"),
         (FunctionObjectPointerCast, "types"),
+        (SizeofInvalidOperand, "types"),
         (CallWrongType, "types"),
         (CallWrongArity, "types"),
         (WriteToConst, "types"),

@@ -22,20 +22,33 @@
 //!   expressions are themselves undefined (§6.7.6.2:1, §6.6:4).
 
 use cundef_semantics::ast::{
-    BinOp, Decl, ExprId, ExprKind, Function, SlotId, Stmt, StmtId, TranslationUnit, Ty,
+    BinOp, Decl, ExprId, ExprKind, Function, SlotId, Stmt, StmtId, TranslationUnit, Ty, UnaryOp,
 };
 use cundef_semantics::consteval::{const_eval, ConstStop};
+use cundef_semantics::ctype::{IntTy, SIZE_T};
 use cundef_semantics::intern::Symbol;
 use cundef_ub::{SourceLoc, UbError, UbKind};
 
+/// What sits at the bottom of a pointer chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Base {
+    /// `void` under the stars (`void *` is `Ptr { depth: 1, base: Void }`).
+    Void,
+    /// An integer type of the LP64 lattice.
+    Scalar(IntTy),
+}
+
 /// The analyzer's value types: what an expression would evaluate to.
+/// This is the full lattice of the subset — every integer type of
+/// [`IntTy`] plus pointers that remember both their depth and their
+/// pointee's base type, so call-argument and conversion checks are
+/// width-aware.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Type {
-    /// 32-bit `int`.
-    Int,
-    /// Pointer of the given depth; `void_base` marks `void` under the
-    /// stars (`void *` is `Ptr { depth: 1, void_base: true }`).
-    Ptr { depth: u8, void_base: bool },
+    /// An integer type of the LP64 lattice.
+    Scalar(IntTy),
+    /// Pointer of the given depth over the given base.
+    Ptr { depth: u8, base: Base },
     /// The value of a `void` expression — using it is a finding.
     Void,
     /// Outside the analyzable fragment (undeclared names, dynamic
@@ -192,7 +205,7 @@ impl<'a> TypeWalker<'a> {
         if let Some(size) = d.array_size {
             if d.const_size {
                 match const_eval(self.unit, size) {
-                    Ok(n) if n <= 0 => self.report(
+                    Ok(n) if n.math() <= 0 => self.report(
                         UbKind::ArraySizeNotPositive,
                         d.loc,
                         format!("array `{dname}` declared with size {n}"),
@@ -281,7 +294,46 @@ impl<'a> TypeWalker<'a> {
         let expr = self.unit.expr(e);
         let loc = expr.loc;
         match &expr.kind {
-            ExprKind::IntLit(_) => Type::Int,
+            ExprKind::IntLit(c) => Type::Scalar(c.ty),
+            ExprKind::SizeofType(ty) => {
+                // §6.5.3.4:1 — sizeof needs a complete object type; bare
+                // `void` is not one.
+                if ty.ptr_depth() == 0 && *ty.base() == Ty::Void {
+                    self.report(
+                        UbKind::SizeofInvalidOperand,
+                        loc,
+                        "`sizeof` applied to the incomplete type `void`".into(),
+                    );
+                    return Type::Unknown;
+                }
+                Type::Scalar(SIZE_T)
+            }
+            ExprKind::SizeofExpr(a) => {
+                // §6.5.3.4:1 — the operand shall not be a function
+                // designator or have an incomplete (void) type. The
+                // operand is unevaluated, but type constraints still
+                // apply to the program text.
+                if let ExprKind::Ident(sym) = self.unit.expr(*a).kind {
+                    if self.is_function(sym) {
+                        let n = self.name(sym);
+                        self.report(
+                            UbKind::SizeofInvalidOperand,
+                            loc,
+                            format!("`sizeof` applied to the function designator `{n}`"),
+                        );
+                        return Type::Unknown;
+                    }
+                }
+                if self.ty_of(*a) == Type::Void {
+                    self.report(
+                        UbKind::SizeofInvalidOperand,
+                        loc,
+                        "`sizeof` applied to a void expression".into(),
+                    );
+                    return Type::Unknown;
+                }
+                Type::Scalar(SIZE_T)
+            }
             ExprKind::Ident(sym) => {
                 // The resolver left this unbound: either undeclared
                 // (lazy, the evaluator's business) or a function
@@ -298,12 +350,14 @@ impl<'a> TypeWalker<'a> {
                 Type::Unknown
             }
             ExprKind::Slot(slot, _) => self.slot_type(*slot),
-            ExprKind::Unary(_, a) => {
+            ExprKind::Unary(op, a) => {
                 let t = self.value(*a);
-                if t == Type::Int {
-                    Type::Int
-                } else {
-                    Type::Unknown
+                match (op, t) {
+                    // `!` yields int; `-`/`~` yield the promoted operand
+                    // type (§6.5.3.3).
+                    (UnaryOp::Not, _) => Type::Scalar(IntTy::Int),
+                    (_, Type::Scalar(it)) => Type::Scalar(it.promote()),
+                    _ => Type::Unknown,
                 }
             }
             ExprKind::Binary(op, a, b) => {
@@ -314,16 +368,18 @@ impl<'a> TypeWalker<'a> {
             ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
                 self.value(*a);
                 self.value(*b);
-                Type::Int
+                Type::Scalar(IntTy::Int)
             }
             ExprKind::Conditional(c, t, f) => {
                 self.value(*c);
                 let tt = self.ty_of(*t);
                 let tf = self.ty_of(*f);
-                if tt == tf {
-                    tt
-                } else {
-                    Type::Unknown
+                match (tt, tf) {
+                    _ if tt == tf => tt,
+                    // §6.5.15:5 — both arithmetic: the usual arithmetic
+                    // conversions decide the result type.
+                    (Type::Scalar(x), Type::Scalar(y)) => Type::Scalar(IntTy::usual_arith(x, y)),
+                    _ => Type::Unknown,
                 }
             }
             ExprKind::Assign(place, _, rhs) => {
@@ -359,13 +415,13 @@ impl<'a> TypeWalker<'a> {
                     }
                 }
                 match self.ty_of(*a) {
-                    Type::Int => Type::Ptr {
+                    Type::Scalar(it) => Type::Ptr {
                         depth: 1,
-                        void_base: false,
+                        base: Base::Scalar(it),
                     },
-                    Type::Ptr { depth, void_base } => Type::Ptr {
+                    Type::Ptr { depth, base } => Type::Ptr {
                         depth: depth.saturating_add(1),
-                        void_base,
+                        base,
                     },
                     _ => Type::Unknown,
                 }
@@ -439,7 +495,7 @@ impl<'a> TypeWalker<'a> {
             return match name {
                 "malloc" => Type::Ptr {
                     depth: 1,
-                    void_base: false,
+                    base: Base::Scalar(IntTy::Int),
                 },
                 "free" => Type::Void,
                 _ => Type::Unknown,
@@ -476,15 +532,19 @@ impl<'a> TypeWalker<'a> {
                 );
             }
         }
-        if func.returns_void {
+        if func.returns_void && func.ret_ptr == 0 {
             Type::Void
         } else if func.ret_ptr > 0 {
             Type::Ptr {
                 depth: func.ret_ptr,
-                void_base: false,
+                base: if func.returns_void {
+                    Base::Void
+                } else {
+                    Base::Scalar(func.ret_scalar)
+                },
             }
         } else {
-            Type::Int
+            Type::Scalar(func.ret_scalar)
         }
     }
 
@@ -492,7 +552,7 @@ impl<'a> TypeWalker<'a> {
         match t {
             Type::Ptr {
                 depth: 1,
-                void_base: true,
+                base: Base::Void,
             } => {
                 // §6.3.2.1 / catalog entry 45 — the pointed-to value of
                 // a `void *` cannot be used.
@@ -503,10 +563,13 @@ impl<'a> TypeWalker<'a> {
                 );
                 Type::Unknown
             }
-            Type::Ptr { depth: 1, .. } => Type::Int,
-            Type::Ptr { depth, void_base } => Type::Ptr {
+            Type::Ptr {
+                depth: 1,
+                base: Base::Scalar(it),
+            } => Type::Scalar(it),
+            Type::Ptr { depth, base } => Type::Ptr {
                 depth: depth - 1,
-                void_base,
+                base,
             },
             _ => Type::Unknown,
         }
@@ -516,7 +579,7 @@ impl<'a> TypeWalker<'a> {
         match &self.slots[slot.index()] {
             Some(info) if info.is_array => Type::Ptr {
                 depth: info.ty.ptr_depth().saturating_add(1),
-                void_base: *info.ty.base() == Ty::Void,
+                base: base_of_ty(&info.ty),
             },
             Some(info) => type_of_ty(&info.ty),
             None => Type::Unknown,
@@ -533,13 +596,20 @@ impl<'a> TypeWalker<'a> {
     }
 }
 
+fn base_of_ty(ty: &Ty) -> Base {
+    match ty.base() {
+        Ty::Int(it) => Base::Scalar(*it),
+        _ => Base::Void,
+    }
+}
+
 fn type_of_ty(ty: &Ty) -> Type {
     match ty {
-        Ty::Int => Type::Int,
+        Ty::Int(it) => Type::Scalar(*it),
         Ty::Void => Type::Void,
         Ty::Ptr(_) => Type::Ptr {
             depth: ty.ptr_depth(),
-            void_base: *ty.base() == Ty::Void,
+            base: base_of_ty(ty),
         },
     }
 }
@@ -547,38 +617,49 @@ fn type_of_ty(ty: &Ty) -> Type {
 fn binary_type(op: BinOp, ta: Type, tb: Type) -> Type {
     use BinOp::*;
     match (ta, tb) {
-        (Type::Int, Type::Int) => Type::Int,
-        (p @ Type::Ptr { .. }, Type::Int) if matches!(op, Add | Sub) => p,
-        (Type::Int, p @ Type::Ptr { .. }) if op == Add => p,
-        // Subtraction and comparisons of pointers yield `int` here.
-        (Type::Ptr { .. }, Type::Ptr { .. }) => Type::Int,
+        (Type::Scalar(a), Type::Scalar(b)) => match op {
+            // §6.5.8/§6.5.9 — comparisons yield int.
+            Lt | Le | Gt | Ge | Eq | Ne => Type::Scalar(IntTy::Int),
+            // §6.5.7:3 — shifts take the promoted *left* operand's type.
+            Shl | Shr => Type::Scalar(a.promote()),
+            // Everything else goes through the usual arithmetic
+            // conversions.
+            _ => Type::Scalar(IntTy::usual_arith(a, b)),
+        },
+        (p @ Type::Ptr { .. }, Type::Scalar(_)) if matches!(op, Add | Sub) => p,
+        (Type::Scalar(_), p @ Type::Ptr { .. }) if op == Add => p,
+        // Pointer subtraction yields ptrdiff_t — `long` on LP64
+        // (§6.5.6:9); pointer comparisons yield int.
+        (Type::Ptr { .. }, Type::Ptr { .. }) if op == Sub => Type::Scalar(IntTy::Long),
+        (Type::Ptr { .. }, Type::Ptr { .. }) if matches!(op, Lt | Le | Gt | Ge | Eq | Ne) => {
+            Type::Scalar(IntTy::Int)
+        }
         _ => Type::Unknown,
     }
 }
 
 /// Whether an argument of type `ta` may initialize a parameter of type
-/// `pt` (§6.5.2.2:2 via §6.5.16.1): identical types, any pointer for
-/// `void *` (either direction), or the null pointer constant `0`.
+/// `pt` (§6.5.2.2:2 via §6.5.16.1): any arithmetic type converts to any
+/// other (implicitly, at worst implementation-defined — never a
+/// constraint violation), `void *` accepts and provides any object
+/// pointer, the null pointer constant `0` converts to any pointer, and
+/// other pointers must match in depth *and* pointee base type — `long *`
+/// does not initialize `int *`.
 fn arg_compatible(ta: Type, pt: Type, arg: &ExprKind) -> bool {
+    const VOID_PTR: Type = Type::Ptr {
+        depth: 1,
+        base: Base::Void,
+    };
     match (ta, pt) {
         (Type::Unknown, _) | (_, Type::Unknown) => true,
         (a, b) if a == b => true,
-        (Type::Int, Type::Ptr { .. }) => matches!(arg, ExprKind::IntLit(0)),
-        (
-            Type::Ptr { .. },
-            Type::Ptr {
-                depth: 1,
-                void_base: true,
-            },
-        ) => true,
-        (
-            Type::Ptr {
-                depth: 1,
-                void_base: true,
-            },
-            Type::Ptr { .. },
-        ) => true,
-        (Type::Ptr { depth: a, .. }, Type::Ptr { depth: b, .. }) => a == b,
+        (Type::Scalar(_), Type::Scalar(_)) => true,
+        (Type::Scalar(_), Type::Ptr { .. }) => {
+            matches!(arg, ExprKind::IntLit(c) if c.is_zero())
+        }
+        (Type::Ptr { .. }, p) if p == VOID_PTR => true,
+        (p, Type::Ptr { .. }) if p == VOID_PTR => true,
+        (Type::Ptr { depth: a, base: ab }, Type::Ptr { depth: b, base: bb }) => a == b && ab == bb,
         _ => false,
     }
 }
@@ -701,6 +782,71 @@ mod tests {
         // The null pointer constant converts to any pointer type.
         assert_eq!(
             kinds_of("int f(int *p) { return p == 0; } int main(void) { return f(0); }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn pointer_arguments_match_on_width_not_just_depth() {
+        // `long *` does not initialize `int *` (§6.5.16.1:1) — the
+        // lattice now sees the pointee width.
+        assert_eq!(
+            kinds_of(
+                "int deref(int *p) { return *p; } \
+                 int main(void) { long v = 1; return deref(&v); }"
+            ),
+            vec![UbKind::CallWrongType]
+        );
+        // Matching base types are fine at any width…
+        assert_eq!(
+            kinds_of(
+                "long deref(long *p) { return *p; } \
+                 int main(void) { long v = 1; return deref(&v) == 1; }"
+            ),
+            vec![]
+        );
+        // …and `void *` still accepts (and provides) any object pointer.
+        assert_eq!(
+            kinds_of(
+                "int take(void *p) { return p != 0; } \
+                 int main(void) { long v = 1; return take(&v); }"
+            ),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn scalar_arguments_convert_implicitly_at_any_width() {
+        // Arithmetic-to-arithmetic argument passing is never a
+        // constraint violation: the conversion is implicit (at worst
+        // implementation-defined).
+        assert_eq!(
+            kinds_of(
+                "int f(char c) { return c; } int g(long l) { return l == 0; } \
+                 int main(void) { return f(300) + g(7); }"
+            ),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn sizeof_constraints_are_static_findings() {
+        // §6.5.3.4:1 — no sizeof of void or of a function designator.
+        assert_eq!(
+            kinds_of("int main(void) { return sizeof(void); }"),
+            vec![UbKind::SizeofInvalidOperand]
+        );
+        assert_eq!(
+            kinds_of("int f(void) { return 1; } int main(void) { return sizeof f; }"),
+            vec![UbKind::SizeofInvalidOperand]
+        );
+        assert_eq!(
+            kinds_of("void q(void) { return; } int main(void) { return sizeof(q()); }"),
+            vec![UbKind::SizeofInvalidOperand]
+        );
+        // Ordinary sizeof uses are clean, and type as size_t.
+        assert_eq!(
+            kinds_of("int main(void) { int x = 1; return sizeof x == sizeof(int); }"),
             vec![]
         );
     }

@@ -119,6 +119,65 @@ pub fn standard() -> Vec<Program> {
     ]
 }
 
+/// Promotion-heavy loop: every operation involves sub-`int` operands
+/// (`char`, `short`, `_Bool`), so each step exercises the integer
+/// promotions plus a narrowing store conversion. All stores stay in
+/// range (no implementation-defined wraps) and the program is free of
+/// undefined behavior.
+pub fn promotion_loop(n: u32) -> String {
+    format!(
+        "int main(void) {{\n\
+         \x20 char c = 7;\n\
+         \x20 short s = 11;\n\
+         \x20 _Bool flip = 0;\n\
+         \x20 int acc = 0;\n\
+         \x20 for (int i = 0; i < {n}; i++) {{\n\
+         \x20   c = (acc + i) % 100;\n\
+         \x20   s = c * 3 + (i % 50);\n\
+         \x20   flip = s & 1;\n\
+         \x20   acc = (acc + c + s + flip) % 30000;\n\
+         \x20 }}\n\
+         \x20 return acc & 127;\n\
+         }}\n"
+    )
+}
+
+/// Mixed-width loop: `unsigned int` wraparound (defined, exercised on
+/// purpose), `long` accumulation, per-width shifts, and conversions at
+/// every store — the usual-arithmetic-conversion hot path.
+pub fn mixed_width_loop(n: u32) -> String {
+    format!(
+        "int main(void) {{\n\
+         \x20 unsigned int u = 2463534242u;\n\
+         \x20 long l = 0;\n\
+         \x20 int s = 0;\n\
+         \x20 for (int i = 0; i < {n}; i++) {{\n\
+         \x20   u = u * 2654435761u + i;\n\
+         \x20   l = (l + u) % 1000000007L;\n\
+         \x20   s = (s + (l & 255) + (u >> 16)) % 65536;\n\
+         \x20 }}\n\
+         \x20 return s & 127;\n\
+         }}\n"
+    )
+}
+
+/// The typed-scalar corpus for the `types/*` benchmark group: the
+/// promotion/conversion machinery at the same scale as the standard
+/// corpus, so `check/*` vs `types/*` isolates what the lattice costs.
+pub fn typed() -> Vec<Program> {
+    let n = 2000;
+    vec![
+        Program {
+            name: format!("promos/n{n}"),
+            source: promotion_loop(n),
+        },
+        Program {
+            name: format!("mixed/n{n}"),
+            source: mixed_width_loop(n),
+        },
+    ]
+}
+
 /// A `switch` with `n` cases plus labels and gotos: stresses the
 /// analyzer's label pass (case constant-folding, duplicate detection)
 /// and the evaluator's dispatch scan. Free of violations.
@@ -200,6 +259,13 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
         assert!(names[0].starts_with("arith/"));
+    }
+
+    #[test]
+    fn typed_corpus_names_are_unique_and_stable() {
+        let names: Vec<_> = typed().into_iter().map(|p| p.name).collect();
+        assert!(names[0].starts_with("promos/"));
+        assert!(names[1].starts_with("mixed/"));
     }
 
     #[test]

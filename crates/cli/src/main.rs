@@ -268,7 +268,16 @@ fn check_file(path: &str, quiet: bool, phase: Phase) -> FileReport {
             stderr: err,
         };
     }
-    let verdict = match Interp::new(&unit, Limits::default()).run_main() {
+    let mut interp = Interp::new(&unit, Limits::default());
+    let outcome = interp.run_main();
+    // Implementation-defined conversion notes (§6.3.1.3:3 — narrowing
+    // conversions this implementation resolves by two's-complement wrap)
+    // print before the verdict: they describe defined behavior the
+    // program relied on, whatever the verdict turns out to be.
+    for (loc, msg) in interp.notes() {
+        let _ = writeln!(out, "{path}:{loc}: note: {msg}");
+    }
+    let verdict = match outcome {
         Outcome::Completed(exit) => {
             if !quiet {
                 let _ = writeln!(

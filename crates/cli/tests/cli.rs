@@ -50,6 +50,7 @@ fn detects_every_readme_family_across_examples() {
         ("examples/case_dup.c", "00083"),
         ("examples/neg_array_static.c", "00070"),
         ("examples/void_object.c", "00082"),
+        ("examples/shift_long.c", "00007"),
     ];
     for (file, code) in cases {
         let out = cundef(&[file]);
@@ -70,12 +71,70 @@ fn detects_every_readme_family_across_examples() {
     }
 }
 
+/// Examples that are fully defined programs: they must exit 0 in every
+/// mode. `unsigned_wrap.c` is the width-awareness acceptance case — a
+/// width-naive engine reports false SignedOverflow on it.
+const DEFINED_EXAMPLES: [&str; 4] = [
+    "examples/defined.c",
+    "examples/unsigned_wrap.c",
+    "examples/narrow_conv.c",
+    "examples/sizeof_expr.c",
+];
+
 #[test]
 fn defined_program_exits_zero() {
     let out = cundef(&["examples/defined.c"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("no undefined behavior"), "{stdout}");
+}
+
+#[test]
+fn typed_examples_are_defined_in_every_mode() {
+    for file in DEFINED_EXAMPLES {
+        for mode in [
+            &[file][..],
+            &["--batch", file][..],
+            &["--phase", "translation", file][..],
+            &["--phase", "execution", file][..],
+        ] {
+            let out = cundef(mode);
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "{file} {mode:?} must be defined\n{stdout}"
+            );
+        }
+    }
+}
+
+#[test]
+fn narrowing_conversions_print_notes_not_verdicts() {
+    let out = cundef(&["examples/narrow_conv.c"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("note: implementation-defined"), "{stdout}");
+    assert!(stdout.contains("`char`"), "{stdout}");
+    assert!(stdout.contains("`short`"), "{stdout}");
+    // Defined conversions (to unsigned, to _Bool) get no note.
+    assert!(!stdout.contains("unsigned char"), "{stdout}");
+    assert!(!stdout.contains("_Bool"), "{stdout}");
+}
+
+#[test]
+fn long_shift_misuse_reports_width_64() {
+    let out = cundef(&["examples/shift_long.c"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Error: 00007"), "{stdout}");
+    assert!(
+        stdout.contains("shift amount 64 >= width 64"),
+        "the verdict must be at the promoted left operand's width:\n{stdout}"
+    );
+    // The defined 32..62-bit shifts earlier in the file are decoys: the
+    // report must point at the real line.
+    assert!(stdout.contains("Line: 10"), "{stdout}");
 }
 
 #[test]

@@ -33,11 +33,26 @@ fn workspace_root() -> PathBuf {
 fn main() {
     let mut c = Criterion::from_args();
     let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    // `--min-check-geomean X` (used by CI): after a real run, fail unless
+    // the geomean speedup of the `check/*` group vs the recorded baseline
+    // is at least X. Guards against a refactor regressing the evaluator
+    // by whole factors while tolerating runner-to-runner variance.
+    let min_check_geomean = {
+        let mut args = std::env::args();
+        let mut found = None;
+        while let Some(a) = args.next() {
+            if a == "--min-check-geomean" {
+                found = args.next().and_then(|v| v.parse::<f64>().ok());
+            }
+        }
+        found
+    };
     let programs = corpus::standard();
+    let typed = corpus::typed();
 
     // The corpus is meant to exercise the *defined* fast path; a program
     // that stops early would silently benchmark much less work.
-    for p in &programs {
+    for p in programs.iter().chain(&typed) {
         let outcome = check_translation_unit(&p.source)
             .unwrap_or_else(|e| panic!("{}: corpus program failed to parse: {e}", p.name));
         assert!(
@@ -55,13 +70,21 @@ fn main() {
             b.iter(|| check_translation_unit(black_box(&p.source)).expect("corpus parses"))
         });
     }
+    // The typed-scalar group: promotion-heavy and mixed-width programs
+    // through the full pipeline, so the lattice's cost is tracked
+    // separately from the historic all-`int` corpus.
+    for p in &typed {
+        c.bench_function(&format!("types/{}", p.name), |b| {
+            b.iter(|| check_translation_unit(black_box(&p.source)).expect("corpus parses"))
+        });
+    }
 
     // Translation-phase throughput: the analyzer over pre-parsed units —
     // the hot path of `cundef --phase translation` across a codebase.
     // The standard corpus must stay analysis-clean (it is executed
     // above); the analysis corpus includes statically-violating programs
     // so reporting is measured too.
-    for p in &programs {
+    for p in programs.iter().chain(&typed) {
         let unit = parser::parse(&p.source).expect("corpus parses");
         assert!(
             cundef_analysis::analyze(&unit).is_empty(),
@@ -148,4 +171,26 @@ fn main() {
     let out_path = workspace_root().join("BENCH_eval.json");
     std::fs::write(&out_path, out).expect("write BENCH_eval.json");
     eprintln!("wrote {}", out_path.display());
+
+    if let Some(min) = min_check_geomean {
+        let mut ratios = Vec::new();
+        for b in baseline.iter().filter(|b| b.name.starts_with("check/")) {
+            if let Some(cur) = c.results().iter().find(|m| m.name == b.name) {
+                ratios.push(b.median_ns / cur.median_ns);
+            }
+        }
+        assert!(
+            !ratios.is_empty(),
+            "--min-check-geomean requires check/* entries in benches/baseline.json"
+        );
+        let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        eprintln!("check/* geomean speedup vs recorded baseline: {geomean:.2} (floor {min})");
+        if geomean < min {
+            eprintln!(
+                "FAIL: the evaluator's check/* geomean fell below the floor — \
+                 the refactor regressed the hot path"
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -12,6 +12,7 @@
 //! unit therefore performs O(1) large allocations instead of one per
 //! node, and walking the tree touches contiguous memory.
 
+use crate::ctype::{CInt, IntTy};
 use crate::intern::{Interner, Symbol};
 use cundef_ub::SourceLoc;
 
@@ -23,7 +24,8 @@ pub struct ExprId(pub(crate) u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StmtId(pub(crate) u32);
 
-/// A type in the subset: `int`, `void`, or finitely-nested pointers.
+/// A type in the subset: an integer type of the LP64 lattice, `void`, or
+/// finitely-nested pointers.
 ///
 /// Arrays are not first-class types here; they exist only in declarations
 /// (see [`Decl::array_size`]) and decay to pointers everywhere else,
@@ -32,8 +34,9 @@ pub struct StmtId(pub(crate) u32);
 /// translation-phase analyzer rejects objects declared with it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Ty {
-    /// The 32-bit signed `int` type.
-    Int,
+    /// An integer type of the [`IntTy`] lattice (`_Bool`, `char`,
+    /// signed/unsigned `short`/`int`/`long`/`long long`).
+    Int(IntTy),
     /// The incomplete `void` type.
     Void,
     /// A pointer to another type in the subset.
@@ -41,10 +44,13 @@ pub enum Ty {
 }
 
 impl Ty {
+    /// The plain `int` type, the subset's historic default.
+    pub const INT: Ty = Ty::Int(IntTy::Int);
+
     /// Pointer depth: 0 for `int`/`void`, 1 for `int *`, 2 for `int **`, …
     pub fn ptr_depth(&self) -> u8 {
         match self {
-            Ty::Int | Ty::Void => 0,
+            Ty::Int(_) | Ty::Void => 0,
             Ty::Ptr(inner) => 1 + inner.ptr_depth(),
         }
     }
@@ -54,6 +60,15 @@ impl Ty {
         match self {
             Ty::Ptr(inner) => inner.base(),
             other => other,
+        }
+    }
+
+    /// The scalar type at the bottom of the pointer chain, if it is an
+    /// integer type (`None` for a `void` base).
+    pub fn base_scalar(&self) -> Option<IntTy> {
+        match self.base() {
+            Ty::Int(it) => Some(*it),
+            _ => None,
         }
     }
 }
@@ -151,8 +166,8 @@ pub struct Expr {
 /// The shape of an expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExprKind {
-    /// Integer constant.
-    IntLit(i64),
+    /// Integer or character constant, typed by the lexer (§6.4.4.1).
+    IntLit(CInt),
     /// Identifier reference that the resolution pass could not bind to a
     /// declaration. Evaluating it reports an undeclared identifier — at
     /// runtime, so unreached dead code stays unreported, exactly as
@@ -188,6 +203,13 @@ pub enum ExprKind {
     Call(Symbol, Vec<ExprId>),
     /// Comma operator with its sequence point (§6.5.17:2).
     Comma(ExprId, ExprId),
+    /// `sizeof ( type-name )` (§6.5.3.4) — a constant of type `size_t`
+    /// (`unsigned long` on LP64).
+    SizeofType(Ty),
+    /// `sizeof unary-expression` (§6.5.3.4). The operand is *not*
+    /// evaluated (the subset has no VLA-typed expressions to except);
+    /// only its type is computed.
+    SizeofExpr(ExprId),
 }
 
 /// A frame-relative variable slot assigned by the resolution pass.
@@ -314,6 +336,10 @@ pub struct Function {
     /// Pointer depth of the return type (`int *f(void)` has 1). Zero for
     /// plain `int` and for `void`.
     pub ret_ptr: u8,
+    /// Scalar base of the return type (`long f(void)` has [`IntTy::Long`];
+    /// also the pointee base for pointer returns). [`IntTy::Int`] for
+    /// `void` functions, where it is meaningless.
+    pub ret_scalar: IntTy,
     /// Whether the definition carries the `static` storage-class
     /// specifier (internal linkage, §6.2.2:3).
     pub is_static: bool,

@@ -3,16 +3,19 @@
 //!
 //! Two layers live here:
 //!
-//! - [`int_arith`] / [`int_neg`] — the *shared arithmetic core*: 32-bit
-//!   `int` semantics with every undefined case (overflow, division by
-//!   zero, the four shift rules) reported as a `(UbKind, detail)` pair.
-//!   The evaluator uses it at run time and [`const_eval`] uses it at
+//! - [`arith`] / [`neg`] / [`bit_not`] — the *shared arithmetic core*:
+//!   typed integer semantics over the LP64 lattice in [`crate::ctype`],
+//!   with the integer promotions and usual arithmetic conversions applied
+//!   exactly once, unsigned wraparound evaluated as defined behavior, and
+//!   every undefined case (signed overflow, division by zero, the
+//!   per-width shift rules) reported as a `(UbKind, detail)` pair. The
+//!   evaluator uses it at run time and [`const_eval`] uses it at
 //!   translation time, so the two phases can never disagree about what
-//!   `1 << 40` means.
+//!   `1 << 31` or `1u << 31` means.
 //! - [`const_eval`] — the constant-expression engine: evaluates the
 //!   subset of expressions §6.6 admits (constants, arithmetic, `&&`/`||`
-//!   with their short circuits, `?:`). Anything else — identifiers,
-//!   assignments, calls, the comma operator (§6.6:3) — is
+//!   with their short circuits, `?:`, `sizeof(type)`). Anything else —
+//!   identifiers, assignments, calls, the comma operator (§6.6:3) — is
 //!   [`ConstStop::NotConst`]. An undefined operation *inside* a constant
 //!   expression violates §6.6:4 ("each constant expression shall
 //!   evaluate to a constant in the range of representable values") and
@@ -21,14 +24,12 @@
 //!
 //! This is what lets the translation-phase analyzer diagnose
 //! `int a[1 << 40];` or a division by zero in a `case` label in code
-//! that is never executed.
+//! that is never executed — at the right width: `long a = 1L << 40;` is
+//! defined, `int a[1 << 40]` is not.
 
-use crate::ast::{BinOp, ExprId, ExprKind, TranslationUnit, UnaryOp};
+use crate::ast::{BinOp, ExprId, ExprKind, TranslationUnit, Ty, UnaryOp};
+use crate::ctype::{CInt, IntTy, PTR_BYTES, SIZE_T};
 use cundef_ub::{SourceLoc, UbKind};
-
-const INT_MIN: i64 = i32::MIN as i64;
-const INT_MAX: i64 = i32::MAX as i64;
-const INT_WIDTH: i64 = 32;
 
 /// Why an expression has no translation-time value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,112 +49,274 @@ pub enum ConstStop {
     },
 }
 
-/// `-n` in 32-bit `int` arithmetic.
-pub fn int_neg(n: i64) -> Result<i64, (UbKind, String)> {
-    let r = -n;
-    if !(INT_MIN..=INT_MAX).contains(&r) {
+/// `-e` after the integer promotions. Negating the most negative value
+/// of a signed type overflows (§6.5:5); negating an unsigned value wraps
+/// by definition (§6.2.5:9) and is defined.
+pub fn neg(a: CInt) -> Result<CInt, (UbKind, String)> {
+    if a.ty == IntTy::Int {
+        // Fast lane, mirroring the general path at type `int`.
+        let v = a.math_i32();
+        if v == i32::MIN as i64 {
+            return Err((
+                UbKind::SignedOverflow,
+                format!("-({v}) is not representable in int"),
+            ));
+        }
+        return Ok(CInt::int(-v));
+    }
+    let a = a.promoted();
+    let r = -a.math();
+    if a.ty.is_signed() && !a.ty.contains(r) {
         return Err((
             UbKind::SignedOverflow,
-            format!("-({n}) is not representable in int"),
+            format!("-({a}) is not representable in {}", a.ty.name()),
         ));
     }
-    Ok(r)
+    Ok(CInt::new(r, a.ty))
 }
 
-/// `a <op> b` in 32-bit `int` arithmetic, with every undefined case
-/// reported: §6.5:5 (overflow), §6.5.5:5/:6 (division), §6.5.7:3/:4
-/// (shifts).
+/// `~e` after the integer promotions — always representable.
+pub fn bit_not(a: CInt) -> Result<CInt, (UbKind, String)> {
+    let a = a.promoted();
+    Ok(CInt::new(!a.math(), a.ty))
+}
+
+/// `a <op> b` in typed integer arithmetic, with every undefined case
+/// reported: §6.5:5 (signed overflow at the converted type), §6.5.5:5/:6
+/// (division), §6.5.7:3/:4 (shifts, checked against the width of the
+/// *promoted left operand*). Unsigned results wrap — defined behavior,
+/// never a verdict.
 ///
 /// # Examples
 ///
 /// ```
-/// use cundef_semantics::consteval::int_arith;
+/// use cundef_semantics::consteval::arith;
 /// use cundef_semantics::ast::BinOp;
+/// use cundef_semantics::ctype::{CInt, IntTy};
 /// use cundef_ub::UbKind;
 ///
-/// assert_eq!(int_arith(BinOp::Add, 2, 2), Ok(4));
-/// assert_eq!(int_arith(BinOp::Div, 1, 0).unwrap_err().0, UbKind::DivisionByZero);
-/// assert_eq!(int_arith(BinOp::Shl, 1, 40).unwrap_err().0, UbKind::ShiftTooFar);
+/// let i = |v| CInt::new(v, IntTy::Int);
+/// assert_eq!(arith(BinOp::Add, i(2), i(2)).unwrap().math(), 4);
+/// assert_eq!(arith(BinOp::Div, i(1), i(0)).unwrap_err().0, UbKind::DivisionByZero);
+/// // `1 << 31` overflows int, but `1u << 31` is defined…
+/// assert_eq!(arith(BinOp::Shl, i(1), i(31)).unwrap_err().0, UbKind::ShiftOverflow);
+/// let u1 = CInt::new(1, IntTy::UInt);
+/// assert_eq!(arith(BinOp::Shl, u1, i(31)).unwrap().math(), 2147483648);
+/// // …and a long shift is checked at width 64.
+/// let l1 = CInt::new(1, IntTy::Long);
+/// assert_eq!(arith(BinOp::Shl, l1, i(40)).unwrap().math(), 1i128 << 40);
+/// assert_eq!(arith(BinOp::Shl, l1, i(64)).unwrap_err().0, UbKind::ShiftTooFar);
 /// ```
-pub fn int_arith(op: BinOp, a: i64, b: i64) -> Result<i64, (UbKind, String)> {
+#[inline]
+pub fn arith(op: BinOp, a: CInt, b: CInt) -> Result<CInt, (UbKind, String)> {
+    // Fast lane for the overwhelmingly common `int <op> int` case: plain
+    // i64 arithmetic with an i32 range check, no promotion or conversion
+    // machinery. Semantically identical to the general path below (the
+    // differential suite holds both to that).
+    if a.ty == IntTy::Int && b.ty == IntTy::Int {
+        return arith_int(op, a.math_i32(), b.math_i32());
+    }
+    arith_general(op, a, b)
+}
+
+/// The general, any-width path of [`arith`]: promotions, usual
+/// arithmetic conversions, and per-width checks over `i128` math.
+fn arith_general(op: BinOp, a: CInt, b: CInt) -> Result<CInt, (UbKind, String)> {
     use BinOp::*;
-    let wide = match op {
-        Add => a + b,
-        Sub => a - b,
-        Mul => a * b,
+    match op {
+        Shl | Shr => {
+            // §6.5.7:3 — the integer promotions are performed on each
+            // operand separately; the result has the type of the
+            // promoted *left* operand, whose width bounds the count.
+            let a = a.promoted();
+            let s = b.promoted().math();
+            let width = a.ty.width() as i128;
+            if s < 0 {
+                return Err((
+                    UbKind::ShiftByNegative,
+                    format!("shift amount {s} is negative"),
+                ));
+            }
+            if s >= width {
+                return Err((
+                    UbKind::ShiftTooFar,
+                    format!("shift amount {s} >= width {width}"),
+                ));
+            }
+            let v = a.math();
+            if op == Shl {
+                if a.ty.is_signed() && v < 0 {
+                    return Err((
+                        UbKind::ShiftOfNegative,
+                        format!("left shift of negative value {v}"),
+                    ));
+                }
+                let r = v << s; // fits: |v| < 2^64 and s < 64, so r < 2^128
+                if a.ty.is_signed() && !a.ty.contains(r) {
+                    return Err((
+                        UbKind::ShiftOverflow,
+                        format!("{v} << {s} is not representable in {}", a.ty.name()),
+                    ));
+                }
+                // Unsigned left shift wraps modulo 2^width (§6.5.7:4).
+                Ok(CInt::new(r, a.ty))
+            } else {
+                // Right shift of a negative value is implementation-
+                // defined, not undefined (§6.5.7:5); model arithmetic
+                // shift like every mainstream implementation. Unsigned
+                // right shift is logical by construction of `math`.
+                Ok(CInt::new(v >> s, a.ty))
+            }
+        }
+        Lt | Le | Gt | Ge | Eq | Ne => {
+            // The usual arithmetic conversions apply (§6.5.8:3, §6.5.9:4)
+            // — this is where `-1 < 1u` becomes 0: the -1 converts to
+            // UINT_MAX first. The result type is `int`.
+            let ct = IntTy::usual_arith(a.ty, b.ty);
+            let x = a.convert(ct).0.math();
+            let y = b.convert(ct).0.math();
+            let t = match op {
+                Lt => x < y,
+                Le => x <= y,
+                Gt => x > y,
+                Ge => x >= y,
+                Eq => x == y,
+                _ => x != y,
+            };
+            Ok(CInt::int(t as i64))
+        }
+        Add | Sub | Mul | Div | Rem | BitAnd | BitXor | BitOr => {
+            let ct = IntTy::usual_arith(a.ty, b.ty);
+            let x = a.convert(ct).0.math();
+            let y = b.convert(ct).0.math();
+            let r = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                BitAnd => x & y,
+                BitXor => x ^ y,
+                BitOr => x | y,
+                Div | Rem => {
+                    if y == 0 {
+                        let kind = if op == Div {
+                            UbKind::DivisionByZero
+                        } else {
+                            UbKind::ModuloByZero
+                        };
+                        return Err((kind, format!("{x} {} 0", symbol(op))));
+                    }
+                    if ct.is_signed() && x == ct.min() && y == -1 {
+                        return Err((
+                            UbKind::DivisionOverflow,
+                            format!("{x} {} -1 is not representable", symbol(op)),
+                        ));
+                    }
+                    if op == Div {
+                        x / y
+                    } else {
+                        x % y
+                    }
+                }
+                Shl | Shr | Lt | Le | Gt | Ge | Eq | Ne => unreachable!("handled above"),
+            };
+            if ct.is_signed() && !ct.contains(r) {
+                // §6.5:5 — an exceptional condition at the operands'
+                // converted type. Unsigned arithmetic never gets here:
+                // it wraps by definition (§6.2.5:9).
+                return Err((
+                    UbKind::SignedOverflow,
+                    format!(
+                        "{x} {} {y} is not representable in {}",
+                        symbol(op),
+                        ct.name()
+                    ),
+                ));
+            }
+            Ok(CInt::new(r, ct))
+        }
+    }
+}
+
+const INT_MIN: i64 = i32::MIN as i64;
+const INT_MAX: i64 = i32::MAX as i64;
+
+/// The `int <op> int` fast lane: i64 arithmetic with i32 range checks.
+/// Every verdict and every detail string matches what the general path
+/// would produce at type `int`.
+#[inline(always)]
+fn arith_int(op: BinOp, x: i64, y: i64) -> Result<CInt, (UbKind, String)> {
+    use BinOp::*;
+    let r = match op {
+        Add => x + y,
+        Sub => x - y,
+        Mul => x * y,
+        BitAnd => x & y,
+        BitXor => x ^ y,
+        BitOr => x | y,
         Div | Rem => {
-            if b == 0 {
+            if y == 0 {
                 let kind = if op == Div {
                     UbKind::DivisionByZero
                 } else {
                     UbKind::ModuloByZero
                 };
-                return Err((kind, format!("{a} {} 0", symbol(op))));
+                return Err((kind, format!("{x} {} 0", symbol(op))));
             }
-            if a == INT_MIN && b == -1 {
+            if x == INT_MIN && y == -1 {
                 return Err((
                     UbKind::DivisionOverflow,
-                    format!("{a} {} -1 is not representable", symbol(op)),
+                    format!("{x} {} -1 is not representable", symbol(op)),
                 ));
             }
             if op == Div {
-                a / b
+                x / y
             } else {
-                a % b
+                x % y
             }
         }
         Shl | Shr => {
-            if b < 0 {
+            if y < 0 {
                 return Err((
                     UbKind::ShiftByNegative,
-                    format!("shift amount {b} is negative"),
+                    format!("shift amount {y} is negative"),
                 ));
             }
-            if b >= INT_WIDTH {
-                return Err((
-                    UbKind::ShiftTooFar,
-                    format!("shift amount {b} >= width {INT_WIDTH}"),
-                ));
+            if y >= 32 {
+                return Err((UbKind::ShiftTooFar, format!("shift amount {y} >= width 32")));
             }
             if op == Shl {
-                if a < 0 {
+                if x < 0 {
                     return Err((
                         UbKind::ShiftOfNegative,
-                        format!("left shift of negative value {a}"),
+                        format!("left shift of negative value {x}"),
                     ));
                 }
-                let r = a << b;
+                let r = x << y;
                 if r > INT_MAX {
                     return Err((
                         UbKind::ShiftOverflow,
-                        format!("{a} << {b} is not representable in int"),
+                        format!("{x} << {y} is not representable in int"),
                     ));
                 }
                 r
             } else {
-                // Right shift of a negative value is implementation-
-                // defined, not undefined (§6.5.7:5); model arithmetic
-                // shift like every mainstream implementation.
-                a >> b
+                x >> y
             }
         }
-        Lt => (a < b) as i64,
-        Le => (a <= b) as i64,
-        Gt => (a > b) as i64,
-        Ge => (a >= b) as i64,
-        Eq => (a == b) as i64,
-        Ne => (a != b) as i64,
-        BitAnd => ((a as i32) & (b as i32)) as i64,
-        BitXor => ((a as i32) ^ (b as i32)) as i64,
-        BitOr => ((a as i32) | (b as i32)) as i64,
+        Lt => (x < y) as i64,
+        Le => (x <= y) as i64,
+        Gt => (x > y) as i64,
+        Ge => (x >= y) as i64,
+        Eq => (x == y) as i64,
+        Ne => (x != y) as i64,
     };
-    if !(INT_MIN..=INT_MAX).contains(&wide) {
+    if !(INT_MIN..=INT_MAX).contains(&r) {
         return Err((
             UbKind::SignedOverflow,
-            format!("{a} {} {b} is not representable in int", symbol(op)),
+            format!("{x} {} {y} is not representable in int", symbol(op)),
         ));
     }
-    Ok(wide)
+    Ok(CInt::int(r))
 }
 
 /// The spelling of a binary operator, for diagnostics.
@@ -179,7 +342,18 @@ pub fn symbol(op: BinOp) -> &'static str {
     }
 }
 
-/// Evaluate `e` as an integer constant expression (§6.6).
+/// `sizeof` of a declared type on the LP64 target, in bytes. `None` for
+/// bare `void`, whose size does not exist (§6.5.3.4:1).
+pub fn size_of_ty(ty: &Ty) -> Option<u64> {
+    match ty {
+        Ty::Int(it) => Some(it.size_bytes()),
+        Ty::Void => None,
+        Ty::Ptr(_) => Some(PTR_BYTES),
+    }
+}
+
+/// Evaluate `e` as an integer constant expression (§6.6), yielding a
+/// typed constant.
 ///
 /// # Examples
 ///
@@ -193,44 +367,52 @@ pub fn symbol(op: BinOp) -> &'static str {
 ///     Stmt::Decl(d) => d.array_size,
 ///     _ => None,
 /// }).unwrap();
-/// assert_eq!(const_eval(&unit, size), Ok(5));
+/// assert_eq!(const_eval(&unit, size).unwrap().math(), 5);
 /// ```
-pub fn const_eval(unit: &TranslationUnit, e: ExprId) -> Result<i64, ConstStop> {
+pub fn const_eval(unit: &TranslationUnit, e: ExprId) -> Result<CInt, ConstStop> {
     let expr = unit.expr(e);
     let loc = expr.loc;
     let ub = |(kind, detail): (UbKind, String)| ConstStop::Ub { kind, detail, loc };
     match &expr.kind {
         ExprKind::IntLit(v) => Ok(*v),
+        ExprKind::SizeofType(ty) => match size_of_ty(ty) {
+            Some(n) => Ok(CInt::new(n as i128, SIZE_T)),
+            // `sizeof (void)` has no value; the analyzer reports it.
+            None => Err(ConstStop::NotConst(loc)),
+        },
+        // `sizeof expr` needs the operand's type, which the constant
+        // engine does not compute; stay conservative.
+        ExprKind::SizeofExpr(_) => Err(ConstStop::NotConst(loc)),
         ExprKind::Unary(op, inner) => {
             let v = const_eval(unit, *inner)?;
             match op {
-                UnaryOp::Neg => int_neg(v).map_err(ub),
-                UnaryOp::Not => Ok((v == 0) as i64),
-                UnaryOp::BitNot => Ok(!(v as i32) as i64),
+                UnaryOp::Neg => neg(v).map_err(ub),
+                UnaryOp::Not => Ok(CInt::int(v.is_zero() as i64)),
+                UnaryOp::BitNot => bit_not(v).map_err(ub),
             }
         }
         ExprKind::Binary(op, l, r) => {
             let a = const_eval(unit, *l)?;
             let b = const_eval(unit, *r)?;
-            int_arith(*op, a, b).map_err(ub)
+            arith(*op, a, b).map_err(ub)
         }
         ExprKind::LogicalAnd(l, r) => {
             // The unevaluated operand of a short circuit is exempt from
             // §6.6:4, mirroring run-time semantics (§6.5.13:4).
-            if const_eval(unit, *l)? == 0 {
-                return Ok(0);
+            if const_eval(unit, *l)?.is_zero() {
+                return Ok(CInt::int(0));
             }
-            Ok((const_eval(unit, *r)? != 0) as i64)
+            Ok(CInt::int(!const_eval(unit, *r)?.is_zero() as i64))
         }
         ExprKind::LogicalOr(l, r) => {
-            if const_eval(unit, *l)? != 0 {
-                return Ok(1);
+            if !const_eval(unit, *l)?.is_zero() {
+                return Ok(CInt::int(1));
             }
-            Ok((const_eval(unit, *r)? != 0) as i64)
+            Ok(CInt::int(!const_eval(unit, *r)?.is_zero() as i64))
         }
         ExprKind::Conditional(c, t, f) => {
             let cv = const_eval(unit, *c)?;
-            const_eval(unit, if cv != 0 { *t } else { *f })
+            const_eval(unit, if !cv.is_zero() { *t } else { *f })
         }
         // Everything else — identifiers, assignments, calls, the comma
         // operator (explicitly banned by §6.6:3) — is not a constant
@@ -247,7 +429,7 @@ mod tests {
 
     /// Constant-evaluate the size expression of the first array
     /// declaration in `main`.
-    fn eval_size(size_src: &str) -> Result<i64, ConstStop> {
+    fn eval_size(size_src: &str) -> Result<CInt, ConstStop> {
         let unit = parse(&format!(
             "int main(void) {{ int a[{size_src}]; return 0; }}"
         ))
@@ -263,33 +445,62 @@ mod tests {
         const_eval(&unit, size)
     }
 
+    fn value(size_src: &str) -> i128 {
+        eval_size(size_src).unwrap().math()
+    }
+
+    fn ub_kind(size_src: &str) -> UbKind {
+        match eval_size(size_src) {
+            Err(ConstStop::Ub { kind, .. }) => kind,
+            other => panic!("expected UB for {size_src:?}, got {other:?}"),
+        }
+    }
+
     #[test]
     fn arithmetic_and_logic_fold() {
-        assert_eq!(eval_size("2 + 3 * 4"), Ok(14));
-        assert_eq!(eval_size("1 ? 7 : 1 / 0"), Ok(7));
-        assert_eq!(eval_size("0 && 1 / 0"), Ok(0));
-        assert_eq!(eval_size("1 || 1 / 0"), Ok(1));
-        assert_eq!(eval_size("~0 + 2"), Ok(1));
+        assert_eq!(value("2 + 3 * 4"), 14);
+        assert_eq!(value("1 ? 7 : 1 / 0"), 7);
+        assert_eq!(value("0 && 1 / 0"), 0);
+        assert_eq!(value("1 || 1 / 0"), 1);
+        assert_eq!(value("~0 + 2"), 1);
     }
 
     #[test]
     fn undefined_constant_operations_carry_their_kind() {
-        match eval_size("1 / 0") {
-            Err(ConstStop::Ub { kind, .. }) => assert_eq!(kind, UbKind::DivisionByZero),
-            other => panic!("unexpected {other:?}"),
-        }
-        match eval_size("1 << 40") {
-            Err(ConstStop::Ub { kind, .. }) => assert_eq!(kind, UbKind::ShiftTooFar),
-            other => panic!("unexpected {other:?}"),
-        }
-        match eval_size("2147483647 + 1") {
-            Err(ConstStop::Ub { kind, .. }) => assert_eq!(kind, UbKind::SignedOverflow),
-            other => panic!("unexpected {other:?}"),
-        }
-        match eval_size("-2147483647 - 1 - 1") {
-            Err(ConstStop::Ub { kind, .. }) => assert_eq!(kind, UbKind::SignedOverflow),
-            other => panic!("unexpected {other:?}"),
-        }
+        assert_eq!(ub_kind("1 / 0"), UbKind::DivisionByZero);
+        assert_eq!(ub_kind("1 << 40"), UbKind::ShiftTooFar);
+        assert_eq!(ub_kind("2147483647 + 1"), UbKind::SignedOverflow);
+        assert_eq!(ub_kind("(-2147483647 - 1) - 1"), UbKind::SignedOverflow);
+        assert_eq!(ub_kind("(-2147483647 - 1) % -1"), UbKind::DivisionOverflow);
+    }
+
+    #[test]
+    fn widths_change_verdicts() {
+        // Defined at width 64, undefined at width 32 (§6.5.7:3).
+        assert_eq!(value("(1L << 40) > 0"), 1);
+        assert_eq!(ub_kind("1 << 40"), UbKind::ShiftTooFar);
+        // `1 << 31` overflows int; `1u << 31` is defined.
+        assert_eq!(ub_kind("1 << 31"), UbKind::ShiftOverflow);
+        assert_eq!(value("(1u << 31) != 0"), 1);
+        // `int` overflow that is fine at `long`.
+        assert_eq!(ub_kind("65536 * 65536"), UbKind::SignedOverflow);
+        assert_eq!(value("65536L * 65536 == 4294967296"), 1);
+        // Unsigned arithmetic wraps — defined (§6.2.5:9).
+        assert_eq!(value("(4294967295u + 1u) == 0"), 1);
+        assert_eq!(value("(0u - 1u) == 4294967295u"), 1);
+        // Mixed signedness goes through the usual arithmetic
+        // conversions: -1 becomes UINT_MAX before the compare.
+        assert_eq!(value("(-1 < 1u) == 0"), 1);
+    }
+
+    #[test]
+    fn sizeof_type_is_a_size_t_constant() {
+        assert_eq!(value("sizeof(int)"), 4);
+        assert_eq!(value("sizeof(long)"), 8);
+        assert_eq!(value("sizeof(char)"), 1);
+        assert_eq!(value("sizeof(_Bool)"), 1);
+        assert_eq!(value("sizeof(int *)"), 8);
+        assert_eq!(eval_size("sizeof(unsigned long)").unwrap().ty, SIZE_T);
     }
 
     #[test]

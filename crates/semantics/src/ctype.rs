@@ -1,0 +1,443 @@
+//! The C integer type lattice, promotions, and usual arithmetic
+//! conversions (C11 §6.2.5, §6.3.1) against an explicit LP64 target.
+//!
+//! Everything width-dependent in the workspace flows through this module:
+//! the lexer types integer constants with it (§6.4.4.1), the shared
+//! arithmetic core in [`crate::consteval`] promotes and converts with it
+//! (so `eval` and `consteval` cannot disagree), and the translation-phase
+//! analyzer's type system is built over the same [`IntTy`].
+//!
+//! # The target: LP64
+//!
+//! C verdicts are meaningless without the implementation's type widths
+//! pinned down, so this checker documents one: the LP64 data model used
+//! by every mainstream 64-bit Unix.
+//!
+//! | type                 | width (bits) | `sizeof` | range                |
+//! |----------------------|--------------|----------|----------------------|
+//! | `_Bool`              | 1            | 1        | 0 ..= 1              |
+//! | `char` (signed)      | 8            | 1        | -128 ..= 127         |
+//! | `unsigned char`      | 8            | 1        | 0 ..= 255            |
+//! | `short`              | 16           | 2        | -2^15 ..= 2^15 - 1   |
+//! | `unsigned short`     | 16           | 2        | 0 ..= 2^16 - 1       |
+//! | `int`                | 32           | 4        | -2^31 ..= 2^31 - 1   |
+//! | `unsigned int`       | 32           | 4        | 0 ..= 2^32 - 1       |
+//! | `long`               | 64           | 8        | -2^63 ..= 2^63 - 1   |
+//! | `unsigned long`      | 64           | 8        | 0 ..= 2^64 - 1       |
+//! | `long long`          | 64           | 8        | -2^63 ..= 2^63 - 1   |
+//! | `unsigned long long` | 64           | 8        | 0 ..= 2^64 - 1       |
+//!
+//! Pointers are 8 bytes; `size_t` is `unsigned long` (the type of
+//! `sizeof`); plain `char` is signed, as on every LP64 Unix ABI.
+//!
+//! # The semantics encoded here
+//!
+//! - **Integer promotions** (§6.3.1.1:2): every type of rank below `int`
+//!   promotes to `int` (all of its values are representable at width 32).
+//! - **Usual arithmetic conversions** (§6.3.1.8): same-signedness picks
+//!   the higher rank; otherwise the unsigned type wins at equal-or-higher
+//!   rank, the signed type wins if it can represent every value of the
+//!   unsigned one (`long` vs `unsigned int` on LP64), and the signed
+//!   type's unsigned counterpart is the fallback.
+//! - **Conversions** (§6.3.1.3): to `_Bool`, nonzero becomes 1 (defined);
+//!   to any unsigned type, values wrap modulo 2^width (defined); to a
+//!   signed type that cannot represent the value, the result is
+//!   *implementation-defined* — this implementation wraps two's
+//!   complement and reports a note, never a UB verdict.
+
+use std::fmt;
+
+/// An integer type of the LP64 target, ordered by conversion rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntTy {
+    /// `_Bool` (§6.2.5:2): holds 0 or 1.
+    Bool,
+    /// Plain `char`, signed on this target (§6.2.5:15).
+    Char,
+    /// `unsigned char`.
+    UChar,
+    /// `short int`.
+    Short,
+    /// `unsigned short int`.
+    UShort,
+    /// `int` — the promoted workhorse type.
+    Int,
+    /// `unsigned int`.
+    UInt,
+    /// `long int` — 64 bits under LP64.
+    Long,
+    /// `unsigned long int` — also the target's `size_t`.
+    ULong,
+    /// `long long int`.
+    LongLong,
+    /// `unsigned long long int`.
+    ULongLong,
+}
+
+impl IntTy {
+    /// Width in bits of the value representation (the `_Bool` value bit
+    /// counts as width 1, §6.2.6.1 fn. 53; everything else is padding).
+    pub fn width(self) -> u32 {
+        match self {
+            IntTy::Bool => 1,
+            IntTy::Char | IntTy::UChar => 8,
+            IntTy::Short | IntTy::UShort => 16,
+            IntTy::Int | IntTy::UInt => 32,
+            IntTy::Long | IntTy::ULong | IntTy::LongLong | IntTy::ULongLong => 64,
+        }
+    }
+
+    /// Storage size in bytes — what `sizeof` yields on this target.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            IntTy::Bool | IntTy::Char | IntTy::UChar => 1,
+            IntTy::Short | IntTy::UShort => 2,
+            IntTy::Int | IntTy::UInt => 4,
+            IntTy::Long | IntTy::ULong | IntTy::LongLong | IntTy::ULongLong => 8,
+        }
+    }
+
+    /// Whether the type is signed. Plain `char` is signed on LP64.
+    pub fn is_signed(self) -> bool {
+        matches!(
+            self,
+            IntTy::Char | IntTy::Short | IntTy::Int | IntTy::Long | IntTy::LongLong
+        )
+    }
+
+    /// Conversion rank (§6.3.1.1:1); signed and unsigned flavors share a
+    /// rank.
+    pub fn rank(self) -> u8 {
+        match self {
+            IntTy::Bool => 0,
+            IntTy::Char | IntTy::UChar => 1,
+            IntTy::Short | IntTy::UShort => 2,
+            IntTy::Int | IntTy::UInt => 3,
+            IntTy::Long | IntTy::ULong => 4,
+            IntTy::LongLong | IntTy::ULongLong => 5,
+        }
+    }
+
+    /// The unsigned type of the same rank.
+    pub fn to_unsigned(self) -> IntTy {
+        match self {
+            IntTy::Char => IntTy::UChar,
+            IntTy::Short => IntTy::UShort,
+            IntTy::Int => IntTy::UInt,
+            IntTy::Long => IntTy::ULong,
+            IntTy::LongLong => IntTy::ULongLong,
+            other => other,
+        }
+    }
+
+    /// The smallest representable value.
+    pub fn min(self) -> i128 {
+        if self.is_signed() {
+            -(1i128 << (self.width() - 1))
+        } else {
+            0
+        }
+    }
+
+    /// The largest representable value.
+    pub fn max(self) -> i128 {
+        if self.is_signed() {
+            (1i128 << (self.width() - 1)) - 1
+        } else if self == IntTy::Bool {
+            1
+        } else {
+            (1i128 << self.width()) - 1
+        }
+    }
+
+    /// Whether `v` is representable in this type.
+    pub fn contains(self, v: i128) -> bool {
+        (self.min()..=self.max()).contains(&v)
+    }
+
+    /// The integer promotions (§6.3.1.1:2): ranks below `int` promote to
+    /// `int` — on LP64 every such type's values fit in 32 bits, so the
+    /// unsigned-int fallback never applies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cundef_semantics::ctype::IntTy;
+    /// assert_eq!(IntTy::Char.promote(), IntTy::Int);
+    /// assert_eq!(IntTy::UShort.promote(), IntTy::Int);
+    /// assert_eq!(IntTy::UInt.promote(), IntTy::UInt);
+    /// assert_eq!(IntTy::Long.promote(), IntTy::Long);
+    /// ```
+    pub fn promote(self) -> IntTy {
+        if self.rank() < IntTy::Int.rank() {
+            IntTy::Int
+        } else {
+            self
+        }
+    }
+
+    /// The usual arithmetic conversions (§6.3.1.8:1) over two promoted
+    /// operand types: the common type both operands convert to.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cundef_semantics::ctype::IntTy;
+    /// // Unsigned wins at equal rank…
+    /// assert_eq!(IntTy::usual_arith(IntTy::Int, IntTy::UInt), IntTy::UInt);
+    /// // …a strictly wider signed type wins (LP64: long covers unsigned int)…
+    /// assert_eq!(IntTy::usual_arith(IntTy::UInt, IntTy::Long), IntTy::Long);
+    /// // …and same-width mixed signedness falls back to unsigned.
+    /// assert_eq!(IntTy::usual_arith(IntTy::ULong, IntTy::LongLong), IntTy::ULongLong);
+    /// ```
+    pub fn usual_arith(a: IntTy, b: IntTy) -> IntTy {
+        let a = a.promote();
+        let b = b.promote();
+        if a == b {
+            return a;
+        }
+        if a.is_signed() == b.is_signed() {
+            return if a.rank() >= b.rank() { a } else { b };
+        }
+        let (s, u) = if a.is_signed() { (a, b) } else { (b, a) };
+        if u.rank() >= s.rank() {
+            u
+        } else if s.width() > u.width() {
+            // The signed type can represent all values of the unsigned
+            // one (e.g. `long` vs `unsigned int` on LP64).
+            s
+        } else {
+            s.to_unsigned()
+        }
+    }
+
+    /// The C spelling, for diagnostics (`"unsigned long"`, `"_Bool"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            IntTy::Bool => "_Bool",
+            IntTy::Char => "char",
+            IntTy::UChar => "unsigned char",
+            IntTy::Short => "short",
+            IntTy::UShort => "unsigned short",
+            IntTy::Int => "int",
+            IntTy::UInt => "unsigned int",
+            IntTy::Long => "long",
+            IntTy::ULong => "unsigned long",
+            IntTy::LongLong => "long long",
+            IntTy::ULongLong => "unsigned long long",
+        }
+    }
+}
+
+impl fmt::Display for IntTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The target's `size_t`: the type of `sizeof` (§6.5.3.4:5) under LP64.
+pub const SIZE_T: IntTy = IntTy::ULong;
+
+/// Pointer size in bytes on the LP64 target.
+pub const PTR_BYTES: u64 = 8;
+
+/// A typed integer value: the two's-complement bit pattern truncated to
+/// the type's width, plus the type itself.
+///
+/// This is the scalar the whole engine computes with — lexer constants,
+/// evaluator values, and translation-time constants are all `CInt`s, so
+/// the phases agree bit-for-bit on every operation.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::ctype::{CInt, IntTy};
+///
+/// let x = CInt::new(-1, IntTy::Int);
+/// assert_eq!(x.math(), -1);
+/// // Conversion to unsigned wraps (defined, §6.3.1.3:2)…
+/// let (u, note) = x.convert(IntTy::UInt);
+/// assert_eq!(u.math(), 4294967295);
+/// assert!(!note);
+/// // …while a narrowing conversion to a signed type is
+/// // implementation-defined (§6.3.1.3:3): wrapped, with a note.
+/// let (c, note) = CInt::new(300, IntTy::Int).convert(IntTy::Char);
+/// assert_eq!(c.math(), 44);
+/// assert!(note);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CInt {
+    /// Two's-complement representation, truncated to `ty`'s width (upper
+    /// bits zero).
+    bits: u64,
+    /// The value's C type.
+    pub ty: IntTy,
+}
+
+impl CInt {
+    /// Build a value by wrapping `v` modulo 2^width (conversion to
+    /// `_Bool` instead tests against zero, §6.3.1.2).
+    #[inline]
+    pub fn new(v: i128, ty: IntTy) -> CInt {
+        let bits = if ty == IntTy::Bool {
+            (v != 0) as u64
+        } else {
+            let mask = if ty.width() >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << ty.width()) - 1
+            };
+            (v as u64) & mask
+        };
+        CInt { bits, ty }
+    }
+
+    /// An `int`-typed value (the ubiquitous case, built without the
+    /// general wrapping machinery).
+    #[inline(always)]
+    pub fn int(v: i64) -> CInt {
+        CInt {
+            bits: (v as u64) & 0xFFFF_FFFF,
+            ty: IntTy::Int,
+        }
+    }
+
+    /// The mathematical value of an `int`-typed constant, as an `i64` —
+    /// the hot-path accessor the evaluator's all-`int` fast lane uses.
+    #[inline(always)]
+    pub(crate) fn math_i32(self) -> i64 {
+        self.bits as u32 as i32 as i64
+    }
+
+    /// The mathematical value: sign-extended for signed types,
+    /// zero-extended for unsigned ones.
+    #[inline]
+    pub fn math(self) -> i128 {
+        if self.ty.is_signed() && self.ty.width() < 128 {
+            let shift = 64 - self.ty.width().min(64);
+            (((self.bits << shift) as i64) >> shift) as i128
+        } else {
+            self.bits as i128
+        }
+    }
+
+    /// Whether the value is zero (e.g. the null pointer constant test).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Convert to `to` (§6.3.1.2, §6.3.1.3). Returns the converted value
+    /// and whether the conversion was *implementation-defined* — i.e. the
+    /// target is signed and could not represent the value, so the result
+    /// is this implementation's two's-complement wrap. Conversions to
+    /// `_Bool` and to unsigned types are always defined.
+    #[inline]
+    pub fn convert(self, to: IntTy) -> (CInt, bool) {
+        if to == self.ty {
+            // Identity conversion — the ubiquitous hot case.
+            return (self, false);
+        }
+        let v = self.math();
+        let out = CInt::new(v, to);
+        let impl_defined = to != IntTy::Bool && to.is_signed() && !to.contains(v);
+        (out, impl_defined)
+    }
+
+    /// The value converted to its promoted type (§6.3.1.1:2) — always
+    /// value-preserving on this target.
+    pub fn promoted(self) -> CInt {
+        self.convert(self.ty.promote()).0
+    }
+}
+
+impl fmt::Display for CInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.math())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_ranges_are_lp64() {
+        assert_eq!(IntTy::Int.width(), 32);
+        assert_eq!(IntTy::Long.width(), 64);
+        assert_eq!(IntTy::Long.size_bytes(), 8);
+        assert_eq!(IntTy::Int.max(), 2147483647);
+        assert_eq!(IntTy::Int.min(), -2147483648);
+        assert_eq!(IntTy::UInt.max(), 4294967295);
+        assert_eq!(IntTy::ULongLong.max(), u64::MAX as i128);
+        assert_eq!(IntTy::Bool.max(), 1);
+        assert!(IntTy::Char.is_signed(), "plain char is signed on LP64");
+    }
+
+    #[test]
+    fn promotions_reach_int() {
+        for t in [
+            IntTy::Bool,
+            IntTy::Char,
+            IntTy::UChar,
+            IntTy::Short,
+            IntTy::UShort,
+        ] {
+            assert_eq!(t.promote(), IntTy::Int, "{t}");
+        }
+        for t in [IntTy::Int, IntTy::UInt, IntTy::Long, IntTy::ULong] {
+            assert_eq!(t.promote(), t, "{t}");
+        }
+    }
+
+    #[test]
+    fn usual_arithmetic_conversions() {
+        use IntTy::*;
+        // Promotions first: small types meet at int.
+        assert_eq!(IntTy::usual_arith(Char, Short), Int);
+        // Same signedness: higher rank.
+        assert_eq!(IntTy::usual_arith(Int, Long), Long);
+        assert_eq!(IntTy::usual_arith(UInt, ULongLong), ULongLong);
+        // Unsigned wins at equal rank.
+        assert_eq!(IntTy::usual_arith(Int, UInt), UInt);
+        // Signed wins when strictly wider (LP64: long covers unsigned int).
+        assert_eq!(IntTy::usual_arith(UInt, Long), Long);
+        // Same width, mixed signedness at higher signed rank: the signed
+        // type's unsigned counterpart.
+        assert_eq!(IntTy::usual_arith(ULong, LongLong), ULongLong);
+    }
+
+    #[test]
+    fn conversions_wrap_and_classify() {
+        // To unsigned: modulo, defined.
+        let (v, idb) = CInt::new(-1, IntTy::Int).convert(IntTy::ULong);
+        assert_eq!(v.math(), u64::MAX as i128);
+        assert!(!idb);
+        // To signed, unrepresentable: wrapped, implementation-defined.
+        let (v, idb) = CInt::new(70000, IntTy::Int).convert(IntTy::Short);
+        assert_eq!(v.math(), 4464);
+        assert!(idb);
+        // To _Bool: nonzero becomes 1, defined.
+        let (v, idb) = CInt::new(42, IntTy::Int).convert(IntTy::Bool);
+        assert_eq!(v.math(), 1);
+        assert!(!idb);
+        // Value-preserving conversions are exact.
+        let (v, idb) = CInt::new(-5, IntTy::Char).convert(IntTy::Long);
+        assert_eq!(v.math(), -5);
+        assert!(!idb);
+    }
+
+    #[test]
+    fn math_round_trips_through_bits() {
+        for (v, ty) in [
+            (-1i128, IntTy::Char),
+            (255, IntTy::UChar),
+            (-32768, IntTy::Short),
+            (i64::MIN as i128, IntTy::Long),
+            (u64::MAX as i128, IntTy::ULongLong),
+            (1, IntTy::Bool),
+        ] {
+            assert_eq!(CInt::new(v, ty).math(), v, "{ty}");
+        }
+    }
+}

@@ -15,14 +15,22 @@
 //!   [`UbKind::FreeNonHeapPointer`] family;
 //! - **initialization state** (§6.2.4:6) — cells start indeterminate and
 //!   reads of them raise [`UbKind::ReadIndeterminate`];
-//! - **value ranges** (§6.5:5) — `int` is 32-bit and every arithmetic
-//!   result is range-checked, raising [`UbKind::SignedOverflow`],
-//!   [`UbKind::DivisionByZero`], the shift family, and friends;
+//! - **value ranges** (§6.5:5) — every scalar is a typed [`CInt`] of the
+//!   LP64 lattice in [`crate::ctype`]; arithmetic promotes and converts
+//!   per §6.3.1 and is range-checked *at the operands' converted type*,
+//!   raising [`UbKind::SignedOverflow`], [`UbKind::DivisionByZero`], and
+//!   the per-width shift family — while unsigned wraparound evaluates as
+//!   the defined behavior it is, and implementation-defined narrowing
+//!   conversions are recorded as notes ([`Interp::notes`]), never
+//!   verdicts;
 //! - **bounds** (§6.5.6:8) — pointers carry their provenance (object and
 //!   offset), so out-of-bounds arithmetic and accesses are caught exactly.
 //!
-//! Memory is modeled in units of `int`-sized cells: `sizeof(int) == 1` in
-//! this subset, and `malloc(n)` allocates `n` cells. Effects inside a
+//! Memory is modeled in cells of one scalar each: an object knows its
+//! declared element type, and every store converts to it (§6.5.16.1:2).
+//! `malloc(n)` allocates `n` `int`-sized cells (its argument counts
+//! cells, not bytes — the one place this model diverges from `sizeof`,
+//! which reports real LP64 byte sizes). Effects inside a
 //! called function are treated as indeterminately sequenced with respect
 //! to the caller's expression (C11 §6.5.2.2:10), so they are not added to
 //! the caller's footprint.
@@ -43,8 +51,9 @@
 //!   only allocate when an error report is actually built (the cold
 //!   path).
 
-use crate::ast::{BinOp, Decl, ExprId, ExprKind, Stmt, StmtId, TranslationUnit, UnaryOp};
+use crate::ast::{BinOp, Decl, ExprId, ExprKind, Stmt, StmtId, TranslationUnit, Ty, UnaryOp};
 use crate::consteval::{self, ConstStop};
+use crate::ctype::{CInt, IntTy, PTR_BYTES, SIZE_T};
 use crate::intern::{kw, Symbol};
 use cundef_ub::{SourceLoc, UbError, UbKind};
 use std::borrow::Cow;
@@ -127,8 +136,10 @@ pub struct Pointer {
 /// A runtime value in the subset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Value {
-    /// A 32-bit `int` value (stored widened for overflow checking).
-    Int(i64),
+    /// A typed integer value of the LP64 lattice ([`CInt`] carries both
+    /// the two's-complement bits and the C type, so every arithmetic
+    /// operation promotes and converts at the right width).
+    Int(CInt),
     /// A pointer with provenance.
     Ptr(Pointer),
     /// A value that does not exist: the result of a function that fell
@@ -172,11 +183,13 @@ impl Outcome {
     }
 }
 
-const INT_MIN: i64 = i32::MIN as i64;
-const INT_MAX: i64 = i32::MAX as i64;
-
 /// Sentinel in the slot stack for "declaration not yet executed".
 const SLOT_NONE: usize = usize::MAX;
+
+/// Memory budget for one object, in cells. With 64-bit sizes a program
+/// can ask for absurd allocations (`long n = 1L << 40; int a[n];`); the
+/// checker gives up rather than trying to model them.
+const MAX_CELLS: i128 = 1 << 24;
 
 /// Why evaluation stopped early (internal control flow).
 enum Stop {
@@ -206,12 +219,37 @@ enum Flow {
 }
 
 /// One scalar access performed during an expression evaluation, recorded
-/// in the shared footprint arena.
+/// in the shared footprint arena — packed into one word so footprint
+/// pushes are a single store and the §6.5:2 pair scan is an xor and a
+/// compare: the object index lives in the high bits, the cell offset in
+/// bits 1..=24 (offsets are bounded by [`MAX_CELLS`]), and the
+/// write flag in bit 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Access {
-    obj: usize,
-    off: i64,
-    write: bool,
+struct Access(u64);
+
+impl Access {
+    #[inline]
+    fn new(obj: usize, off: i64, write: bool) -> Access {
+        Access(((obj as u64) << 25) | ((off as u64) << 1) | write as u64)
+    }
+
+    /// The accessed object, for diagnostics.
+    #[inline]
+    fn obj(self) -> usize {
+        (self.0 >> 25) as usize
+    }
+
+    #[inline]
+    fn is_write(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether two accesses touch the same scalar (same object, same
+    /// offset — the packed words differ at most in the write bit).
+    #[inline]
+    fn same_scalar(self, other: Access) -> bool {
+        (self.0 ^ other.0) <= 1
+    }
 }
 
 /// The storage of one object: a dedicated variant for the ubiquitous
@@ -258,11 +296,42 @@ enum ObjName {
     Heap,
 }
 
-/// One memory object: a run of `int`-sized cells with a lifetime.
+/// The declared element type of an object's cells, driving the
+/// conversion applied by every store (§6.5.16.1:2: the assigned value is
+/// converted to the type of the lvalue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Elem {
+    /// Cells hold values of this integer type; stores convert to it.
+    Scalar(IntTy),
+    /// Cells hold pointers (or the null constant); stores pass through.
+    Ptr,
+    /// Heap cells: `malloc` yields memory with no declared type — each
+    /// store imprints its own value unchanged (the effective type is
+    /// the stored value's, §6.5:6), so a `long` written through a
+    /// `long *` into heap memory reads back intact.
+    Untyped,
+}
+
+/// Type classification of a `sizeof` operand.
+enum SizeofTy {
+    /// An integer type of the lattice.
+    Scalar(IntTy),
+    /// Any object-pointer type (all 8 bytes on LP64).
+    Pointer,
+    /// An undecayed array designator: total size in bytes.
+    Bytes(u64),
+}
+
+/// One memory object: a run of cells with a lifetime and a declared
+/// element type.
 struct Object {
     cells: Cells,
     alive: bool,
     heap: bool,
+    /// Declared element type; stores through any lvalue convert to it
+    /// (provenance-typed memory: the object, not the lvalue, knows its
+    /// type).
+    elem: Elem,
     /// Whether this is an array object (its designator decays, §6.3.2.1:3).
     is_array: bool,
     /// Whether the object was *defined* with a const-qualified type:
@@ -315,7 +384,12 @@ pub struct Interp<'a> {
     /// Case-label values, folded once per label (§6.8.4.2:3 makes them
     /// translation-time constants) so a switch inside a loop does not
     /// re-walk its constant expressions on every dispatch.
-    case_values: std::collections::HashMap<u32, i64>,
+    case_values: std::collections::HashMap<u32, CInt>,
+    /// Implementation-defined conversion notes (§6.3.1.3:3): a narrowing
+    /// conversion to a signed type that cannot represent the value is
+    /// not undefined — the engine wraps two's-complement and records
+    /// what it did, once per source position.
+    notes: Vec<(SourceLoc, String)>,
     steps: u64,
 }
 
@@ -332,12 +406,24 @@ impl<'a> Interp<'a> {
             fp: Vec::new(),
             args: Vec::new(),
             case_values: std::collections::HashMap::new(),
+            notes: Vec::new(),
             steps: 0,
         }
     }
 
+    /// The implementation-defined conversion notes collected so far, in
+    /// execution order: `(position, rendered description)` pairs. These
+    /// are diagnostics about *defined* behavior (this implementation's
+    /// §6.3.1.3:3 choice), so they ride alongside the [`Outcome`] rather
+    /// than inside it.
+    pub fn notes(&self) -> &[(SourceLoc, String)] {
+        &self.notes
+    }
+
     /// Execute the program from `main` and report what happened.
-    pub fn run_main(mut self) -> Outcome {
+    /// Implementation-defined conversion notes accumulate on the
+    /// interpreter and can be read through [`Interp::notes`] afterwards.
+    pub fn run_main(&mut self) -> Outcome {
         let main_idx = self
             .unit
             .func_by_symbol
@@ -372,7 +458,8 @@ impl<'a> Interp<'a> {
             ),
             // Reaching the `}` of `main` returns 0 (C11 §5.1.2.2.3:1).
             Ok((Value::Missing(_), _)) => Outcome::Completed(0),
-            Ok((Value::Int(v), _)) => Outcome::Completed(v),
+            // `main` returns `int`, so the math value fits an i64.
+            Ok((Value::Int(v), _)) => Outcome::Completed(v.math() as i64),
             // `main` returns `int`; a pointer coming back is an ill-typed
             // program outside the modeled semantics, not an exit code.
             Ok((Value::Ptr(_), loc)) => Outcome::Unsupported {
@@ -443,7 +530,14 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn alloc(&mut self, name: ObjName, cells: usize, heap: bool, is_array: bool) -> usize {
+    fn alloc(
+        &mut self,
+        name: ObjName,
+        cells: usize,
+        heap: bool,
+        is_array: bool,
+        elem: Elem,
+    ) -> usize {
         let id = self.objects.len();
         let cells = if cells == 1 {
             Cells::One(None)
@@ -456,12 +550,51 @@ impl<'a> Interp<'a> {
             heap,
             is_array,
             is_const: false,
+            elem,
             name,
         });
         if !heap {
             self.created.push(id);
         }
         id
+    }
+
+    /// Record an implementation-defined conversion note, once per source
+    /// position (a conversion inside a loop would otherwise flood the
+    /// report).
+    #[cold]
+    fn note(&mut self, loc: SourceLoc, message: String) {
+        if !self.notes.iter().any(|(l, _)| *l == loc) {
+            self.notes.push((loc, message));
+        }
+    }
+
+    /// Convert `v` for a store into an object with element type `elem`
+    /// (§6.5.16.1:2), recording a note when the conversion is
+    /// implementation-defined (§6.3.1.3:3). Pointer cells pass values
+    /// through unchanged — the engine stays dynamically typed about
+    /// pointer/int confusion and reports it at use sites, as before.
+    #[inline]
+    fn convert_for_store(&mut self, v: Value, elem: Elem, loc: SourceLoc) -> Value {
+        match (v, elem) {
+            (Value::Int(c), Elem::Scalar(ty)) => {
+                let (out, impl_defined) = c.convert(ty);
+                if impl_defined {
+                    self.note(
+                        loc,
+                        format!(
+                            "implementation-defined: {} converted to `{}` yields {} \
+                             (value does not fit; two's-complement wrap)",
+                            c.math(),
+                            ty.name(),
+                            out.math()
+                        ),
+                    );
+                }
+                Value::Int(out)
+            }
+            _ => v,
+        }
     }
 
     /// End the lifetime of every automatic object created at or after
@@ -507,11 +640,7 @@ impl<'a> Interp<'a> {
         }
         match self.objects[p.obj].cells.get(p.off as usize) {
             Some(v) => {
-                self.fp.push(Access {
-                    obj: p.obj,
-                    off: p.off,
-                    write: false,
-                });
+                self.fp.push(Access::new(p.obj, p.off, false));
                 Ok(v)
             }
             None => Err(self.ub(
@@ -522,9 +651,14 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn write_cell(&mut self, p: Pointer, v: Value, loc: SourceLoc) -> EResult<()> {
+    /// Store `v` into the cell `p` designates, converting it to the
+    /// object's declared element type first (§6.5.16.1:2). Returns the
+    /// converted value — which is also the value of an assignment
+    /// expression (§6.5.16:3).
+    fn write_cell(&mut self, p: Pointer, v: Value, loc: SourceLoc) -> EResult<Value> {
         self.check_live(p, loc)?;
-        let len = self.objects[p.obj].cells.len() as i64;
+        let obj = &self.objects[p.obj];
+        let len = obj.cells.len() as i64;
         if p.off < 0 || p.off >= len {
             return Err(self.ub(
                 UbKind::OutOfBoundsWrite,
@@ -537,7 +671,7 @@ impl<'a> Interp<'a> {
                 ),
             ));
         }
-        if self.objects[p.obj].is_const {
+        if obj.is_const {
             // §6.7.3:6 — the object was *defined* const; the lvalue used
             // for the store does not matter.
             return Err(self.ub(
@@ -549,13 +683,10 @@ impl<'a> Interp<'a> {
                 ),
             ));
         }
+        let v = self.convert_for_store(v, self.objects[p.obj].elem, loc);
         self.objects[p.obj].cells.set(p.off as usize, Some(v));
-        self.fp.push(Access {
-            obj: p.obj,
-            off: p.off,
-            write: true,
-        });
-        Ok(())
+        self.fp.push(Access::new(p.obj, p.off, true));
+        Ok(v)
     }
 
     // ----- sequencing -----
@@ -567,13 +698,13 @@ impl<'a> Interp<'a> {
     /// whole range — the arena already holds both sides back to back.
     fn check_unsequenced(&self, a_start: usize, mid: usize, loc: SourceLoc) -> EResult<()> {
         let (a, b) = self.fp[a_start..].split_at(mid - a_start);
-        for x in a {
-            for y in b {
-                if x.obj == y.obj && x.off == y.off && (x.write || y.write) {
+        for &x in a {
+            for &y in b {
+                if x.same_scalar(y) && (x.is_write() || y.is_write()) {
                     return Err(self.ub(
                         UbKind::UnsequencedSideEffect,
                         loc,
-                        format!("unsequenced accesses to `{}`", self.object_name(x.obj)),
+                        format!("unsequenced accesses to `{}`", self.object_name(x.obj())),
                     ));
                 }
             }
@@ -592,9 +723,10 @@ impl<'a> Interp<'a> {
         loc: SourceLoc,
         action: &str,
     ) -> EResult<()> {
+        let probe = Access::new(p.obj, p.off, true);
         if self.fp[fp_start..]
             .iter()
-            .any(|a| a.write && a.obj == p.obj && a.off == p.off)
+            .any(|&a| a.is_write() && a.same_scalar(probe))
         {
             return Err(self.ub(
                 UbKind::UnsequencedSideEffect,
@@ -618,9 +750,9 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn as_int(&self, v: Value, loc: SourceLoc) -> EResult<i64> {
+    fn as_int(&self, v: Value, loc: SourceLoc) -> EResult<CInt> {
         match self.use_value(v, loc)? {
-            Value::Int(n) => Ok(n),
+            Value::Int(c) => Ok(c),
             Value::Ptr(_) => Err(stop_unsupported(
                 "expected an integer, found a pointer",
                 loc,
@@ -631,7 +763,7 @@ impl<'a> Interp<'a> {
 
     fn truthy(&self, v: Value, loc: SourceLoc) -> EResult<bool> {
         match self.use_value(v, loc)? {
-            Value::Int(n) => Ok(n != 0),
+            Value::Int(c) => Ok(!c.is_zero()),
             Value::Ptr(p) => {
                 // Using a dangling pointer value, even just for its truth
                 // value, is UB (§6.2.4:2).
@@ -685,15 +817,18 @@ impl<'a> Interp<'a> {
                 let v = self.eval(*inner)?;
                 let v = self.use_value(v, loc)?;
                 let out = match (op, v) {
-                    (UnaryOp::Neg, Value::Int(n)) => match consteval::int_neg(n) {
+                    (UnaryOp::Neg, Value::Int(n)) => match consteval::neg(n) {
                         Ok(r) => Value::Int(r),
                         Err((kind, detail)) => return Err(self.ub(kind, loc, detail)),
                     },
                     (UnaryOp::Not, v) => {
                         let t = self.truthy(v, loc)?;
-                        Value::Int(if t { 0 } else { 1 })
+                        Value::Int(CInt::int(if t { 0 } else { 1 }))
                     }
-                    (UnaryOp::BitNot, Value::Int(n)) => Value::Int(!(n as i32) as i64),
+                    (UnaryOp::BitNot, Value::Int(n)) => match consteval::bit_not(n) {
+                        Ok(r) => Value::Int(r),
+                        Err((kind, detail)) => return Err(self.ub(kind, loc, detail)),
+                    },
                     (UnaryOp::Neg | UnaryOp::BitNot, Value::Ptr(_)) => {
                         return Err(stop_unsupported(
                             "arithmetic unary operator applied to a pointer",
@@ -703,6 +838,24 @@ impl<'a> Interp<'a> {
                     (_, Value::Missing(_)) => unreachable!(),
                 };
                 Ok(out)
+            }
+            ExprKind::SizeofType(ty) => match consteval::size_of_ty(ty) {
+                Some(n) => Ok(Value::Int(CInt::new(n as i128, SIZE_T))),
+                None => Err(stop_unsupported(
+                    "`sizeof` applied to the incomplete type `void`",
+                    loc,
+                )),
+            },
+            ExprKind::SizeofExpr(inner) => {
+                // The operand is not evaluated (§6.5.3.4:2); only its
+                // type is computed.
+                match self.sizeof_expr_bytes(*inner) {
+                    Some(n) => Ok(Value::Int(CInt::new(n as i128, SIZE_T))),
+                    None => Err(stop_unsupported(
+                        "the type of this `sizeof` operand is outside the modeled semantics",
+                        loc,
+                    )),
+                }
             }
             ExprKind::Binary(op, l, r) => {
                 let start = self.fp.len();
@@ -718,20 +871,20 @@ impl<'a> Interp<'a> {
                 let lv = self.eval(*l)?;
                 // Sequence point after the first operand (§6.5.13:4).
                 if !self.truthy(lv, loc)? {
-                    return Ok(Value::Int(0));
+                    return Ok(Value::Int(CInt::int(0)));
                 }
                 let rv = self.eval(*r)?;
                 let t = self.truthy(rv, loc)?;
-                Ok(Value::Int(t as i64))
+                Ok(Value::Int(CInt::int(t as i64)))
             }
             ExprKind::LogicalOr(l, r) => {
                 let lv = self.eval(*l)?;
                 if self.truthy(lv, loc)? {
-                    return Ok(Value::Int(1));
+                    return Ok(Value::Int(CInt::int(1)));
                 }
                 let rv = self.eval(*r)?;
                 let t = self.truthy(rv, loc)?;
-                Ok(Value::Int(t as i64))
+                Ok(Value::Int(CInt::int(t as i64)))
             }
             ExprKind::Conditional(c, t, f) => {
                 let cv = self.eval(*c)?;
@@ -791,20 +944,110 @@ impl<'a> Interp<'a> {
         )
     }
 
+    /// The *type* of a `sizeof` operand, computed without evaluating it
+    /// (§6.5.3.4:2), or `None` when the engine cannot name it (pointee
+    /// types of arbitrary lvalues are not tracked dynamically).
+    fn sizeof_ty_of(&self, e: ExprId) -> Option<SizeofTy> {
+        use SizeofTy::*;
+        match &self.unit.expr(e).kind {
+            ExprKind::IntLit(c) => Some(Scalar(c.ty)),
+            ExprKind::Slot(slot, _) => {
+                let obj = self.slot_object(*slot)?;
+                let o = &self.objects[obj];
+                if o.is_array {
+                    // An array designator under sizeof does not decay
+                    // (§6.3.2.1:3): the result is the whole array's size.
+                    let elem_bytes = match o.elem {
+                        Elem::Scalar(t) => t.size_bytes(),
+                        Elem::Ptr => PTR_BYTES,
+                        Elem::Untyped => return None,
+                    };
+                    Some(Bytes(o.cells.len() as u64 * elem_bytes))
+                } else {
+                    match o.elem {
+                        Elem::Scalar(t) => Some(Scalar(t)),
+                        Elem::Ptr => Some(Pointer),
+                        Elem::Untyped => None,
+                    }
+                }
+            }
+            ExprKind::Unary(op, a) => match op {
+                UnaryOp::Not => Some(Scalar(IntTy::Int)),
+                UnaryOp::Neg | UnaryOp::BitNot => match self.sizeof_ty_of(*a)? {
+                    Scalar(t) => Some(Scalar(t.promote())),
+                    _ => None,
+                },
+            },
+            ExprKind::Binary(op, a, b) => {
+                use BinOp::*;
+                match op {
+                    Lt | Le | Gt | Ge | Eq | Ne => Some(Scalar(IntTy::Int)),
+                    // §6.5.7:3 — the result type is the promoted left
+                    // operand's.
+                    Shl | Shr => match self.sizeof_ty_of(*a)? {
+                        Scalar(t) => Some(Scalar(t.promote())),
+                        _ => None,
+                    },
+                    // Arrays decay in every context except as the direct
+                    // sizeof operand (§6.3.2.1:3), so an operand typed
+                    // `Bytes` participates as a pointer here.
+                    _ => match (decay(self.sizeof_ty_of(*a)?), decay(self.sizeof_ty_of(*b)?)) {
+                        (Scalar(x), Scalar(y)) => Some(Scalar(IntTy::usual_arith(x, y))),
+                        (Pointer, Scalar(_)) | (Scalar(_), Pointer) if matches!(op, Add | Sub) => {
+                            Some(Pointer)
+                        }
+                        _ => None,
+                    },
+                }
+            }
+            ExprKind::LogicalAnd(_, _) | ExprKind::LogicalOr(_, _) => Some(Scalar(IntTy::Int)),
+            ExprKind::Conditional(_, t, f) => {
+                match (decay(self.sizeof_ty_of(*t)?), decay(self.sizeof_ty_of(*f)?)) {
+                    (Scalar(x), Scalar(y)) => Some(Scalar(IntTy::usual_arith(x, y))),
+                    (Pointer, Pointer) => Some(Pointer),
+                    _ => None,
+                }
+            }
+            ExprKind::AddrOf(_) => Some(Pointer),
+            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => Some(Scalar(SIZE_T)),
+            ExprKind::Comma(_, b) => Some(decay(self.sizeof_ty_of(*b)?)),
+            ExprKind::Call(name, _) => {
+                let f = self.unit.function(*name)?;
+                if f.returns_void {
+                    None
+                } else if f.ret_ptr > 0 {
+                    Some(Pointer)
+                } else {
+                    Some(Scalar(f.ret_scalar))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// `sizeof` of an expression operand, in bytes.
+    fn sizeof_expr_bytes(&self, e: ExprId) -> Option<u64> {
+        Some(match self.sizeof_ty_of(e)? {
+            SizeofTy::Scalar(t) => t.size_bytes(),
+            SizeofTy::Pointer => PTR_BYTES,
+            SizeofTy::Bytes(n) => n,
+        })
+    }
+
     /// Evaluate an expression that must produce a usable pointer.
     fn eval_pointer(&mut self, e: ExprId, loc: SourceLoc) -> EResult<Pointer> {
         let v = self.eval(e)?;
         match self.use_value(v, loc)? {
             Value::Ptr(p) => Ok(p),
-            Value::Int(0) => Err(self.ub(
+            Value::Int(c) if c.is_zero() => Err(self.ub(
                 UbKind::NullDereference,
                 loc,
                 "dereference of a null pointer",
             )),
-            Value::Int(n) => Err(self.ub(
+            Value::Int(c) => Err(self.ub(
                 UbKind::NullDereference,
                 loc,
-                format!("dereference of invalid pointer value {n}"),
+                format!("dereference of invalid pointer value {c}"),
             )),
             Value::Missing(_) => unreachable!(),
         }
@@ -844,15 +1087,17 @@ impl<'a> Interp<'a> {
         let mid = self.fp.len();
         let iv = self.eval(idx)?;
         self.check_unsequenced(start, mid, loc)?;
-        let i = self.as_int(iv, loc)?;
+        let i = self.as_int(iv, loc)?.math();
         self.pointer_add(bp, i, loc)
     }
 
-    /// `p + delta` with the §6.5.6:8 in-bounds-or-one-past rule.
-    fn pointer_add(&mut self, p: Pointer, delta: i64, loc: SourceLoc) -> EResult<Pointer> {
+    /// `p + delta` with the §6.5.6:8 in-bounds-or-one-past rule. The
+    /// delta is a mathematical value (any integer type may subscript);
+    /// an offset outside the object is reported before it could wrap.
+    fn pointer_add(&mut self, p: Pointer, delta: i128, loc: SourceLoc) -> EResult<Pointer> {
         self.check_live(p, loc)?;
-        let len = self.objects[p.obj].cells.len() as i64;
-        let off = p.off + delta;
+        let len = self.objects[p.obj].cells.len() as i128;
+        let off = p.off as i128 + delta;
         if off < 0 || off > len {
             return Err(self.ub(
                 UbKind::PointerArithmeticOutOfBounds,
@@ -865,7 +1110,10 @@ impl<'a> Interp<'a> {
                 ),
             ));
         }
-        Ok(Pointer { obj: p.obj, off })
+        Ok(Pointer {
+            obj: p.obj,
+            off: off as i64,
+        })
     }
 
     fn apply_binop(&mut self, op: BinOp, l: Value, r: Value, loc: SourceLoc) -> EResult<Value> {
@@ -874,13 +1122,13 @@ impl<'a> Interp<'a> {
             (Value::Int(a), Value::Int(b)) => self.int_binop(op, a, b, loc),
             // Pointer arithmetic and comparison.
             (Value::Ptr(p), Value::Int(n)) if op == Add => {
-                Ok(Value::Ptr(self.pointer_add(p, n, loc)?))
+                Ok(Value::Ptr(self.pointer_add(p, n.math(), loc)?))
             }
             (Value::Int(n), Value::Ptr(p)) if op == Add => {
-                Ok(Value::Ptr(self.pointer_add(p, n, loc)?))
+                Ok(Value::Ptr(self.pointer_add(p, n.math(), loc)?))
             }
             (Value::Ptr(p), Value::Int(n)) if op == Sub => {
-                Ok(Value::Ptr(self.pointer_add(p, -n, loc)?))
+                Ok(Value::Ptr(self.pointer_add(p, -n.math(), loc)?))
             }
             (Value::Ptr(a), Value::Ptr(b)) if op == Sub => {
                 self.check_live(a, loc)?;
@@ -896,7 +1144,8 @@ impl<'a> Interp<'a> {
                         ),
                     ));
                 }
-                Ok(Value::Int(a.off - b.off))
+                // The difference has type ptrdiff_t — `long` on LP64.
+                Ok(Value::Int(CInt::new((a.off - b.off) as i128, IntTy::Long)))
             }
             (Value::Ptr(a), Value::Ptr(b)) if matches!(op, Lt | Le | Gt | Ge) => {
                 self.check_live(a, loc)?;
@@ -918,13 +1167,15 @@ impl<'a> Interp<'a> {
                     Gt => a.off > b.off,
                     _ => a.off >= b.off,
                 };
-                Ok(Value::Int(t as i64))
+                Ok(Value::Int(CInt::int(t as i64)))
             }
             (Value::Ptr(a), Value::Ptr(b)) if matches!(op, Eq | Ne) => {
                 self.check_live(a, loc)?;
                 self.check_live(b, loc)?;
                 let same = a == b;
-                Ok(Value::Int((if op == Eq { same } else { !same }) as i64))
+                Ok(Value::Int(CInt::int(
+                    (if op == Eq { same } else { !same }) as i64,
+                )))
             }
             (Value::Ptr(p), Value::Int(n)) | (Value::Int(n), Value::Ptr(p))
                 if matches!(op, Eq | Ne) =>
@@ -932,13 +1183,13 @@ impl<'a> Interp<'a> {
                 self.check_live(p, loc)?;
                 // A valid pointer never equals the null constant; comparing
                 // with a nonzero integer is outside the subset's types.
-                if n != 0 {
+                if !n.is_zero() {
                     return Err(stop_unsupported(
                         "comparison of a pointer with a nonzero integer",
                         loc,
                     ));
                 }
-                Ok(Value::Int((op == Ne) as i64))
+                Ok(Value::Int(CInt::int((op == Ne) as i64)))
             }
             _ => Err(stop_unsupported(
                 "operator applied to incompatible operand types",
@@ -947,11 +1198,11 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// `int` arithmetic, delegated to the shared core in
+    /// Integer arithmetic, delegated to the shared typed core in
     /// [`crate::consteval`] so the run-time and translation-time phases
-    /// agree on every undefined case.
-    fn int_binop(&self, op: BinOp, a: i64, b: i64, loc: SourceLoc) -> EResult<Value> {
-        match consteval::int_arith(op, a, b) {
+    /// agree on every undefined case — at the right width.
+    fn int_binop(&self, op: BinOp, a: CInt, b: CInt, loc: SourceLoc) -> EResult<Value> {
+        match consteval::arith(op, a, b) {
             Ok(v) => Ok(Value::Int(v)),
             Err((kind, detail)) => Err(self.ub(kind, loc, detail)),
         }
@@ -1002,9 +1253,11 @@ impl<'a> Interp<'a> {
         };
         // …while the update's side effect is sequenced only after those
         // value computations: it still conflicts with any *other* write to
-        // the same scalar in either operand (`x = x++`).
+        // the same scalar in either operand (`x = x++`). The store
+        // converts the value to the object's declared type (§6.5.16.1:2)
+        // and that converted value is the expression's result (§6.5.16:3).
         self.check_update_conflict(start, p, loc, "assignment to")?;
-        self.write_cell(p, stored, loc)?;
+        let stored = self.write_cell(p, stored, loc)?;
         Ok(stored)
     }
 
@@ -1022,20 +1275,16 @@ impl<'a> Interp<'a> {
         let old = self.use_value(old, loc)?;
         let new = match old {
             Value::Int(n) => {
-                let r = n + delta;
-                if !(INT_MIN..=INT_MAX).contains(&r) {
-                    return Err(self.ub(
-                        UbKind::SignedOverflow,
-                        loc,
-                        format!(
-                            "{n} {} 1 is not representable in int",
-                            if delta > 0 { "+" } else { "-" }
-                        ),
-                    ));
+                // `x++` is `x += 1` (§6.5.2.4:2): the addition happens at
+                // the promoted type through the shared core, then the
+                // result converts back to the object's type on store.
+                let one = CInt::int(delta);
+                match consteval::arith(BinOp::Add, n, one) {
+                    Ok(r) => Value::Int(r),
+                    Err((kind, detail)) => return Err(self.ub(kind, loc, detail)),
                 }
-                Value::Int(r)
             }
-            Value::Ptr(ptr) => Value::Ptr(self.pointer_add(ptr, delta, loc)?),
+            Value::Ptr(ptr) => Value::Ptr(self.pointer_add(ptr, delta as i128, loc)?),
             Value::Missing(_) => unreachable!(),
         };
         self.check_update_conflict(
@@ -1048,7 +1297,10 @@ impl<'a> Interp<'a> {
                 "decrement of"
             },
         )?;
-        self.write_cell(p, new, loc)?;
+        // The store converts to the object's type (`unsigned char c =
+        // 255; c++` wraps to 0, defined); prefix ++ yields that
+        // converted value.
+        let new = self.write_cell(p, new, loc)?;
         Ok((old, new))
     }
 
@@ -1099,7 +1351,7 @@ impl<'a> Interp<'a> {
             }
             let v = self.args[argv_base];
             self.args.truncate(argv_base);
-            let n = self.as_int(v, loc)?;
+            let n = self.as_int(v, loc)?.math();
             if n < 0 {
                 return Err(self.ub(
                     UbKind::InvalidLibraryArgument,
@@ -1107,7 +1359,13 @@ impl<'a> Interp<'a> {
                     format!("malloc({n}) with a negative size"),
                 ));
             }
-            let obj = self.alloc(ObjName::Heap, n as usize, true, true);
+            if n > MAX_CELLS {
+                return Err(stop_unsupported(
+                    format!("malloc({n}) exceeds the engine's memory budget"),
+                    loc,
+                ));
+            }
+            let obj = self.alloc(ObjName::Heap, n as usize, true, true, Elem::Untyped);
             return Ok(Value::Ptr(Pointer { obj, off: 0 }));
         }
         if name == kw::FREE {
@@ -1121,11 +1379,12 @@ impl<'a> Interp<'a> {
             let v = self.args[argv_base];
             self.args.truncate(argv_base);
             return match v {
-                Value::Int(0) => Ok(Value::Missing(UbKind::VoidValueUsed)), // free(NULL)
-                Value::Int(n) => Err(self.ub(
+                // free(NULL) is a no-op (§7.22.3.3:2).
+                Value::Int(c) if c.is_zero() => Ok(Value::Missing(UbKind::VoidValueUsed)),
+                Value::Int(c) => Err(self.ub(
                     UbKind::FreeNonHeapPointer,
                     loc,
-                    format!("free() of integer value {n}"),
+                    format!("free() of integer value {c}"),
                 )),
                 Value::Ptr(p) => {
                     let object = &self.objects[p.obj];
@@ -1200,7 +1459,11 @@ impl<'a> Interp<'a> {
         });
         for (i, param) in func.params.iter().enumerate() {
             let arg = self.args[argv_base + i];
-            let obj = self.alloc(ObjName::Sym(param.name), 1, false, false);
+            // Argument passing is assignment to the parameter
+            // (§6.5.2.2:7): the value converts to the declared type.
+            let elem = elem_of_ty(&param.ty);
+            let arg = self.convert_for_store(arg, elem, loc);
+            let obj = self.alloc(ObjName::Sym(param.name), 1, false, false, elem);
             self.objects[obj].cells.set(0, Some(arg));
             self.slots[slot_base + i] = obj;
         }
@@ -1215,7 +1478,16 @@ impl<'a> Interp<'a> {
         );
         let mut stopped = None;
         match self.exec_block(&func.body) {
-            Ok(Flow::Return(v, l)) => result = (v, l),
+            Ok(Flow::Return(v, l)) => {
+                // The returned value converts to the function's return
+                // type (§6.8.6.4:3).
+                let v = if !func.returns_void && func.ret_ptr == 0 {
+                    self.convert_for_store(v, Elem::Scalar(func.ret_scalar), l)
+                } else {
+                    v
+                };
+                result = (v, l);
+            }
             Ok(_) => {}
             Err(stop) => stopped = Some(stop),
         }
@@ -1380,11 +1652,16 @@ impl<'a> Interp<'a> {
     fn exec_switch(&mut self, cond: ExprId, body: StmtId, loc: SourceLoc) -> EResult<Flow> {
         let unit = self.unit;
         let v = self.eval_full(cond)?;
-        let v = self.as_int(v, unit.expr(cond).loc)?;
+        // §6.8.4.2:5 — the controlling expression undergoes the integer
+        // promotions, and each case constant is *converted to the
+        // promoted controlling type* before the comparison (so
+        // `switch (u) case -1:` matches UINT_MAX for an unsigned
+        // controlling expression, exactly as in real C).
+        let ctrl = self.as_int(v, unit.expr(cond).loc)?.promoted();
         let Stmt::Block(items, _) = unit.stmt(body) else {
             // `switch (e) case K: stmt;` — a single (possibly labeled)
             // statement as the body.
-            return match self.select_in_chain(body, v)? {
+            return match self.select_in_chain(body, ctrl)? {
                 Some(s) => match self.exec_stmt(s)? {
                     Flow::Break => Ok(Flow::Normal),
                     flow => Ok(flow),
@@ -1402,7 +1679,7 @@ impl<'a> Interp<'a> {
             loop {
                 match unit.stmt(cur) {
                     Stmt::Case(e, inner, _) => {
-                        if self.case_value(*e)? == v {
+                        if self.case_matches(*e, ctrl)? {
                             target = Some(i);
                             break 'scan;
                         }
@@ -1451,7 +1728,7 @@ impl<'a> Interp<'a> {
 
     /// For a non-block `switch` body: walk the label chain wrapping the
     /// single statement and decide whether `v` selects it.
-    fn select_in_chain(&mut self, s: StmtId, v: i64) -> EResult<Option<StmtId>> {
+    fn select_in_chain(&mut self, s: StmtId, ctrl: CInt) -> EResult<Option<StmtId>> {
         let unit = self.unit;
         let mut cur = s;
         let mut matched_case = false;
@@ -1459,7 +1736,7 @@ impl<'a> Interp<'a> {
         loop {
             match unit.stmt(cur) {
                 Stmt::Case(e, inner, _) => {
-                    matched_case = matched_case || self.case_value(*e)? == v;
+                    matched_case = matched_case || self.case_matches(*e, ctrl)?;
                     cur = *inner;
                 }
                 Stmt::Default(inner, _) => {
@@ -1488,27 +1765,33 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// The translation-time value of a `case` label (§6.8.4.2:3),
-    /// folded once and memoized (error outcomes abort execution, so only
-    /// successful folds need caching).
-    fn case_value(&mut self, e: ExprId) -> EResult<i64> {
-        if let Some(&v) = self.case_values.get(&e.0) {
-            return Ok(v);
-        }
-        match consteval::const_eval(self.unit, e) {
-            Ok(v) => {
-                self.case_values.insert(e.0, v);
-                Ok(v)
+    /// Whether the case label `e` selects the (promoted) controlling
+    /// value `ctrl`: the label's translation-time constant (§6.8.4.2:3,
+    /// folded once and memoized — error outcomes abort execution, so
+    /// only successful folds need caching) is converted to the promoted
+    /// controlling type before the comparison (§6.8.4.2:5).
+    fn case_matches(&mut self, e: ExprId, ctrl: CInt) -> EResult<bool> {
+        let c = if let Some(&c) = self.case_values.get(&e.0) {
+            c
+        } else {
+            match consteval::const_eval(self.unit, e) {
+                Ok(c) => {
+                    self.case_values.insert(e.0, c);
+                    c
+                }
+                Err(ConstStop::NotConst(loc)) => {
+                    return Err(self.ub(
+                        UbKind::NonConstantCaseLabel,
+                        loc,
+                        "case label is not an integer constant expression",
+                    ))
+                }
+                Err(ConstStop::Ub { kind, detail, loc }) => {
+                    return Err(self.ub(kind, loc, format!("in a case label: {detail}")))
+                }
             }
-            Err(ConstStop::NotConst(loc)) => Err(self.ub(
-                UbKind::NonConstantCaseLabel,
-                loc,
-                "case label is not an integer constant expression",
-            )),
-            Err(ConstStop::Ub { kind, detail, loc }) => {
-                Err(self.ub(kind, loc, format!("in a case label: {detail}")))
-            }
-        }
+        };
+        Ok(c.convert(ctrl.ty).0.math() == ctrl.math())
     }
 
     /// Whether a top-level switch-body item hides `case`/`default` labels
@@ -1571,7 +1854,7 @@ impl<'a> Interp<'a> {
                 // expressions even though they are not literal tokens;
                 // the resolver precomputed which applies.
                 let v = self.eval_full(size)?;
-                let n = self.as_int(v, unit.expr(size).loc)?;
+                let n = self.as_int(v, unit.expr(size).loc)?.math();
                 if n <= 0 {
                     let kind = if d.const_size {
                         UbKind::ArraySizeNotPositive
@@ -1584,10 +1867,26 @@ impl<'a> Interp<'a> {
                         format!("array `{}` declared with size {n}", self.name(d.name)),
                     ));
                 }
+                if n > MAX_CELLS {
+                    return Err(stop_unsupported(
+                        format!(
+                            "array `{}` of size {n} exceeds the engine's memory budget",
+                            self.name(d.name)
+                        ),
+                        d.loc,
+                    ));
+                }
                 n as usize
             }
         };
-        let obj = self.alloc(ObjName::Sym(d.name), cells, false, d.array_size.is_some());
+        let elem = elem_of_ty(&d.ty);
+        let obj = self.alloc(
+            ObjName::Sym(d.name),
+            cells,
+            false,
+            d.array_size.is_some(),
+            elem,
+        );
         self.objects[obj].is_const = d.quals.is_const;
         // The declared identifier's scope begins at the end of its
         // declarator (§6.2.1:7) — *before* the initializer, so that
@@ -1598,7 +1897,10 @@ impl<'a> Interp<'a> {
         self.slots[slot_base + d.slot.index()] = obj;
         if let Some(init) = d.init {
             let v = self.eval_full(init)?;
-            let v = self.use_value(v, unit.expr(init).loc)?;
+            let init_loc = unit.expr(init).loc;
+            let v = self.use_value(v, init_loc)?;
+            // Initialization converts like simple assignment (§6.7.9:11).
+            let v = self.convert_for_store(v, elem, init_loc);
             self.objects[obj].cells.set(0, Some(v));
         }
         if let Some(items) = &d.array_init {
@@ -1615,15 +1917,47 @@ impl<'a> Interp<'a> {
             }
             for (i, &item) in items.iter().enumerate() {
                 let v = self.eval_full(item)?;
-                let v = self.use_value(v, unit.expr(item).loc)?;
+                let item_loc = unit.expr(item).loc;
+                let v = self.use_value(v, item_loc)?;
+                let v = self.convert_for_store(v, elem, item_loc);
                 self.objects[obj].cells.set(i, Some(v));
             }
-            // Remaining elements are initialized to zero (§6.7.9:21).
+            // Remaining elements are initialized to zero (§6.7.9:21), at
+            // the element type.
+            let zero = match elem {
+                Elem::Scalar(t) => Value::Int(CInt::new(0, t)),
+                Elem::Ptr | Elem::Untyped => Value::Int(CInt::int(0)),
+            };
             for i in items.len()..cells {
-                self.objects[obj].cells.set(i, Some(Value::Int(0)));
+                self.objects[obj].cells.set(i, Some(zero));
             }
         }
         Ok(())
+    }
+}
+
+/// Array-to-pointer decay (§6.3.2.1:3) for `sizeof` operand typing: an
+/// array designator keeps its `Bytes` size only as the *direct* operand;
+/// anywhere deeper it participates as a pointer.
+fn decay(t: SizeofTy) -> SizeofTy {
+    match t {
+        SizeofTy::Bytes(_) => SizeofTy::Pointer,
+        other => other,
+    }
+}
+
+/// The runtime element type of an object declared with `ty`: pointers
+/// pass stores through, scalars convert them. (`void` objects are
+/// rejected by the translation phase and never execute cleanly; `int` is
+/// a harmless placeholder for them.)
+fn elem_of_ty(ty: &Ty) -> Elem {
+    if ty.ptr_depth() > 0 {
+        Elem::Ptr
+    } else {
+        match ty.base_scalar() {
+            Some(it) => Elem::Scalar(it),
+            None => Elem::Scalar(IntTy::Int),
+        }
     }
 }
 
@@ -2246,6 +2580,290 @@ mod tests {
             run("int main(void) { int x = 1; int * const p = &x; *p = 5; return x; }").exit_code(),
             Some(5)
         );
+    }
+
+    #[test]
+    fn unsigned_arithmetic_wraps_as_defined_behavior() {
+        // §6.2.5:9 — no false SignedOverflow on any of these.
+        assert_eq!(
+            run("int main(void) { unsigned int u = 4294967295u; u = u + 1u; return u == 0u; }")
+                .exit_code(),
+            Some(1)
+        );
+        assert_eq!(
+            run("int main(void) { unsigned int u = 0u; u = u - 1u; return u == 4294967295u; }")
+                .exit_code(),
+            Some(1)
+        );
+        assert_eq!(
+            run("int main(void) { unsigned int s = 1u << 31; return s == 2147483648u; }")
+                .exit_code(),
+            Some(1)
+        );
+        // …while the same shapes at signed int stay UB.
+        assert_eq!(
+            ub_kind("int main(void) { int x = 2147483647; return x + 1; }"),
+            UbKind::SignedOverflow
+        );
+        assert_eq!(
+            ub_kind("int main(void) { return 1 << 31; }"),
+            UbKind::ShiftOverflow
+        );
+    }
+
+    #[test]
+    fn shifts_are_checked_at_the_promoted_left_operands_width() {
+        // long shifts by 32..62 are defined at width 64…
+        assert_eq!(
+            run("int main(void) { long one = 1; return (one << 40) > 0 && (one << 62) > 0; }")
+                .exit_code(),
+            Some(1)
+        );
+        // …shifting the 1 into the sign bit overflows long (§6.5.7:4)…
+        assert_eq!(
+            ub_kind("int main(void) { long one = 1; return (one << 63) < 0; }"),
+            UbKind::ShiftOverflow
+        );
+        // …and 64 is the first undefined count.
+        assert_eq!(
+            ub_kind(
+                "int main(void) { long one = 1; int k = 64; long b = one << k; return b == 0; }"
+            ),
+            UbKind::ShiftTooFar
+        );
+        // The *promoted* left operand: a char shifts at width 32, not 8.
+        assert_eq!(
+            run("int main(void) { char c = 1; return (c << 20) == 1048576; }").exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn division_overflow_is_per_width() {
+        assert_eq!(
+            ub_kind("int main(void) { int m = -2147483647 - 1; return m % -1; }"),
+            UbKind::DivisionOverflow
+        );
+        // The same numerator is fine at long width.
+        assert_eq!(
+            run("int main(void) { long m = -2147483647 - 1; return (m / -1) > 0; }").exit_code(),
+            Some(1)
+        );
+        // Unsigned division has no overflow case.
+        assert_eq!(
+            run("int main(void) { unsigned int u = 2147483648u; return (u / 1u) != 0u; }")
+                .exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn narrowing_stores_wrap_with_a_note_not_a_verdict() {
+        let unit = parse(
+            "int main(void) { char c = 300; short s = 70000; _Bool b = 42; \
+             return c == 44 && s == 4464 && b == 1; }",
+        )
+        .unwrap();
+        let mut interp = Interp::new(&unit, Limits::default());
+        let outcome = interp.run_main();
+        assert_eq!(outcome.exit_code(), Some(1), "{outcome:?}");
+        // Two implementation-defined notes: the char and short stores.
+        // Conversion to _Bool is defined (§6.3.1.2) and gets none.
+        assert_eq!(interp.notes().len(), 2, "{:?}", interp.notes());
+        assert!(interp.notes()[0].1.contains("`char`"));
+        assert!(interp.notes()[1].1.contains("`short`"));
+    }
+
+    #[test]
+    fn mixed_width_expressions_promote_and_convert() {
+        // char operands promote to int, so the multiply overflows int…
+        assert_eq!(
+            ub_kind(
+                "int main(void) { short a = 32767; short b = 32767; int p = a * b; \
+                     int q = p * 4; return q; }"
+            ),
+            UbKind::SignedOverflow
+        );
+        // …but the promoted arithmetic itself is fine (no char-width wrap).
+        assert_eq!(
+            run("int main(void) { char a = 100; char b = 100; return (a + b) == 200; }")
+                .exit_code(),
+            Some(1)
+        );
+        // Usual arithmetic conversions: -1 meets unsigned as UINT_MAX.
+        assert_eq!(
+            run("int main(void) { unsigned int u = 1u; return (-1 < u) == 0; }").exit_code(),
+            Some(1)
+        );
+        // long absorbs unsigned int on LP64 (no wrap at 2^32).
+        assert_eq!(
+            run(
+                "int main(void) { unsigned int u = 4294967295u; long l = u + 1L; \
+                 return l == 4294967296; }"
+            )
+            .exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn sizeof_evaluates_without_evaluating_its_operand() {
+        assert_eq!(
+            run(
+                "int main(void) { return sizeof(int) == 4u && sizeof(long) == 8u \
+                 && sizeof(char) == 1u && sizeof(int *) == 8u; }"
+            )
+            .exit_code(),
+            Some(1)
+        );
+        // `sizeof x` uses the declared type; `sizeof (x + 1L)` the
+        // converted one.
+        assert_eq!(
+            run("int main(void) { short x = 1; return sizeof x == 2u \
+                 && sizeof(x + 1) == 4u && sizeof(x + 1L) == 8u; }")
+            .exit_code(),
+            Some(1)
+        );
+        // An array designator under sizeof does not decay.
+        assert_eq!(
+            run("int main(void) { long a[3]; return sizeof a == 24u && sizeof(a + 0) == 8u; }")
+                .exit_code(),
+            Some(1)
+        );
+        // The operand is not evaluated: no division by zero here
+        // (§6.5.3.4:2).
+        assert_eq!(
+            run("int main(void) { int x = 0; return sizeof(1 / x) == 4u; }").exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn typed_parameters_and_returns_convert_like_assignment() {
+        // The argument converts to the parameter's type (note-worthy but
+        // defined), and the return value to the return type.
+        assert_eq!(
+            run("char trunc(char c) { return c; } \
+                 int main(void) { return trunc(300) == 44; }")
+            .exit_code(),
+            Some(1)
+        );
+        assert_eq!(
+            run("unsigned int wrap(void) { return -1; } \
+                 int main(void) { return wrap() == 4294967295u; }")
+            .exit_code(),
+            Some(1)
+        );
+        // A long parameter keeps 64-bit values intact.
+        assert_eq!(
+            run("long pass(long v) { return v; } \
+                 int main(void) { return pass(1L << 40) == (1L << 40); }")
+            .exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn incdec_respects_the_object_type() {
+        // unsigned char wraps 255 -> 0: defined.
+        assert_eq!(
+            run("int main(void) { unsigned char c = 255; c++; return c == 0; }").exit_code(),
+            Some(1)
+        );
+        // int at INT_MAX overflows: UB.
+        assert_eq!(
+            ub_kind("int main(void) { int x = 2147483647; x++; return x; }"),
+            UbKind::SignedOverflow
+        );
+        // unsigned int at UINT_MAX wraps: defined.
+        assert_eq!(
+            run("int main(void) { unsigned int u = 4294967295u; u++; return u == 0u; }")
+                .exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn switch_dispatches_on_converted_values() {
+        // The controlling expression is promoted; a char selects its
+        // promoted value's case.
+        assert_eq!(
+            run("int main(void) { char c = 65; switch (c) { case 'A': return 7; } return 0; }")
+                .exit_code(),
+            Some(7)
+        );
+        // long-valued cases work at full width.
+        assert_eq!(
+            run("int main(void) { long v = 1L << 40; \
+                 switch (v == (1L << 40)) { case 1: return 3; } return 0; }")
+            .exit_code(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn case_constants_convert_to_the_controlling_type() {
+        // §6.8.4.2:5 — `case -1:` converts to UINT_MAX for an unsigned
+        // controlling expression, exactly as in real C.
+        assert_eq!(
+            run("int main(void) { unsigned int u = 0u - 1u; \
+                 switch (u) { case -1: return 1; } return 0; }")
+            .exit_code(),
+            Some(1)
+        );
+        // …and a case constant the controlling type cannot represent
+        // wraps on conversion before comparing.
+        assert_eq!(
+            run("int main(void) { int x = 0; \
+                 switch (x) { case 4294967296L: return 1; } return 0; }")
+            .exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn heap_cells_are_untyped_so_wide_stores_survive() {
+        // malloc'd memory has no declared type (§6.5:6): a long stored
+        // through a long* must read back intact, not truncate to int.
+        assert_eq!(
+            run("int main(void) { long *p = malloc(2); p[0] = 4294967296L; \
+                 return p[0] == 4294967296L; }")
+            .exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn sizeof_of_a_non_vla_is_a_constant_array_size() {
+        // `int a[sizeof x]` is an ordinary (non-VLA) array, so jumping
+        // over its declaration is legal — no JumpIntoVlaScope and no
+        // VLA-form verdicts.
+        assert_eq!(
+            ub_kind("int main(void) { int x; int a[sizeof x - 4]; return 0; }"),
+            // sizeof x - 4 == 0: the *static* array-size form, proving
+            // const_size was set.
+            UbKind::ArraySizeNotPositive
+        );
+        // sizeof of a VLA stays non-constant (§6.5.3.4:2): the VLA form.
+        assert_eq!(
+            ub_kind("int main(void) { int n = 4; int v[n]; int a[sizeof v - 16]; return 0; }"),
+            UbKind::VlaSizeNotPositive
+        );
+    }
+
+    #[test]
+    fn oversized_objects_are_an_engine_limit_not_a_crash() {
+        for src in [
+            "int main(void) { long n = 1; n = n << 40; int a[n]; return 0; }",
+            "int main(void) { int *p = malloc(1 << 30); return 0; }",
+        ] {
+            let unit = parse(src).unwrap();
+            let outcome = Interp::new(&unit, Limits::default()).run_main();
+            assert!(
+                matches!(outcome, Outcome::Unsupported { .. }),
+                "{src}: {outcome:?}"
+            );
+        }
     }
 
     #[test]

@@ -69,15 +69,22 @@ pub mod kw {
         VOLATILE => "volatile",
         RESTRICT => "restrict",
         STATIC => "static",
+        CHAR => "char",
+        SHORT => "short",
+        LONG => "long",
+        SIGNED => "signed",
+        UNSIGNED => "unsigned",
+        BOOL => "_Bool",
+        SIZEOF => "sizeof",
         MALLOC => "malloc",
         FREE => "free",
         MAIN => "main",
     }
 
     /// Number of leading symbols that are keywords (everything up to and
-    /// including `static`; `malloc`/`free`/`main` are ordinary
+    /// including `sizeof`; `malloc`/`free`/`main` are ordinary
     /// identifiers).
-    pub(super) const KEYWORD_COUNT: u32 = STATIC.0 + 1;
+    pub(super) const KEYWORD_COUNT: u32 = SIZEOF.0 + 1;
 }
 
 /// A symbol table mapping identifier spellings to [`Symbol`]s and back.
@@ -184,6 +191,9 @@ mod tests {
         assert!(kw::DEFAULT.is_keyword());
         assert!(kw::CONST.is_keyword());
         assert!(kw::STATIC.is_keyword());
+        assert!(kw::UNSIGNED.is_keyword());
+        assert!(kw::BOOL.is_keyword());
+        assert!(kw::SIZEOF.is_keyword());
         assert!(!kw::MALLOC.is_keyword());
         assert!(!kw::FREE.is_keyword());
         assert!(!kw::MAIN.is_keyword());

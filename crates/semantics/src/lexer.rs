@@ -5,6 +5,7 @@
 //! [`LexError`]s with their position rather than being silently dropped —
 //! a file outside the subset must fail loudly, never be half-analyzed.
 
+use crate::ctype::{CInt, IntTy};
 use crate::intern::{Interner, Symbol};
 use cundef_ub::SourceLoc;
 use std::fmt;
@@ -16,8 +17,10 @@ pub enum Tok {
     /// fixed [`crate::intern::kw`] indices, so the parser distinguishes
     /// them with integer compares).
     Ident(Symbol),
-    /// Integer constant (decimal, octal, or hexadecimal in the source).
-    Int(i64),
+    /// Integer constant (decimal, octal, or hexadecimal, with optional
+    /// `u`/`l`/`ll` suffixes) or character constant, already *typed* per
+    /// C11 §6.4.4.1/§6.4.4.4 against the LP64 target.
+    Int(CInt),
     /// Punctuator, e.g. `"+="`, `"("`, `"<<"`.
     Punct(&'static str),
 }
@@ -147,6 +150,63 @@ pub fn lex(source: &str, interner: &mut Interner) -> Result<Vec<Token>, LexError
             });
             continue;
         }
+        if c == b'\'' {
+            // Character constant (§6.4.4.4); its type is `int`.
+            advance!(1);
+            let err = |message: String| LexError { message, loc };
+            if i >= bytes.len() {
+                return Err(err("unterminated character constant".into()));
+            }
+            let value: i64 = match bytes[i] {
+                b'\'' => return Err(err("empty character constant".into())),
+                b'\n' => return Err(err("unterminated character constant".into())),
+                b'\\' => {
+                    advance!(1);
+                    if i >= bytes.len() {
+                        return Err(err("unterminated character constant".into()));
+                    }
+                    let esc = bytes[i];
+                    advance!(1);
+                    match esc {
+                        b'n' => b'\n' as i64,
+                        b't' => b'\t' as i64,
+                        b'r' => b'\r' as i64,
+                        b'0' => 0,
+                        b'\\' => b'\\' as i64,
+                        b'\'' => b'\'' as i64,
+                        b'"' => b'"' as i64,
+                        b'a' => 0x07,
+                        b'b' => 0x08,
+                        b'f' => 0x0c,
+                        b'v' => 0x0b,
+                        other => {
+                            return Err(err(format!(
+                                "unsupported escape sequence `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                plain => {
+                    advance!(1);
+                    plain as i64
+                }
+            };
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(err(
+                    "character constant is unterminated or has more than one character \
+                     (multi-character constants have implementation-defined values and \
+                     are outside the subset)"
+                        .into(),
+                ));
+            }
+            advance!(1);
+            toks.push(Token {
+                tok: Tok::Int(CInt::int(value)),
+                loc,
+            });
+            continue;
+        }
         for p in PUNCTS {
             if bytes[i..].starts_with(p.as_bytes()) {
                 toks.push(Token {
@@ -165,22 +225,65 @@ pub fn lex(source: &str, interner: &mut Interner) -> Result<Vec<Token>, LexError
     Ok(toks)
 }
 
-/// Parse a decimal, octal, or hexadecimal constant that fits in `int`.
-fn parse_int_constant(text: &str) -> Option<i64> {
-    let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16).ok()?
-    } else if text.len() > 1 && text.starts_with('0') {
-        // A leading zero makes the constant octal (C11 §6.4.4.1); this
-        // also rejects `8`/`9` digits rather than reinterpreting them.
-        i64::from_str_radix(&text[1..], 8).ok()?
-    } else if text.chars().all(|c| c.is_ascii_digit()) {
-        text.parse::<i64>().ok()?
-    } else {
+/// Parse and *type* an integer constant (C11 §6.4.4.1): split off the
+/// `u`/`l`/`ll` suffix, read the digits in the right base, then take the
+/// first type in the standard's candidate list that can represent the
+/// value. Decimal constants without a `u` suffix never become unsigned;
+/// octal and hexadecimal ones may. A constant no candidate can represent
+/// has no type and is refused.
+fn parse_int_constant(text: &str) -> Option<CInt> {
+    let suffix_len = text
+        .bytes()
+        .rev()
+        .take_while(|b| matches!(b, b'u' | b'U' | b'l' | b'L'))
+        .count();
+    let (body, suffix) = text.split_at(text.len() - suffix_len);
+    // `lL`/`Ll` is not a valid long-long suffix (§6.4.4.1:1).
+    if suffix.contains("lL") || suffix.contains("Ll") {
         return None;
+    }
+    let (has_u, longs) = match suffix.to_ascii_lowercase().as_str() {
+        "" => (false, 0),
+        "u" => (true, 0),
+        "l" => (false, 1),
+        "ll" => (false, 2),
+        "ul" | "lu" => (true, 1),
+        "ull" | "llu" => (true, 2),
+        _ => return None,
     };
-    // The subset's only integer type is 32-bit int; a wider constant has
-    // no type here, so refuse it during lexing.
-    (value <= i32::MAX as i64).then_some(value)
+    let (value, decimal) =
+        if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            (u128::from_str_radix(hex, 16).ok()?, false)
+        } else if body.len() > 1 && body.starts_with('0') {
+            // A leading zero makes the constant octal (C11 §6.4.4.1); this
+            // also rejects `8`/`9` digits rather than reinterpreting them.
+            (u128::from_str_radix(&body[1..], 8).ok()?, false)
+        } else if !body.is_empty() && body.bytes().all(|b| b.is_ascii_digit()) {
+            (body.parse::<u128>().ok()?, true)
+        } else {
+            return None;
+        };
+    use IntTy::*;
+    let candidates: &[IntTy] = match (has_u, longs, decimal) {
+        (false, 0, true) => &[Int, Long, LongLong],
+        (false, 0, false) => &[Int, UInt, Long, ULong, LongLong, ULongLong],
+        (true, 0, _) => &[UInt, ULong, ULongLong],
+        (false, 1, true) => &[Long, LongLong],
+        (false, 1, false) => &[Long, ULong, LongLong, ULongLong],
+        (true, 1, _) => &[ULong, ULongLong],
+        (false, 2, true) => &[LongLong],
+        (false, 2, false) => &[LongLong, ULongLong],
+        (true, 2, _) => &[ULongLong],
+        _ => unreachable!("longs is 0..=2"),
+    };
+    if value > u64::MAX as u128 {
+        return None;
+    }
+    let v = value as i128;
+    candidates
+        .iter()
+        .find(|ty| ty.contains(v))
+        .map(|&ty| CInt::new(v, ty))
 }
 
 #[cfg(test)]
@@ -223,27 +326,89 @@ mod tests {
         assert_eq!(toks[1].tok, Tok::Ident(crate::intern::kw::FREE));
     }
 
+    /// The first token of `source`, which must be an integer constant.
+    fn int1(source: &str) -> CInt {
+        match lex1(source).unwrap()[0].tok {
+            Tok::Int(c) => c,
+            other => panic!("expected constant, got {other:?}"),
+        }
+    }
+
     #[test]
     fn hex_constants() {
-        let toks = lex1("0x10").unwrap();
-        assert_eq!(toks[0].tok, Tok::Int(16));
+        assert_eq!(int1("0x10").math(), 16);
+        assert_eq!(int1("0x1F").ty, IntTy::Int);
+        // A hex constant too big for int may become unsigned int
+        // (§6.4.4.1's list differs from the decimal one).
+        assert_eq!(int1("0xFFFFFFFF").ty, IntTy::UInt);
+        assert_eq!(int1("0xFFFFFFFF").math(), 4294967295);
+        // `unsigned long` precedes `unsigned long long` in the hex
+        // candidate list and already fits 64 bits on LP64.
+        assert_eq!(int1("0xFFFFFFFFFFFFFFFF").ty, IntTy::ULong);
     }
 
     #[test]
     fn octal_constants() {
-        let toks = lex1("010").unwrap();
-        assert_eq!(toks[0].tok, Tok::Int(8));
-        let toks = lex1("0").unwrap();
-        assert_eq!(toks[0].tok, Tok::Int(0));
+        assert_eq!(int1("010").math(), 8);
+        assert_eq!(int1("0").math(), 0);
         // `09` is not a valid octal constant (§6.4.4.1) and must fail
         // loudly instead of being reinterpreted as decimal.
         assert!(lex1("09").is_err());
     }
 
     #[test]
-    fn out_of_range_constant_is_rejected() {
-        assert!(lex1("2147483648").is_err());
-        assert!(lex1("2147483647").is_ok());
+    fn constants_take_the_first_fitting_type() {
+        assert_eq!(int1("2147483647").ty, IntTy::Int);
+        // A decimal constant one past INT_MAX is a (signed) long on
+        // LP64 — never unsigned without a `u` suffix.
+        assert_eq!(int1("2147483648").ty, IntTy::Long);
+        assert_eq!(int1("9223372036854775807").ty, IntTy::Long);
+        // …and past LLONG_MAX a decimal constant has no type at all.
+        assert!(lex1("9223372036854775808").is_err());
+        assert!(lex1("18446744073709551615u").is_ok());
+    }
+
+    #[test]
+    fn suffixes_select_types() {
+        assert_eq!(int1("1u").ty, IntTy::UInt);
+        assert_eq!(int1("1U").ty, IntTy::UInt);
+        assert_eq!(int1("1l").ty, IntTy::Long);
+        assert_eq!(int1("1L").ty, IntTy::Long);
+        assert_eq!(int1("1ll").ty, IntTy::LongLong);
+        assert_eq!(int1("1ul").ty, IntTy::ULong);
+        assert_eq!(int1("1lu").ty, IntTy::ULong);
+        assert_eq!(int1("1ull").ty, IntTy::ULongLong);
+        assert_eq!(int1("4294967295u").ty, IntTy::UInt);
+        assert_eq!(int1("4294967296u").ty, IntTy::ULong);
+        assert_eq!(int1("0x10uL").ty, IntTy::ULong);
+        // Invalid suffixes are refused, including the mixed-case ll.
+        assert!(lex1("1uu").is_err());
+        assert!(lex1("1lL").is_err());
+        assert!(lex1("1lll").is_err());
+        assert!(lex1("1x").is_err());
+    }
+
+    #[test]
+    fn character_constants_are_int_typed() {
+        assert_eq!(int1("'a'").math(), 97);
+        assert_eq!(int1("'a'").ty, IntTy::Int);
+        assert_eq!(int1("'\\n'").math(), 10);
+        assert_eq!(int1("'\\0'").math(), 0);
+        assert_eq!(int1("'\\''").math(), 39);
+        assert_eq!(int1("'\\\\'").math(), 92);
+        // Empty, multi-character, unterminated, and unknown escapes all
+        // fail loudly.
+        assert!(lex1("''").is_err());
+        assert!(lex1("'ab'").is_err());
+        assert!(lex1("'a").is_err());
+        assert!(lex1("'\\q'").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_reported_at_its_start() {
+        let err = lex1("int x;\n/* never closed").unwrap_err();
+        assert!(err.message.contains("unterminated comment"), "{err}");
+        assert_eq!(err.loc, cundef_ub::SourceLoc::new(2, 1));
     }
 
     #[test]

@@ -5,8 +5,13 @@
 //! [`cundef_ub`] names and classifies undefined behaviors, this crate
 //! *detects* them by actually running programs. It contains:
 //!
+//! - [`ctype`] — the typed scalar core: the C integer type lattice,
+//!   integer promotions, and usual arithmetic conversions (§6.3.1)
+//!   against an explicit LP64 target, plus the [`ctype::CInt`] typed
+//!   value every layer computes with;
 //! - [`intern`] — identifier interning ([`Symbol`]s instead of strings);
-//! - [`lexer`] — tokenizer for the supported C subset;
+//! - [`lexer`] — tokenizer for the supported C subset, typing integer
+//!   and character constants per §6.4.4;
 //! - [`ast`] — the abstract syntax, arena-allocated (`ExprId`/`StmtId`
 //!   indices instead of boxed nodes);
 //! - [`parser`] — recursive-descent parser producing the AST;
@@ -23,13 +28,16 @@
 //!   [`cundef_ub::UbError`] the moment an execution would "get stuck" on
 //!   undefined behavior, in the style of the paper's negative semantics.
 //!
-//! The supported subset is deliberately small but real: `int` scalars,
-//! fixed-size and variable-length `int` arrays, pointers (`&`, `*`,
-//! arithmetic, indexing), function definitions and calls, `malloc`/`free`
-//! (in `int`-cell units), control flow (`if`/`else`, `while`, `for`,
-//! `break`, `continue`, `return`), and the full C expression operator set
-//! over `int` — including compound assignment and increment/decrement,
-//! whose sequencing hazards are the paper's flagship `Error: 00016`.
+//! The supported subset is deliberately small but real: the full
+//! integer type lattice of an LP64 target (`_Bool`, `char`,
+//! signed/unsigned `short`/`int`/`long`/`long long` — see [`ctype`]),
+//! typed integer and character constants, `sizeof`, fixed-size and
+//! variable-length arrays, pointers (`&`, `*`, arithmetic, indexing),
+//! function definitions and calls, `malloc`/`free` (in `int`-cell
+//! units), control flow (`if`/`else`, `while`, `for`, `break`,
+//! `continue`, `return`), and the full C expression operator set —
+//! including compound assignment and increment/decrement, whose
+//! sequencing hazards are the paper's flagship `Error: 00016`.
 //!
 //! # Examples
 //!
@@ -47,6 +55,7 @@
 
 pub mod ast;
 pub mod consteval;
+pub mod ctype;
 pub mod eval;
 pub mod intern;
 pub mod lexer;

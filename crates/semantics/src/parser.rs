@@ -17,6 +17,7 @@ use crate::ast::{
     BinOp, Decl, Expr, ExprId, ExprKind, Function, Param, Quals, SlotId, Stmt, StmtId,
     TranslationUnit, Ty, UnaryOp,
 };
+use crate::ctype::IntTy;
 use crate::intern::{kw, Symbol};
 use crate::lexer::{lex, LexError, Tok, Token};
 use cundef_ub::SourceLoc;
@@ -201,26 +202,135 @@ impl Parser {
         (ty, outer)
     }
 
+    /// The type-specifier and qualifier keywords that can begin a
+    /// declaration (or a `sizeof` type-name).
+    const DECL_START: &'static [Symbol] = &[
+        kw::INT,
+        kw::VOID,
+        kw::CHAR,
+        kw::SHORT,
+        kw::LONG,
+        kw::SIGNED,
+        kw::UNSIGNED,
+        kw::BOOL,
+        kw::CONST,
+        kw::VOLATILE,
+        kw::RESTRICT,
+    ];
+
     /// Whether the next token can begin a declaration.
     fn at_decl_start(&self) -> bool {
-        [kw::INT, kw::VOID, kw::CONST, kw::VOLATILE, kw::RESTRICT]
-            .iter()
-            .any(|&k| self.peek_keyword(k))
+        Self::DECL_START.iter().any(|&k| self.peek_keyword(k))
+    }
+
+    /// Whether `t` is a token that can begin a type-name (for the
+    /// `sizeof ( type-name )` vs `sizeof ( expression )` split).
+    fn starts_type(t: Option<Token>) -> bool {
+        matches!(t, Some(Token { tok: Tok::Ident(s), .. })
+            if Self::DECL_START.contains(&s))
+    }
+
+    /// Parse a run of declaration specifiers (C11 §6.7): type-specifier
+    /// keywords and qualifiers in any order, combined into one base type
+    /// of the LP64 lattice. Multi-keyword spellings (`unsigned long long
+    /// int`, `long unsigned`) are validated the way §6.7.2:2 enumerates
+    /// them; contradictions (`signed unsigned`, `short long`, `void
+    /// unsigned`) are parse errors, never reinterpreted.
+    fn declaration_specifiers(&mut self) -> Result<(Ty, Quals), ParseError> {
+        let mut quals = Quals::default();
+        let mut saw_void = false;
+        let mut saw_char = false;
+        let mut saw_int = false;
+        let mut saw_bool = false;
+        let mut shorts: u8 = 0;
+        let mut longs: u8 = 0;
+        let mut signed = false;
+        let mut unsigned = false;
+        let mut any = false;
+        loop {
+            if self.eat_keyword(kw::CONST) {
+                quals.is_const = true;
+            } else if self.eat_keyword(kw::VOLATILE) {
+                quals.is_volatile = true;
+            } else if self.eat_keyword(kw::RESTRICT) {
+                quals.is_restrict = true;
+            } else if self.eat_keyword(kw::VOID) {
+                saw_void = true;
+                any = true;
+            } else if self.eat_keyword(kw::CHAR) {
+                saw_char = true;
+                any = true;
+            } else if self.eat_keyword(kw::INT) {
+                saw_int = true;
+                any = true;
+            } else if self.eat_keyword(kw::BOOL) {
+                saw_bool = true;
+                any = true;
+            } else if self.eat_keyword(kw::SHORT) {
+                shorts += 1;
+                any = true;
+            } else if self.eat_keyword(kw::LONG) {
+                longs += 1;
+                any = true;
+            } else if self.eat_keyword(kw::SIGNED) {
+                signed = true;
+                any = true;
+            } else if self.eat_keyword(kw::UNSIGNED) {
+                unsigned = true;
+                any = true;
+            } else {
+                break;
+            }
+        }
+        if !any {
+            return self.err("expected a type specifier");
+        }
+        if signed && unsigned {
+            return self.err("both `signed` and `unsigned` in declaration specifiers");
+        }
+        if saw_void {
+            if saw_char || saw_int || saw_bool || shorts > 0 || longs > 0 || signed || unsigned {
+                return self.err("`void` combined with other type specifiers");
+            }
+            return Ok((Ty::Void, quals));
+        }
+        if saw_bool {
+            if saw_char || saw_int || shorts > 0 || longs > 0 || signed || unsigned {
+                return self.err("`_Bool` combined with other type specifiers");
+            }
+            return Ok((Ty::Int(IntTy::Bool), quals));
+        }
+        if saw_char {
+            if saw_int || shorts > 0 || longs > 0 {
+                return self.err("invalid combination of type specifiers with `char`");
+            }
+            let it = if unsigned { IntTy::UChar } else { IntTy::Char };
+            return Ok((Ty::Int(it), quals));
+        }
+        if shorts > 1 || longs > 2 || (shorts > 0 && longs > 0) {
+            return self.err("invalid combination of `short`/`long` specifiers");
+        }
+        let it = match (shorts, longs, unsigned) {
+            (1, _, false) => IntTy::Short,
+            (1, _, true) => IntTy::UShort,
+            (_, 0, false) => IntTy::Int,
+            (_, 0, true) => IntTy::UInt,
+            (_, 1, false) => IntTy::Long,
+            (_, 1, true) => IntTy::ULong,
+            (_, _, false) => IntTy::LongLong,
+            (_, _, true) => IntTy::ULongLong,
+        };
+        Ok((Ty::Int(it), quals))
     }
 
     fn function(&mut self) -> Result<Function, ParseError> {
         let is_static = self.eat_keyword(kw::STATIC);
         // Qualifiers on the return type are legal and (like the return
-        // type's pointer qualifiers) meaningless to the caller (§6.7.6.3).
-        self.qual_list();
-        let returns_void = if self.eat_keyword(kw::VOID) {
-            true
-        } else if self.eat_keyword(kw::INT) {
-            false
-        } else {
-            return self.err("expected `int` or `void` at start of function definition");
-        };
-        self.qual_list();
+        // type's pointer qualifiers) meaningless to the caller (§6.7.6.3);
+        // the specifier scan swallows them.
+        let (base, _) = self.declaration_specifiers()?;
+        let returns_void = base == Ty::Void;
+        let ret_scalar = base.base_scalar().unwrap_or(IntTy::Int);
         // Pointer return types are tracked by depth only: runtime values
         // are dynamically typed, but the analyzer's type checker wants
         // the declared shape.
@@ -233,14 +343,24 @@ impl Parser {
         self.expect_punct("(")?;
         let mut params = Vec::new();
         if !self.eat_punct(")") {
-            if self.eat_keyword(kw::VOID) {
-                self.expect_punct(")")?;
+            if self.peek_keyword(kw::VOID)
+                && matches!(
+                    self.peek2(),
+                    Some(Token {
+                        tok: Tok::Punct(")"),
+                        ..
+                    })
+                )
+            {
+                // The empty `(void)` parameter list (§6.7.6.3:10).
+                self.pos += 2;
             } else {
                 loop {
-                    if !self.eat_keyword(kw::INT) {
-                        return self.err("expected `int` parameter type");
+                    let (base, _) = self.declaration_specifiers()?;
+                    let (ty, _) = self.pointer_suffix(base);
+                    if ty == Ty::Void {
+                        return self.err("parameter declared with incomplete type `void`");
                     }
-                    let (ty, _) = self.pointer_suffix(Ty::Int);
                     let (pname, _) = self.ident()?;
                     params.push(Param { name: pname, ty });
                     if self.eat_punct(")") {
@@ -268,6 +388,7 @@ impl Parser {
             params,
             returns_void,
             ret_ptr,
+            ret_scalar,
             is_static,
             fn_quals,
             body,
@@ -279,15 +400,7 @@ impl Parser {
     }
 
     fn decl(&mut self) -> Result<Decl, ParseError> {
-        let mut base_quals = self.qual_list();
-        let base = if self.eat_keyword(kw::VOID) {
-            Ty::Void
-        } else if self.eat_keyword(kw::INT) {
-            Ty::Int
-        } else {
-            return self.err("expected `int` or `void` in declaration");
-        };
-        base_quals = base_quals.merge(self.qual_list());
+        let (base, base_quals) = self.declaration_specifiers()?;
         let (ty, ptr_quals) = self.pointer_suffix(base);
         // The declared object's qualifiers are the outermost `*` group's
         // for a pointer declarator, the base specifier's otherwise; a
@@ -630,6 +743,27 @@ impl Parser {
 
     fn unary(&mut self) -> Result<ExprId, ParseError> {
         let loc = self.loc();
+        if self.eat_keyword(kw::SIZEOF) {
+            // `sizeof ( type-name )` when a type keyword follows the
+            // parenthesis; otherwise `sizeof unary-expression` (which may
+            // itself be parenthesized).
+            if matches!(
+                self.peek(),
+                Some(Token {
+                    tok: Tok::Punct("("),
+                    ..
+                })
+            ) && Self::starts_type(self.peek2())
+            {
+                self.pos += 1;
+                let (base, _) = self.declaration_specifiers()?;
+                let (ty, _) = self.pointer_suffix(base);
+                self.expect_punct(")")?;
+                return Ok(self.mk(ExprKind::SizeofType(ty), loc));
+            }
+            let e = self.unary()?;
+            return Ok(self.mk(ExprKind::SizeofExpr(e), loc));
+        }
         if self.eat_punct("++") {
             let e = self.unary()?;
             return Ok(self.mk(ExprKind::PreIncDec(e, 1), loc));
@@ -861,11 +995,95 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(decls[0].quals.is_const && decls[0].ty == Ty::Int);
+        assert!(decls[0].quals.is_const && decls[0].ty == Ty::INT);
         assert!(decls[1].quals.is_restrict && decls[1].ty.ptr_depth() == 1);
         assert!(decls[2].quals.is_restrict && decls[2].ty.ptr_depth() == 0);
         assert_eq!(decls[3].ty, Ty::Void);
         assert_eq!(decls[4].ty, Ty::Ptr(Box::new(Ty::Void)));
+    }
+
+    #[test]
+    fn multi_keyword_specifiers_combine() {
+        let unit = parse(
+            "int main(void) { unsigned long long x = 1; long unsigned y = 2; \
+             short int s = 3; unsigned char c = 4; _Bool b = 1; signed q = -1; \
+             long int l = 5; return 0; }",
+        )
+        .unwrap();
+        let tys: Vec<&Ty> = unit
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Decl(d) => Some(&d.ty),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(*tys[0], Ty::Int(IntTy::ULongLong));
+        assert_eq!(*tys[1], Ty::Int(IntTy::ULong));
+        assert_eq!(*tys[2], Ty::Int(IntTy::Short));
+        assert_eq!(*tys[3], Ty::Int(IntTy::UChar));
+        assert_eq!(*tys[4], Ty::Int(IntTy::Bool));
+        assert_eq!(*tys[5], Ty::Int(IntTy::Int));
+        assert_eq!(*tys[6], Ty::Int(IntTy::Long));
+    }
+
+    #[test]
+    fn contradictory_specifiers_are_rejected() {
+        for src in [
+            "int main(void) { signed unsigned x; return 0; }",
+            "int main(void) { short long x; return 0; }",
+            "int main(void) { long long long x; return 0; }",
+            "int main(void) { _Bool int x; return 0; }",
+            "int main(void) { void unsigned x; return 0; }",
+            "int main(void) { char short x; return 0; }",
+        ] {
+            assert!(parse(src).is_err(), "{src} should not parse");
+        }
+    }
+
+    #[test]
+    fn sizeof_forms_parse() {
+        // Type form.
+        let (unit, e) = unit_and_expr("sizeof(unsigned long)");
+        assert_eq!(unit.expr(e).kind, E::SizeofType(Ty::Int(IntTy::ULong)));
+        let (unit, e) = unit_and_expr("sizeof(int *)");
+        assert!(matches!(unit.expr(e).kind, E::SizeofType(Ty::Ptr(_))));
+        // Expression forms: parenthesized and bare, binding tighter than
+        // binary operators.
+        let unit = parse(
+            "int main(void) { int x = 1; int y = sizeof x + 1; int z = sizeof(x); return 0; }",
+        )
+        .unwrap();
+        let sizeofs = unit
+            .exprs
+            .iter()
+            .filter(|ex| matches!(ex.kind, E::SizeofExpr(_)))
+            .count();
+        assert_eq!(sizeofs, 2);
+        let adds = unit
+            .exprs
+            .iter()
+            .find(|ex| matches!(ex.kind, E::Binary(BinOp::Add, _, _)))
+            .expect("sizeof x + 1 parses as (sizeof x) + 1");
+        let E::Binary(_, lhs, _) = adds.kind else {
+            unreachable!()
+        };
+        assert!(matches!(unit.expr(lhs).kind, E::SizeofExpr(_)));
+    }
+
+    #[test]
+    fn typed_parameters_and_returns() {
+        let unit = parse(
+            "long widen(unsigned int u, char c) { return u + c; } \
+             int main(void) { return 0; }",
+        )
+        .unwrap();
+        let f = &unit.functions[0];
+        assert_eq!(f.ret_scalar, IntTy::Long);
+        assert_eq!(f.params[0].ty, Ty::Int(IntTy::UInt));
+        assert_eq!(f.params[1].ty, Ty::Int(IntTy::Char));
+        // A bare `void` parameter among others is rejected.
+        assert!(parse("int f(void v) { return 0; } int main(void) { return 0; }").is_err());
     }
 
     #[test]

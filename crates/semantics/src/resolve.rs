@@ -47,6 +47,7 @@ pub fn resolve(unit: &mut TranslationUnit) {
         let mut r = Resolver {
             scopes: Vec::with_capacity(8),
             next_slot: 0,
+            vla_slot: Vec::new(),
             labels: Vec::new(),
             gotos: Vec::new(),
         };
@@ -76,6 +77,12 @@ struct Resolver {
     /// Innermost scope last; each scope maps names to slots.
     scopes: Vec<Vec<(Symbol, SlotId)>>,
     next_slot: u32,
+    /// Per-slot flag: the slot was declared as a variable length array.
+    /// `sizeof` of a VLA is not a constant expression (§6.5.3.4:2), so
+    /// the constness predicate below needs this to classify
+    /// `int a[sizeof x]` as an ordinary array without misreading
+    /// `int b[sizeof vla]`.
+    vla_slot: Vec<bool>,
     /// Labels defined in the function, in source order — exported on the
     /// [`crate::ast::Function`] for the translation-phase analyzer
     /// (duplicate labels, goto targets, jumps into VLA scope).
@@ -88,6 +95,7 @@ impl Resolver {
     fn fresh_slot(&mut self) -> SlotId {
         let slot = SlotId(self.next_slot);
         self.next_slot += 1;
+        self.vla_slot.push(false);
         slot
     }
 
@@ -189,10 +197,13 @@ impl Resolver {
         // sizes the array with the outer n (§6.2.1:7).
         if let Some(size) = d.array_size {
             self.resolve_expr(unit, size);
-            d.const_size = is_constant_expr(unit, size);
+            d.const_size = self.is_constant_expr(unit, size);
         }
         d.redeclaration = self.in_current_scope(d.name);
         d.slot = self.fresh_slot();
+        if d.array_size.is_some() && !d.const_size {
+            self.vla_slot[d.slot.index()] = true;
+        }
         self.scopes
             .last_mut()
             .expect("active scope")
@@ -223,11 +234,16 @@ impl Resolver {
             // Already-resolved nodes only appear if resolve ran twice;
             // re-resolving is a no-op either way.
             ExprKind::Slot(_, _) => {}
+            // `sizeof(type)` names no objects; a `sizeof expr` operand is
+            // unevaluated but its names still resolve (§6.2.1 scope rules
+            // apply to the program text, not to executions).
+            ExprKind::SizeofType(_) => {}
             ExprKind::Unary(_, a)
             | ExprKind::Deref(a)
             | ExprKind::AddrOf(a)
             | ExprKind::PreIncDec(a, _)
-            | ExprKind::PostIncDec(a, _) => self.resolve_expr(unit, a),
+            | ExprKind::PostIncDec(a, _)
+            | ExprKind::SizeofExpr(a) => self.resolve_expr(unit, a),
             ExprKind::Binary(_, a, b)
             | ExprKind::LogicalAnd(a, b)
             | ExprKind::LogicalOr(a, b)
@@ -256,19 +272,50 @@ impl Resolver {
     }
 }
 
-/// Whether `e` is an integer constant expression (§6.6:6) within the
-/// subset: built only from constants and arithmetic on them.
-fn is_constant_expr(unit: &TranslationUnit, e: ExprId) -> bool {
-    match unit.expr(e).kind {
-        ExprKind::IntLit(_) => true,
-        ExprKind::Unary(_, a) => is_constant_expr(unit, a),
-        ExprKind::Binary(_, a, b) | ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
-            is_constant_expr(unit, a) && is_constant_expr(unit, b)
+impl Resolver {
+    /// Whether `e` is an integer constant expression (§6.6:6) within the
+    /// subset: built only from constants, `sizeof`, and arithmetic on
+    /// them.
+    fn is_constant_expr(&self, unit: &TranslationUnit, e: ExprId) -> bool {
+        match unit.expr(e).kind {
+            ExprKind::IntLit(_) | ExprKind::SizeofType(_) => true,
+            // `sizeof expr` is constant unless the operand's type is
+            // variably modified (§6.5.3.4:2) — checked structurally.
+            ExprKind::SizeofExpr(a) => self.sizeof_operand_is_static(unit, a),
+            ExprKind::Unary(_, a) => self.is_constant_expr(unit, a),
+            ExprKind::Binary(_, a, b) | ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
+                self.is_constant_expr(unit, a) && self.is_constant_expr(unit, b)
+            }
+            ExprKind::Conditional(c, t, f) => {
+                self.is_constant_expr(unit, c)
+                    && self.is_constant_expr(unit, t)
+                    && self.is_constant_expr(unit, f)
+            }
+            _ => false,
         }
-        ExprKind::Conditional(c, t, f) => {
-            is_constant_expr(unit, c) && is_constant_expr(unit, t) && is_constant_expr(unit, f)
+    }
+
+    /// Whether a `sizeof` operand has a statically-sized type: no VLA
+    /// designator anywhere the type computation could see. Conservative —
+    /// anything this walk cannot classify (calls, derefs, assignments in
+    /// the unevaluated operand) keeps the old "not a constant"
+    /// classification, which errs toward the VLA treatment.
+    fn sizeof_operand_is_static(&self, unit: &TranslationUnit, e: ExprId) -> bool {
+        match unit.expr(e).kind {
+            ExprKind::IntLit(_) | ExprKind::SizeofType(_) => true,
+            ExprKind::Slot(slot, _) => !self.vla_slot.get(slot.index()).copied().unwrap_or(true),
+            ExprKind::SizeofExpr(a) => self.sizeof_operand_is_static(unit, a),
+            ExprKind::Unary(_, a) => self.sizeof_operand_is_static(unit, a),
+            ExprKind::Binary(_, a, b) | ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
+                self.sizeof_operand_is_static(unit, a) && self.sizeof_operand_is_static(unit, b)
+            }
+            ExprKind::Conditional(c, t, f) => {
+                self.sizeof_operand_is_static(unit, c)
+                    && self.sizeof_operand_is_static(unit, t)
+                    && self.sizeof_operand_is_static(unit, f)
+            }
+            _ => false,
         }
-        _ => false,
     }
 }
 

@@ -1,0 +1,201 @@
+//! Differential tests: the translation-time constant engine and the
+//! run-time evaluator must agree on every mixed-width expression — same
+//! value, same type, same verdict. The two share one arithmetic core
+//! (`consteval::arith`), and this suite is what keeps that sharing
+//! honest: if either phase ever grows a private arithmetic path, a
+//! divergence shows up here.
+
+use cundef_semantics::ast::{ExprId, Stmt};
+use cundef_semantics::consteval::{const_eval, ConstStop};
+use cundef_semantics::ctype::{CInt, IntTy};
+use cundef_semantics::eval::{Interp, Limits, Outcome};
+use cundef_semantics::parser::parse;
+use cundef_ub::UbKind;
+
+/// Parse `int main(void) { <expr>; return 0; }` and return the unit plus
+/// the expression statement's id.
+fn parse_expr(expr: &str) -> (cundef_semantics::ast::TranslationUnit, ExprId) {
+    let unit = parse(&format!("int main(void) {{ {expr}; return 0; }}"))
+        .unwrap_or_else(|e| panic!("{expr:?} failed to parse: {e}"));
+    let main = unit.function_named("main").expect("main");
+    let Stmt::Expr(e) = unit.stmt(main.body[0]) else {
+        panic!("{expr:?}: expected an expression statement");
+    };
+    let (e, _) = (*e, ());
+    (unit, e)
+}
+
+/// The constant-expression verdict for `expr`.
+fn translation_verdict(expr: &str) -> Result<CInt, ConstStop> {
+    let (unit, e) = parse_expr(expr);
+    const_eval(&unit, e)
+}
+
+/// The run-time verdict for `expr`, evaluated as a full expression
+/// statement: `Ok(())` when execution survives it, `Err(kind)` when it
+/// is the undefined operation.
+fn execution_verdict(expr: &str) -> Result<(), UbKind> {
+    let (unit, _) = parse_expr(expr);
+    match Interp::new(&unit, Limits::default()).run_main() {
+        Outcome::Completed(0) => Ok(()),
+        Outcome::Undefined(e) => Err(e.kind()),
+        other => panic!("{expr:?}: unexpected outcome {other:?}"),
+    }
+}
+
+/// Render `v` as a C constant of exactly its own type. Promoted
+/// arithmetic never yields a type below int, so a suffix always exists.
+fn literal_of(v: CInt) -> String {
+    let suffix = match v.ty {
+        IntTy::Int => "",
+        IntTy::UInt => "u",
+        IntTy::Long => "L",
+        IntTy::ULong => "uL",
+        IntTy::LongLong => "LL",
+        IntTy::ULongLong => "uLL",
+        other => panic!("arithmetic result has sub-int type {other}"),
+    };
+    let m = v.math();
+    if m < 0 {
+        // Negative literals do not exist in C; spell the value as an
+        // expression of the same type and value.
+        format!("(0{suffix} - {}{suffix})", -m)
+    } else {
+        format!("{m}{suffix}")
+    }
+}
+
+/// The shared table: every entry is checked for phase agreement, and
+/// constant values are re-checked dynamically via an exit-code compare.
+const TABLE: &[&str] = &[
+    // plain int arithmetic
+    "1 + 2 * 3",
+    "(10 / 3) + (10 % 3)",
+    "2147483647 + 1",
+    "2147483647 * 2",
+    "(-2147483647 - 1) - 1",
+    "(-2147483647 - 1) / -1",
+    "(-2147483647 - 1) % -1",
+    "1 / 0",
+    "1 % 0",
+    "-(-2147483647 - 1)",
+    // unsigned wrap: all defined
+    "4294967295u + 1u",
+    "0u - 1u",
+    "2147483647u * 3u",
+    "18446744073709551615uL + 1uL",
+    // shifts, per width
+    "1 << 30",
+    "1 << 31",
+    "1 << 32",
+    "1 << -1",
+    "-1 << 1",
+    "1u << 31",
+    "1u << 32",
+    "1L << 31",
+    "1L << 40",
+    "1L << 62",
+    "1L << 63",
+    "1L << 64",
+    "1uL << 63",
+    "255 >> 4",
+    "-16 >> 2",
+    // promotions and usual arithmetic conversions
+    "65535 * 65535",
+    "65535L * 65535",
+    "'A' + 1",
+    "'\\n' * 10",
+    "-1 < 1u",
+    "1u + 1L",
+    "(2147483648uL % 4294967296uL) + 0L",
+    // sizeof as a constant
+    "sizeof(int) + sizeof(long)",
+    "sizeof(char) * 100",
+    "sizeof(int *) - 8u",
+    // logic and conditionals with short circuits
+    "0 && (1 / 0)",
+    "1 || (1 / 0)",
+    "1 ? 7 : 1 / 0",
+    "0 ? 1 / 0 : 9",
+    "~0u",
+    "~0 + 1",
+];
+
+#[test]
+fn both_phases_agree_on_every_table_entry() {
+    for expr in TABLE {
+        let translation = translation_verdict(expr);
+        let execution = execution_verdict(expr);
+        match (&translation, &execution) {
+            (Ok(_), Ok(())) => {}
+            (Err(ConstStop::Ub { kind, .. }), Err(dyn_kind)) => {
+                assert_eq!(kind, dyn_kind, "{expr:?}: phases disagree on the UB kind");
+            }
+            other => panic!("{expr:?}: phases disagree: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn constant_values_match_dynamic_evaluation_bit_for_bit() {
+    let mut checked = 0;
+    for expr in TABLE {
+        let Ok(v) = translation_verdict(expr) else {
+            continue;
+        };
+        // Ask the evaluator to compare the live expression against a
+        // literal of the folded value *and* a type-witness: equality
+        // after conversion plus agreement of sizeof pins both the value
+        // and the width.
+        let lit = literal_of(v);
+        let src = format!(
+            "int main(void) {{ \
+               if (({expr}) == {lit} && sizeof({expr}) == sizeof({lit})) return 42; \
+               return 7; }}"
+        );
+        let unit = parse(&src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        let outcome = Interp::new(&unit, Limits::default()).run_main();
+        assert_eq!(
+            outcome.exit_code(),
+            Some(42),
+            "{expr:?}: dynamic value/type diverges from constant fold \
+             (expected {lit} of type {}), outcome {outcome:?}",
+            v.ty
+        );
+        checked += 1;
+    }
+    assert!(checked >= 25, "only {checked} constant entries checked");
+}
+
+#[test]
+fn acceptance_regressions_from_the_issue() {
+    // Unsigned wrap is defined — exit-code checked end to end.
+    let unit = parse(
+        "int main(void) { unsigned int u = 4294967295u; u = u + 1u; return u == 0u ? 0 : 1; }",
+    )
+    .unwrap();
+    assert_eq!(
+        Interp::new(&unit, Limits::default()).run_main().exit_code(),
+        Some(0)
+    );
+    // INT_MIN % -1 is DivisionOverflow in both phases.
+    assert_eq!(
+        execution_verdict("(-2147483647 - 1) % -1"),
+        Err(UbKind::DivisionOverflow)
+    );
+    assert!(matches!(
+        translation_verdict("(-2147483647 - 1) % -1"),
+        Err(ConstStop::Ub {
+            kind: UbKind::DivisionOverflow,
+            ..
+        })
+    ));
+    // 1u << 31 defined vs 1 << 31 UB.
+    assert!(execution_verdict("1u << 31").is_ok());
+    assert_eq!(execution_verdict("1 << 31"), Err(UbKind::ShiftOverflow));
+    // long shifts by 32..63 are defined at width 64 (63 keeps the value
+    // unsigned to dodge the sign-bit overflow).
+    assert!(execution_verdict("1L << 40").is_ok());
+    assert!(execution_verdict("1uL << 63").is_ok());
+    assert_eq!(execution_verdict("1L << 64"), Err(UbKind::ShiftTooFar));
+}

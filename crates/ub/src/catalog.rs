@@ -181,7 +181,7 @@ static CATALOG: &[CatalogEntry] = entries![
     // ----- 6.5: expressions -----
     (34, Dynamic, "6.5:2", "A side effect on a scalar object is unsequenced relative to another side effect on the same object", UnsequencedSideEffect),
     (35, Dynamic, "6.5:2", "A side effect on a scalar object is unsequenced relative to a value computation using the value of the same object", UnsequencedSideEffect),
-    (36, Dynamic, "6.5:5", "An exceptional condition (result not mathematically defined or not representable) occurs during expression evaluation", SignedOverflow),
+    (36, Dynamic, "6.5:5", "An exceptional condition occurs during expression evaluation: a result of signed arithmetic not representable at the operands' converted type (unsigned arithmetic wraps and is defined)", SignedOverflow),
     (37, Dynamic, "6.5:7", "An object is accessed through an lvalue of a type incompatible with its effective type"),
     (38, Static, "6.5.1.1:3", "A generic selection has no matching association and no default association"),
     (39, Dynamic, "6.5.2.2:6", "A function is called with a number of arguments that disagrees with the number of parameters in its definition", CallWrongArity),
@@ -198,9 +198,9 @@ static CATALOG: &[CatalogEntry] = entries![
     (50, Dynamic, "6.5.6:9", "Two pointers that do not point into, or one past the end of, the same array object are subtracted", PointerSubtractionDifferentObjects),
     (51, Dynamic, "6.5.6:9", "The difference of two pointers is not representable in ptrdiff_t"),
     (52, Dynamic, "6.5.7:3", "The shift amount is negative", ShiftByNegative),
-    (53, Dynamic, "6.5.7:3", "The shift amount is greater than or equal to the width of the promoted left operand", ShiftTooFar),
-    (54, Dynamic, "6.5.7:4", "A negative value is shifted left", ShiftOfNegative),
-    (55, Dynamic, "6.5.7:4", "The result of a left shift of a signed value is not representable in the result type", ShiftOverflow),
+    (53, Dynamic, "6.5.7:3", "The shift amount is greater than or equal to the width of the promoted left operand (32 for int, 64 for long under LP64)", ShiftTooFar),
+    (54, Dynamic, "6.5.7:4", "A negative value of signed type is shifted left", ShiftOfNegative),
+    (55, Dynamic, "6.5.7:4", "The result of a left shift of a signed value is not representable in the promoted left operand's type (unsigned left shifts wrap and are defined)", ShiftOverflow),
     (56, Dynamic, "6.5.8:5", "Pointers that do not point into the same aggregate object are compared with a relational operator", PointerCompareDifferentObjects),
     (57, Dynamic, "6.5.16.1:3", "The objects in a simple assignment overlap and have incompatible effective types"),
 
@@ -381,7 +381,7 @@ static CATALOG: &[CatalogEntry] = entries![
     (199, Dynamic, "6.5.2.4:2", "Postfix increment or decrement overflows the promoted operand type", SignedOverflow),
     (200, Dynamic, "6.5.3.1:2", "Prefix increment or decrement overflows the promoted operand type", SignedOverflow),
     (201, Dynamic, "6.5.3.3:3", "Unary minus applied to the most negative value of a signed type", SignedOverflow),
-    (202, Static, "6.5.3.4:1", "sizeof is applied to a function designator or an incomplete type"),
+    (202, Static, "6.5.3.4:1", "sizeof is applied to a function designator or an incomplete type", SizeofInvalidOperand),
     (203, Dynamic, "6.5.6:7", "A pointer to a non-array object is treated as a pointer into an array of length greater than one", PointerArithmeticOutOfBounds),
     (204, Dynamic, "6.5.16:3", "The assignment's stored value is accessed by an unsequenced read in the same expression", UnsequencedSideEffect),
     (205, Static, "6.5.17", "A comma expression appears where a constant expression is required and is relied upon as constant"),

@@ -206,6 +206,9 @@ ub_kinds! {
     /// `goto` naming a label that does not exist in the enclosing
     /// function — a constraint violation (§6.8.6.1:1).
     UndeclaredLabel = (86, "goto to a label not defined in the enclosing function", "6.8.6.1:1", Static, None),
+    /// `sizeof` applied to a function designator or an incomplete type —
+    /// a constraint violation (§6.5.3.4:1).
+    SizeofInvalidOperand = (87, "sizeof applied to a function designator or an incomplete type", "6.5.3.4:1", Static, None),
 }
 
 impl UbKind {

@@ -1,0 +1,15 @@
+// Narrowing conversions to signed types that cannot represent the value
+// are implementation-defined (C11 6.3.1.3:3), NOT undefined: this
+// implementation wraps two's-complement and prints a note for each.
+// Conversions to _Bool (6.3.1.2) and to unsigned types (6.3.1.3:2) are
+// fully defined. The program must exit 0.
+int main(void) {
+  char c = 300;            // note: wraps to 44
+  short s = 70000;         // note: wraps to 4464
+  unsigned char u = 300;   // defined: wraps to 44, no note
+  _Bool b = 42;            // defined: nonzero becomes 1
+  if (c == 44 && s == 4464 && u == 44 && b == 1) {
+    return 0;
+  }
+  return 1;
+}

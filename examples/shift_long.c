@@ -1,0 +1,12 @@
+// Shift counts are checked against the width of the *promoted left
+// operand* (C11 6.5.7:3): long is 64 bits under LP64, so shifting by
+// 32..62 is defined — the decoy shifts below must NOT be reported.
+// Shifting by 64 is the real defect (Error 00007 at width 64).
+int main(void) {
+  long one = 1;
+  long hi = one << 40;   // defined at width 64 (decoy for width-32 checkers)
+  long top = one << 62;  // still defined
+  int count = 64;
+  long bad = one << count;  // shift amount 64 >= width 64: undefined
+  return (bad == 0 && hi > 0 && top > 0) ? 1 : 0;
+}

@@ -1,0 +1,21 @@
+// sizeof (C11 6.5.3.4) against the documented LP64 target: char 1,
+// short 2, int 4, long 8, pointers 8, and size_t == unsigned long.
+// The operand of sizeof is not evaluated (the division by zero in the
+// last test is never reached), and an array designator under sizeof
+// does not decay. The program must exit 0.
+int main(void) {
+  int x = 5;
+  long a[3];
+  int zero = 0;
+  unsigned long total = sizeof(char) + sizeof(short) + sizeof(int) + sizeof(long);
+  if (total == 15u
+      && sizeof x == 4u
+      && sizeof(x + 1L) == 8u      // usual arithmetic conversions: long
+      && sizeof(int *) == 8u
+      && sizeof a == 24u           // undecayed: 3 * sizeof(long)
+      && sizeof(a + 0) == 8u       // decayed: a pointer
+      && sizeof(1 / zero) == 4u) { // operand unevaluated: no division
+    return 0;
+  }
+  return 1;
+}

@@ -1,0 +1,15 @@
+// Unsigned arithmetic wraps modulo 2^width by definition (C11 6.2.5:9)
+// — none of this is undefined behavior, and the checker must run the
+// program to completion with exit code 0. A width-naive engine would
+// raise a false SignedOverflow on every line below.
+int main(void) {
+  unsigned int u = 4294967295u;      // UINT_MAX
+  u = u + 1u;                        // wraps to 0: defined
+  unsigned int big = 2147483647u * 3u;  // wraps: defined
+  unsigned int bit = 1u << 31;       // defined for unsigned (6.5.7:4)
+  unsigned int down = 0u - 1u;       // wraps to UINT_MAX: defined
+  if (u == 0u && big == 2147483645u && bit == 2147483648u && down == 4294967295u) {
+    return 0;
+  }
+  return 1;
+}

@@ -436,6 +436,20 @@ impl<'a> TypeWalker<'a> {
                 self.ty_of(*a);
                 self.ty_of(*b)
             }
+            ExprKind::Cast(ty, a) => {
+                // §6.5.4 — `(void)e` discards any operand; a cast to a
+                // non-void type needs an operand with a *value* (casting
+                // a void expression is the §6.3.2.2:1 use of its
+                // nonexistent value). The result has the named type, so
+                // pointee types propagate through casts and downstream
+                // call/deref checks see `(long *)p` as a `long *`.
+                if *ty == Ty::Void {
+                    self.ty_of(*a);
+                    return Type::Void;
+                }
+                self.value(*a);
+                type_of_ty(ty)
+            }
         }
     }
 
@@ -493,9 +507,11 @@ impl<'a> TypeWalker<'a> {
                 self.value(a);
             }
             return match name {
+                // `malloc` returns `void *` (§7.22.3.4): it converts to
+                // (and satisfies) any object-pointer type.
                 "malloc" => Type::Ptr {
                     depth: 1,
-                    base: Base::Scalar(IntTy::Int),
+                    base: Base::Void,
                 },
                 "free" => Type::Void,
                 _ => Type::Unknown,

@@ -109,14 +109,16 @@ fn registries_do_not_claim_unknown_kinds() {
 
 #[test]
 fn coverage_counts_meet_the_acceptance_bar() {
-    // The bar ratchets up as coverage grows: 90 entries carried
-    // `detected_by` links before the typed-scalar-core refactor, and a
-    // refactor must never silently shed coverage.
+    // The bar ratchets up as coverage grows: 91 entries carried
+    // `detected_by` links before the byte-addressable memory core
+    // re-linked the representation-level kinds (MisalignedAccess,
+    // AccessWrongEffectiveType), and a refactor must never silently shed
+    // coverage.
     let linked: Vec<_> = catalog()
         .iter()
         .filter(|e| e.detected_by.is_some())
         .collect();
-    assert!(linked.len() >= 90, "only {} links", linked.len());
+    assert!(linked.len() >= 93, "only {} links", linked.len());
     let static_covered = linked
         .iter()
         .filter(|e| e.detect == Detectability::Static)

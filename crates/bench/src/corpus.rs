@@ -178,6 +178,85 @@ pub fn typed() -> Vec<Program> {
     ]
 }
 
+/// Byte-level memory traffic: a `char`-sweep copy of two `long` arrays
+/// through cast pointers — the §6.5:7 character-escape hot path, one
+/// byte per access, with per-byte init tracking on every store. Free of
+/// undefined behavior.
+pub fn mem_sweep_loop(n: u32) -> String {
+    format!(
+        "int main(void) {{\n\
+         \x20 long src[8];\n\
+         \x20 long dst[8];\n\
+         \x20 for (int i = 0; i < 8; i++) src[i] = i * 1103515245L + 12345;\n\
+         \x20 unsigned char *s = (unsigned char *)src;\n\
+         \x20 unsigned char *d = (unsigned char *)dst;\n\
+         \x20 long acc = 0;\n\
+         \x20 for (int r = 0; r < {n}; r++) {{\n\
+         \x20   for (int i = 0; i < 64; i++) d[i] = s[i];\n\
+         \x20   acc = (acc + dst[r & 7]) % 65521;\n\
+         \x20 }}\n\
+         \x20 return acc & 127;\n\
+         }}\n"
+    )
+}
+
+/// Heap churn at byte granularity: `malloc(bytes)`/`free` per iteration
+/// with typed stores imprinting the effective type, wide loads, and a
+/// narrowing cast. Free of undefined behavior.
+pub fn mem_heap_loop(n: u32) -> String {
+    format!(
+        "int main(void) {{\n\
+         \x20 int s = 0;\n\
+         \x20 for (int i = 0; i < {n}; i++) {{\n\
+         \x20   long *p = malloc(4 * sizeof(long));\n\
+         \x20   for (int k = 0; k < 4; k++) p[k] = i + k;\n\
+         \x20   s = (s + (int)p[i & 3]) % 65536;\n\
+         \x20   free(p);\n\
+         \x20 }}\n\
+         \x20 return s & 127;\n\
+         }}\n"
+    )
+}
+
+/// Mixed-width access to one buffer: byte stores through a `char` lvalue
+/// followed by aligned whole-`long` loads through a cast-back pointer —
+/// the aligned fast lane plus representation reassembly. Free of
+/// undefined behavior.
+pub fn mem_typedmix_loop(n: u32) -> String {
+    format!(
+        "int main(void) {{\n\
+         \x20 long buf[4];\n\
+         \x20 unsigned char *b = (unsigned char *)buf;\n\
+         \x20 int s = 0;\n\
+         \x20 for (int i = 0; i < {n}; i++) {{\n\
+         \x20   for (int k = 0; k < 32; k++) b[k] = (k + i) % 100;\n\
+         \x20   long *lp = (long *)b;\n\
+         \x20   s = (s + (int)(lp[0] & 255) + (int)(lp[3] & 255)) % 65536;\n\
+         \x20 }}\n\
+         \x20 return s & 127;\n\
+         }}\n"
+    )
+}
+
+/// The byte-model corpus for the `mem/*` benchmark group: sweep, heap,
+/// and mixed-width traffic over the byte-addressable memory core.
+pub fn mem() -> Vec<Program> {
+    vec![
+        Program {
+            name: "sweep/n150".into(),
+            source: mem_sweep_loop(150),
+        },
+        Program {
+            name: "heap/n400".into(),
+            source: mem_heap_loop(400),
+        },
+        Program {
+            name: "typedmix/n150".into(),
+            source: mem_typedmix_loop(150),
+        },
+    ]
+}
+
 /// A `switch` with `n` cases plus labels and gotos: stresses the
 /// analyzer's label pass (case constant-folding, duplicate detection)
 /// and the evaluator's dispatch scan. Free of violations.
@@ -266,6 +345,16 @@ mod tests {
         let names: Vec<_> = typed().into_iter().map(|p| p.name).collect();
         assert!(names[0].starts_with("promos/"));
         assert!(names[1].starts_with("mixed/"));
+    }
+
+    #[test]
+    fn mem_corpus_names_are_unique_and_stable() {
+        let names: Vec<_> = mem().into_iter().map(|p| p.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert!(names.iter().any(|n| n.starts_with("sweep/")));
     }
 
     #[test]

@@ -51,6 +51,9 @@ fn detects_every_readme_family_across_examples() {
         ("examples/neg_array_static.c", "00070"),
         ("examples/void_object.c", "00082"),
         ("examples/shift_long.c", "00007"),
+        ("examples/misaligned.c", "00030"),
+        ("examples/uninit_byte.c", "00028"),
+        ("examples/alias_write.c", "00033"),
     ];
     for (file, code) in cases {
         let out = cundef(&[file]);
@@ -73,12 +76,15 @@ fn detects_every_readme_family_across_examples() {
 
 /// Examples that are fully defined programs: they must exit 0 in every
 /// mode. `unsigned_wrap.c` is the width-awareness acceptance case — a
-/// width-naive engine reports false SignedOverflow on it.
-const DEFINED_EXAMPLES: [&str; 4] = [
+/// width-naive engine reports false SignedOverflow on it — and
+/// `memrep_char.c` is the byte-model acceptance case: a char sweep of a
+/// long's representation that reassembles the stored value exactly.
+const DEFINED_EXAMPLES: [&str; 5] = [
     "examples/defined.c",
     "examples/unsigned_wrap.c",
     "examples/narrow_conv.c",
     "examples/sizeof_expr.c",
+    "examples/memrep_char.c",
 ];
 
 #[test]
@@ -135,6 +141,28 @@ fn long_shift_misuse_reports_width_64() {
     // The defined 32..62-bit shifts earlier in the file are decoys: the
     // report must point at the real line.
     assert!(stdout.contains("Line: 10"), "{stdout}");
+}
+
+#[test]
+fn byte_model_examples_report_representation_level_detail() {
+    // The misaligned cast names the required alignment…
+    let out = cundef(&["examples/misaligned.c"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Error: 00030"), "{stdout}");
+    assert!(stdout.contains("requires 4-byte alignment"), "{stdout}");
+    // …the partial-init read names the first indeterminate byte…
+    let out = cundef(&["examples/uninit_byte.c"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Error: 00028"), "{stdout}");
+    assert!(stdout.contains("byte 1"), "{stdout}");
+    // …and the aliasing write names both types.
+    let out = cundef(&["examples/alias_write.c"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Error: 00033"), "{stdout}");
+    assert!(stdout.contains("`long`"), "{stdout}");
 }
 
 #[test]

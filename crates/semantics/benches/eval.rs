@@ -49,10 +49,11 @@ fn main() {
     };
     let programs = corpus::standard();
     let typed = corpus::typed();
+    let mem = corpus::mem();
 
     // The corpus is meant to exercise the *defined* fast path; a program
     // that stops early would silently benchmark much less work.
-    for p in programs.iter().chain(&typed) {
+    for p in programs.iter().chain(&typed).chain(&mem) {
         let outcome = check_translation_unit(&p.source)
             .unwrap_or_else(|e| panic!("{}: corpus program failed to parse: {e}", p.name));
         assert!(
@@ -79,12 +80,20 @@ fn main() {
         });
     }
 
+    // The byte-model group: char sweeps, byte-sized heap churn, and
+    // mixed-width access over the byte-addressable memory core.
+    for p in &mem {
+        c.bench_function(&format!("mem/{}", p.name), |b| {
+            b.iter(|| check_translation_unit(black_box(&p.source)).expect("corpus parses"))
+        });
+    }
+
     // Translation-phase throughput: the analyzer over pre-parsed units —
     // the hot path of `cundef --phase translation` across a codebase.
     // The standard corpus must stay analysis-clean (it is executed
     // above); the analysis corpus includes statically-violating programs
     // so reporting is measured too.
-    for p in programs.iter().chain(&typed) {
+    for p in programs.iter().chain(&typed).chain(&mem) {
         let unit = parser::parse(&p.source).expect("corpus parses");
         assert!(
             cundef_analysis::analyze(&unit).is_empty(),

@@ -210,6 +210,11 @@ pub enum ExprKind {
     /// evaluated (the subset has no VLA-typed expressions to except);
     /// only its type is computed.
     SizeofExpr(ExprId),
+    /// A cast `( type-name ) expr` (§6.5.4): conversion to an integer
+    /// type, reinterpretation of a pointer's pointee type (the
+    /// byte-addressable memory model's entry point for §6.5:7 effective
+    /// types and §6.3.2.3:7 alignment), or a value-discarding `(void)`.
+    Cast(Ty, ExprId),
 }
 
 /// A frame-relative variable slot assigned by the resolution pass.

@@ -383,6 +383,12 @@ pub fn const_eval(unit: &TranslationUnit, e: ExprId) -> Result<CInt, ConstStop> 
         // `sizeof expr` needs the operand's type, which the constant
         // engine does not compute; stay conservative.
         ExprKind::SizeofExpr(_) => Err(ConstStop::NotConst(loc)),
+        // §6.6:6 admits casts to integer types in integer constant
+        // expressions. The conversion itself is §6.3.1.3 — defined or
+        // implementation-defined, never UB — so it folds silently; the
+        // evaluator records the same wrap as a note at run time.
+        ExprKind::Cast(Ty::Int(to), inner) => Ok(const_eval(unit, *inner)?.convert(*to).0),
+        ExprKind::Cast(_, _) => Err(ConstStop::NotConst(loc)),
         ExprKind::Unary(op, inner) => {
             let v = const_eval(unit, *inner)?;
             match op {

@@ -97,6 +97,12 @@ impl IntTy {
         }
     }
 
+    /// Alignment requirement in bytes (`_Alignof`). On LP64 every integer
+    /// type is naturally aligned: alignment equals size.
+    pub fn align_of(self) -> u64 {
+        self.size_bytes()
+    }
+
     /// Whether the type is signed. Plain `char` is signed on LP64.
     pub fn is_signed(self) -> bool {
         matches!(
@@ -241,6 +247,9 @@ pub const SIZE_T: IntTy = IntTy::ULong;
 /// Pointer size in bytes on the LP64 target.
 pub const PTR_BYTES: u64 = 8;
 
+/// Pointer alignment in bytes on the LP64 target (naturally aligned).
+pub const PTR_ALIGN: u64 = 8;
+
 /// A typed integer value: the two's-complement bit pattern truncated to
 /// the type's width, plus the type itself.
 ///
@@ -307,6 +316,29 @@ impl CInt {
     #[inline(always)]
     pub(crate) fn math_i32(self) -> i64 {
         self.bits as u32 as i32 as i64
+    }
+
+    /// The object-representation bits (two's complement, zero-extended to
+    /// 64): what the byte-addressable memory model stores little-endian.
+    #[inline(always)]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Reassemble a value of type `ty` from object-representation bits
+    /// read back out of memory (the inverse of [`CInt::bits`] after
+    /// truncation to the type's width).
+    #[inline]
+    pub fn from_bits(bits: u64, ty: IntTy) -> CInt {
+        let mask = if ty.width() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << ty.width()) - 1
+        };
+        CInt {
+            bits: bits & mask,
+            ty,
+        }
     }
 
     /// The mathematical value: sign-extended for signed types,

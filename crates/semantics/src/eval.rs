@@ -13,8 +13,9 @@
 //!   so later uses of dangling pointers raise
 //!   [`UbKind::DeadObjectAccess`], and bad `free`s raise the
 //!   [`UbKind::FreeNonHeapPointer`] family;
-//! - **initialization state** (§6.2.4:6) — cells start indeterminate and
-//!   reads of them raise [`UbKind::ReadIndeterminate`];
+//! - **initialization state** (§6.2.4:6) — every byte starts
+//!   indeterminate, and a read touching one raises
+//!   [`UbKind::ReadIndeterminate`];
 //! - **value ranges** (§6.5:5) — every scalar is a typed [`CInt`] of the
 //!   LP64 lattice in [`crate::ctype`]; arithmetic promotes and converts
 //!   per §6.3.1 and is range-checked *at the operands' converted type*,
@@ -26,14 +27,28 @@
 //! - **bounds** (§6.5.6:8) — pointers carry their provenance (object and
 //!   offset), so out-of-bounds arithmetic and accesses are caught exactly.
 //!
-//! Memory is modeled in cells of one scalar each: an object knows its
-//! declared element type, and every store converts to it (§6.5.16.1:2).
-//! `malloc(n)` allocates `n` `int`-sized cells (its argument counts
-//! cells, not bytes — the one place this model diverges from `sizeof`,
-//! which reports real LP64 byte sizes). Effects inside a
-//! called function are treated as indeterminately sequenced with respect
-//! to the caller's expression (C11 §6.5.2.2:10), so they are not added to
-//! the caller's footprint.
+//! Memory is **byte-addressable**, as in the paper's model: an object is
+//! a byte array with a per-byte initialization bitmap and a
+//! declared/effective element type; a [`Pointer`] is `(object, byte
+//! offset, pointee type)`. A typed load or store moves `sizeof(T)`
+//! little-endian bytes, pointer arithmetic scales by the pointee size
+//! (§6.5.6:8 at byte granularity, one past the end preserved), and
+//! `malloc(n)` allocates `n` **bytes** — `sizeof` and the allocator
+//! finally agree. This makes the representation-level defects decidable:
+//! a pointer conversion that misaligns its pointee raises
+//! [`UbKind::MisalignedAccess`] (§6.3.2.3:7), a non-character access
+//! through an lvalue incompatible with the object's declared (or, for
+//! heap memory, store-imprinted effective) type raises
+//! [`UbKind::AccessWrongEffectiveType`] (§6.5:7) — while `char`/`unsigned
+//! char` lvalues may sweep any object's representation — and a read
+//! touching *any* indeterminate byte raises
+//! [`UbKind::ReadIndeterminate`], byte-precise for partially-initialized
+//! wide objects. Stored pointers keep their provenance: they live in
+//! per-object pointer slots rather than as numeric bytes, so examining a
+//! pointer's representation bytewise is an engine limit, not a guess.
+//! Effects inside a called function are treated as indeterminately
+//! sequenced with respect to the caller's expression (C11 §6.5.2.2:10),
+//! so they are not added to the caller's footprint.
 //!
 //! # Execution-core layout
 //!
@@ -85,7 +100,9 @@ pub fn detected_kinds() -> &'static [UbKind] {
         PointerSubtractionDifferentObjects,
         PointerCompareDifferentObjects,
         ReadIndeterminate,
+        MisalignedAccess,
         WriteToConst,
+        AccessWrongEffectiveType,
         FreeNonHeapPointer,
         FreeInteriorPointer,
         DoubleFree,
@@ -120,17 +137,86 @@ impl Default for Limits {
     }
 }
 
-/// A pointer value: an object identity plus a cell offset.
+/// The type a pointer accesses memory through — its pointee.
+///
+/// This is what gives an access its *size* and *alignment* in the
+/// byte-addressable model, and what the §6.5:7 effective-type check
+/// compares against the accessed object's element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointeeTy {
+    /// Pointer to an integer object: accesses move `sizeof(T)` bytes.
+    Scalar(IntTy),
+    /// Pointer to a pointer object: accesses move 8-byte pointer values.
+    Ptr,
+    /// `void *`: address-only; sizeless, so access and arithmetic
+    /// through it are rejected.
+    Void,
+}
+
+impl PointeeTy {
+    /// Access size in bytes; `None` for the sizeless `void`.
+    #[inline]
+    fn size(self) -> Option<u64> {
+        match self {
+            PointeeTy::Scalar(t) => Some(t.size_bytes()),
+            PointeeTy::Ptr => Some(PTR_BYTES),
+            PointeeTy::Void => None,
+        }
+    }
+
+    /// Alignment the pointee requires (§6.3.2.3:7). `void *` (like the
+    /// character pointers) is 1: any address converts to it.
+    #[inline]
+    fn align(self) -> i64 {
+        match self {
+            PointeeTy::Scalar(t) => t.align_of() as i64,
+            PointeeTy::Ptr => crate::ctype::PTR_ALIGN as i64,
+            PointeeTy::Void => 1,
+        }
+    }
+
+    /// Whether this is a character type — the §6.5:7 escape hatch that
+    /// may alias any object's representation.
+    #[inline]
+    fn is_char(self) -> bool {
+        matches!(self, PointeeTy::Scalar(IntTy::Char | IntTy::UChar))
+    }
+
+    /// Spelling for diagnostics.
+    fn name(self) -> &'static str {
+        match self {
+            PointeeTy::Scalar(t) => t.name(),
+            PointeeTy::Ptr => "pointer",
+            PointeeTy::Void => "void",
+        }
+    }
+}
+
+/// A pointer value: an object identity, a **byte** offset, and the
+/// pointee type the pointer accesses memory through.
 ///
 /// Pointers carry provenance, never raw addresses, which is what lets the
 /// engine decide §6.5.6:8 (bounds), §6.5.6:9 (same-object subtraction),
-/// and §6.2.4 (lifetime) questions exactly.
+/// and §6.2.4 (lifetime) questions exactly; the pointee type is what
+/// makes §6.3.2.3:7 (alignment) and §6.5:7 (effective types) decidable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pointer {
     /// Index of the pointed-to object in the interpreter's object table.
     pub obj: usize,
-    /// Cell offset within (or one past the end of) the object.
+    /// Byte offset within (or one past the end of) the object.
     pub off: i64,
+    /// The type this pointer reads and writes through.
+    pub ty: PointeeTy,
+}
+
+impl Pointer {
+    /// Whether two pointer values compare equal (§6.5.9:6): same object,
+    /// same byte address — the pointee type does not participate
+    /// (`(char *)&x == (void *)&x`).
+    #[inline]
+    fn same_address(self, other: Pointer) -> bool {
+        self.obj == other.obj && self.off == other.off
+    }
 }
 
 /// A runtime value in the subset.
@@ -186,10 +272,10 @@ impl Outcome {
 /// Sentinel in the slot stack for "declaration not yet executed".
 const SLOT_NONE: usize = usize::MAX;
 
-/// Memory budget for one object, in cells. With 64-bit sizes a program
+/// Memory budget for one object, in bytes. With 64-bit sizes a program
 /// can ask for absurd allocations (`long n = 1L << 40; int a[n];`); the
 /// checker gives up rather than trying to model them.
-const MAX_CELLS: i128 = 1 << 24;
+const MAX_BYTES: i128 = 1 << 26;
 
 /// Why evaluation stopped early (internal control flow).
 enum Stop {
@@ -218,25 +304,44 @@ enum Flow {
     Return(Value, SourceLoc),
 }
 
-/// One scalar access performed during an expression evaluation, recorded
-/// in the shared footprint arena — packed into one word so footprint
-/// pushes are a single store and the §6.5:2 pair scan is an xor and a
-/// compare: the object index lives in the high bits, the cell offset in
-/// bits 1..=24 (offsets are bounded by [`MAX_CELLS`]), and the
-/// write flag in bit 0.
+/// One byte-range access performed during an expression evaluation,
+/// recorded in the shared footprint arena — packed into one word so
+/// footprint pushes are a single store: the write flag in bit 0, the
+/// log2 of the access size (1/2/4/8 bytes) in bits 1..=2, the byte
+/// offset in bits 3..=30 (offsets are bounded by [`MAX_BYTES`]), and the
+/// object index in the high bits. The §6.5:2 conflict test is a
+/// same-object check plus a byte-range overlap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Access(u64);
 
 impl Access {
     #[inline]
-    fn new(obj: usize, off: i64, write: bool) -> Access {
-        Access(((obj as u64) << 25) | ((off as u64) << 1) | write as u64)
+    fn new(obj: usize, off: i64, size: u64, write: bool) -> Access {
+        debug_assert!(size.is_power_of_two() && size <= 8);
+        Access(
+            ((obj as u64) << 31)
+                | ((off as u64) << 3)
+                | ((size.trailing_zeros() as u64) << 1)
+                | write as u64,
+        )
     }
 
     /// The accessed object, for diagnostics.
     #[inline]
     fn obj(self) -> usize {
-        (self.0 >> 25) as usize
+        (self.0 >> 31) as usize
+    }
+
+    /// Byte offset of the access within its object.
+    #[inline]
+    fn off(self) -> u64 {
+        (self.0 >> 3) & 0x0FFF_FFFF
+    }
+
+    /// Access size in bytes.
+    #[inline]
+    fn size(self) -> u64 {
+        1 << ((self.0 >> 1) & 3)
     }
 
     #[inline]
@@ -244,46 +349,149 @@ impl Access {
         self.0 & 1 != 0
     }
 
-    /// Whether two accesses touch the same scalar (same object, same
-    /// offset — the packed words differ at most in the write bit).
+    /// Whether two accesses touch overlapping bytes of the same object —
+    /// the byte-granular "same scalar object" test of §6.5:2 (a `char`
+    /// store into one byte of an `int` conflicts with the `int` access).
     #[inline]
-    fn same_scalar(self, other: Access) -> bool {
-        (self.0 ^ other.0) <= 1
+    fn overlaps(self, other: Access) -> bool {
+        (self.0 ^ other.0) >> 31 == 0
+            && self.off() < other.off() + other.size()
+            && other.off() < self.off() + self.size()
     }
 }
 
-/// The storage of one object: a dedicated variant for the ubiquitous
-/// single-cell scalar avoids a heap allocation per declaration.
-enum Cells {
-    /// A scalar: exactly one cell.
-    One(Option<Value>),
-    /// An array or heap block.
-    Many(Vec<Option<Value>>),
+/// The byte storage of one object: data plus a per-byte initialization
+/// bitmap. A dedicated inline variant for objects of at most 8 bytes
+/// (every scalar) avoids a heap allocation per declaration and lets
+/// whole-object loads/stores run on a single word.
+enum Bytes {
+    /// Objects of at most 8 bytes: one little-endian data word and a
+    /// byte of per-byte init bits.
+    Small { data: [u8; 8], init: u8, len: u8 },
+    /// Larger objects: heap storage with a u64-chunked init bitmap.
+    Big { data: Vec<u8>, init: Vec<u64> },
 }
 
-impl Cells {
+impl Bytes {
+    fn new(len: usize) -> Bytes {
+        if len <= 8 {
+            Bytes::Small {
+                data: [0; 8],
+                init: 0,
+                len: len as u8,
+            }
+        } else {
+            Bytes::Big {
+                data: vec![0; len],
+                init: vec![0; len.div_ceil(64)],
+            }
+        }
+    }
+
+    /// Object size in bytes.
     #[inline]
     fn len(&self) -> usize {
         match self {
-            Cells::One(_) => 1,
-            Cells::Many(v) => v.len(),
+            Bytes::Small { len, .. } => *len as usize,
+            Bytes::Big { data, .. } => data.len(),
         }
     }
 
+    /// Whether every byte of `[off, off + n)` is initialized (n ≤ 8).
     #[inline]
-    fn get(&self, i: usize) -> Option<Value> {
+    fn all_init(&self, off: usize, n: usize) -> bool {
         match self {
-            Cells::One(v) => *v,
-            Cells::Many(v) => v[i],
+            Bytes::Small { init, .. } => {
+                let m = (((1u16 << n) - 1) as u8) << off;
+                init & m == m
+            }
+            Bytes::Big { init, .. } => (off..off + n).all(|i| init[i / 64] >> (i % 64) & 1 == 1),
         }
     }
 
+    /// Whether any byte of `[off, off + n)` is initialized — used to
+    /// keep the wholly-indeterminate diagnostic distinct from the
+    /// byte-precise partial one.
+    fn any_init(&self, off: usize, n: usize) -> bool {
+        (off..off + n).any(|i| self.all_init(i, 1))
+    }
+
+    /// First uninitialized byte offset in `[off, off + n)`.
+    fn first_uninit(&self, off: usize, n: usize) -> Option<usize> {
+        (off..off + n).find(|&i| !self.all_init(i, 1))
+    }
+
+    /// Mark `[off, off + n)` initialized. `Small` objects are at most 8
+    /// bytes, so the mask arm never sees `n > 8`; `Big` runs may be any
+    /// length (array zero-fill).
     #[inline]
-    fn set(&mut self, i: usize, value: Option<Value>) {
-        match self {
-            Cells::One(v) => *v = value,
-            Cells::Many(v) => v[i] = value,
+    fn mark_init(&mut self, off: usize, n: usize) {
+        if n == 0 {
+            return;
         }
+        match self {
+            Bytes::Small { init, .. } => *init |= (((1u16 << n) - 1) as u8) << off,
+            Bytes::Big { init, .. } => {
+                for i in off..off + n {
+                    init[i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+    }
+
+    /// Mark `[off, off + n)` indeterminate again (a partially
+    /// overwritten pointer slot loses its remaining bytes).
+    fn mark_uninit(&mut self, off: usize, n: usize) {
+        match self {
+            Bytes::Small { init, .. } => *init &= !((((1u16 << n) - 1) as u8) << off),
+            Bytes::Big { init, .. } => {
+                for i in off..off + n {
+                    init[i / 64] &= !(1 << (i % 64));
+                }
+            }
+        }
+    }
+
+    /// Load `n` (≤ 8) bytes at `off`, little-endian, into the low bits.
+    /// Bounds and initialization were checked by the caller.
+    #[inline]
+    fn load(&self, off: usize, n: usize) -> u64 {
+        match self {
+            Bytes::Small { data, .. } => {
+                let word = u64::from_le_bytes(*data) >> (off * 8);
+                if n == 8 {
+                    word
+                } else {
+                    word & ((1u64 << (n * 8)) - 1)
+                }
+            }
+            Bytes::Big { data, .. } => {
+                let mut buf = [0u8; 8];
+                buf[..n].copy_from_slice(&data[off..off + n]);
+                u64::from_le_bytes(buf)
+            }
+        }
+    }
+
+    /// Store the low `n` (≤ 8) bytes of `bits` at `off`, little-endian,
+    /// marking them initialized.
+    #[inline]
+    fn store(&mut self, off: usize, n: usize, bits: u64) {
+        match self {
+            Bytes::Small { data, .. } => {
+                let mask = if n == 8 {
+                    u64::MAX
+                } else {
+                    ((1u64 << (n * 8)) - 1) << (off * 8)
+                };
+                let word = u64::from_le_bytes(*data);
+                *data = ((word & !mask) | ((bits << (off * 8)) & mask)).to_le_bytes();
+            }
+            Bytes::Big { data, .. } => {
+                data[off..off + n].copy_from_slice(&bits.to_le_bytes()[..n]);
+            }
+        }
+        self.mark_init(off, n);
     }
 }
 
@@ -296,20 +504,69 @@ enum ObjName {
     Heap,
 }
 
-/// The declared element type of an object's cells, driving the
-/// conversion applied by every store (§6.5.16.1:2: the assigned value is
-/// converted to the type of the lvalue).
+/// The declared (or, for heap memory, *effective*) element type of an
+/// object — the type the §6.5:7 aliasing check compares every
+/// non-character access against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Elem {
-    /// Cells hold values of this integer type; stores convert to it.
+    /// Elements of this integer type.
     Scalar(IntTy),
-    /// Cells hold pointers (or the null constant); stores pass through.
-    Ptr,
-    /// Heap cells: `malloc` yields memory with no declared type — each
-    /// store imprints its own value unchanged (the effective type is
-    /// the stored value's, §6.5:6), so a `long` written through a
-    /// `long *` into heap memory reads back intact.
+    /// Pointer elements; carries the declared pointee so pointer values
+    /// stored here adopt it (the implicit conversion of assignment,
+    /// §6.5.16.1 — and §6.3.2.3:7 checks alignment at that adoption).
+    Ptr(PointeeTy),
+    /// Heap memory with no effective type yet (§6.5:6): the next
+    /// non-character store imprints its type.
     Untyped,
+}
+
+impl Elem {
+    /// Element size in bytes (`Untyped` heap memory is byte-granular).
+    fn size(&self) -> u64 {
+        match self {
+            Elem::Scalar(t) => t.size_bytes(),
+            Elem::Ptr(_) => PTR_BYTES,
+            Elem::Untyped => 1,
+        }
+    }
+
+    /// The pointee type a designator (or decayed array) of this object
+    /// accesses through.
+    fn pointee(&self) -> PointeeTy {
+        match self {
+            Elem::Scalar(t) => PointeeTy::Scalar(*t),
+            Elem::Ptr(_) => PointeeTy::Ptr,
+            // Heap objects have no designators; unreachable in practice.
+            Elem::Untyped => PointeeTy::Scalar(IntTy::UChar),
+        }
+    }
+
+    /// Spelling for diagnostics.
+    fn name(&self) -> &'static str {
+        match self {
+            Elem::Scalar(t) => t.name(),
+            Elem::Ptr(_) => "pointer",
+            Elem::Untyped => "untyped",
+        }
+    }
+}
+
+/// §6.5:7 — may an lvalue of type `access` touch an object whose
+/// declared/effective element type is `elem`? Character-typed lvalues
+/// may alias anything; otherwise the access type must be the element
+/// type or its signed/unsigned counterpart, and pointer lvalues only
+/// touch pointer elements.
+fn access_allowed(access: PointeeTy, elem: &Elem) -> bool {
+    match access {
+        PointeeTy::Scalar(IntTy::Char | IntTy::UChar) => true,
+        PointeeTy::Scalar(t) => match elem {
+            Elem::Scalar(u) => t == *u || t.to_unsigned() == u.to_unsigned(),
+            Elem::Ptr(_) => false,
+            Elem::Untyped => true,
+        },
+        PointeeTy::Ptr => matches!(elem, Elem::Ptr(_) | Elem::Untyped),
+        PointeeTy::Void => false,
+    }
 }
 
 /// Type classification of a `sizeof` operand.
@@ -322,15 +579,21 @@ enum SizeofTy {
     Bytes(u64),
 }
 
-/// One memory object: a run of cells with a lifetime and a declared
-/// element type.
+/// One memory object: a byte array with a per-byte init bitmap, a
+/// lifetime, and a declared (or effective) element type.
 struct Object {
-    cells: Cells,
+    bytes: Bytes,
+    /// Pointer values stored into this object through pointer lvalues,
+    /// keyed by byte offset. Provenance pointers have no numeric
+    /// representation, so their 8 bytes live out-of-band here; loads
+    /// through pointer lvalues return them verbatim, and any scalar
+    /// store overlapping a slot destroys it (the bytes outside the new
+    /// store go indeterminate). Almost always empty.
+    ptr_slots: Vec<(u32, Value)>,
     alive: bool,
     heap: bool,
-    /// Declared element type; stores through any lvalue convert to it
-    /// (provenance-typed memory: the object, not the lvalue, knows its
-    /// type).
+    /// Declared element type — or, for heap objects, the effective type
+    /// imprinted by the last non-character store (§6.5:6).
     elem: Elem,
     /// Whether this is an array object (its designator decays, §6.3.2.1:3).
     is_array: bool,
@@ -530,22 +793,19 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// Allocate an object of `size` bytes.
     fn alloc(
         &mut self,
         name: ObjName,
-        cells: usize,
+        size: usize,
         heap: bool,
         is_array: bool,
         elem: Elem,
     ) -> usize {
         let id = self.objects.len();
-        let cells = if cells == 1 {
-            Cells::One(None)
-        } else {
-            Cells::Many(vec![None; cells])
-        };
         self.objects.push(Object {
-            cells,
+            bytes: Bytes::new(size),
+            ptr_slots: Vec::new(),
             alive: true,
             heap,
             is_array,
@@ -559,6 +819,17 @@ impl<'a> Interp<'a> {
         id
     }
 
+    /// The pointer a designator of `obj` denotes: offset 0, accessed
+    /// through the object's own element type.
+    #[inline]
+    fn designator_pointer(&self, obj: usize) -> Pointer {
+        Pointer {
+            obj,
+            off: 0,
+            ty: self.objects[obj].elem.pointee(),
+        }
+    }
+
     /// Record an implementation-defined conversion note, once per source
     /// position (a conversion inside a loop would otherwise flood the
     /// report).
@@ -569,32 +840,51 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// Convert `v` for a store into an object with element type `elem`
-    /// (§6.5.16.1:2), recording a note when the conversion is
-    /// implementation-defined (§6.3.1.3:3). Pointer cells pass values
-    /// through unchanged — the engine stays dynamically typed about
-    /// pointer/int confusion and reports it at use sites, as before.
+    /// Convert an integer value to `ty` (§6.3.1.3), recording a note when
+    /// the conversion is implementation-defined (§6.3.1.3:3).
     #[inline]
-    fn convert_for_store(&mut self, v: Value, elem: Elem, loc: SourceLoc) -> Value {
-        match (v, elem) {
-            (Value::Int(c), Elem::Scalar(ty)) => {
-                let (out, impl_defined) = c.convert(ty);
-                if impl_defined {
-                    self.note(
-                        loc,
-                        format!(
-                            "implementation-defined: {} converted to `{}` yields {} \
-                             (value does not fit; two's-complement wrap)",
-                            c.math(),
-                            ty.name(),
-                            out.math()
-                        ),
-                    );
-                }
-                Value::Int(out)
-            }
-            _ => v,
+    fn convert_int(&mut self, c: CInt, ty: IntTy, loc: SourceLoc) -> CInt {
+        let (out, impl_defined) = c.convert(ty);
+        if impl_defined {
+            self.note(
+                loc,
+                format!(
+                    "implementation-defined: {} converted to `{}` yields {} \
+                     (value does not fit; two's-complement wrap)",
+                    c.math(),
+                    ty.name(),
+                    out.math()
+                ),
+            );
         }
+        out
+    }
+
+    /// Convert a pointer to pointee type `to` (§6.3.2.3:7): undefined at
+    /// the conversion itself when the pointer is not suitably aligned
+    /// for the new pointee. Casts, assignment adoption, argument
+    /// passing, and returns all funnel through here.
+    fn convert_pointer(&self, p: Pointer, to: PointeeTy, loc: SourceLoc) -> EResult<Pointer> {
+        let align = to.align();
+        if align > 1 && p.off % align != 0 {
+            return Err(self.ub(
+                UbKind::MisalignedAccess,
+                loc,
+                format!(
+                    "pointer to byte offset {} of `{}` converted to `{} *`, \
+                     which requires {}-byte alignment",
+                    p.off,
+                    self.object_name(p.obj),
+                    to.name(),
+                    align
+                ),
+            ));
+        }
+        Ok(Pointer {
+            obj: p.obj,
+            off: p.off,
+            ty: to,
+        })
     }
 
     /// End the lifetime of every automatic object created at or after
@@ -623,55 +913,172 @@ impl<'a> Interp<'a> {
         Ok(())
     }
 
-    fn read_cell(&mut self, p: Pointer, loc: SourceLoc) -> EResult<Value> {
+    /// Shared validity checks for a typed access of `size` bytes through
+    /// `p`: lifetime, alignment (§6.3.2.3:7, belt and braces — the
+    /// conversion that misaligned the pointer already reported), bounds
+    /// (§6.5.6:8), and the §6.5:7 effective-type rule. Returns the byte
+    /// offset, validated.
+    fn check_access(&self, p: Pointer, size: u64, write: bool, loc: SourceLoc) -> EResult<usize> {
         self.check_live(p, loc)?;
-        let len = self.objects[p.obj].cells.len() as i64;
-        if p.off < 0 || p.off >= len {
+        let align = p.ty.align();
+        if align > 1 && p.off % align != 0 {
             return Err(self.ub(
-                UbKind::OutOfBoundsRead,
+                UbKind::MisalignedAccess,
                 loc,
                 format!(
-                    "read at offset {} of `{}` (size {})",
+                    "`{}` access at byte offset {} of `{}`, which requires \
+                     {}-byte alignment",
+                    p.ty.name(),
+                    p.off,
+                    self.object_name(p.obj),
+                    align
+                ),
+            ));
+        }
+        let obj = &self.objects[p.obj];
+        let len = obj.bytes.len() as i64;
+        if p.off < 0 || p.off + size as i64 > len {
+            let kind = if write {
+                UbKind::OutOfBoundsWrite
+            } else {
+                UbKind::OutOfBoundsRead
+            };
+            return Err(self.ub(
+                kind,
+                loc,
+                format!(
+                    "{} of {} byte(s) at byte offset {} of `{}` ({} bytes)",
+                    if write { "write" } else { "read" },
+                    size,
                     p.off,
                     self.object_name(p.obj),
                     len
                 ),
             ));
         }
-        match self.objects[p.obj].cells.get(p.off as usize) {
-            Some(v) => {
-                self.fp.push(Access::new(p.obj, p.off, false));
-                Ok(v)
-            }
-            None => Err(self.ub(
-                UbKind::ReadIndeterminate,
+        // §6.5:7 — non-character lvalues must agree with the object's
+        // declared (or heap-effective) type. Writes to heap memory
+        // *imprint* instead (handled by the caller).
+        if !(access_allowed(p.ty, &obj.elem) || (write && obj.heap)) {
+            return Err(self.ub(
+                UbKind::AccessWrongEffectiveType,
                 loc,
-                format!("`{}` holds an indeterminate value", self.object_name(p.obj)),
-            )),
+                format!(
+                    "`{}` lvalue accesses `{}`, whose {} type is `{}`",
+                    p.ty.name(),
+                    self.object_name(p.obj),
+                    if obj.heap { "effective" } else { "declared" },
+                    obj.elem.name()
+                ),
+            ));
         }
+        Ok(p.off as usize)
     }
 
-    /// Store `v` into the cell `p` designates, converting it to the
-    /// object's declared element type first (§6.5.16.1:2). Returns the
-    /// converted value — which is also the value of an assignment
-    /// expression (§6.5.16:3).
-    fn write_cell(&mut self, p: Pointer, v: Value, loc: SourceLoc) -> EResult<Value> {
-        self.check_live(p, loc)?;
+    /// A typed load: read `sizeof(T)` little-endian bytes through `p`.
+    /// Reads touching any indeterminate byte raise
+    /// [`UbKind::ReadIndeterminate`] — byte-precise for
+    /// partially-initialized wide objects.
+    fn read_typed(&mut self, p: Pointer, loc: SourceLoc) -> EResult<Value> {
+        let Some(size) = p.ty.size() else {
+            return Err(stop_unsupported("dereference of a `void *`", loc));
+        };
+        let off = self.check_access(p, size, false, loc)?;
+        let n = size as usize;
         let obj = &self.objects[p.obj];
-        let len = obj.cells.len() as i64;
-        if p.off < 0 || p.off >= len {
-            return Err(self.ub(
-                UbKind::OutOfBoundsWrite,
+        if p.ty == PointeeTy::Ptr {
+            // A stored pointer's bytes live out-of-band in its slot.
+            if let Some(&(_, v)) = obj.ptr_slots.iter().find(|(o, _)| *o as i64 == p.off) {
+                self.fp.push(Access::new(p.obj, p.off, size, false));
+                return Ok(v);
+            }
+            if obj.ptr_slots.iter().any(|(o, _)| {
+                let s = *o as i64;
+                s < p.off + 8 && p.off < s + 8
+            }) {
+                return Err(stop_unsupported(
+                    "reading a pointer that straddles another stored pointer's \
+                     representation is outside the modeled semantics",
+                    loc,
+                ));
+            }
+            if !obj.bytes.all_init(off, n) {
+                return Err(self.uninit_read(p, n, loc));
+            }
+            // All-zero bytes are the null pointer (array zero-fill);
+            // anything else would need a numeric pointer representation.
+            return if obj.bytes.load(off, n) == 0 {
+                self.fp.push(Access::new(p.obj, p.off, size, false));
+                Ok(Value::Int(CInt::int(0)))
+            } else {
+                Err(stop_unsupported(
+                    "reassembling a pointer from integer bytes is outside the \
+                     modeled semantics",
+                    loc,
+                ))
+            };
+        }
+        // Scalar load. Bytes belonging to a stored pointer have no
+        // numeric value to hand out — not even to a char sweep.
+        if !obj.ptr_slots.is_empty()
+            && obj.ptr_slots.iter().any(|(o, _)| {
+                let s = *o as i64;
+                s < p.off + size as i64 && p.off < s + 8
+            })
+        {
+            return Err(stop_unsupported(
+                "reading the byte representation of a stored pointer is outside \
+                 the modeled semantics (pointers have no numeric address here)",
                 loc,
-                format!(
-                    "write at offset {} of `{}` (size {})",
-                    p.off,
-                    self.object_name(p.obj),
-                    len
-                ),
             ));
         }
-        if obj.is_const {
+        if !obj.bytes.all_init(off, n) {
+            return Err(self.uninit_read(p, n, loc));
+        }
+        let bits = obj.bytes.load(off, n);
+        self.fp.push(Access::new(p.obj, p.off, size, false));
+        let PointeeTy::Scalar(t) = p.ty else {
+            unreachable!("Ptr and Void handled above")
+        };
+        Ok(Value::Int(CInt::from_bits(bits, t)))
+    }
+
+    /// Build the [`UbKind::ReadIndeterminate`] report for a read of `n`
+    /// bytes through `p`: the classic wording when the object's bytes are
+    /// wholly indeterminate, a byte-precise one when only part of a wide
+    /// object was initialized.
+    #[cold]
+    fn uninit_read(&self, p: Pointer, n: usize, loc: SourceLoc) -> Box<Stop> {
+        let obj = &self.objects[p.obj];
+        let off = p.off as usize;
+        let detail = if obj.bytes.any_init(off, n) {
+            // Read-relative index: byte 0 is the first byte the read
+            // touches, wherever in the object it starts.
+            let first = obj.bytes.first_uninit(off, n).unwrap_or(off) - off;
+            format!(
+                "`{}` is only partly initialized: byte {} of the {}-byte read \
+                 at byte offset {} is indeterminate",
+                self.object_name(p.obj),
+                first,
+                n,
+                p.off
+            )
+        } else {
+            format!("`{}` holds an indeterminate value", self.object_name(p.obj))
+        };
+        self.ub(UbKind::ReadIndeterminate, loc, detail)
+    }
+
+    /// A typed store: write `sizeof(T)` little-endian bytes through `p`,
+    /// converting the value to the lvalue's type first (§6.5.16.1:2).
+    /// Returns the converted value — which is also the value of an
+    /// assignment expression (§6.5.16:3).
+    fn write_typed(&mut self, p: Pointer, v: Value, loc: SourceLoc) -> EResult<Value> {
+        let Some(size) = p.ty.size() else {
+            return Err(stop_unsupported("store through a `void *`", loc));
+        };
+        let off = self.check_access(p, size, true, loc)?;
+        if self.objects[p.obj].is_const {
             // §6.7.3:6 — the object was *defined* const; the lvalue used
             // for the store does not matter.
             return Err(self.ub(
@@ -683,10 +1090,82 @@ impl<'a> Interp<'a> {
                 ),
             ));
         }
-        let v = self.convert_for_store(v, self.objects[p.obj].elem, loc);
-        self.objects[p.obj].cells.set(p.off as usize, Some(v));
-        self.fp.push(Access::new(p.obj, p.off, true));
-        Ok(v)
+        let n = size as usize;
+        match p.ty {
+            PointeeTy::Scalar(t) => {
+                let stored = match v {
+                    Value::Int(c) => self.convert_int(c, t, loc),
+                    Value::Ptr(_) => {
+                        return Err(stop_unsupported(
+                            "storing a pointer through a non-pointer lvalue is \
+                             outside the modeled semantics",
+                            loc,
+                        ))
+                    }
+                    Value::Missing(_) => unreachable!("callers filter Missing"),
+                };
+                // A non-character store imprints heap memory's effective
+                // type (§6.5:6); character stores leave it alone.
+                if self.objects[p.obj].heap && !p.ty.is_char() {
+                    self.objects[p.obj].elem = Elem::Scalar(t);
+                }
+                self.clear_ptr_slots(p.obj, p.off, size);
+                self.objects[p.obj].bytes.store(off, n, stored.bits());
+                self.fp.push(Access::new(p.obj, p.off, size, true));
+                Ok(Value::Int(stored))
+            }
+            PointeeTy::Ptr => {
+                let stored = match v {
+                    // Storing into *declared* pointer cells adopts the
+                    // declared pointee (the implicit conversion of
+                    // §6.5.16.1, alignment-checked per §6.3.2.3:7); heap
+                    // cells keep the stored pointer's own type.
+                    Value::Ptr(q) => match self.objects[p.obj].elem {
+                        Elem::Ptr(pt) if !self.objects[p.obj].heap => {
+                            Value::Ptr(self.convert_pointer(q, pt, loc)?)
+                        }
+                        _ => Value::Ptr(q),
+                    },
+                    // The null pointer constant — or an integer in a
+                    // pointer cell, reported if ever used as a pointer.
+                    other => other,
+                };
+                if self.objects[p.obj].heap {
+                    self.objects[p.obj].elem = Elem::Ptr(PointeeTy::Void);
+                }
+                self.clear_ptr_slots(p.obj, p.off, size);
+                self.objects[p.obj].bytes.store(off, n, 0);
+                if !matches!(stored, Value::Int(c) if c.is_zero()) {
+                    self.objects[p.obj].ptr_slots.push((p.off as u32, stored));
+                }
+                self.fp.push(Access::new(p.obj, p.off, size, true));
+                Ok(stored)
+            }
+            PointeeTy::Void => unreachable!("sizeless access rejected above"),
+        }
+    }
+
+    /// Destroy any stored-pointer slot whose 8-byte range overlaps the
+    /// store `[off, off + size)`: the overwritten pointer cannot be
+    /// reconstructed, so its bytes outside the new store go
+    /// indeterminate.
+    fn clear_ptr_slots(&mut self, obj: usize, off: i64, size: u64) {
+        if self.objects[obj].ptr_slots.is_empty() {
+            return;
+        }
+        let (start, end) = (off, off + size as i64);
+        let mut dead = Vec::new();
+        self.objects[obj].ptr_slots.retain(|(o, _)| {
+            let s = *o as i64;
+            let overlaps = s < end && start < s + 8;
+            if overlaps {
+                dead.push(s);
+            }
+            !overlaps
+        });
+        for s in dead {
+            self.objects[obj].bytes.mark_uninit(s as usize, 8);
+        }
     }
 
     // ----- sequencing -----
@@ -700,7 +1179,7 @@ impl<'a> Interp<'a> {
         let (a, b) = self.fp[a_start..].split_at(mid - a_start);
         for &x in a {
             for &y in b {
-                if x.same_scalar(y) && (x.is_write() || y.is_write()) {
+                if x.overlaps(y) && (x.is_write() || y.is_write()) {
                     return Err(self.ub(
                         UbKind::UnsequencedSideEffect,
                         loc,
@@ -723,10 +1202,10 @@ impl<'a> Interp<'a> {
         loc: SourceLoc,
         action: &str,
     ) -> EResult<()> {
-        let probe = Access::new(p.obj, p.off, true);
+        let probe = Access::new(p.obj, p.off, p.ty.size().unwrap_or(1), true);
         if self.fp[fp_start..]
             .iter()
-            .any(|&a| a.is_write() && a.same_scalar(probe))
+            .any(|&a| a.is_write() && a.overlaps(probe))
         {
             return Err(self.ub(
                 UbKind::UnsequencedSideEffect,
@@ -808,10 +1287,11 @@ impl<'a> Interp<'a> {
                 };
                 if self.objects[obj].is_array {
                     // Array designators decay to a pointer to the first
-                    // element (§6.3.2.1:3); no cell is read.
-                    return Ok(Value::Ptr(Pointer { obj, off: 0 }));
+                    // element (§6.3.2.1:3); no byte is read.
+                    return Ok(Value::Ptr(self.designator_pointer(obj)));
                 }
-                self.read_cell(Pointer { obj, off: 0 }, loc)
+                let p = self.designator_pointer(obj);
+                self.read_typed(p, loc)
             }
             ExprKind::Unary(op, inner) => {
                 let v = self.eval(*inner)?;
@@ -906,7 +1386,7 @@ impl<'a> Interp<'a> {
             }
             ExprKind::Deref(inner) => {
                 let p = self.eval_pointer(*inner, loc)?;
-                self.read_cell(p, loc)
+                self.read_typed(p, loc)
             }
             ExprKind::AddrOf(inner) => {
                 let p = self.eval_place(*inner)?;
@@ -929,9 +1409,47 @@ impl<'a> Interp<'a> {
             }
             ExprKind::Index(base, idx) => {
                 let p = self.eval_index_place(*base, *idx, loc)?;
-                self.read_cell(p, loc)
+                self.read_typed(p, loc)
             }
             ExprKind::Call(name, args) => self.eval_call(*name, args, loc),
+            ExprKind::Cast(ty, inner) => self.eval_cast(ty, *inner, loc),
+        }
+    }
+
+    /// A cast `( type-name ) expr` (§6.5.4): integer conversion
+    /// (§6.3.1.3, with a note when implementation-defined), pointer
+    /// reinterpretation (§6.3.2.3:7 — misalignment is undefined *at the
+    /// conversion*), or a value-discarding `(void)`.
+    fn eval_cast(&mut self, ty: &Ty, inner: ExprId, loc: SourceLoc) -> EResult<Value> {
+        let v = self.eval(inner)?;
+        match ty {
+            // `(void)e` discards the value (§6.3.2.2:2); the result is a
+            // void expression whose (nonexistent) value must not be used.
+            Ty::Void => Ok(Value::Missing(UbKind::VoidValueUsed)),
+            Ty::Int(t) => match self.use_value(v, loc)? {
+                Value::Int(c) => Ok(Value::Int(self.convert_int(c, *t, loc))),
+                Value::Ptr(_) => Err(stop_unsupported(
+                    "pointer-to-integer casts are outside the modeled semantics \
+                     (pointers have no numeric address here)",
+                    loc,
+                )),
+                Value::Missing(_) => unreachable!(),
+            },
+            Ty::Ptr(pointee) => match self.use_value(v, loc)? {
+                // The null pointer constant converts to any pointer type
+                // (§6.3.2.3:3).
+                Value::Int(c) if c.is_zero() => Ok(Value::Int(CInt::int(0))),
+                Value::Int(_) => Err(stop_unsupported(
+                    "integer-to-pointer casts are outside the modeled semantics",
+                    loc,
+                )),
+                Value::Ptr(p) => Ok(Value::Ptr(self.convert_pointer(
+                    p,
+                    pointee_of_ty(pointee),
+                    loc,
+                )?)),
+                Value::Missing(_) => unreachable!(),
+            },
         }
     }
 
@@ -956,21 +1474,23 @@ impl<'a> Interp<'a> {
                 let o = &self.objects[obj];
                 if o.is_array {
                     // An array designator under sizeof does not decay
-                    // (§6.3.2.1:3): the result is the whole array's size.
-                    let elem_bytes = match o.elem {
-                        Elem::Scalar(t) => t.size_bytes(),
-                        Elem::Ptr => PTR_BYTES,
-                        Elem::Untyped => return None,
-                    };
-                    Some(Bytes(o.cells.len() as u64 * elem_bytes))
+                    // (§6.3.2.1:3): the result is the whole array's size —
+                    // which in the byte model simply *is* its byte length.
+                    Some(Bytes(o.bytes.len() as u64))
                 } else {
                     match o.elem {
                         Elem::Scalar(t) => Some(Scalar(t)),
-                        Elem::Ptr => Some(Pointer),
+                        Elem::Ptr(_) => Some(Pointer),
                         Elem::Untyped => None,
                     }
                 }
             }
+            // A cast's type is right there in the node (§6.5.4).
+            ExprKind::Cast(ty, _) => match ty {
+                Ty::Void => None,
+                Ty::Int(t) => Some(Scalar(*t)),
+                Ty::Ptr(_) => Some(Pointer),
+            },
             ExprKind::Unary(op, a) => match op {
                 UnaryOp::Not => Some(Scalar(IntTy::Int)),
                 UnaryOp::Neg | UnaryOp::BitNot => match self.sizeof_ty_of(*a)? {
@@ -1053,8 +1573,8 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// Evaluate an lvalue to the place it designates. No cell is accessed;
-    /// accesses happen in `read_cell`/`write_cell`.
+    /// Evaluate an lvalue to the place it designates. No byte is
+    /// accessed; accesses happen in `read_typed`/`write_typed`.
     fn eval_place(&mut self, e: ExprId) -> EResult<Pointer> {
         let unit = self.unit;
         let expr = unit.expr(e);
@@ -1066,7 +1586,7 @@ impl<'a> Interp<'a> {
                 loc,
             )),
             ExprKind::Slot(slot, sym) => match self.slot_object(*slot) {
-                Some(obj) => Ok(Pointer { obj, off: 0 }),
+                Some(obj) => Ok(self.designator_pointer(obj)),
                 None => Err(stop_unsupported(
                     format!(
                         "use of `{}` before its declaration executed",
@@ -1091,19 +1611,25 @@ impl<'a> Interp<'a> {
         self.pointer_add(bp, i, loc)
     }
 
-    /// `p + delta` with the §6.5.6:8 in-bounds-or-one-past rule. The
-    /// delta is a mathematical value (any integer type may subscript);
-    /// an offset outside the object is reported before it could wrap.
+    /// `p + delta` with the §6.5.6:8 in-bounds-or-one-past rule, at byte
+    /// granularity: the delta counts *elements* and scales by the
+    /// pointee size, and the resulting byte offset must stay within
+    /// `[0, len]` (one past the end preserved). The delta is a
+    /// mathematical value (any integer type may subscript); an offset
+    /// outside the object is reported before it could wrap.
     fn pointer_add(&mut self, p: Pointer, delta: i128, loc: SourceLoc) -> EResult<Pointer> {
         self.check_live(p, loc)?;
-        let len = self.objects[p.obj].cells.len() as i128;
-        let off = p.off as i128 + delta;
+        let Some(esize) = p.ty.size() else {
+            return Err(stop_unsupported("arithmetic on a `void *`", loc));
+        };
+        let len = self.objects[p.obj].bytes.len() as i128;
+        let off = p.off as i128 + delta * esize as i128;
         if off < 0 || off > len {
             return Err(self.ub(
                 UbKind::PointerArithmeticOutOfBounds,
                 loc,
                 format!(
-                    "offset {} of `{}` (size {}, one-past-the-end allowed)",
+                    "byte offset {} of `{}` ({} bytes; one-past-the-end allowed)",
                     off,
                     self.object_name(p.obj),
                     len
@@ -1113,6 +1639,7 @@ impl<'a> Interp<'a> {
         Ok(Pointer {
             obj: p.obj,
             off: off as i64,
+            ty: p.ty,
         })
     }
 
@@ -1144,8 +1671,27 @@ impl<'a> Interp<'a> {
                         ),
                     ));
                 }
+                // The byte distance divides by the element size
+                // (§6.5.6:9 subtracts element indices, not addresses).
+                let (Some(sa), Some(sb)) = (a.ty.size(), b.ty.size()) else {
+                    return Err(stop_unsupported("subtraction of `void *` pointers", loc));
+                };
+                if sa != sb {
+                    return Err(stop_unsupported(
+                        "subtraction of pointers with different pointee sizes",
+                        loc,
+                    ));
+                }
+                let d = (a.off - b.off) as i128;
+                if d % sa as i128 != 0 {
+                    return Err(stop_unsupported(
+                        "subtraction of pointers that are not a whole number of \
+                         elements apart",
+                        loc,
+                    ));
+                }
                 // The difference has type ptrdiff_t — `long` on LP64.
-                Ok(Value::Int(CInt::new((a.off - b.off) as i128, IntTy::Long)))
+                Ok(Value::Int(CInt::new(d / sa as i128, IntTy::Long)))
             }
             (Value::Ptr(a), Value::Ptr(b)) if matches!(op, Lt | Le | Gt | Ge) => {
                 self.check_live(a, loc)?;
@@ -1172,7 +1718,9 @@ impl<'a> Interp<'a> {
             (Value::Ptr(a), Value::Ptr(b)) if matches!(op, Eq | Ne) => {
                 self.check_live(a, loc)?;
                 self.check_live(b, loc)?;
-                let same = a == b;
+                // Equality is by address (§6.5.9:6): the pointee type a
+                // cast attached does not change where a pointer points.
+                let same = a.same_address(b);
                 Ok(Value::Int(CInt::int(
                     (if op == Eq { same } else { !same }) as i64,
                 )))
@@ -1246,7 +1794,7 @@ impl<'a> Interp<'a> {
             Some(op) => {
                 // Compound assignment reads the place once; that read is a
                 // value computation sequenced before the update.
-                let old = self.read_cell(p, loc)?;
+                let old = self.read_typed(p, loc)?;
                 let old = self.use_value(old, loc)?;
                 self.apply_binop(op, old, rv, loc)?
             }
@@ -1254,10 +1802,10 @@ impl<'a> Interp<'a> {
         // …while the update's side effect is sequenced only after those
         // value computations: it still conflicts with any *other* write to
         // the same scalar in either operand (`x = x++`). The store
-        // converts the value to the object's declared type (§6.5.16.1:2)
-        // and that converted value is the expression's result (§6.5.16:3).
+        // converts the value to the lvalue's type (§6.5.16.1:2) and that
+        // converted value is the expression's result (§6.5.16:3).
         self.check_update_conflict(start, p, loc, "assignment to")?;
-        let stored = self.write_cell(p, stored, loc)?;
+        let stored = self.write_typed(p, stored, loc)?;
         Ok(stored)
     }
 
@@ -1271,7 +1819,7 @@ impl<'a> Interp<'a> {
         let start = self.fp.len();
         let p = self.eval_place(place)?;
         self.check_modifiable(place, p, loc)?;
-        let old = self.read_cell(p, loc)?;
+        let old = self.read_typed(p, loc)?;
         let old = self.use_value(old, loc)?;
         let new = match old {
             Value::Int(n) => {
@@ -1297,10 +1845,10 @@ impl<'a> Interp<'a> {
                 "decrement of"
             },
         )?;
-        // The store converts to the object's type (`unsigned char c =
+        // The store converts to the lvalue's type (`unsigned char c =
         // 255; c++` wraps to 0, defined); prefix ++ yields that
         // converted value.
-        let new = self.write_cell(p, new, loc)?;
+        let new = self.write_typed(p, new, loc)?;
         Ok((old, new))
     }
 
@@ -1359,14 +1907,22 @@ impl<'a> Interp<'a> {
                     format!("malloc({n}) with a negative size"),
                 ));
             }
-            if n > MAX_CELLS {
+            if n > MAX_BYTES {
                 return Err(stop_unsupported(
                     format!("malloc({n}) exceeds the engine's memory budget"),
                     loc,
                 ));
             }
+            // `malloc(n)` allocates `n` *bytes* — the model finally
+            // agrees with `sizeof`. `malloc(0)` yields a distinct
+            // zero-size allocation: legal to `free`, undefined to
+            // dereference (any access overruns its zero bytes).
             let obj = self.alloc(ObjName::Heap, n as usize, true, true, Elem::Untyped);
-            return Ok(Value::Ptr(Pointer { obj, off: 0 }));
+            return Ok(Value::Ptr(Pointer {
+                obj,
+                off: 0,
+                ty: PointeeTy::Void,
+            }));
         }
         if name == kw::FREE {
             if nargs != 1 {
@@ -1460,12 +2016,14 @@ impl<'a> Interp<'a> {
         for (i, param) in func.params.iter().enumerate() {
             let arg = self.args[argv_base + i];
             // Argument passing is assignment to the parameter
-            // (§6.5.2.2:7): the value converts to the declared type.
+            // (§6.5.2.2:7): the value converts to the declared type — the
+            // same typed store every assignment performs.
             let elem = elem_of_ty(&param.ty);
-            let arg = self.convert_for_store(arg, elem, loc);
-            let obj = self.alloc(ObjName::Sym(param.name), 1, false, false, elem);
-            self.objects[obj].cells.set(0, Some(arg));
+            let size = elem.size() as usize;
+            let obj = self.alloc(ObjName::Sym(param.name), size, false, false, elem);
             self.slots[slot_base + i] = obj;
+            let place = self.designator_pointer(obj);
+            self.write_typed(place, arg, loc)?;
         }
         self.args.truncate(argv_base);
         let mut result = (
@@ -1480,11 +2038,24 @@ impl<'a> Interp<'a> {
         match self.exec_block(&func.body) {
             Ok(Flow::Return(v, l)) => {
                 // The returned value converts to the function's return
-                // type (§6.8.6.4:3).
-                let v = if !func.returns_void && func.ret_ptr == 0 {
-                    self.convert_for_store(v, Elem::Scalar(func.ret_scalar), l)
-                } else {
-                    v
+                // type (§6.8.6.4:3): integer conversion for scalar
+                // returns, pointee adoption (alignment-checked,
+                // §6.3.2.3:7) for pointer returns.
+                let v = match v {
+                    Value::Int(c) if !func.returns_void && func.ret_ptr == 0 => {
+                        Value::Int(self.convert_int(c, func.ret_scalar, l))
+                    }
+                    Value::Ptr(ptr) if func.ret_ptr > 0 => {
+                        let pointee = if func.ret_ptr > 1 {
+                            PointeeTy::Ptr
+                        } else if func.returns_void {
+                            PointeeTy::Void
+                        } else {
+                            PointeeTy::Scalar(func.ret_scalar)
+                        };
+                        Value::Ptr(self.convert_pointer(ptr, pointee, l)?)
+                    }
+                    v => v,
                 };
                 result = (v, l);
             }
@@ -1845,7 +2416,10 @@ impl<'a> Interp<'a> {
             ));
         }
         let unit = self.unit;
-        let cells = match d.array_size {
+        let fp_mark = self.fp.len();
+        let elem = elem_of_ty(&d.ty);
+        let esize = elem.size() as usize;
+        let count = match d.array_size {
             None => 1,
             Some(size) => {
                 // A constant non-positive size is the *static* form of the
@@ -1867,7 +2441,7 @@ impl<'a> Interp<'a> {
                         format!("array `{}` declared with size {n}", self.name(d.name)),
                     ));
                 }
-                if n > MAX_CELLS {
+                if n * esize as i128 > MAX_BYTES {
                     return Err(stop_unsupported(
                         format!(
                             "array `{}` of size {n} exceeds the engine's memory budget",
@@ -1879,15 +2453,13 @@ impl<'a> Interp<'a> {
                 n as usize
             }
         };
-        let elem = elem_of_ty(&d.ty);
         let obj = self.alloc(
             ObjName::Sym(d.name),
-            cells,
+            count * esize,
             false,
             d.array_size.is_some(),
             elem,
         );
-        self.objects[obj].is_const = d.quals.is_const;
         // The declared identifier's scope begins at the end of its
         // declarator (§6.2.1:7) — *before* the initializer, so that
         // `int x = x;` reads the new, indeterminate x, not an outer one.
@@ -1895,21 +2467,27 @@ impl<'a> Interp<'a> {
         // makes it true dynamically.
         let slot_base = self.frames.last().expect("active frame").slot_base;
         self.slots[slot_base + d.slot.index()] = obj;
+        let pointee = elem.pointee();
         if let Some(init) = d.init {
             let v = self.eval_full(init)?;
             let init_loc = unit.expr(init).loc;
             let v = self.use_value(v, init_loc)?;
-            // Initialization converts like simple assignment (§6.7.9:11).
-            let v = self.convert_for_store(v, elem, init_loc);
-            self.objects[obj].cells.set(0, Some(v));
+            // Initialization converts like simple assignment (§6.7.9:11):
+            // the same typed store, at byte offset 0.
+            let place = Pointer {
+                obj,
+                off: 0,
+                ty: pointee,
+            };
+            self.write_typed(place, v, init_loc)?;
         }
         if let Some(items) = &d.array_init {
-            if items.len() > cells {
+            if items.len() > count {
                 return Err(stop_unsupported(
                     format!(
                         "excess initializers for `{}` (array size {}, {} initializers)",
                         self.name(d.name),
-                        cells,
+                        count,
                         items.len()
                     ),
                     d.loc,
@@ -1919,19 +2497,28 @@ impl<'a> Interp<'a> {
                 let v = self.eval_full(item)?;
                 let item_loc = unit.expr(item).loc;
                 let v = self.use_value(v, item_loc)?;
-                let v = self.convert_for_store(v, elem, item_loc);
-                self.objects[obj].cells.set(i, Some(v));
+                let place = Pointer {
+                    obj,
+                    off: (i * esize) as i64,
+                    ty: pointee,
+                };
+                self.write_typed(place, v, item_loc)?;
             }
-            // Remaining elements are initialized to zero (§6.7.9:21), at
-            // the element type.
-            let zero = match elem {
-                Elem::Scalar(t) => Value::Int(CInt::new(0, t)),
-                Elem::Ptr | Elem::Untyped => Value::Int(CInt::int(0)),
-            };
-            for i in items.len()..cells {
-                self.objects[obj].cells.set(i, Some(zero));
-            }
+            // Remaining elements are initialized to zero (§6.7.9:21): the
+            // fresh object's bytes are already zero (and all-zero pointer
+            // elements read back as null), so the tail just becomes
+            // initialized.
+            let done = items.len() * esize;
+            self.objects[obj]
+                .bytes
+                .mark_init(done, count * esize - done);
         }
+        // Initialization is not modification: the const flag guards the
+        // object only once its declaration completes (§6.7.3:6 vs §6.7.9).
+        self.objects[obj].is_const = d.quals.is_const;
+        // The initializer stores were part of the declaration's full
+        // expressions; they do not persist into later footprints.
+        self.fp.truncate(fp_mark);
         Ok(())
     }
 }
@@ -1946,18 +2533,23 @@ fn decay(t: SizeofTy) -> SizeofTy {
     }
 }
 
-/// The runtime element type of an object declared with `ty`: pointers
-/// pass stores through, scalars convert them. (`void` objects are
-/// rejected by the translation phase and never execute cleanly; `int` is
-/// a harmless placeholder for them.)
+/// The pointee type a pointer *to* `ty` accesses through.
+fn pointee_of_ty(ty: &Ty) -> PointeeTy {
+    match ty {
+        Ty::Int(it) => PointeeTy::Scalar(*it),
+        Ty::Void => PointeeTy::Void,
+        Ty::Ptr(_) => PointeeTy::Ptr,
+    }
+}
+
+/// The runtime element type of an object declared with `ty`. (`void`
+/// objects are rejected by the translation phase and never execute
+/// cleanly; `int` is a harmless placeholder for them.)
 fn elem_of_ty(ty: &Ty) -> Elem {
-    if ty.ptr_depth() > 0 {
-        Elem::Ptr
-    } else {
-        match ty.base_scalar() {
-            Some(it) => Elem::Scalar(it),
-            None => Elem::Scalar(IntTy::Int),
-        }
+    match ty {
+        Ty::Ptr(inner) => Elem::Ptr(pointee_of_ty(inner)),
+        Ty::Int(it) => Elem::Scalar(*it),
+        Ty::Void => Elem::Scalar(IntTy::Int),
     }
 }
 
@@ -2126,7 +2718,7 @@ mod tests {
             UbKind::DeadObjectAccess
         );
         assert_eq!(
-            ub_kind("int main(void) { int *p = malloc(2); free(p); return *p; }"),
+            ub_kind("int main(void) { int *p = malloc(sizeof(int)); free(p); return *p; }"),
             UbKind::DeadObjectAccess
         );
     }
@@ -2142,18 +2734,19 @@ mod tests {
             UbKind::FreeNonHeapPointer
         );
         assert_eq!(
-            ub_kind("int main(void) { int *p = malloc(2); free(p + 1); return 0; }"),
+            ub_kind("int main(void) { int *p = malloc(2 * sizeof(int)); free(p + 1); return 0; }"),
             UbKind::FreeInteriorPointer
         );
         assert_eq!(
             run(
-                "int main(void) { int *p = malloc(2); p[0] = 7; int v = p[0]; free(p); return v; }"
+                "int main(void) { int *p = malloc(2 * sizeof(int)); p[0] = 7; int v = p[0]; free(p); \
+                 return v; }"
             )
             .exit_code(),
             Some(7)
         );
         assert_eq!(
-            ub_kind("int main(void) { int *p = malloc(2); return p[0]; }"),
+            ub_kind("int main(void) { int *p = malloc(sizeof(int)); return p[0]; }"),
             UbKind::ReadIndeterminate
         );
     }
@@ -2826,8 +3419,10 @@ mod tests {
         // malloc'd memory has no declared type (§6.5:6): a long stored
         // through a long* must read back intact, not truncate to int.
         assert_eq!(
-            run("int main(void) { long *p = malloc(2); p[0] = 4294967296L; \
-                 return p[0] == 4294967296L; }")
+            run(
+                "int main(void) { long *p = malloc(2 * sizeof(long)); p[0] = 4294967296L; \
+                 return p[0] == 4294967296L; }"
+            )
             .exit_code(),
             Some(1)
         );
@@ -2864,6 +3459,254 @@ mod tests {
                 "{src}: {outcome:?}"
             );
         }
+    }
+
+    #[test]
+    fn malloc_counts_bytes_not_cells() {
+        // The documented cell-model divergence is closed: malloc(2) is
+        // two *bytes*, not enough for an int.
+        assert_eq!(
+            ub_kind("int main(void) { int *p = malloc(2); p[0] = 1; return 0; }"),
+            UbKind::OutOfBoundsWrite
+        );
+        assert_eq!(
+            run(
+                "int main(void) { long *p = malloc(sizeof(long)); p[0] = 9; int v = p[0]; \
+                 free(p); return v; }"
+            )
+            .exit_code(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn malloc_zero_is_legal_to_free_but_ub_to_dereference() {
+        // §7.22.3:1 — a zero-size allocation behaves like any other
+        // object pointer except that it must not be used to access one.
+        assert_eq!(
+            run("int main(void) { int *p = malloc(0); free(p); return 0; }").exit_code(),
+            Some(0)
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int *p = malloc(0); return p[0]; }"),
+            UbKind::OutOfBoundsRead
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int *p = malloc(0); p[0] = 1; return 0; }"),
+            UbKind::OutOfBoundsWrite
+        );
+        // Distinct zero-size allocations are distinct objects.
+        assert_eq!(
+            run("int main(void) { int *p = malloc(0); int *q = malloc(0); \
+                 int r = p == q; free(p); free(q); return r; }")
+            .exit_code(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn one_past_the_end_at_byte_granularity() {
+        // The one-past pointer exists at both element and byte stride…
+        assert_eq!(
+            run(
+                "int main(void) { int a[2]; a[0] = 1; a[1] = 2; int *p = a + 2; \
+                 return (int)(p - a); }"
+            )
+            .exit_code(),
+            Some(2)
+        );
+        assert_eq!(
+            run("int main(void) { int a[2]; char *c = (char *)a + 8; \
+                 return c == (char *)(a + 2); }")
+            .exit_code(),
+            Some(1)
+        );
+        // …but one element past one-past is out, as is byte 9 of 8.
+        assert_eq!(
+            ub_kind("int main(void) { int a[2]; int *p = a + 3; return 0; }"),
+            UbKind::PointerArithmeticOutOfBounds
+        );
+        assert_eq!(
+            ub_kind("int main(void) { int a[2]; char *c = (char *)a + 9; return 0; }"),
+            UbKind::PointerArithmeticOutOfBounds
+        );
+        // Dereferencing the one-past pointer overruns the object.
+        assert_eq!(
+            ub_kind("int main(void) { int a[2] = {1, 2}; return *(a + 2); }"),
+            UbKind::OutOfBoundsRead
+        );
+    }
+
+    #[test]
+    fn per_byte_init_tracking_across_partial_stores() {
+        // One byte of a long initialized: the 8-byte read is UB,
+        // byte-precise.
+        assert_eq!(
+            ub_kind(
+                "int main(void) { long l; char *p = (char *)&l; p[0] = 1; \
+                     return l == 1; }"
+            ),
+            UbKind::ReadIndeterminate
+        );
+        // Writing every byte completes the object.
+        assert_eq!(
+            run("int main(void) { long l; char *p = (char *)&l; \
+                 for (int i = 0; i < 8; i++) p[i] = 0; return l == 0; }")
+            .exit_code(),
+            Some(1)
+        );
+        // The partial-init report names the first indeterminate byte.
+        let outcome = run("int main(void) { long l; char *p = (char *)&l; p[0] = 1; \
+                           return l == 1; }");
+        let err = outcome.ub().expect("should be UB");
+        assert!(
+            err.detail().is_some_and(|d| d.contains("byte 1")),
+            "{err:?}"
+        );
+        // At a nonzero offset the byte index is *read-relative*: a[1]'s
+        // read covers object bytes 8..16, and byte 9 of the object is
+        // byte 1 of that read.
+        let outcome = run("int main(void) { long a[2]; \
+             unsigned char *c = (unsigned char *)a; \
+             for (int i = 0; i < 16; i++) if (i != 9) c[i] = 0; \
+             return a[1] == 0; }");
+        let err = outcome.ub().expect("should be UB");
+        assert!(
+            err.detail()
+                .is_some_and(|d| d.contains("byte 1 of the 8-byte read at byte offset 8")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn char_sweep_reassembles_the_representation() {
+        // §6.5:7 — character lvalues may read any object's bytes, and
+        // the little-endian reassembly equals the stored value.
+        assert_eq!(
+            run(
+                "int main(void) { long l = 258; unsigned char *p = (unsigned char *)&l; \
+                 long r = 0; for (int i = 7; i >= 0; i--) r = (r << 8) + p[i]; \
+                 return r == 258; }"
+            )
+            .exit_code(),
+            Some(1)
+        );
+        // A negative int's bytes reassemble bit-for-bit too.
+        assert_eq!(
+            run(
+                "int main(void) { int x = 0 - 2; unsigned char *p = (unsigned char *)&x; \
+                 unsigned int r = 0u; for (int i = 3; i >= 0; i--) r = (r << 8) + p[i]; \
+                 return r == 4294967294u; }"
+            )
+            .exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn misaligned_pointer_conversions_are_ub_at_the_cast() {
+        // §6.3.2.3:7 — byte offset 1 of a long can never hold an int.
+        assert_eq!(
+            ub_kind(
+                "int main(void) { long l = 0; char *c = (char *)&l; \
+                     int *p = (int *)(c + 1); return 0; }"
+            ),
+            UbKind::MisalignedAccess
+        );
+        // Character casts never misalign (alignment 1).
+        assert_eq!(
+            run("int main(void) { long l = 7; char *c = (char *)&l + 3; return c != 0; }")
+                .exit_code(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn effective_type_violations_raise_kind_33() {
+        // An aligned, in-bounds int access to a long object is still
+        // §6.5:7 — for writes…
+        assert_eq!(
+            ub_kind("int main(void) { long l = 42; int *p = (int *)&l; *p = 7; return 0; }"),
+            UbKind::AccessWrongEffectiveType
+        );
+        // …and for reads (offset 4 is int-aligned, so the cast is fine
+        // and the *access* is the defect).
+        assert_eq!(
+            ub_kind(
+                "int main(void) { long l = 0; char *c = (char *)&l; \
+                     int *p = (int *)(c + 4); return *p; }"
+            ),
+            UbKind::AccessWrongEffectiveType
+        );
+        // Same-rank signed/unsigned lvalues are compatible (§6.5:7).
+        assert_eq!(
+            run("int main(void) { int x = 0 - 1; \
+                 unsigned int *p = (unsigned int *)&x; return *p == 4294967295u; }")
+            .exit_code(),
+            Some(1)
+        );
+        // Heap memory takes the effective type of what was stored.
+        assert_eq!(
+            ub_kind(
+                "int main(void) { int *p = malloc(2 * sizeof(int)); \
+                     p[0] = 1; p[1] = 2; long *q = (long *)p; return *q == 1; }"
+            ),
+            UbKind::AccessWrongEffectiveType
+        );
+    }
+
+    #[test]
+    fn stored_pointers_keep_provenance() {
+        // Pointers stored through pointer lvalues read back intact…
+        assert_eq!(
+            run("int main(void) { int x = 5; int *p = &x; int **q = &p; return **q; }").exit_code(),
+            Some(5)
+        );
+        // …their representation has no numeric bytes to sweep…
+        let outcome = run("int main(void) { int x = 5; int *p = &x; \
+             unsigned char *c = (unsigned char *)&p; return c[0]; }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { .. }),
+            "{outcome:?}"
+        );
+        // …and a byte store into one destroys it: the other seven bytes
+        // go indeterminate, so reading the pointer is UB.
+        assert_eq!(
+            ub_kind(
+                "int main(void) { int x = 5; int *p = &x; \
+                     unsigned char *c = (unsigned char *)&p; c[0] = 0; return *p; }"
+            ),
+            UbKind::ReadIndeterminate
+        );
+    }
+
+    #[test]
+    fn casts_convert_values_and_types() {
+        // Integer casts convert with the usual §6.3.1.3 semantics.
+        assert_eq!(
+            run(
+                "int main(void) { return (char)300 == 44 && (unsigned char)300 == 44 \
+                 && (long)2147483647 + 1 == 2147483648L && (_Bool)42 == 1; }"
+            )
+            .exit_code(),
+            Some(1)
+        );
+        // `(void)e` discards the value; using it is the void-value defect.
+        assert_eq!(
+            run("int main(void) { int x = 1; (void)(x = 2); return x; }").exit_code(),
+            Some(2)
+        );
+        // The null pointer constant casts to any pointer type.
+        assert_eq!(
+            run("int main(void) { char *p = (char *)0; return p == 0; }").exit_code(),
+            Some(1)
+        );
+        // Casting does not move the pointer: equality is by address.
+        assert_eq!(
+            run("int main(void) { long l = 1; return (char *)&l == (char *)(void *)&l; }")
+                .exit_code(),
+            Some(1)
+        );
     }
 
     #[test]

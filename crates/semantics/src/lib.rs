@@ -31,13 +31,16 @@
 //! The supported subset is deliberately small but real: the full
 //! integer type lattice of an LP64 target (`_Bool`, `char`,
 //! signed/unsigned `short`/`int`/`long`/`long long` — see [`ctype`]),
-//! typed integer and character constants, `sizeof`, fixed-size and
-//! variable-length arrays, pointers (`&`, `*`, arithmetic, indexing),
-//! function definitions and calls, `malloc`/`free` (in `int`-cell
-//! units), control flow (`if`/`else`, `while`, `for`, `break`,
-//! `continue`, `return`), and the full C expression operator set —
-//! including compound assignment and increment/decrement, whose
-//! sequencing hazards are the paper's flagship `Error: 00016`.
+//! typed integer and character constants, `sizeof`, casts (integer
+//! conversions and pointer reinterpretation), fixed-size and
+//! variable-length arrays, pointers (`&`, `*`, arithmetic, indexing)
+//! over **byte-addressable** memory with per-byte initialization
+//! tracking, function definitions and calls, `malloc`/`free`
+//! (`malloc(n)` allocates `n` bytes, agreeing with `sizeof`), control
+//! flow (`if`/`else`, `while`, `for`, `break`, `continue`, `return`),
+//! and the full C expression operator set — including compound
+//! assignment and increment/decrement, whose sequencing hazards are the
+//! paper's flagship `Error: 00016`.
 //!
 //! # Examples
 //!

@@ -719,7 +719,7 @@ impl Parser {
             ],
         ];
         if level == LEVELS.len() {
-            return self.unary();
+            return self.cast();
         }
         let mut lhs = self.binary(level + 1)?;
         'scan: loop {
@@ -739,6 +739,30 @@ impl Parser {
             }
             return Ok(lhs);
         }
+    }
+
+    /// A cast-expression (§6.5.4): `( type-name ) cast-expression` or a
+    /// unary-expression. The parenthesis is a cast exactly when a
+    /// type-specifier keyword follows it — the same disambiguation
+    /// `sizeof ( … )` uses.
+    fn cast(&mut self) -> Result<ExprId, ParseError> {
+        let loc = self.loc();
+        if matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Punct("("),
+                ..
+            })
+        ) && Self::starts_type(self.peek2())
+        {
+            self.pos += 1;
+            let (base, _) = self.declaration_specifiers()?;
+            let (ty, _) = self.pointer_suffix(base);
+            self.expect_punct(")")?;
+            let e = self.cast()?;
+            return Ok(self.mk(ExprKind::Cast(ty, e), loc));
+        }
+        self.unary()
     }
 
     fn unary(&mut self) -> Result<ExprId, ParseError> {
@@ -772,6 +796,8 @@ impl Parser {
             let e = self.unary()?;
             return Ok(self.mk(ExprKind::PreIncDec(e, -1), loc));
         }
+        // The operand of `-`/`!`/`~`/`+`/`*`/`&` is a cast-expression
+        // (§6.5.3:1), so `*(int *)p` and `-(long)x` parse as written.
         for (p, mk) in [
             ("-", Some(UnaryOp::Neg)),
             ("!", Some(UnaryOp::Not)),
@@ -779,7 +805,7 @@ impl Parser {
             ("+", None),
         ] {
             if self.eat_punct(p) {
-                let e = self.unary()?;
+                let e = self.cast()?;
                 return Ok(match mk {
                     Some(op) => self.mk(ExprKind::Unary(op, e), loc),
                     None => e, // unary plus only performs promotion
@@ -787,11 +813,11 @@ impl Parser {
             }
         }
         if self.eat_punct("*") {
-            let e = self.unary()?;
+            let e = self.cast()?;
             return Ok(self.mk(ExprKind::Deref(e), loc));
         }
         if self.eat_punct("&") {
-            let e = self.unary()?;
+            let e = self.cast()?;
             return Ok(self.mk(ExprKind::AddrOf(e), loc));
         }
         self.postfix()
@@ -1069,6 +1095,44 @@ mod tests {
             unreachable!()
         };
         assert!(matches!(unit.expr(lhs).kind, E::SizeofExpr(_)));
+    }
+
+    #[test]
+    fn casts_parse_at_cast_precedence() {
+        // (long)1 + 2 is ((long)1) + 2 — the cast binds tighter than
+        // binary operators.
+        let (unit, e) = unit_and_expr("(long)1 + 2");
+        match unit.expr(e).kind {
+            E::Binary(BinOp::Add, lhs, _) => {
+                assert!(matches!(
+                    unit.expr(lhs).kind,
+                    E::Cast(Ty::Int(IntTy::Long), _)
+                ));
+            }
+            ref k => panic!("unexpected {k:?}"),
+        }
+        // The operand of `*` is a cast-expression: *(int *)p.
+        let (unit, e) = unit_and_expr("*(int *)p");
+        match unit.expr(e).kind {
+            E::Deref(inner) => {
+                assert!(matches!(unit.expr(inner).kind, E::Cast(Ty::Ptr(_), _)))
+            }
+            ref k => panic!("unexpected {k:?}"),
+        }
+        // Casts nest rightward: (char)(int)x.
+        let (unit, e) = unit_and_expr("(char)(int)x");
+        match &unit.expr(e).kind {
+            E::Cast(Ty::Int(IntTy::Char), inner) => {
+                assert!(matches!(
+                    unit.expr(*inner).kind,
+                    E::Cast(Ty::Int(IntTy::Int), _)
+                ))
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+        // A parenthesized expression is not a cast.
+        let (unit, e) = unit_and_expr("(x) + 1");
+        assert!(matches!(unit.expr(e).kind, E::Binary(BinOp::Add, _, _)));
     }
 
     #[test]

@@ -244,6 +244,8 @@ impl Resolver {
             | ExprKind::PreIncDec(a, _)
             | ExprKind::PostIncDec(a, _)
             | ExprKind::SizeofExpr(a) => self.resolve_expr(unit, a),
+            // A cast names no objects itself; its operand resolves.
+            ExprKind::Cast(_, a) => self.resolve_expr(unit, a),
             ExprKind::Binary(_, a, b)
             | ExprKind::LogicalAnd(a, b)
             | ExprKind::LogicalOr(a, b)
@@ -283,6 +285,11 @@ impl Resolver {
             // variably modified (§6.5.3.4:2) — checked structurally.
             ExprKind::SizeofExpr(a) => self.sizeof_operand_is_static(unit, a),
             ExprKind::Unary(_, a) => self.is_constant_expr(unit, a),
+            // §6.6:6 — casts to integer types are admitted in integer
+            // constant expressions; pointer casts are not.
+            ExprKind::Cast(ref ty, a) => {
+                matches!(ty, crate::ast::Ty::Int(_)) && self.is_constant_expr(unit, a)
+            }
             ExprKind::Binary(_, a, b) | ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
                 self.is_constant_expr(unit, a) && self.is_constant_expr(unit, b)
             }
@@ -306,6 +313,9 @@ impl Resolver {
             ExprKind::Slot(slot, _) => !self.vla_slot.get(slot.index()).copied().unwrap_or(true),
             ExprKind::SizeofExpr(a) => self.sizeof_operand_is_static(unit, a),
             ExprKind::Unary(_, a) => self.sizeof_operand_is_static(unit, a),
+            // A cast's type is the named type-name — never variably
+            // modified in this subset, whatever the operand was.
+            ExprKind::Cast(_, _) => true,
             ExprKind::Binary(_, a, b) | ExprKind::LogicalAnd(a, b) | ExprKind::LogicalOr(a, b) => {
                 self.sizeof_operand_is_static(unit, a) && self.sizeof_operand_is_static(unit, b)
             }

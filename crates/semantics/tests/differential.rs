@@ -108,10 +108,24 @@ const TABLE: &[&str] = &[
     "-1 < 1u",
     "1u + 1L",
     "(2147483648uL % 4294967296uL) + 0L",
-    // sizeof as a constant
+    // sizeof as a constant: both phases must agree on every LP64 byte
+    // size the byte-addressable memory model is laid out with
     "sizeof(int) + sizeof(long)",
     "sizeof(char) * 100",
     "sizeof(int *) - 8u",
+    "sizeof(short) * 1000",
+    "sizeof(long long) - sizeof(int)",
+    "sizeof(unsigned short) + sizeof(_Bool)",
+    "(int)sizeof(int *) * 8",
+    // casts fold in constant expressions (§6.6:6) exactly as they
+    // evaluate at run time
+    "(int)3L + 4",
+    "(char)300 + 0",
+    "(unsigned char)300 + 0",
+    "(short)65535 + 0",
+    "(long)2147483647 + 1",
+    "(unsigned int)(0u - 1u) / 2u",
+    "(int)(char)200 + 0",
     // logic and conditionals with short circuits
     "0 && (1 / 0)",
     "1 || (1 / 0)",

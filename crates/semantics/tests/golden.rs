@@ -75,7 +75,7 @@ fn golden_out_of_bounds_read() {
          Error: 00023\n\
          Description: Read outside the bounds of an object.\n\
          See section 6.5.6:8 of ISO/IEC 9899:2011.\n\
-         Detail: read at offset 3 of `a` (size 3)\n\
+         Detail: read of 4 byte(s) at byte offset 12 of `a` (12 bytes)\n\
          ===============================================\n\
          Function: main\n\
          Line: 4\n"

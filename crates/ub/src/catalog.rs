@@ -165,7 +165,7 @@ static CATALOG: &[CatalogEntry] = entries![
     (21, Dynamic, "6.3.2.1:2", "An lvalue that does not designate an object when it is evaluated is used"),
     (22, Static, "6.3.2.2:1", "The (nonexistent) value of a void expression is used", VoidValueUsed),
     (23, Dynamic, "6.3.2.3:5", "A pointer is converted to an integer type and the result cannot be represented in it"),
-    (24, Dynamic, "6.3.2.3:7", "A pointer is converted to a pointer type for which the value is incorrectly aligned"),
+    (24, Dynamic, "6.3.2.3:7", "A pointer is converted to a pointer type for which the value is incorrectly aligned", MisalignedAccess),
     (25, Static, "6.3.2.3:8", "A converted function pointer is used to call a function whose type is incompatible with the pointed-to type", CallWrongType),
     (26, Static, "6.3.2.3", "A pointer to a function is converted to a pointer to an object type, or vice versa", FunctionObjectPointerCast),
 
@@ -182,7 +182,7 @@ static CATALOG: &[CatalogEntry] = entries![
     (34, Dynamic, "6.5:2", "A side effect on a scalar object is unsequenced relative to another side effect on the same object", UnsequencedSideEffect),
     (35, Dynamic, "6.5:2", "A side effect on a scalar object is unsequenced relative to a value computation using the value of the same object", UnsequencedSideEffect),
     (36, Dynamic, "6.5:5", "An exceptional condition occurs during expression evaluation: a result of signed arithmetic not representable at the operands' converted type (unsigned arithmetic wraps and is defined)", SignedOverflow),
-    (37, Dynamic, "6.5:7", "An object is accessed through an lvalue of a type incompatible with its effective type"),
+    (37, Dynamic, "6.5:7", "An object is accessed through an lvalue of a type incompatible with its effective type", AccessWrongEffectiveType),
     (38, Static, "6.5.1.1:3", "A generic selection has no matching association and no default association"),
     (39, Dynamic, "6.5.2.2:6", "A function is called with a number of arguments that disagrees with the number of parameters in its definition", CallWrongArity),
     (40, Dynamic, "6.5.2.2:6", "A function defined without a prototype is called with argument types incompatible with its parameter types", CallWrongType),

@@ -1,0 +1,9 @@
+// Writing a long object through an int lvalue violates the effective
+// type rule (C11 6.5:7) even though the access is aligned and in
+// bounds — only character types may alias freely.
+int main(void) {
+  long l = 42;
+  int *p = (int *)&l;  // aligned, so the conversion itself is fine
+  *p = 7;              // Error 00033: int lvalue, long object
+  return 0;
+}

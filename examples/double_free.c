@@ -1,8 +1,7 @@
 /* free() of an already freed allocation (C11 7.22.3.3:2).
- * Note: this subset models memory in int-sized cells, so malloc(2)
- * allocates two ints. */
+ * malloc counts bytes, exactly like sizeof. */
 int main(void) {
-    int *p = malloc(2);
+    int *p = malloc(2 * sizeof(int));
     p[0] = 1;
     p[1] = 2;
     free(p);

@@ -1,0 +1,13 @@
+// The C11 6.5:7 character-type escape: unsigned char lvalues may sweep
+// any object's representation byte by byte. Reassembling the
+// little-endian bytes yields exactly the stored value, so this program
+// is fully defined and must exit 0.
+int main(void) {
+  long l = 258;  // 0x0102, stored little-endian
+  unsigned char *p = (unsigned char *)&l;
+  long r = 0;
+  for (int i = 7; i >= 0; i--) {
+    r = (r << 8) + p[i];
+  }
+  return r == 258 ? 0 : 1;
+}

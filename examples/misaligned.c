@@ -1,0 +1,10 @@
+// Converting a pointer to a type it is not suitably aligned for is
+// undefined at the conversion itself (C11 6.3.2.3:7): byte offset 1 of
+// a long can never hold a 4-byte-aligned int. The byte-addressable
+// memory model makes the offset — and so the verdict — exact.
+int main(void) {
+  long l = 0;
+  char *base = (char *)&l;     // character pointers have alignment 1
+  int *p = (int *)(base + 1);  // Error 00030: misaligned for int
+  return *p;
+}

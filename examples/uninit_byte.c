@@ -1,0 +1,11 @@
+// A partially-initialized wide object: only byte 0 of the long is ever
+// written, so the 8-byte read touches seven indeterminate bytes
+// (C11 6.2.6.1:5). The per-byte initialization bitmap reports this
+// precisely — a cell-granular model would call the whole object
+// initialized after the first store.
+int main(void) {
+  long l;
+  char *p = (char *)&l;
+  p[0] = 1;        // bytes 1..7 of l stay indeterminate
+  return l == 1;   // Error 00028: read touches indeterminate bytes
+}

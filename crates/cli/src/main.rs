@@ -55,6 +55,7 @@ cundef — undefined-behavior checker for C snippets
 
 USAGE:
     cundef [OPTIONS] <FILE>...
+    cundef fuzz [FUZZ OPTIONS]      (see `cundef fuzz --help`)
 
 OPTIONS:
     --phase PHASE Which phase(s) to run: `translation` (static checks
@@ -87,7 +88,43 @@ enum Phase {
     All,
 }
 
+const FUZZ_USAGE: &str = "\
+cundef fuzz — deterministic differential fuzzing sweep
+
+Generates programs from a seed and cross-checks three oracles:
+consteval-vs-eval on constant expressions, translation-phase verdicts
+vs execution outcomes on statically doomed programs, and exit codes of
+UB-free programs (optionally against a native compiler). Output is
+byte-for-byte reproducible for a given seed/count, independent of
+--jobs and shard layout.
+
+USAGE:
+    cundef fuzz [OPTIONS]
+
+OPTIONS:
+    --seed N         Sweep seed (default 42)
+    --count N        Case indices to sweep (default 500)
+    --shard I/M      Run only indices with index % M == I (machine-level
+                     sharding; every shard sees every oracle)
+    --jobs N         Worker threads (default: available parallelism)
+    --cross-check    Also compile eligible defined cases with gcc/clang
+                     from PATH and compare exit codes
+    --trophy-dir D   Write minimized .c + .expected pairs for every
+                     divergence into D
+    --exits          Also print the `case I exit E` golden-snapshot log
+                     for passing defined cases
+    -h, --help       Print this help
+
+EXIT STATUS:
+    0  no divergence          1  at least one divergence    2  usage error";
+
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("fuzz") {
+        raw.next();
+        return fuzz_main(raw.collect());
+    }
+    drop(raw);
     let mut files = Vec::new();
     let mut quiet = false;
     let mut batch = false;
@@ -343,6 +380,79 @@ fn check_batch(
                 .expect("every file checked")
         })
         .collect()
+}
+
+/// The `cundef fuzz` subcommand: run one deterministic sweep.
+fn fuzz_main(args: Vec<String>) -> ExitCode {
+    let mut cfg = cundef_fuzz::SweepConfig::new(42, 500);
+    cfg.jobs = 0; // available parallelism
+    let mut print_exits = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                say!("{FUZZ_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => cfg.seed = n,
+                None => {
+                    complain!("error: `--seed` needs an integer\n\n{FUZZ_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--count" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => cfg.count = n,
+                _ => {
+                    complain!("error: `--count` needs a positive integer\n\n{FUZZ_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--shard" => {
+                let parsed = it.next().and_then(|v| {
+                    let (i, m) = v.split_once('/')?;
+                    Some((i.parse::<u64>().ok()?, m.parse::<u64>().ok()?))
+                });
+                match parsed {
+                    Some((i, m)) if m > 0 && i < m => cfg.shard = Some((i, m)),
+                    _ => {
+                        complain!("error: `--shard` needs I/M with I < M\n\n{FUZZ_USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.jobs = n,
+                _ => {
+                    complain!("error: `--jobs` needs a positive integer\n\n{FUZZ_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--cross-check" => cfg.cross_check = true,
+            "--trophy-dir" => match it.next() {
+                Some(d) => cfg.trophy_dir = Some(std::path::PathBuf::from(d)),
+                None => {
+                    complain!("error: `--trophy-dir` needs a directory\n\n{FUZZ_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--exits" => print_exits = true,
+            other => {
+                complain!("error: unknown fuzz option `{other}`\n\n{FUZZ_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = cundef_fuzz::run_sweep(&cfg);
+    let _ = std::io::stdout().write_all(report.render().as_bytes());
+    if print_exits {
+        let _ = std::io::stdout().write_all(report.render_exits().as_bytes());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 fn print_catalog_summary() {

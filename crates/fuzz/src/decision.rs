@@ -1,0 +1,121 @@
+//! The decision trace: the fuzzer's unit of replay and shrinking.
+//!
+//! The program generator never consumes raw random bits; it asks a
+//! [`DecisionSource`] questions ("which statement next?", "which
+//! operator?"). In *record* mode the answers come from a seeded
+//! [`SplitMix64`](crate::rng::SplitMix64) and every draw is appended to
+//! the trace. In *replay* mode the answers come from a stored trace, and
+//! a source that runs past the end keeps answering `0` — which, by
+//! generator convention, is always the **simplest** choice (fewest
+//! statements, shallowest expression, first alternative). That
+//! convention is what makes shrinking work: truncating or zeroing a
+//! trace always yields a smaller program, never a stuck generator.
+
+use crate::rng::SplitMix64;
+
+/// A stream of generator decisions, recorded for replay.
+#[derive(Debug, Clone)]
+pub struct DecisionSource {
+    rng: Option<SplitMix64>,
+    replay: Vec<u64>,
+    pos: usize,
+    trace: Vec<u64>,
+}
+
+impl DecisionSource {
+    /// A recording source: fresh draws from `seed`, all remembered.
+    pub fn from_seed(seed: u64) -> DecisionSource {
+        DecisionSource {
+            rng: Some(SplitMix64::new(seed)),
+            replay: Vec::new(),
+            pos: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// A replaying source: answers come from `trace`; past its end every
+    /// answer is `0`, the simplest choice.
+    pub fn replay(trace: &[u64]) -> DecisionSource {
+        DecisionSource {
+            rng: None,
+            replay: trace.to_vec(),
+            pos: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The next raw decision.
+    #[allow(clippy::should_implement_trait)] // not an iterator: never exhausts
+    pub fn next(&mut self) -> u64 {
+        let v = if self.pos < self.replay.len() {
+            self.replay[self.pos]
+        } else {
+            match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            }
+        };
+        self.pos += 1;
+        self.trace.push(v);
+        v
+    }
+
+    /// A decision in `0..n`. By convention `0` is the simplest
+    /// alternative at every choice point.
+    pub fn choose(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+
+    /// A decision in `lo..=hi` (used for sizes and loop counts; `lo` is
+    /// the simplest).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.choose(hi - lo + 1)
+    }
+
+    /// A coin flip that comes up `false` (the simpler outcome) on `0`.
+    pub fn flip(&mut self) -> bool {
+        self.choose(2) == 1
+    }
+
+    /// Everything drawn so far, in order — the trace a failing case is
+    /// replayed and shrunk from.
+    pub fn trace(&self) -> &[u64] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_round_trips() {
+        let mut rec = DecisionSource::from_seed(7);
+        let drawn: Vec<u64> = (0..20).map(|_| rec.next()).collect();
+        assert_eq!(rec.trace(), &drawn[..]);
+
+        let mut rep = DecisionSource::replay(rec.trace());
+        for d in &drawn {
+            assert_eq!(rep.next(), *d);
+        }
+        // Past the end: all zeros.
+        assert_eq!(rep.next(), 0);
+        assert_eq!(rep.choose(17), 0);
+    }
+
+    #[test]
+    fn truncated_replay_pads_with_simplest() {
+        let mut rec = DecisionSource::from_seed(9);
+        for _ in 0..10 {
+            rec.next();
+        }
+        let short = &rec.trace()[..3];
+        let mut rep = DecisionSource::replay(short);
+        for (i, v) in short.iter().enumerate() {
+            assert_eq!(rep.next(), *v, "entry {i}");
+        }
+        assert_eq!(rep.next(), 0);
+    }
+}

@@ -1,0 +1,908 @@
+//! The csmith-lite program generator.
+//!
+//! Three program classes, one per oracle (see [`crate::oracle`]):
+//!
+//! - [`Class::ConstExpr`] — a single integer constant expression
+//!   (§6.6 subset: typed constants, arithmetic, casts, `?:`, short
+//!   circuits, `sizeof`) wrapped in a `main`. The consteval-vs-eval
+//!   oracle folds it at translation time and re-evaluates it at run
+//!   time; the two must agree on value, type, and verdict.
+//! - [`Class::Defined`] — a UB-free-by-construction program over the
+//!   full supported subset: typed scalar declarations across the LP64
+//!   lattice, arrays, pointers, `malloc`/`free`, casts, char-sweeps of
+//!   object representations, `sizeof`, `switch`/loops/helper functions.
+//!   Safety is structural: every generated expression is masked into
+//!   `0..=16383` before it becomes an operand, divisors are forced
+//!   nonzero, shifts are pre-masked, indices are masked by power-of-two
+//!   array lengths, and every object is fully initialized before use.
+//! - [`Class::Doomed`] — a small defined skeleton with exactly one
+//!   *statically detectable* defect injected on the guaranteed
+//!   execution path. The phase-agreement oracle demands the
+//!   translation phase flag it and the execution phase refuse to
+//!   complete cleanly.
+//!
+//! All decisions flow through a [`DecisionSource`], and choice `0` is
+//! always the simplest alternative, so replaying a truncated or zeroed
+//! trace yields a smaller program (the minimizer's contract).
+
+use crate::decision::DecisionSource;
+use cundef_semantics::ctype::IntTy;
+use cundef_ub::UbKind;
+
+/// The three generated program classes, one per oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// A constant expression for the consteval-vs-eval oracle.
+    ConstExpr,
+    /// A UB-free program for the exit-code oracle.
+    Defined,
+    /// A statically doomed program for the phase-agreement oracle.
+    Doomed,
+}
+
+impl Class {
+    /// The class of sweep case `index` (round-robin, so every shard sees
+    /// every class).
+    pub fn of_case(index: u64) -> Class {
+        match index % 3 {
+            0 => Class::ConstExpr,
+            1 => Class::Defined,
+            _ => Class::Doomed,
+        }
+    }
+
+    /// Stable name used in sweep output and trophy files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::ConstExpr => "const-expr",
+            Class::Defined => "defined",
+            Class::Doomed => "doomed",
+        }
+    }
+
+    /// Parse a class name (the inverse of [`Class::name`]).
+    pub fn from_name(s: &str) -> Option<Class> {
+        match s {
+            "const-expr" => Some(Class::ConstExpr),
+            "defined" => Some(Class::Defined),
+            "doomed" => Some(Class::Doomed),
+            _ => None,
+        }
+    }
+}
+
+/// One generated case: the program text plus what the oracle should
+/// expect of it.
+#[derive(Debug, Clone)]
+pub struct GenCase {
+    /// Which oracle this case feeds.
+    pub class: Class,
+    /// The program source, in the supported subset.
+    pub source: String,
+    /// For [`Class::ConstExpr`]: the expression under test (the program
+    /// is `int main(void) {{ <expr>; return 0; }}`).
+    pub expr: Option<String>,
+    /// For [`Class::Doomed`]: the injected defect's kind, which the
+    /// translation phase must report.
+    pub injected: Option<UbKind>,
+}
+
+/// Generate the case for `class` from `d`.
+pub fn generate(class: Class, d: &mut DecisionSource) -> GenCase {
+    match class {
+        Class::ConstExpr => {
+            let expr = const_expr(d, 4);
+            GenCase {
+                class,
+                source: format!("int main(void) {{ {expr}; return 0; }}\n"),
+                expr: Some(expr),
+                injected: None,
+            }
+        }
+        Class::Defined => GenCase {
+            class,
+            source: DefinedGen::new(d).program(),
+            expr: None,
+            injected: None,
+        },
+        Class::Doomed => {
+            let (source, kind) = doomed(d);
+            GenCase {
+                class,
+                source,
+                expr: None,
+                injected: Some(kind),
+            }
+        }
+    }
+}
+
+/// All eleven names of the LP64 integer lattice, simplest first.
+const TY_NAMES: &[(&str, IntTy)] = &[
+    ("int", IntTy::Int),
+    ("unsigned int", IntTy::UInt),
+    ("long", IntTy::Long),
+    ("unsigned long", IntTy::ULong),
+    ("char", IntTy::Char),
+    ("unsigned char", IntTy::UChar),
+    ("short", IntTy::Short),
+    ("unsigned short", IntTy::UShort),
+    ("long long", IntTy::LongLong),
+    ("unsigned long long", IntTy::ULongLong),
+    ("_Bool", IntTy::Bool),
+];
+
+/// Integer-constant leaves for constant expressions: boundary values of
+/// every width and signedness, plus character constants (§6.4.4).
+const CONST_LEAVES: &[&str] = &[
+    "0",
+    "1",
+    "2",
+    "7",
+    "15",
+    "255",
+    "65535",
+    "32767",
+    "2147483647",
+    "1u",
+    "0u",
+    "3u",
+    "4294967295u",
+    "1L",
+    "255L",
+    "2147483647L",
+    "4294967295L",
+    "9223372036854775807L",
+    "1uL",
+    "18446744073709551615uL",
+    "1LL",
+    "9223372036854775807LL",
+    "1uLL",
+    "'A'",
+    "'\\n'",
+    "'\\0'",
+    "017",
+    "0x1F",
+    "0xFFFF",
+];
+
+const BIN_OPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "<<", ">>", "<", "<=", ">", ">=", "==", "!=", "&", "^", "|",
+];
+
+/// A random constant expression (§6.6 subset). Undefined operations are
+/// *intentionally* reachable — the oracle checks the two phases agree on
+/// which they are, not that they are absent.
+pub fn const_expr(d: &mut DecisionSource, depth: u32) -> String {
+    if depth == 0 {
+        return CONST_LEAVES[d.choose(CONST_LEAVES.len() as u64) as usize].to_string();
+    }
+    match d.choose(10) {
+        // Leaves keep their weight so trees stay shallow on average.
+        0..=2 => CONST_LEAVES[d.choose(CONST_LEAVES.len() as u64) as usize].to_string(),
+        3 | 4 => {
+            let op = BIN_OPS[d.choose(BIN_OPS.len() as u64) as usize];
+            let a = const_expr(d, depth - 1);
+            let b = const_expr(d, depth - 1);
+            format!("({a} {op} {b})")
+        }
+        5 => {
+            let op = ["-", "~", "!"][d.choose(3) as usize];
+            let a = const_expr(d, depth - 1);
+            format!("({op}{a})")
+        }
+        6 => {
+            // Casts fold per §6.6:6; sub-int target types are the
+            // interesting ones (they leave the promoted-arithmetic
+            // lattice).
+            let (ty, _) = TY_NAMES[d.choose(TY_NAMES.len() as u64) as usize];
+            let a = const_expr(d, depth - 1);
+            format!("(({ty})({a}))")
+        }
+        7 => {
+            let c = const_expr(d, depth - 1);
+            let t = const_expr(d, depth - 1);
+            let f = const_expr(d, depth - 1);
+            format!("({c} ? {t} : {f})")
+        }
+        8 => {
+            let op = if d.flip() { "&&" } else { "||" };
+            let a = const_expr(d, depth - 1);
+            let b = const_expr(d, depth - 1);
+            format!("({a} {op} {b})")
+        }
+        _ => {
+            if d.flip() {
+                // `sizeof(expr)` — the operand is unevaluated, so even
+                // an undefined operand leaves the whole expression
+                // defined (§6.5.3.4:2).
+                let a = const_expr(d, depth - 1);
+                format!("(sizeof({a}))")
+            } else {
+                let names: &[&str] = &[
+                    "int",
+                    "char",
+                    "short",
+                    "long",
+                    "long long",
+                    "unsigned int",
+                    "_Bool",
+                    "int *",
+                    "char *",
+                    "long *",
+                ];
+                let ty = names[d.choose(names.len() as u64) as usize];
+                format!("(sizeof({ty}))")
+            }
+        }
+    }
+}
+
+/// A variable visible to the expression generator. `frozen` marks loop
+/// induction variables and `while` down-counters: reads are fine, but a
+/// body statement that wrote one could reset the loop's progress and
+/// un-bound a bounded loop, so they are never assignment targets.
+#[derive(Debug, Clone)]
+struct ScalarVar {
+    name: String,
+    ty: IntTy,
+    frozen: bool,
+}
+
+/// An array (or heap buffer) visible to the generator; lengths are
+/// powers of two so indices can be masked instead of range-checked.
+#[derive(Debug, Clone)]
+struct ArrayVar {
+    name: String,
+    ty: IntTy,
+    len: u32,
+}
+
+/// Generator for UB-free programs. See the module docs for the safety
+/// invariants; in short, [`DefinedGen::safe_expr`] only ever produces
+/// expressions whose value is in `0..=16383` and whose evaluation is
+/// defined, and every statement keeps objects fully initialized.
+struct DefinedGen<'d> {
+    d: &'d mut DecisionSource,
+    scalars: Vec<ScalarVar>,
+    arrays: Vec<ArrayVar>,
+    helpers: u32,
+    tmp: u32,
+    body: String,
+    indent: usize,
+}
+
+impl<'d> DefinedGen<'d> {
+    fn new(d: &'d mut DecisionSource) -> DefinedGen<'d> {
+        DefinedGen {
+            d,
+            scalars: Vec::new(),
+            arrays: Vec::new(),
+            helpers: 0,
+            tmp: 0,
+            body: String::new(),
+            indent: 1,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.tmp += 1;
+        format!("{prefix}{}", self.tmp)
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.body.push_str("  ");
+        }
+        self.body.push_str(s);
+        self.body.push('\n');
+    }
+
+    /// The whole program. Choice 0 keeps everything minimal; higher
+    /// draws scale the declaration and statement budget, and one branch
+    /// reuses the bench corpus builders (fuzzed loop counts) so the two
+    /// corpora stay exercised by the same sweep.
+    fn program(mut self) -> String {
+        if self.d.choose(8) == 7 {
+            return corpus_template(self.d);
+        }
+        let mut out = String::new();
+
+        // Helper functions: pure, masked, int-valued. `self.helpers` is
+        // incremented only after a body is generated, so `mixK` can call
+        // `mix1..mixK-1` but never itself — generated call graphs are
+        // acyclic and no program can recurse unboundedly.
+        let n_helpers = self.d.choose(3);
+        for _ in 0..n_helpers {
+            let name = format!("mix{}", self.helpers + 1);
+            // Bodies only read their (masked) parameters, so calls have
+            // no side effects and no sequencing hazards.
+            let body = {
+                let saved = std::mem::take(&mut self.scalars);
+                self.scalars = vec![
+                    ScalarVar {
+                        name: "a".into(),
+                        ty: IntTy::Int,
+                        frozen: false,
+                    },
+                    ScalarVar {
+                        name: "b".into(),
+                        ty: IntTy::Int,
+                        frozen: false,
+                    },
+                ];
+                let e = self.safe_expr(2);
+                self.scalars = saved;
+                e
+            };
+            self.helpers += 1;
+            out.push_str(&format!("int {name}(int a, int b) {{ return {body}; }}\n"));
+        }
+
+        out.push_str("int main(void) {\n");
+
+        // Scalar declarations: 1..=5 across the lattice, always
+        // initialized with an in-range constant.
+        let n_scalars = 1 + self.d.choose(5);
+        for _ in 0..n_scalars {
+            let (tyname, ty) = TY_NAMES[self.d.choose(TY_NAMES.len() as u64) as usize];
+            let name = self.fresh("v");
+            let init = self.d.choose(100);
+            self.line(&format!("{tyname} {name} = {init};"));
+            self.scalars.push(ScalarVar {
+                name,
+                ty,
+                frozen: false,
+            });
+        }
+
+        // Arrays: 0..=2, power-of-two lengths, fully brace-initialized.
+        let n_arrays = self.d.choose(3);
+        for _ in 0..n_arrays {
+            let (tyname, ty) = TY_NAMES[self.d.choose(6) as usize]; // wide enough menu
+            let len = [4u32, 8, 16][self.d.choose(3) as usize];
+            let name = self.fresh("arr");
+            let elems: Vec<String> = (0..len).map(|_| self.d.choose(100).to_string()).collect();
+            self.line(&format!(
+                "{tyname} {name}[{len}] = {{{}}};",
+                elems.join(", ")
+            ));
+            self.arrays.push(ArrayVar { name, ty, len });
+        }
+
+        // A pointer alias for one array, sometimes — pointer reads and
+        // writes then flow through it.
+        if !self.arrays.is_empty() && self.d.flip() {
+            let a = self.arrays[self.d.choose(self.arrays.len() as u64) as usize].clone();
+            let tyname = ty_name(a.ty);
+            let pname = self.fresh("p");
+            self.line(&format!("{tyname} *{pname} = {};", a.name));
+            self.arrays.push(ArrayVar {
+                name: pname,
+                ty: a.ty,
+                len: a.len,
+            });
+        }
+
+        // Heap buffers: 0..=2, `malloc(len * sizeof(T))`, fully
+        // initialized by a loop, freed before return.
+        let mut frees = Vec::new();
+        let n_heap = self.d.choose(3);
+        for _ in 0..n_heap {
+            let (tyname, ty) = TY_NAMES[self.d.choose(4) as usize];
+            let len = [4u32, 8][self.d.choose(2) as usize];
+            let name = self.fresh("h");
+            let iv = self.fresh("ih");
+            self.line(&format!(
+                "{tyname} *{name} = malloc({len} * sizeof({tyname}));"
+            ));
+            self.line(&format!(
+                "for (int {iv} = 0; {iv} < {len}; {iv}++) {name}[{iv}] = {iv};"
+            ));
+            self.arrays.push(ArrayVar {
+                name: name.clone(),
+                ty,
+                len,
+            });
+            frees.push(name);
+        }
+
+        // The statement body.
+        let n_stmts = 2 + self.d.choose(9);
+        for _ in 0..n_stmts {
+            self.stmt(2);
+        }
+
+        // The return value is computed *before* the heap buffers are
+        // freed — the expression may read them; reading after `free`
+        // would be the use-after-free the Defined class promises not to
+        // contain.
+        let ret = self.safe_expr(2);
+        let rv = self.fresh("r");
+        self.line(&format!("int {rv} = ({ret}) & 127;"));
+        for f in frees {
+            self.line(&format!("free({f});"));
+        }
+        self.line(&format!("return {rv};"));
+        out.push_str(&self.body);
+        out.push_str("}\n");
+        out
+    }
+
+    /// One statement at nesting depth `depth` (0 = only simple
+    /// statements, so nesting terminates).
+    fn stmt(&mut self, depth: u32) {
+        let menu = if depth == 0 { 5 } else { 11 };
+        match self.d.choose(menu) {
+            // Simple assignment to a scalar.
+            0 => {
+                let v = self.pick_lvalue();
+                let e = self.safe_expr(2);
+                self.line(&format!("{v} = {e};"));
+            }
+            // Compound assignment; `^= &= |=` are safe for any operand,
+            // `+= -=` stay far from overflow under the 16383 mask and
+            // bounded iteration counts.
+            1 => {
+                let v = self.pick_lvalue();
+                let op = ["^=", "&=", "|=", "+=", "-="][self.d.choose(5) as usize];
+                let e = self.safe_expr(1);
+                self.line(&format!("{v} {op} {e};"));
+            }
+            // Array / pointer / heap store with a masked index.
+            2 => {
+                if let Some(a) = self.pick_array() {
+                    let idx = self.safe_expr(1);
+                    let e = self.safe_expr(1);
+                    if self.d.flip() {
+                        self.line(&format!("{}[({idx}) & {}] = {e};", a.name, a.len - 1));
+                    } else {
+                        self.line(&format!("*({} + (({idx}) & {})) = {e};", a.name, a.len - 1));
+                    }
+                } else {
+                    let v = self.pick_lvalue();
+                    let e = self.safe_expr(1);
+                    self.line(&format!("{v} = {e};"));
+                }
+            }
+            // Increment/decrement — unsigned operands only, where wrap
+            // is defined.
+            3 => {
+                if let Some(v) = self.pick_unsigned() {
+                    let op = if self.d.flip() { "++" } else { "--" };
+                    self.line(&format!("{v}{op};"));
+                } else {
+                    let v = self.pick_lvalue();
+                    let e = self.safe_expr(1);
+                    self.line(&format!("{v} = {e};"));
+                }
+            }
+            // Bare expression statement (value discarded, sometimes
+            // through a `(void)` cast).
+            4 => {
+                let e = self.safe_expr(1);
+                if self.d.flip() {
+                    self.line(&format!("(void)({e});"));
+                } else {
+                    self.line(&format!("{e};"));
+                }
+            }
+            // `if` / `if-else`.
+            5 => {
+                let c = self.cond();
+                self.line(&format!("if ({c}) {{"));
+                self.indent += 1;
+                self.stmt(depth - 1);
+                self.indent -= 1;
+                if self.d.flip() {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.stmt(depth - 1);
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            // Bounded `for` loop; the induction variable is visible to
+            // the body as an ordinary (masked) scalar.
+            6 => {
+                let iv = self.fresh("i");
+                let n = 1 + self.d.choose(16);
+                self.line(&format!("for (int {iv} = 0; {iv} < {n}; {iv}++) {{"));
+                self.indent += 1;
+                self.scalars.push(ScalarVar {
+                    name: iv,
+                    ty: IntTy::Int,
+                    frozen: true,
+                });
+                let body = 1 + self.d.choose(3);
+                for _ in 0..body {
+                    self.stmt(depth - 1);
+                }
+                self.scalars.pop();
+                self.indent -= 1;
+                self.line("}");
+            }
+            // Bounded `while` via an explicit down-counter.
+            7 => {
+                let wv = self.fresh("w");
+                let n = 1 + self.d.choose(12);
+                self.line("{");
+                self.indent += 1;
+                self.line(&format!("int {wv} = {n};"));
+                self.line(&format!("while ({wv} > 0) {{"));
+                self.indent += 1;
+                self.line(&format!("{wv} = {wv} - 1;"));
+                self.scalars.push(ScalarVar {
+                    name: wv,
+                    ty: IntTy::Int,
+                    frozen: true,
+                });
+                self.stmt(depth - 1);
+                self.scalars.pop();
+                self.indent -= 1;
+                self.line("}");
+                self.indent -= 1;
+                self.line("}");
+            }
+            // `switch` over a masked scrutinee; distinct case values by
+            // construction, every arm `break`s.
+            8 => {
+                let e = self.safe_expr(1);
+                let arms = 1 + self.d.choose(4);
+                self.line(&format!("switch (({e}) & 3) {{"));
+                self.indent += 1;
+                for k in 0..arms {
+                    self.line(&format!("case {k}: {{"));
+                    self.indent += 1;
+                    self.stmt(depth - 1);
+                    self.line("break;");
+                    self.indent -= 1;
+                    self.line("}");
+                }
+                if self.d.flip() {
+                    self.line("default: {");
+                    self.indent += 1;
+                    self.stmt(depth - 1);
+                    self.indent -= 1;
+                    self.line("}");
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            // A nested block with a shadowed-scope local.
+            9 => {
+                let (tyname, ty) = TY_NAMES[self.d.choose(4) as usize];
+                let name = self.fresh("t");
+                let e = self.safe_expr(1);
+                self.line("{");
+                self.indent += 1;
+                self.line(&format!("{tyname} {name} = {e};"));
+                self.scalars.push(ScalarVar {
+                    name,
+                    ty,
+                    frozen: false,
+                });
+                self.stmt(depth - 1);
+                self.scalars.pop();
+                self.indent -= 1;
+                self.line("}");
+            }
+            // A char-sweep write: rewrite one byte of a scalar's object
+            // representation through an `unsigned char *` (§6.5:7), then
+            // the object is still fully initialized. Writes, so frozen
+            // loop-control variables are excluded here too.
+            _ => {
+                let writable: Vec<ScalarVar> =
+                    self.scalars.iter().filter(|v| !v.frozen).cloned().collect();
+                let v = writable[self.d.choose(writable.len() as u64) as usize].clone();
+                let k = self.d.choose(v.ty.size_bytes());
+                let mut b = self.d.choose(100);
+                if v.ty == IntTy::Bool {
+                    // An arbitrary byte in a `_Bool` object is a
+                    // non-canonical (possibly trap, §6.2.6.1:5)
+                    // representation — native compilers read it back
+                    // verbatim while the value bit says otherwise. Only
+                    // 0 and 1 keep the program defined.
+                    b &= 1;
+                }
+                self.line(&format!("((unsigned char *)&{})[{k}] = {b};", v.name));
+            }
+        }
+    }
+
+    /// A condition: either a masked value (truthiness) or a comparison.
+    fn cond(&mut self) -> String {
+        let a = self.safe_expr(1);
+        if self.d.flip() {
+            let b = self.safe_expr(1);
+            let op = ["<", "<=", ">", ">=", "==", "!="][self.d.choose(6) as usize];
+            format!("({a}) {op} ({b})")
+        } else {
+            a
+        }
+    }
+
+    fn pick_scalar(&mut self) -> String {
+        self.scalars[self.d.choose(self.scalars.len() as u64) as usize]
+            .name
+            .clone()
+    }
+
+    /// An assignable scalar: frozen loop-control variables are excluded
+    /// (writing one could un-bound its loop). `main` always declares at
+    /// least one unfrozen scalar before any loop, so this never fails.
+    fn pick_lvalue(&mut self) -> String {
+        let writable: Vec<&ScalarVar> = self.scalars.iter().filter(|v| !v.frozen).collect();
+        writable[self.d.choose(writable.len() as u64) as usize]
+            .name
+            .clone()
+    }
+
+    fn pick_unsigned(&mut self) -> Option<String> {
+        let unsigned: Vec<&ScalarVar> = self
+            .scalars
+            .iter()
+            .filter(|v| !v.frozen && !v.ty.is_signed() && v.ty != IntTy::Bool)
+            .collect();
+        if unsigned.is_empty() {
+            return None;
+        }
+        Some(
+            unsigned[self.d.choose(unsigned.len() as u64) as usize]
+                .name
+                .clone(),
+        )
+    }
+
+    fn pick_array(&mut self) -> Option<ArrayVar> {
+        if self.arrays.is_empty() {
+            return None;
+        }
+        Some(self.arrays[self.d.choose(self.arrays.len() as u64) as usize].clone())
+    }
+
+    /// A defined expression whose value is in `0..=16383`: every
+    /// composite is masked before it can become an operand, divisors are
+    /// `1..=16`, shift counts `0..=7` over pre-masked bases, and every
+    /// read is of a fully-initialized object.
+    fn safe_expr(&mut self, depth: u32) -> String {
+        if depth == 0 {
+            return self.safe_leaf();
+        }
+        match self.d.choose(10) {
+            0 | 1 => self.safe_leaf(),
+            2 => {
+                let op = ["+", "-", "*", "&", "^", "|"][self.d.choose(6) as usize];
+                let a = self.safe_expr(depth - 1);
+                let b = self.safe_expr(depth - 1);
+                format!("(({a} {op} {b}) & 16383)")
+            }
+            3 => {
+                // Division and remainder with a forced-nonzero divisor.
+                let op = if self.d.flip() { "/" } else { "%" };
+                let a = self.safe_expr(depth - 1);
+                let b = self.safe_expr(depth - 1);
+                format!("(({a}) {op} ((({b}) & 15) + 1))")
+            }
+            4 => {
+                // Shifts: base pre-masked to 8 bits, count to 3 bits, so
+                // the result fits every promoted type.
+                let a = self.safe_expr(depth - 1);
+                let k = self.d.choose(8);
+                if self.d.flip() {
+                    format!("((({a}) & 255) << {k})")
+                } else {
+                    format!("(({a}) >> {k})")
+                }
+            }
+            5 => {
+                let op = ["<", "<=", ">", ">=", "==", "!="][self.d.choose(6) as usize];
+                let a = self.safe_expr(depth - 1);
+                let b = self.safe_expr(depth - 1);
+                format!("(({a}) {op} ({b}))")
+            }
+            6 => {
+                let op = if self.d.flip() { "&&" } else { "||" };
+                let a = self.safe_expr(depth - 1);
+                let b = self.safe_expr(depth - 1);
+                format!("(({a}) {op} ({b}))")
+            }
+            7 => {
+                let c = self.safe_expr(depth - 1);
+                let t = self.safe_expr(depth - 1);
+                let f = self.safe_expr(depth - 1);
+                format!("(({c}) ? ({t}) : ({f}))")
+            }
+            8 => {
+                // A cast: implementation-defined narrowing wraps (with a
+                // note) but is never undefined; the result is re-masked
+                // to keep the value invariant.
+                let (tyname, _) = TY_NAMES[self.d.choose(TY_NAMES.len() as u64) as usize];
+                let a = self.safe_expr(depth - 1);
+                format!("((({tyname})({a})) & 127)")
+            }
+            _ => {
+                if self.helpers > 0 && self.d.flip() {
+                    let h = 1 + self.d.choose(self.helpers as u64);
+                    let a = self.safe_expr(depth - 1);
+                    let b = self.safe_expr(depth - 1);
+                    format!("(mix{h}(({a}), ({b})) & 16383)")
+                } else {
+                    let (tyname, _) = TY_NAMES[self.d.choose(TY_NAMES.len() as u64) as usize];
+                    format!("((int)sizeof({tyname}) & 31)")
+                }
+            }
+        }
+    }
+
+    /// A leaf: a small literal, a masked scalar read, a masked
+    /// array/pointer/heap element, or one byte of a scalar's object
+    /// representation through the §6.5:7 character escape.
+    fn safe_leaf(&mut self) -> String {
+        match self.d.choose(5) {
+            0 => self.d.choose(10000).to_string(),
+            1 | 2 => {
+                let v = self.pick_scalar();
+                format!("({v} & 16383)")
+            }
+            3 => match self.pick_array() {
+                Some(a) => {
+                    let idx = self.pick_scalar();
+                    if self.d.flip() {
+                        format!("({}[({idx}) & {}] & 16383)", a.name, a.len - 1)
+                    } else {
+                        format!("(*({} + (({idx}) & {})) & 16383)", a.name, a.len - 1)
+                    }
+                }
+                None => {
+                    let v = self.pick_scalar();
+                    format!("({v} & 16383)")
+                }
+            },
+            _ => {
+                // Read one representation byte of a (fully initialized)
+                // scalar through `unsigned char *`.
+                let v = self.scalars[self.d.choose(self.scalars.len() as u64) as usize].clone();
+                let k = self.d.choose(v.ty.size_bytes());
+                format!("(((unsigned char *)&{})[{k}] & 255)", v.name)
+            }
+        }
+    }
+}
+
+/// The C spelling of an [`IntTy`] (the generator needs it for derived
+/// declarations like pointer aliases).
+fn ty_name(ty: IntTy) -> &'static str {
+    TY_NAMES
+        .iter()
+        .find(|(_, t)| *t == ty)
+        .map(|(n, _)| *n)
+        .expect("every lattice type is in TY_NAMES")
+}
+
+/// A bench-corpus program with a fuzzed loop count: the fuzzer reuses
+/// the corpus builders as known-defined skeletons, so a semantic change
+/// that breaks the benchmarks is also caught by the sweep.
+fn corpus_template(d: &mut DecisionSource) -> String {
+    use cundef_bench::corpus;
+    let n = 1 + d.choose(64) as u32;
+    match d.choose(9) {
+        0 => corpus::arith_loop(n),
+        1 => corpus::scope_loop(n),
+        2 => corpus::array_loop(n),
+        3 => corpus::call_loop(n),
+        4 => corpus::promotion_loop(n),
+        5 => corpus::mixed_width_loop(n),
+        6 => corpus::mem_sweep_loop(1 + n / 8),
+        7 => corpus::mem_heap_loop(n),
+        _ => corpus::mem_typedmix_loop(1 + n / 8),
+    }
+}
+
+/// A statically doomed program: a tiny defined skeleton plus exactly one
+/// injected defect the translation phase must catch — and whose
+/// execution must not complete cleanly. Returns the source and the
+/// injected defect's kind.
+fn doomed(d: &mut DecisionSource) -> (String, UbKind) {
+    // A minimal defined prologue so the defect is not the whole program.
+    let v0 = d.choose(50);
+    let mut body = format!("  int v0 = {v0};\n  v0 = (v0 + 1) & 1023;\n");
+    let mut prelude = String::new();
+    let kind = match d.choose(7) {
+        0 => {
+            let k = 1 + d.choose(7);
+            body.push_str(&format!("  int bad[-{k}];\n"));
+            UbKind::ArraySizeNotPositive
+        }
+        1 => {
+            let n = 1 + d.choose(9);
+            body.push_str(&format!("  int bad[{n} / 0];\n"));
+            UbKind::DivisionByZero
+        }
+        2 => {
+            let n = 1 + d.choose(9);
+            body.push_str(&format!("  int bad[2147483647 + {n}];\n"));
+            UbKind::SignedOverflow
+        }
+        3 => {
+            let c = d.choose(9);
+            body.push_str(&format!("  const int cc = {c};\n  cc = {};\n", c + 1));
+            UbKind::WriteToConst
+        }
+        4 => {
+            prelude.push_str("int one(int x) { return x & 1023; }\n");
+            if d.flip() {
+                body.push_str("  v0 = one(1, 2);\n");
+            } else {
+                body.push_str("  v0 = one();\n");
+            }
+            UbKind::CallWrongArity
+        }
+        5 => {
+            let n = 1 + d.choose(9);
+            body.push_str(&format!("  switch (v0 & 1) {{ case {n} / 0: break; }}\n"));
+            UbKind::DivisionByZero
+        }
+        _ => {
+            body.push_str("  void bad;\n");
+            UbKind::IncompleteTypeObject
+        }
+    };
+    (
+        format!("{prelude}int main(void) {{\n{body}  return v0 & 127;\n}}\n"),
+        kind,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for class in [Class::ConstExpr, Class::Defined, Class::Doomed] {
+            let mut a = DecisionSource::from_seed(42);
+            let mut b = DecisionSource::from_seed(42);
+            assert_eq!(
+                generate(class, &mut a).source,
+                generate(class, &mut b).source
+            );
+        }
+    }
+
+    #[test]
+    fn replay_of_recorded_trace_reproduces_the_program() {
+        for seed in 0..20 {
+            for class in [Class::ConstExpr, Class::Defined, Class::Doomed] {
+                let mut rec = DecisionSource::from_seed(seed);
+                let original = generate(class, &mut rec);
+                let trace = rec.trace().to_vec();
+                let mut rep = DecisionSource::replay(&trace);
+                let replayed = generate(class, &mut rep);
+                assert_eq!(original.source, replayed.source, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_trace_is_the_minimal_program() {
+        // The shrinking contract: a replay that runs out of trace keeps
+        // generating (choice 0 everywhere) and terminates.
+        for class in [Class::ConstExpr, Class::Defined, Class::Doomed] {
+            let mut d = DecisionSource::replay(&[]);
+            let case = generate(class, &mut d);
+            assert!(!case.source.is_empty());
+            assert!(case.source.len() < 400, "minimal program is small");
+        }
+    }
+
+    #[test]
+    fn defined_programs_parse() {
+        for seed in 0..50 {
+            let mut d = DecisionSource::from_seed(seed);
+            let case = generate(Class::Defined, &mut d);
+            cundef_semantics::parser::parse(&case.source)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", case.source));
+        }
+    }
+}

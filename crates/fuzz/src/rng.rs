@@ -1,0 +1,66 @@
+//! Deterministic pseudo-randomness for the fuzzer.
+//!
+//! Everything the fuzzer does is a pure function of the sweep seed: each
+//! case derives its own stream with [`case_seed`], so case `i` generates
+//! the same program no matter how the sweep is sharded or how many
+//! worker threads run it. The generator itself never calls this module
+//! directly — it draws from a [`crate::decision::DecisionSource`], which
+//! records every draw so a failing case can be replayed and shrunk.
+
+/// SplitMix64 (Steele, Lea & Flood 2014): a tiny, full-period, splittable
+/// generator. Not cryptographic, and deliberately dependency-free — the
+/// whole point is bit-for-bit reproducibility across machines.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The per-case seed for case `index` of a sweep seeded with `seed`.
+///
+/// This is the sharding contract: a case's entire generation stream is a
+/// function of `(seed, index)` alone, so `--shard 1/4` and an unsharded
+/// run produce identical programs for the cases they share.
+pub fn case_seed(seed: u64, index: u64) -> u64 {
+    // One SplitMix64 step over a mix of both inputs; the golden-ratio
+    // multiplier separates neighboring indices into distant streams.
+    let mut rng = SplitMix64::new(seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407));
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn case_seeds_differ_across_indices() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(case_seed(42, i)), "collision at index {i}");
+        }
+    }
+}

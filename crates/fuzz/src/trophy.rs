@@ -1,0 +1,269 @@
+//! The trophy case: minimized fuzz findings, committed forever.
+//!
+//! Every divergence the fuzzer finds is minimized and written as a pair
+//! of files under `trophy-case/`:
+//!
+//! - `<stem>.c` — the minimized program, in the supported subset;
+//! - `<stem>.expected` — a small `key: value` header recording which
+//!   oracle found it, its status, and what the replay must observe.
+//!
+//! The replay contract (enforced by `crates/fuzz/tests/trophies.rs` on
+//! every `cargo test`):
+//!
+//! - `status: fixed` — the oracle must now **pass** on the program; the
+//!   trophy is a permanent regression test for the bug it once
+//!   demonstrated (for `defined` trophies the recorded `exit:` code
+//!   must also be reproduced).
+//! - `status: known-failing` — the oracle must still **fail with the
+//!   recorded category**. If the divergence stops reproducing, the
+//!   replay fails loudly and tells the maintainer to flip the entry to
+//!   `fixed` — a trophy is never allowed to rot silently in either
+//!   direction.
+
+use crate::gen::Class;
+use crate::oracle::{check_const_expr, check_defined, check_doomed, CrossCheck, Divergence};
+use cundef_ub::UbKind;
+use std::path::{Path, PathBuf};
+
+/// One trophy: a minimized finding and its replay expectations.
+#[derive(Debug, Clone)]
+pub struct Trophy {
+    /// File stem (`t001-clean-exit`), for messages.
+    pub stem: String,
+    /// The minimized program.
+    pub source: String,
+    /// Which oracle found (and replays) it.
+    pub class: Class,
+    /// `true` for `status: fixed`, `false` for `status: known-failing`.
+    pub fixed: bool,
+    /// The divergence category recorded at find time (what a
+    /// known-failing replay must still observe).
+    pub category: Option<String>,
+    /// For const-expr trophies: the expression under test.
+    pub expr: Option<String>,
+    /// For doomed trophies: the injected defect.
+    pub injected: Option<UbKind>,
+    /// For defined trophies: the expected evaluator exit code.
+    pub exit: Option<i64>,
+    /// Free-form provenance (`found: seed 42 case 17`).
+    pub found: Option<String>,
+    /// Free-form triage note.
+    pub note: Option<String>,
+}
+
+/// Parse a `UbKind` from its `Debug` spelling by scanning the catalog's
+/// kind list (no `FromStr` on the taxonomy).
+fn kind_from_debug(s: &str) -> Option<UbKind> {
+    cundef_ub::catalog()
+        .iter()
+        .filter_map(|e| e.detected_by)
+        .chain(cundef_semantics::eval::detected_kinds().iter().copied())
+        .find(|k| format!("{k:?}") == s)
+}
+
+impl Trophy {
+    /// Load the trophy stored at `<dir>/<stem>.c` + `.expected`.
+    pub fn load(dir: &Path, stem: &str) -> Result<Trophy, String> {
+        let source = std::fs::read_to_string(dir.join(format!("{stem}.c")))
+            .map_err(|e| format!("{stem}.c: {e}"))?;
+        let meta = std::fs::read_to_string(dir.join(format!("{stem}.expected")))
+            .map_err(|e| format!("{stem}.expected: {e}"))?;
+        let mut class = None;
+        let mut fixed = None;
+        let mut category = None;
+        let mut expr = None;
+        let mut injected = None;
+        let mut exit = None;
+        let mut found = None;
+        let mut note = None;
+        for line in meta.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else {
+                return Err(format!("{stem}.expected: malformed line `{line}`"));
+            };
+            let value = value.trim();
+            match key.trim() {
+                "oracle" => {
+                    class = Some(
+                        Class::from_name(value)
+                            .ok_or_else(|| format!("{stem}.expected: unknown oracle `{value}`"))?,
+                    )
+                }
+                "status" => {
+                    fixed = Some(match value {
+                        "fixed" => true,
+                        "known-failing" => false,
+                        other => return Err(format!("{stem}.expected: unknown status `{other}`")),
+                    })
+                }
+                "category" => category = Some(value.to_string()),
+                "expr" => expr = Some(value.to_string()),
+                "injected" => {
+                    injected = Some(
+                        kind_from_debug(value)
+                            .ok_or_else(|| format!("{stem}.expected: unknown UbKind `{value}`"))?,
+                    )
+                }
+                "exit" => {
+                    exit = Some(
+                        value
+                            .parse::<i64>()
+                            .map_err(|e| format!("{stem}.expected: bad exit `{value}`: {e}"))?,
+                    )
+                }
+                "found" => found = Some(value.to_string()),
+                "note" => note = Some(value.to_string()),
+                other => return Err(format!("{stem}.expected: unknown key `{other}`")),
+            }
+        }
+        Ok(Trophy {
+            stem: stem.to_string(),
+            source,
+            class: class.ok_or_else(|| format!("{stem}.expected: missing `oracle:`"))?,
+            fixed: fixed.ok_or_else(|| format!("{stem}.expected: missing `status:`"))?,
+            category,
+            expr,
+            injected,
+            exit,
+            found,
+            note,
+        })
+    }
+
+    /// Load every trophy in `dir`, sorted by stem. A missing directory
+    /// is an empty trophy case, not an error.
+    pub fn load_all(dir: &Path) -> Result<Vec<Trophy>, String> {
+        let mut stems = Vec::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(Vec::new()),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(stem) = name.strip_suffix(".expected") {
+                stems.push(stem.to_string());
+            }
+        }
+        stems.sort();
+        stems.iter().map(|s| Trophy::load(dir, s)).collect()
+    }
+
+    /// Run this trophy's oracle once and classify the result.
+    fn run_oracle(&self) -> Result<Option<i64>, Divergence> {
+        match self.class {
+            Class::ConstExpr => {
+                let expr = self
+                    .expr
+                    .as_deref()
+                    .expect("const-expr trophies carry `expr:` (validated in replay)");
+                check_const_expr(expr).map(|()| None)
+            }
+            Class::Doomed => {
+                let injected = self
+                    .injected
+                    .expect("doomed trophies carry `injected:` (validated in replay)");
+                check_doomed(&self.source, injected).map(|()| None)
+            }
+            Class::Defined => check_defined(&self.source, &CrossCheck::off()).map(Some),
+        }
+    }
+
+    /// Replay the trophy per the contract in the module docs. `Ok(())`
+    /// when the trophy's expectation holds.
+    pub fn replay(&self) -> Result<(), String> {
+        // Validate the per-class required fields up front so a malformed
+        // entry fails with a message instead of a panic.
+        match self.class {
+            Class::ConstExpr if self.expr.is_none() => {
+                return Err(format!("{}: const-expr trophy missing `expr:`", self.stem))
+            }
+            Class::Doomed if self.injected.is_none() => {
+                return Err(format!("{}: doomed trophy missing `injected:`", self.stem))
+            }
+            _ => {}
+        }
+        let result = self.run_oracle();
+        if self.fixed {
+            match result {
+                Ok(got) => {
+                    if let (Some(want), Some(got)) = (self.exit, got) {
+                        if want != got {
+                            return Err(format!(
+                                "{}: fixed trophy expected exit {want}, evaluator returned {got}",
+                                self.stem
+                            ));
+                        }
+                    }
+                    Ok(())
+                }
+                Err(div) => Err(format!(
+                    "{}: fixed trophy regressed — oracle fails again: {}",
+                    self.stem,
+                    div.describe()
+                )),
+            }
+        } else {
+            let want = self.category.as_deref().ok_or_else(|| {
+                format!("{}: known-failing trophy missing `category:`", self.stem)
+            })?;
+            match result {
+                Err(div) if div.category() == want => Ok(()),
+                Err(div) => Err(format!(
+                    "{}: known-failing trophy changed category: recorded `{want}`, now `{}` — re-triage",
+                    self.stem,
+                    div.category()
+                )),
+                Ok(_) => Err(format!(
+                    "{}: known-failing trophy no longer reproduces — the bug appears fixed; \
+                     flip `status:` to fixed (and record `exit:` for defined trophies)",
+                    self.stem
+                )),
+            }
+        }
+    }
+}
+
+/// Render the `.expected` header for a fresh (known-failing) trophy.
+pub fn render_expected(
+    class: Class,
+    category: &str,
+    expr: Option<&str>,
+    injected: Option<UbKind>,
+    found: &str,
+    note: &str,
+) -> String {
+    let mut out = String::from(
+        "# cundef fuzz trophy — replayed by `cargo test -p cundef-fuzz` (tests/trophies.rs)\n",
+    );
+    out.push_str(&format!("oracle: {}\n", class.name()));
+    out.push_str("status: known-failing\n");
+    out.push_str(&format!("category: {category}\n"));
+    if let Some(e) = expr {
+        out.push_str(&format!("expr: {e}\n"));
+    }
+    if let Some(k) = injected {
+        out.push_str(&format!("injected: {k:?}\n"));
+    }
+    out.push_str(&format!("found: {found}\n"));
+    out.push_str(&format!("note: {note}\n"));
+    out
+}
+
+/// Write a trophy pair into `dir`, creating it if needed.
+pub fn write_trophy(
+    dir: &Path,
+    stem: &str,
+    source: &str,
+    expected: &str,
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let c = dir.join(format!("{stem}.c"));
+    std::fs::write(&c, source).map_err(|e| format!("{}: {e}", c.display()))?;
+    let exp = dir.join(format!("{stem}.expected"));
+    std::fs::write(&exp, expected).map_err(|e| format!("{}: {e}", exp.display()))?;
+    Ok(c)
+}

@@ -1,0 +1,80 @@
+//! Sweep-level integration tests: determinism across jobs and shards,
+//! the golden exit-code snapshot, and a bounded clean sweep.
+
+use cundef_fuzz::{run_sweep, SweepConfig};
+use std::path::PathBuf;
+
+#[test]
+fn sweeps_are_reproducible_across_job_counts() {
+    let mut one = SweepConfig::new(42, 120);
+    one.jobs = 1;
+    let mut eight = SweepConfig::new(42, 120);
+    eight.jobs = 8;
+    let a = run_sweep(&one);
+    let b = run_sweep(&eight);
+    assert_eq!(a.render(), b.render(), "render must not depend on --jobs");
+    assert_eq!(a.render_exits(), b.render_exits());
+}
+
+#[test]
+fn shards_partition_the_same_sweep() {
+    // Running shards 0/3, 1/3, 2/3 must together observe exactly the
+    // cases (and exits) of the unsharded sweep — shard layout cannot
+    // change which program any index denotes.
+    let full = run_sweep(&SweepConfig::new(7, 90));
+    let mut checked = 0;
+    let mut exits = std::collections::BTreeMap::new();
+    for i in 0..3 {
+        let mut cfg = SweepConfig::new(7, 90);
+        cfg.shard = Some((i, 3));
+        cfg.jobs = 2;
+        let part = run_sweep(&cfg);
+        checked += part.checked;
+        exits.extend(part.exits);
+        assert!(
+            part.findings.is_empty(),
+            "shard {i} diverged where the full sweep did not"
+        );
+    }
+    assert_eq!(checked, full.checked);
+    assert_eq!(exits, full.exits);
+}
+
+#[test]
+fn seed42_exit_codes_match_the_golden_snapshot() {
+    // Oracle (c)'s long-term memory: the exit code of every passing
+    // defined program in the fixed seed-42 sweep, committed at
+    // crates/fuzz/goldens/defined-seed42.txt. A semantics change that
+    // shifts any of these exits must be deliberate (regenerate with
+    // `cundef fuzz --seed 42 --count 150 --exits`).
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens/defined-seed42.txt");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    let report = run_sweep(&SweepConfig::new(42, 150));
+    assert!(
+        report.findings.is_empty(),
+        "golden sweep must be divergence-free:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.render_exits(),
+        golden,
+        "defined-case exit codes drifted from goldens/defined-seed42.txt"
+    );
+}
+
+#[test]
+fn bounded_sweep_is_clean() {
+    // The in-tree smoke sweep: three oracles over 300 fresh cases on a
+    // seed the goldens don't use. The CI workflow runs the much larger
+    // sweep through the `cundef fuzz` binary.
+    let mut cfg = SweepConfig::new(20260808, 300);
+    cfg.jobs = 4;
+    let report = run_sweep(&cfg);
+    assert!(
+        report.findings.is_empty(),
+        "divergences:\n{}",
+        report.render()
+    );
+    assert_eq!(report.checked, 300);
+}

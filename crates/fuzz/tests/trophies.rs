@@ -1,0 +1,66 @@
+//! Replay every committed trophy in `trophy-case/` on every test run.
+//!
+//! The contract (see `cundef_fuzz::trophy`):
+//! - `status: fixed` entries are permanent regression tests — the
+//!   oracle that once failed on them must pass forever;
+//! - `status: known-failing` entries must keep failing with their
+//!   recorded category, and the replay demands a flip to `fixed` the
+//!   moment the underlying bug is repaired.
+
+use cundef_fuzz::trophy::Trophy;
+use std::path::PathBuf;
+
+fn trophy_dir() -> PathBuf {
+    // crates/fuzz/tests -> workspace root -> trophy-case
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("trophy-case")
+}
+
+#[test]
+fn the_trophy_case_is_not_empty() {
+    let trophies = Trophy::load_all(&trophy_dir()).expect("trophy case loads");
+    assert!(
+        !trophies.is_empty(),
+        "trophy-case/ should hold the committed fuzz findings"
+    );
+}
+
+#[test]
+fn every_trophy_replays() {
+    let trophies = Trophy::load_all(&trophy_dir()).expect("trophy case loads");
+    let mut failures = Vec::new();
+    for t in &trophies {
+        if let Err(e) = t.replay() {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "trophy replay failures:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn trophy_pairs_are_complete() {
+    // Every .c has an .expected and vice versa — a half-committed trophy
+    // is invisible to the replay and therefore forbidden.
+    let dir = trophy_dir();
+    let mut stems_c = Vec::new();
+    let mut stems_exp = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("trophy-case/ exists") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        if let Some(s) = name.strip_suffix(".expected") {
+            stems_exp.push(s.to_string());
+        } else if let Some(s) = name.strip_suffix(".c") {
+            stems_c.push(s.to_string());
+        }
+    }
+    stems_c.sort();
+    stems_exp.sort();
+    assert_eq!(
+        stems_c, stems_exp,
+        "every trophy must be a .c + .expected pair"
+    );
+}

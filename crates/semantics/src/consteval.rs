@@ -352,6 +352,46 @@ pub fn size_of_ty(ty: &Ty) -> Option<u64> {
     }
 }
 
+/// The declared type of a constant expression, computed *without*
+/// evaluating it — the translation-time mirror of the evaluator's
+/// `sizeof` type walk. `sizeof(expr)` needs it because its operand is
+/// unevaluated (§6.5.3.4:2), and `?:` needs it because the result type
+/// is the common type of *both* branches (§6.5.15:5) even though only
+/// one is evaluated.
+///
+/// Stays within the §6.6 subset: anything whose type would require
+/// identifiers, calls, or object inspection is `NotConst`.
+fn const_ty_of(unit: &TranslationUnit, e: ExprId) -> Result<IntTy, ConstStop> {
+    let expr = unit.expr(e);
+    let loc = expr.loc;
+    match &expr.kind {
+        ExprKind::IntLit(v) => Ok(v.ty),
+        ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => Ok(SIZE_T),
+        ExprKind::Cast(Ty::Int(to), _) => Ok(*to),
+        ExprKind::Unary(UnaryOp::Not, _) => Ok(IntTy::Int),
+        ExprKind::Unary(UnaryOp::Neg | UnaryOp::BitNot, a) => Ok(const_ty_of(unit, *a)?.promote()),
+        ExprKind::Binary(op, a, b) => {
+            use BinOp::*;
+            match op {
+                Lt | Le | Gt | Ge | Eq | Ne => Ok(IntTy::Int),
+                // §6.5.7:3 — the result type is the promoted left
+                // operand's.
+                Shl | Shr => Ok(const_ty_of(unit, *a)?.promote()),
+                _ => Ok(IntTy::usual_arith(
+                    const_ty_of(unit, *a)?,
+                    const_ty_of(unit, *b)?,
+                )),
+            }
+        }
+        ExprKind::LogicalAnd(_, _) | ExprKind::LogicalOr(_, _) => Ok(IntTy::Int),
+        ExprKind::Conditional(_, t, f) => Ok(IntTy::usual_arith(
+            const_ty_of(unit, *t)?,
+            const_ty_of(unit, *f)?,
+        )),
+        _ => Err(ConstStop::NotConst(loc)),
+    }
+}
+
 /// Evaluate `e` as an integer constant expression (§6.6), yielding a
 /// typed constant.
 ///
@@ -380,9 +420,13 @@ pub fn const_eval(unit: &TranslationUnit, e: ExprId) -> Result<CInt, ConstStop> 
             // `sizeof (void)` has no value; the analyzer reports it.
             None => Err(ConstStop::NotConst(loc)),
         },
-        // `sizeof expr` needs the operand's type, which the constant
-        // engine does not compute; stay conservative.
-        ExprKind::SizeofExpr(_) => Err(ConstStop::NotConst(loc)),
+        // `sizeof expr` does not evaluate its operand (§6.5.3.4:2) —
+        // only its type matters, so even `sizeof(1 / 0)` is a defined
+        // `size_t` constant.
+        ExprKind::SizeofExpr(inner) => {
+            let t = const_ty_of(unit, *inner)?;
+            Ok(CInt::new(t.size_bytes() as i128, SIZE_T))
+        }
         // §6.6:6 admits casts to integer types in integer constant
         // expressions. The conversion itself is §6.3.1.3 — defined or
         // implementation-defined, never UB — so it folds silently; the
@@ -418,7 +462,14 @@ pub fn const_eval(unit: &TranslationUnit, e: ExprId) -> Result<CInt, ConstStop> 
         }
         ExprKind::Conditional(c, t, f) => {
             let cv = const_eval(unit, *c)?;
-            const_eval(unit, if !cv.is_zero() { *t } else { *f })
+            let chosen = const_eval(unit, if !cv.is_zero() { *t } else { *f })?;
+            // §6.5.15:5 — the result has the *common* type of both
+            // branches (usual arithmetic conversions), even though only
+            // one branch is evaluated: `0 ? 0 : (short)0` is an `int`,
+            // and `1 ? -1 : 0u` is UINT_MAX. The conversion itself is
+            // §6.3.1.3 — never undefined.
+            let common = IntTy::usual_arith(const_ty_of(unit, *t)?, const_ty_of(unit, *f)?);
+            Ok(chosen.convert(common).0)
         }
         // Everything else — identifiers, assignments, calls, the comma
         // operator (explicitly banned by §6.6:3) — is not a constant

@@ -115,6 +115,7 @@ pub fn detected_kinds() -> &'static [UbKind] {
         VoidValueUsed,
         ReturnWithoutValue,
         NonConstantCaseLabel,
+        IncompleteTypeObject,
     ]
 }
 
@@ -1036,10 +1037,28 @@ impl<'a> Interp<'a> {
             return Err(self.uninit_read(p, n, loc));
         }
         let bits = obj.bytes.load(off, n);
-        self.fp.push(Access::new(p.obj, p.off, size, false));
         let PointeeTy::Scalar(t) = p.ty else {
             unreachable!("Ptr and Void handled above")
         };
+        if t == IntTy::Bool && bits > 1 {
+            // §6.2.6.1:5 — a `_Bool` object whose byte is neither 0 nor
+            // 1 (planted through a char-lvalue write) is a trap
+            // representation: padding bits are set, and reading it
+            // through a `_Bool` lvalue is undefined. Native compilers
+            // hand the raw byte back, so masking to the value bit here
+            // would silently diverge from real executions.
+            return Err(self.ub(
+                UbKind::ReadIndeterminate,
+                loc,
+                format!(
+                    "`{}` read as `_Bool` holds the trap representation {:#04x} \
+                     (only 0 and 1 represent values)",
+                    self.object_name(p.obj),
+                    bits
+                ),
+            ));
+        }
+        self.fp.push(Access::new(p.obj, p.off, size, false));
         Ok(Value::Int(CInt::from_bits(bits, t)))
     }
 
@@ -1369,7 +1388,23 @@ impl<'a> Interp<'a> {
             ExprKind::Conditional(c, t, f) => {
                 let cv = self.eval(*c)?;
                 let branch = if self.truthy(cv, loc)? { *t } else { *f };
-                self.eval(branch)
+                let v = self.eval(branch)?;
+                // §6.5.15:5 — with arithmetic operands the result has
+                // the *common* type of both branches, even though only
+                // one is evaluated: `1 ? -1 : 0u` is UINT_MAX, and
+                // `0 ? 0 : (short)0` is an `int`. The branch types come
+                // from the same no-eval type walk `sizeof` uses, so the
+                // value and `sizeof(e ? a : b)` can never disagree.
+                if let Value::Int(n) = v {
+                    if let (Some(SizeofTy::Scalar(x)), Some(SizeofTy::Scalar(y))) = (
+                        self.sizeof_ty_of(*t).map(decay),
+                        self.sizeof_ty_of(*f).map(decay),
+                    ) {
+                        let common = IntTy::usual_arith(x, y);
+                        return Ok(Value::Int(self.convert_int(n, common, loc)));
+                    }
+                }
+                Ok(v)
             }
             ExprKind::Comma(l, r) => {
                 self.eval(*l)?;
@@ -2415,6 +2450,20 @@ impl<'a> Interp<'a> {
                 d.loc,
             ));
         }
+        // An object declared with an incomplete type has no size to
+        // allocate (§6.7:7) — the translation phase flags this, and the
+        // dynamic semantics must get stuck on it too, not conjure a
+        // placeholder object and run to a clean exit.
+        if matches!(d.ty, Ty::Void) {
+            return Err(self.ub(
+                UbKind::IncompleteTypeObject,
+                d.loc,
+                format!(
+                    "`{}` declared with incomplete type `void`",
+                    self.name(d.name)
+                ),
+            ));
+        }
         let unit = self.unit;
         let fp_mark = self.fp.len();
         let elem = elem_of_ty(&d.ty);
@@ -2543,8 +2592,10 @@ fn pointee_of_ty(ty: &Ty) -> PointeeTy {
 }
 
 /// The runtime element type of an object declared with `ty`. (`void`
-/// objects are rejected by the translation phase and never execute
-/// cleanly; `int` is a harmless placeholder for them.)
+/// local declarations raise [`UbKind::IncompleteTypeObject`] before an
+/// object is ever built; for the remaining `void` spellings — parameter
+/// lists, which the translation phase rejects — `int` is a harmless
+/// placeholder.)
 fn elem_of_ty(ty: &Ty) -> Elem {
     match ty {
         Ty::Ptr(inner) => Elem::Ptr(pointee_of_ty(inner)),

@@ -1,0 +1,216 @@
+//! Property tests for the C integer type lattice (`ctype`): the
+//! promotion and usual-arithmetic-conversion algebra over *all* type
+//! pairs, and `CInt` object-representation round-trips at every width.
+//!
+//! These are exhaustive where the domain is small (11 types → 121
+//! pairs, 1331 triples) and seeded-exhaustive over value patterns where
+//! it is not — no randomness source outside the test.
+
+use cundef_semantics::ctype::{CInt, IntTy, SIZE_T};
+
+/// Every integer type of the target, in rank order.
+const ALL: [IntTy; 11] = [
+    IntTy::Bool,
+    IntTy::Char,
+    IntTy::UChar,
+    IntTy::Short,
+    IntTy::UShort,
+    IntTy::Int,
+    IntTy::UInt,
+    IntTy::Long,
+    IntTy::ULong,
+    IntTy::LongLong,
+    IntTy::ULongLong,
+];
+
+/// Deterministic 64-bit mixer (SplitMix64) for value-pattern sweeps.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Interesting bit patterns for a type plus a seeded spray.
+fn patterns(ty: IntTy) -> Vec<u64> {
+    let mut v = vec![
+        0,
+        1,
+        u64::MAX,
+        1u64 << (ty.width() - 1),
+        (1u64 << (ty.width() - 1)).wrapping_sub(1),
+    ];
+    for i in 0..64u64 {
+        v.push(mix(ty as u64 * 1000 + i));
+    }
+    v
+}
+
+#[test]
+fn promotion_is_idempotent_and_never_below_int() {
+    for t in ALL {
+        let p = t.promote();
+        assert_eq!(p.promote(), p, "{t}: promote must be idempotent");
+        assert!(
+            p.rank() >= IntTy::Int.rank(),
+            "{t}: promoted to sub-int {p}"
+        );
+        // §6.3.1.1:2 — promotion is value-preserving on LP64: every value
+        // of every sub-int type fits in the promoted type.
+        assert!(p.contains(t.min()) && p.contains(t.max()));
+        // Types at or above int rank are fixed points.
+        if t.rank() >= IntTy::Int.rank() {
+            assert_eq!(p, t);
+        }
+    }
+}
+
+#[test]
+fn usual_arith_is_commutative_and_idempotent_over_all_pairs() {
+    for a in ALL {
+        for b in ALL {
+            let ab = IntTy::usual_arith(a, b);
+            let ba = IntTy::usual_arith(b, a);
+            assert_eq!(ab, ba, "usual_arith({a}, {b}) not commutative");
+            // The common type is a fixed point: converting both operands
+            // to it and re-running the conversions changes nothing.
+            assert_eq!(IntTy::usual_arith(ab, ab), ab);
+            // …and never drops below int (§6.3.1.8 runs on promoted
+            // operands).
+            assert!(
+                ab.rank() >= IntTy::Int.rank(),
+                "usual_arith({a}, {b}) = {ab}"
+            );
+            // The common type has at least the rank of both promoted
+            // operands — conversions never narrow.
+            assert!(ab.rank() >= a.promote().rank().max(b.promote().rank()));
+        }
+    }
+}
+
+#[test]
+fn usual_arith_absorbs_each_operand() {
+    // usual_arith(a, usual_arith(a, b)) == usual_arith(a, b): once the
+    // common type is found, pairing it with either original operand is a
+    // no-op. (Full associativity over triples does not hold in C — e.g.
+    // on LP64, (uint ⊔ long) ⊔ ulong and uint ⊔ (long ⊔ ulong) do agree,
+    // but the absorption law is the one the evaluator actually relies
+    // on when folding chained binary operators left to right.)
+    for a in ALL {
+        for b in ALL {
+            let c = IntTy::usual_arith(a, b);
+            assert_eq!(IntTy::usual_arith(a, c), c, "({a}, {b}) -> {c}");
+            assert_eq!(IntTy::usual_arith(b, c), c, "({a}, {b}) -> {c}");
+        }
+    }
+}
+
+#[test]
+fn common_type_represents_at_least_one_operand_fully() {
+    // §6.3.1.8: at most one operand is converted with possible value
+    // change; the other always fits. Check that for every pair, the
+    // common type contains the full range of at least one of the two
+    // promoted operands (both, when signedness agrees).
+    for a in ALL {
+        for b in ALL {
+            let c = IntTy::usual_arith(a, b);
+            let fits = |t: IntTy| c.contains(t.min()) && c.contains(t.max());
+            assert!(
+                fits(a.promote()) || fits(b.promote()),
+                "usual_arith({a}, {b}) = {c} represents neither operand"
+            );
+        }
+    }
+}
+
+#[test]
+fn cint_bits_round_trip_at_every_width() {
+    for ty in ALL {
+        for bits in patterns(ty) {
+            let v = CInt::from_bits(bits, ty);
+            // from_bits truncates to the width; bits() must return
+            // exactly that truncation, and re-assembling is the identity.
+            assert_eq!(
+                CInt::from_bits(v.bits(), ty),
+                v,
+                "{ty}: from_bits∘bits not identity for {bits:#x}"
+            );
+            // The mathematical value is always in range…
+            assert!(ty.contains(v.math()), "{ty}: {} out of range", v.math());
+            // …and new() on that value rebuilds the same representation
+            // (for _Bool only when the value bit survives: from_bits
+            // keeps the raw low bit, new() collapses nonzero to 1 — the
+            // two agree on 0 and 1, the only valid _Bool objects).
+            assert_eq!(CInt::new(v.math(), ty), v, "{ty}: new∘math not identity");
+        }
+    }
+}
+
+#[test]
+fn conversion_to_unsigned_wraps_and_is_never_flagged() {
+    // §6.3.1.3:2 — conversion to an unsigned type is always defined.
+    for from in ALL {
+        for bits in patterns(from) {
+            let v = CInt::from_bits(bits, from);
+            for to in ALL
+                .into_iter()
+                .filter(|t| !t.is_signed() || *t == IntTy::Bool)
+            {
+                let (out, note) = v.convert(to);
+                assert!(!note, "{from} -> {to}: defined conversion flagged");
+                assert_eq!(out.ty, to);
+                if to == IntTy::Bool {
+                    assert_eq!(out.math(), (!v.is_zero()) as i128);
+                } else {
+                    let m = 1i128 << to.width();
+                    assert_eq!(out.math(), v.math().rem_euclid(m), "{from} -> {to}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conversion_notes_exactly_the_unrepresentable_signed_cases() {
+    // §6.3.1.3:3 — the implementation-defined flag fires iff the target
+    // is signed (not _Bool) and cannot represent the value.
+    for from in ALL {
+        for bits in patterns(from) {
+            let v = CInt::from_bits(bits, from);
+            for to in ALL {
+                let (out, note) = v.convert(to);
+                let expect = to != IntTy::Bool && to.is_signed() && !to.contains(v.math());
+                assert_eq!(note, expect, "{from} -> {to}, value {}", v.math());
+                // Representable conversions are value-preserving.
+                if to.contains(v.math()) && to != IntTy::Bool {
+                    assert_eq!(out.math(), v.math());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn promoted_values_are_preserved() {
+    for ty in ALL {
+        for bits in patterns(ty) {
+            let v = CInt::from_bits(bits, ty);
+            let p = v.promoted();
+            assert_eq!(p.ty, ty.promote());
+            assert_eq!(p.math(), v.math(), "{ty}: promotion changed the value");
+        }
+    }
+}
+
+#[test]
+fn size_t_measures_every_sizeof() {
+    // The generator and both engines spell sizeof results in SIZE_T;
+    // every target size must be representable there (trivially, but the
+    // constant must stay an unsigned 64-bit type for the LP64 layout).
+    assert_eq!(SIZE_T, IntTy::ULong);
+    assert!(!SIZE_T.is_signed());
+    for t in ALL {
+        assert!(SIZE_T.contains(t.size_bytes() as i128));
+        assert_eq!(t.align_of(), t.size_bytes(), "{t}: not naturally aligned");
+    }
+}

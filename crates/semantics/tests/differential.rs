@@ -133,6 +133,13 @@ const TABLE: &[&str] = &[
     "0 ? 1 / 0 : 9",
     "~0u",
     "~0 + 1",
+    // Promoted fuzz trophies (trophy-case/): expressions the sweep
+    // minimized out of real phase divergences, kept in the shared table
+    // so the agreement *and* value checks cover them forever.
+    "(sizeof(0))",
+    "(0 ? 0 : ((short)(0)))",
+    "(9223372036854775807LL ? (0 ? 0 : 0) : 4294967295L)",
+    "sizeof(0 ? (char)1 : (long)2) + 0u",
 ];
 
 #[test]
@@ -212,4 +219,60 @@ fn acceptance_regressions_from_the_issue() {
     assert!(execution_verdict("1L << 40").is_ok());
     assert!(execution_verdict("1uL << 63").is_ok());
     assert_eq!(execution_verdict("1L << 64"), Err(UbKind::ShiftTooFar));
+}
+
+#[test]
+fn generated_expressions_agree_at_the_fixed_seed() {
+    // The generator-backed mode: the fuzz crate's seeded constant-
+    // expression generator feeds the *same* harness the hand-entered
+    // table uses. The seed is fixed, so this is a deterministic suite,
+    // not a fuzz run — `cundef fuzz` explores fresh seeds; this test
+    // pins a slice of that space into `cargo test`.
+    use cundef_fuzz::decision::DecisionSource;
+    use cundef_fuzz::gen::const_expr;
+    use cundef_fuzz::oracle::literal_of;
+    use cundef_fuzz::rng::case_seed;
+
+    let mut value_checked = 0;
+    for i in 0..200u64 {
+        let mut d = DecisionSource::from_seed(case_seed(0xD1FF, i));
+        let expr = const_expr(&mut d, 4);
+
+        // Phase-agreement check, identical to the hand-entered table.
+        let translation = translation_verdict(&expr);
+        let execution = execution_verdict(&expr);
+        match (&translation, &execution) {
+            (Ok(_), Ok(())) => {}
+            (Err(ConstStop::Ub { kind, .. }), Err(dyn_kind)) => {
+                assert_eq!(kind, dyn_kind, "{expr:?}: phases disagree on the UB kind");
+            }
+            other => panic!("generated case {i} {expr:?}: phases disagree: {other:?}"),
+        }
+
+        // Value/type witness for foldable entries, with the sign probe
+        // the fuzz oracle adds (sizeof alone cannot tell int from
+        // unsigned int).
+        let Ok(v) = translation else { continue };
+        let lit = literal_of(v);
+        let src = format!(
+            "int main(void) {{ \
+               if ((({expr}) == ({lit})) && sizeof({expr}) == sizeof({lit}) \
+                   && ((-1 < ({expr})) == (-1 < ({lit})))) return 42; \
+               return 7; }}"
+        );
+        let unit = parse(&src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        let outcome = Interp::new(&unit, Limits::default()).run_main();
+        assert_eq!(
+            outcome.exit_code(),
+            Some(42),
+            "generated case {i} {expr:?}: dynamic value/type diverges from \
+             constant fold (expected {lit} of type {})",
+            v.ty
+        );
+        value_checked += 1;
+    }
+    assert!(
+        value_checked >= 80,
+        "only {value_checked} generated entries reached the value check"
+    );
 }

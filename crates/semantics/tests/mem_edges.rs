@@ -1,0 +1,205 @@
+//! Byte-memory edge regressions: zero-size allocations, one-past-the-end
+//! pointers, byte-precise partial-initialization diagnostics, and the
+//! *ordering* of misalignment detection (at the pointer conversion, not
+//! the eventual access). Each pin here came out of reviewing the fuzz
+//! generator's boundary cases against §6.5.6, §6.2.6.1 and §6.3.2.3.
+
+use cundef_semantics::eval::{Interp, Limits, Outcome};
+use cundef_semantics::parser::parse;
+use cundef_ub::UbKind;
+
+fn run(src: &str) -> Outcome {
+    let unit = parse(src).unwrap_or_else(|e| panic!("{src:?} failed to parse: {e}"));
+    Interp::new(&unit, Limits::default()).run_main()
+}
+
+/// The UB kind and detail text, or a panic when execution survives.
+fn ub_of(src: &str) -> (UbKind, String) {
+    match run(src) {
+        Outcome::Undefined(e) => (e.kind(), e.detail().unwrap_or_default().to_string()),
+        other => panic!("{src:?}: expected UB, got {other:?}"),
+    }
+}
+
+fn exit_of(src: &str) -> i64 {
+    match run(src) {
+        Outcome::Completed(e) => e,
+        other => panic!("{src:?}: expected completion, got {other:?}"),
+    }
+}
+
+#[test]
+fn malloc_zero_yields_a_usable_but_unreadable_pointer() {
+    // malloc(0) returns a distinct non-null pointer (this
+    // implementation's choice under §7.22.3:1): comparing it, adding 0,
+    // and freeing it are all defined…
+    assert_eq!(
+        exit_of(
+            "int main(void) { char *p = malloc(0); \
+             int ok = (p != 0) && (p + 0 == p); free(p); return ok; }"
+        ),
+        1
+    );
+    // …but every access is out of bounds of the zero-byte object,
+    assert_eq!(
+        ub_of("int main(void) { char *p = malloc(0); return *p; }").0,
+        UbKind::OutOfBoundsRead
+    );
+    // and `p + 1` steps past the (already end-of-object) pointer —
+    // arithmetic UB before any access happens (§6.5.6:8).
+    assert_eq!(
+        ub_of("int main(void) { char *p = malloc(0); char *q = p + 1; return q == p; }").0,
+        UbKind::PointerArithmeticOutOfBounds
+    );
+}
+
+#[test]
+fn one_past_the_end_may_be_formed_but_not_loaded() {
+    // Forming `a + 4` on int a[4] is defined, as is coming back down.
+    assert_eq!(
+        exit_of(
+            "int main(void) { int a[4]; a[3] = 9; \
+             int *p = a + 4; return *(p - 1); }"
+        ),
+        9
+    );
+    // Loading through the one-past-the-end pointer is the read UB, with
+    // the report naming the precise byte span.
+    let (kind, detail) = ub_of(
+        "int main(void) { int a[4]; a[0] = 1; a[1] = 1; a[2] = 1; a[3] = 1; \
+         return *(a + 4); }",
+    );
+    assert_eq!(kind, UbKind::OutOfBoundsRead);
+    assert!(
+        detail.contains("read of 4 byte(s) at byte offset 16"),
+        "imprecise out-of-bounds report: {detail:?}"
+    );
+    // One past the end of the *last* element via an element pointer is
+    // the same boundary.
+    assert_eq!(
+        ub_of("int main(void) { int a[2]; a[0] = 5; a[1] = 6; int *p = &a[1]; return p[1]; }").0,
+        UbKind::OutOfBoundsRead
+    );
+}
+
+#[test]
+fn char_sweep_of_a_partially_initialized_object_names_the_first_bad_byte() {
+    // Initialize bytes 0 and 1 of an 8-byte long, then load the whole
+    // object: the report must say *which* byte of the read was
+    // indeterminate — byte 2, read-relative.
+    let (kind, detail) = ub_of(
+        "int main(void) { long x; \
+         ((char *)&x)[0] = 1; ((char *)&x)[1] = 2; \
+         long y = x; return (int)y; }",
+    );
+    assert_eq!(kind, UbKind::ReadIndeterminate);
+    assert!(
+        detail.contains("byte 2 of the 8-byte read"),
+        "partial-init report lost byte precision: {detail:?}"
+    );
+
+    // A char sweep reading an untouched byte is a *wholly* indeterminate
+    // 1-byte read — that gets the classic wording, not byte arithmetic.
+    let (kind, detail) = ub_of(
+        "int main(void) { long x; ((char *)&x)[0] = 1; \
+         return ((char *)&x)[3]; }",
+    );
+    assert_eq!(kind, UbKind::ReadIndeterminate);
+    assert!(
+        detail.contains("indeterminate value"),
+        "fully-uninit read should use the classic wording: {detail:?}"
+    );
+
+    // Byte indices in the report are read-relative, not object-relative:
+    // reading a[2] (object bytes 8..12) with only object byte 8 written
+    // names byte 1 — the second byte *of the read*.
+    let (kind, detail) = ub_of(
+        "int main(void) { int a[4]; a[0] = 0; \
+         ((char *)a)[8] = 5; \
+         return a[2]; }",
+    );
+    assert_eq!(kind, UbKind::ReadIndeterminate);
+    assert!(
+        detail.contains("byte 1 of the 4-byte read at byte offset 8"),
+        "partial-init report not read-relative: {detail:?}"
+    );
+
+    // The sweep over the initialized prefix is defined and sees the
+    // little-endian representation.
+    assert_eq!(
+        exit_of(
+            "int main(void) { long x; \
+             ((char *)&x)[0] = 7; ((char *)&x)[1] = 1; \
+             return ((char *)&x)[0] + ((char *)&x)[1]; }"
+        ),
+        8
+    );
+}
+
+#[test]
+fn bool_trap_representation_read_is_flagged() {
+    // Found by the fuzzer (seed 42 case 121): planting 15 in a _Bool's
+    // byte through a char lvalue, then reading the _Bool, made the
+    // evaluator mask to the value bit (exit 1) while the gcc binary
+    // returned the raw byte — an exit mismatch on a program the sweep
+    // believed was defined. §6.2.6.1:5: the representation is a trap;
+    // the read is the UB.
+    let (kind, detail) = ub_of(
+        "int main(void) { _Bool b = 0; \
+         ((unsigned char *)&b)[0] = 15; \
+         return b; }",
+    );
+    assert_eq!(kind, UbKind::ReadIndeterminate);
+    assert!(
+        detail.contains("trap representation"),
+        "trap read should be named as such: {detail:?}"
+    );
+    // 0 and 1 are the two valid representations — planting them
+    // byte-wise is defined and reads back exactly.
+    assert_eq!(
+        exit_of(
+            "int main(void) { _Bool b = 0; \
+             ((unsigned char *)&b)[0] = 1; \
+             return b; }"
+        ),
+        1
+    );
+}
+
+#[test]
+fn misalignment_is_reported_at_the_cast_not_the_access() {
+    // §6.3.2.3:7 makes the *conversion* itself undefined; the engine
+    // must therefore report the misaligned cast even though the program
+    // never dereferences the pointer…
+    let (kind, detail) = ub_of(
+        "int main(void) { char buf[8]; buf[1] = 0; \
+         int *p = (int *)(buf + 1); return p == 0; }",
+    );
+    assert_eq!(kind, UbKind::MisalignedAccess);
+    assert!(
+        detail.contains("converted to"),
+        "misalignment should be attributed to the conversion: {detail:?}"
+    );
+    // …which also means the cast-UB preempts the access-UB the
+    // dereference would have raised (wrong effective type on the char
+    // buffer): cast first, so MisalignedAccess is the verdict even with
+    // a dereference present.
+    assert_eq!(
+        ub_of(
+            "int main(void) { char buf[8]; buf[1] = 0; \
+             return *(int *)(buf + 1); }"
+        )
+        .0,
+        UbKind::MisalignedAccess
+    );
+    // A *suitably aligned* reinterpretation of an int array through a
+    // round-tripped char pointer is defined (§6.3.2.3:7 allows the
+    // round trip; the effective type matches).
+    assert_eq!(
+        exit_of(
+            "int main(void) { int a[2]; a[0] = 3; a[1] = 4; \
+             char *c = (char *)a; int *p = (int *)(c + 4); return *p; }"
+        ),
+        4
+    );
+}

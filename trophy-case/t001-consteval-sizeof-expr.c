@@ -1,0 +1,1 @@
+int main(void) { (sizeof(0)); return 0; }

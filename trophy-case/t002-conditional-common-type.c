@@ -1,0 +1,1 @@
+int main(void) { (0 ? 0 : ((short)(0))); return 0; }

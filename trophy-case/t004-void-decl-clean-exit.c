@@ -1,0 +1,6 @@
+int main(void) {
+  int v0 = 0;
+  v0 = (v0 + 1) & 1023;
+  void bad;
+  return v0 & 127;
+}

@@ -1,0 +1,87 @@
+int mix1(int a, int b) { return (((((unsigned long long)((a & 16383))) & 127)) ? ((((a & 16383)) >> 5)) : (((int)sizeof(int) & 31))); }
+int main(void) {
+  unsigned short v1 = 13;
+  long long v2 = 42;
+  v2 = (v2 & 16383);
+  switch (((mix1(((v1 & 16383)), ((v1 & 16383))) & 16383)) & 3) {
+    case 0: {
+      for (int i3 = 0; i3 < 10; i3++) {
+        v1 &= (v2 & 16383);
+      }
+      break;
+    }
+    case 1: {
+      v2 -= 6411;
+      break;
+    }
+  }
+  {
+    int w4 = 2;
+    while (w4 > 0) {
+      w4 = w4 - 1;
+      v1 ^= ((2891) || ((v2 & 16383)));
+    }
+  }
+  if ((mix1((8425), ((v1 & 16383))) & 16383)) {
+    {
+      unsigned int t5 = (v1 & 16383);
+      t5--;
+    }
+  } else {
+    v2 = (((v2 & 16383) - 7802) & 16383);
+  }
+  switch (((((v1 & 16383)) && (1757))) & 3) {
+    case 0: {
+      (mix1(((v1 & 16383)), ((v2 & 16383))) & 16383);
+      break;
+    }
+    case 1: {
+      if ((((v1 & 16383)) <= ((((unsigned char *)&v2)[2] & 255)))) {
+        v2 &= ((7795) ? (9222) : ((v2 & 16383)));
+      } else {
+        (((v1 & 16383)) / ((((v2 & 16383)) & 15) + 1));
+      }
+      break;
+    }
+    case 2: {
+      v1++;
+      break;
+    }
+    case 3: {
+      {
+        int t6 = (((7773) & 255) << 3);
+        (((t6 & 16383)) >= ((t6 & 16383)));
+      }
+      break;
+    }
+    default: {
+      (void)((((((unsigned char *)&v2)[1] & 255) ^ (v2 & 16383)) & 16383));
+    }
+  }
+  {
+    unsigned int t7 = (((v2 & 16383) + (((unsigned char *)&v1)[0] & 255)) & 16383);
+    {
+      int w8 = 9;
+      while (w8 > 0) {
+        w8 = w8 - 1;
+        t7 = (((mix1((9230), (6213)) & 16383) * (((v2 & 16383)) / ((((w8 & 16383)) & 15) + 1))) & 16383);
+      }
+    }
+  }
+  v1--;
+  if (6021) {
+    v1 = ((((int)sizeof(unsigned char) & 31) + 8437) & 16383);
+  } else {
+    ((unsigned char *)&v1)[0] = 71;
+  }
+  {
+    int w9 = 6;
+    while (w9 > 0) {
+      w9 = w9 - 1;
+      v1 = (((((((unsigned char *)&v2)[5] & 255)) > (498))) && ((((short)((v2 & 16383))) & 127)));
+    }
+  }
+  v1 = (((((v1 & 16383) & (((unsigned char *)&v1)[1] & 255)) & 16383) + (((long)((v2 & 16383))) & 127)) & 16383);
+  int r10 = ((((mix1((2465), ((((unsigned char *)&v2)[5] & 255))) & 16383)) % (((((int)sizeof(long) & 31)) & 15) + 1))) & 127;
+  return r10;
+}

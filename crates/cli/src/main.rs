@@ -24,7 +24,7 @@
 //! identical to a sequential run, in input order.
 
 use cundef_analysis::analyze;
-use cundef_semantics::eval::{Interp, Limits, Outcome};
+use cundef_semantics::eval::{Engine, Interp, Limits, Outcome};
 use cundef_semantics::intern::kw;
 use cundef_semantics::parser;
 use cundef_ub::{catalog, catalog_counts, Detectability};
@@ -62,6 +62,10 @@ OPTIONS:
                   only — works on files with no `main`), `execution`
                   (run the program), or `all` (default: translation
                   first; a statically doomed file is not executed)
+    --engine E    Execution engine: `bytecode` (default — compile to a
+                  flat instruction stream and dispatch) or `tree` (the
+                  reference tree-walking evaluator); verdicts and
+                  reports are byte-identical between the two
     --catalog     Print the paper's §5.2.1 catalog summary and exit
     --batch       Check the files in parallel across worker threads;
                   verdicts and output order are identical to a
@@ -91,12 +95,13 @@ enum Phase {
 const FUZZ_USAGE: &str = "\
 cundef fuzz — deterministic differential fuzzing sweep
 
-Generates programs from a seed and cross-checks three oracles:
+Generates programs from a seed and cross-checks four oracles:
 consteval-vs-eval on constant expressions, translation-phase verdicts
-vs execution outcomes on statically doomed programs, and exit codes of
-UB-free programs (optionally against a native compiler). Output is
-byte-for-byte reproducible for a given seed/count, independent of
---jobs and shard layout.
+vs execution outcomes on statically doomed programs, exit codes of
+UB-free programs (optionally against a native compiler), and
+tree-walker-vs-bytecode engine parity on every generated program.
+Output is byte-for-byte reproducible for a given seed/count,
+independent of --jobs and shard layout.
 
 USAGE:
     cundef fuzz [OPTIONS]
@@ -130,6 +135,7 @@ fn main() -> ExitCode {
     let mut batch = false;
     let mut jobs: Option<usize> = None;
     let mut phase = Phase::All;
+    let mut engine = Engine::default();
     let mut no_more_options = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -147,6 +153,14 @@ fn main() -> ExitCode {
                     complain!(
                         "error: `--phase` needs `translation`, `execution`, or `all`\n\n{USAGE}"
                     );
+                    return ExitCode::from(2);
+                }
+            },
+            "--engine" => match args.next().as_deref() {
+                Some("tree") => engine = Engine::Tree,
+                Some("bytecode") => engine = Engine::Bytecode,
+                _ => {
+                    complain!("error: `--engine` needs `tree` or `bytecode`\n\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -199,14 +213,14 @@ fn main() -> ExitCode {
         }
     };
     if batch {
-        for r in &check_batch(&files, quiet, jobs, phase) {
+        for r in &check_batch(&files, quiet, jobs, phase, engine) {
             emit(r);
         }
     } else {
         // Sequential mode streams: each verdict prints as its file
         // finishes, and nothing accumulates across files.
         for f in &files {
-            emit(&check_file(f, quiet, phase));
+            emit(&check_file(f, quiet, phase, engine));
         }
     }
     if any_undefined {
@@ -233,7 +247,7 @@ struct FileReport {
     stderr: String,
 }
 
-fn check_file(path: &str, quiet: bool, phase: Phase) -> FileReport {
+fn check_file(path: &str, quiet: bool, phase: Phase, engine: Engine) -> FileReport {
     let mut out = String::new();
     let mut err = String::new();
     let source = match std::fs::read_to_string(path) {
@@ -305,7 +319,7 @@ fn check_file(path: &str, quiet: bool, phase: Phase) -> FileReport {
             stderr: err,
         };
     }
-    let mut interp = Interp::new(&unit, Limits::default());
+    let mut interp = Interp::with_engine(&unit, Limits::default(), engine);
     let outcome = interp.run_main();
     // Implementation-defined conversion notes (§6.3.1.3:3 — narrowing
     // conversions this implementation resolves by two's-complement wrap)
@@ -350,6 +364,7 @@ fn check_batch(
     quiet: bool,
     jobs: Option<usize>,
     phase: Phase,
+    engine: Engine,
 ) -> Vec<FileReport> {
     let workers = jobs
         .unwrap_or_else(|| {
@@ -367,7 +382,7 @@ fn check_batch(
                 if i >= files.len() {
                     break;
                 }
-                let report = check_file(&files[i], quiet, phase);
+                let report = check_file(&files[i], quiet, phase, engine);
                 *slots[i].lock().expect("result slot poisoned") = Some(report);
             });
         }

@@ -54,6 +54,7 @@ fn detects_every_readme_family_across_examples() {
         ("examples/misaligned.c", "00030"),
         ("examples/uninit_byte.c", "00028"),
         ("examples/alias_write.c", "00033"),
+        ("examples/goto_vla.c", "00076"),
     ];
     for (file, code) in cases {
         let out = cundef(&[file]);
@@ -79,12 +80,13 @@ fn detects_every_readme_family_across_examples() {
 /// width-naive engine reports false SignedOverflow on it — and
 /// `memrep_char.c` is the byte-model acceptance case: a char sweep of a
 /// long's representation that reassembles the stored value exactly.
-const DEFINED_EXAMPLES: [&str; 5] = [
+const DEFINED_EXAMPLES: [&str; 6] = [
     "examples/defined.c",
     "examples/unsigned_wrap.c",
     "examples/narrow_conv.c",
     "examples/sizeof_expr.c",
     "examples/memrep_char.c",
+    "examples/goto_loop.c",
 ];
 
 #[test]
@@ -223,6 +225,74 @@ fn batch_mode_matches_sequential_verdicts_and_output() {
     let with_jobs = cundef(&jobs_args);
     assert_eq!(with_jobs.status.code(), sequential.status.code());
     assert_eq!(with_jobs.stdout, sequential.stdout);
+}
+
+#[test]
+fn goto_runs_under_both_engines_and_vla_jumps_stay_caught() {
+    for engine in ["tree", "bytecode"] {
+        // A defined program whose control flow is entirely backward
+        // gotos must run to completion in either engine.
+        let out = cundef(&["--engine", engine, "examples/goto_loop.c"]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "goto_loop.c must be defined under --engine {engine}\n{stdout}"
+        );
+        // A jump into the scope of a variably modified declaration is
+        // translation-phase UB (Error 00076): it must be reported before
+        // either engine would execute a single statement.
+        let out = cundef(&["--engine", engine, "examples/goto_vla.c"]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "goto_vla.c must be undefined under --engine {engine}\n{stdout}"
+        );
+        assert!(stdout.contains("Error: 00076"), "{engine}: {stdout}");
+        assert!(stdout.contains("variably modified"), "{engine}: {stdout}");
+    }
+}
+
+#[test]
+fn engines_produce_byte_identical_output_across_the_example_sweep() {
+    let files = all_examples();
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+
+    // Sequential sweep: one process per engine over every example.
+    let mut tree_args = vec!["--engine", "tree"];
+    tree_args.extend(&refs);
+    let mut vm_args = vec!["--engine", "bytecode"];
+    vm_args.extend(&refs);
+    let tree = cundef(&tree_args);
+    let vm = cundef(&vm_args);
+    assert_eq!(tree.status.code(), vm.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&tree.stdout),
+        String::from_utf8_lossy(&vm.stdout),
+        "engine stdout must be byte-identical across the example sweep"
+    );
+    assert_eq!(tree.stderr, vm.stderr);
+
+    // Batch mode: the parallel driver must preserve the same parity.
+    let mut tree_batch = vec!["--batch", "--engine", "tree"];
+    tree_batch.extend(&refs);
+    let mut vm_batch = vec!["--batch", "--engine", "bytecode"];
+    vm_batch.extend(&refs);
+    let tree_b = cundef(&tree_batch);
+    let vm_b = cundef(&vm_batch);
+    assert_eq!(tree_b.status.code(), vm_b.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&tree_b.stdout),
+        String::from_utf8_lossy(&vm_b.stdout),
+        "--batch stdout must be byte-identical across engines"
+    );
+
+    // The default engine is the bytecode VM, and batch output matches
+    // sequential output, so all four runs agree byte for byte.
+    let default_run = cundef(&refs);
+    assert_eq!(default_run.stdout, vm.stdout);
+    assert_eq!(vm_b.stdout, vm.stdout);
 }
 
 #[test]

@@ -1,5 +1,5 @@
 //! Differential fuzzing for the `cundef` checker: a seeded csmith-lite
-//! generator, three cross-checking oracles, a trace-level minimizer, and
+//! generator, four cross-checking oracles, a trace-level minimizer, and
 //! a committed trophy case.
 //!
 //! The crate's unit of work is the **sweep** ([`run_sweep`]): generate
@@ -12,7 +12,9 @@
 //!   case index — never of thread scheduling, shard layout, or job
 //!   count;
 //! - the class of case `i` is `i % 3` ([`gen::Class::of_case`]), so
-//!   every shard sees every oracle;
+//!   every shard sees every class-specific oracle (the engine-parity
+//!   oracle, [`oracle::check_engines`], runs on every case regardless of
+//!   class);
 //! - whether a defined case is cross-checked against a native compiler
 //!   is again a pure per-index rule;
 //! - findings are reported in case-index order no matter which worker
@@ -38,7 +40,7 @@ pub mod trophy;
 
 use decision::DecisionSource;
 use gen::{generate, Class, GenCase};
-use oracle::{check, check_defined, CrossCheck};
+use oracle::{check, check_defined, check_engines, CrossCheck};
 use rng::case_seed;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -247,7 +249,11 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
 
                 // Defined passes record their exit for golden snapshots;
                 // check() re-derives the same verdict for divergences.
-                if class == Class::Defined {
+                // Engine parity (oracle d) gates the shortcut: a case
+                // where the VM disagrees with the tree-walker must reach
+                // the divergence path even if the default engine happens
+                // to complete it.
+                if class == Class::Defined && check_engines(&case.source).is_ok() {
                     let this_cc = if cross { cc.clone() } else { CrossCheck::off() };
                     if let Ok(exit) = check_defined(&case.source, &this_cc) {
                         exits.lock().unwrap().insert(index, exit);

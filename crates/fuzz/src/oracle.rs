@@ -1,4 +1,4 @@
-//! The three cross-checking oracles.
+//! The four cross-checking oracles.
 //!
 //! 1. **consteval-vs-eval** ([`check_const_expr`]) — fold the generated
 //!    constant expression at translation time and evaluate it at run
@@ -18,13 +18,21 @@
 //!    findings, run to completion under the evaluator, and (when a C
 //!    compiler is on `PATH` and cross-checking is requested) exit with
 //!    the same status when compiled and executed natively.
+//! 4. **engine parity** ([`check_engines`]) — every generated program,
+//!    whatever its class, must produce the identical [`Outcome`] (same
+//!    variant, UB kind, location, and detail text) and identical
+//!    implementation-defined conversion notes under the tree-walking
+//!    reference interpreter and the bytecode VM. The one masked
+//!    difference is the step limit: the VM batches its step accounting,
+//!    so a "step limit exceeded" stop on either side is a resource
+//!    verdict, not a semantic one.
 
 use crate::gen::GenCase;
 use cundef_analysis::analyze;
 use cundef_semantics::ast::{ExprId, Stmt, TranslationUnit};
 use cundef_semantics::consteval::{const_eval, ConstStop};
 use cundef_semantics::ctype::{CInt, IntTy};
-use cundef_semantics::eval::{Interp, Limits, Outcome};
+use cundef_semantics::eval::{Engine, Interp, Limits, Outcome};
 use cundef_semantics::parser::parse;
 use cundef_ub::UbKind;
 
@@ -90,6 +98,14 @@ pub enum Divergence {
         /// The outcome, rendered.
         outcome: String,
     },
+    /// The tree-walking interpreter and the bytecode VM disagree on the
+    /// outcome (or notes) of one program.
+    EngineMismatch {
+        /// The tree-walker's view, rendered.
+        tree: String,
+        /// The bytecode VM's view, rendered.
+        bytecode: String,
+    },
     /// The evaluator and a native compiler disagree on the exit code of
     /// a defined program.
     ExitMismatch {
@@ -116,6 +132,7 @@ impl Divergence {
             Divergence::KindMismatch { injected, .. } => format!("kind-mismatch:{injected:?}"),
             Divergence::SpuriousFinding { kind } => format!("spurious-finding:{kind:?}"),
             Divergence::DefinedRejected { .. } => "defined-rejected".into(),
+            Divergence::EngineMismatch { .. } => "engine-mismatch".into(),
             Divergence::ExitMismatch { .. } => "exit-mismatch".into(),
         }
     }
@@ -150,6 +167,9 @@ impl Divergence {
             }
             Divergence::DefinedRejected { outcome } => {
                 format!("UB-free program rejected: {outcome}")
+            }
+            Divergence::EngineMismatch { tree, bytecode } => {
+                format!("engines disagree: tree-walker {tree}, bytecode VM {bytecode}")
             }
             Divergence::ExitMismatch {
                 ours,
@@ -199,12 +219,15 @@ impl CrossCheck {
 }
 
 /// Run the class-appropriate oracle on one generated case. `Ok(())`
-/// means every applicable check agreed.
+/// means every applicable check agreed. Engine parity (oracle d) runs
+/// first on every class — a VM that disagrees with the reference
+/// tree-walker makes any further verdict meaningless.
 pub fn check(
     case: &GenCase,
     cc: &CrossCheck,
     cross_check_this_case: bool,
 ) -> Result<(), Divergence> {
+    check_engines(&case.source)?;
     match case.class {
         crate::gen::Class::ConstExpr => {
             check_const_expr(case.expr.as_deref().expect("const case has expr"))
@@ -348,6 +371,40 @@ fn check_const_value(expr: &str, v: CInt) -> Result<(), Divergence> {
             observed: render_outcome(&other),
         }),
     }
+}
+
+/// Does this outcome report the evaluation step limit? The engines
+/// count steps differently (the VM batches bookkeeping per basic block),
+/// so hitting the limit on one side only is expected, not a divergence.
+fn is_step_limit(o: &Outcome) -> bool {
+    matches!(o, Outcome::Unsupported { message, .. } if message.contains("step limit"))
+}
+
+/// Oracle (d): engine parity. Run `source` under both the tree-walking
+/// reference interpreter and the bytecode VM; outcome and notes must be
+/// identical (step-limit stops excepted — see [`is_step_limit`]).
+pub fn check_engines(source: &str) -> Result<(), Divergence> {
+    let unit = parse(source).map_err(|e| Divergence::ParseError(e.to_string()))?;
+    let mut tree = Interp::with_engine(&unit, Limits::default(), Engine::Tree);
+    let tree_out = tree.run_main();
+    let mut vm = Interp::with_engine(&unit, Limits::default(), Engine::Bytecode);
+    let vm_out = vm.run_main();
+    if is_step_limit(&tree_out) || is_step_limit(&vm_out) {
+        return Ok(());
+    }
+    if tree_out != vm_out {
+        return Err(Divergence::EngineMismatch {
+            tree: format!("{tree_out:?}"),
+            bytecode: format!("{vm_out:?}"),
+        });
+    }
+    if tree.notes() != vm.notes() {
+        return Err(Divergence::EngineMismatch {
+            tree: format!("notes {:?}", tree.notes()),
+            bytecode: format!("notes {:?}", vm.notes()),
+        });
+    }
+    Ok(())
 }
 
 /// Oracle (b): phase agreement on a statically doomed program.

@@ -16,7 +16,8 @@
 //! instead of `BENCH_eval.json`).
 
 use cundef_bench::{black_box, corpus, measurements_json, parse_measurements, Criterion};
-use cundef_semantics::{check_translation_unit, parser};
+use cundef_semantics::eval::Engine;
+use cundef_semantics::{check_translation_unit, compile_unit, parser, Interp, Limits};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -51,16 +52,18 @@ fn main() {
     let typed = corpus::typed();
     let mem = corpus::mem();
 
-    // The corpus is meant to exercise the *defined* fast path; a program
-    // that stops early would silently benchmark much less work.
-    for p in programs.iter().chain(&typed).chain(&mem) {
-        let outcome = check_translation_unit(&p.source)
-            .unwrap_or_else(|e| panic!("{}: corpus program failed to parse: {e}", p.name));
-        assert!(
-            outcome.exit_code().is_some(),
-            "{}: corpus program must run to completion, got {outcome:?}",
-            p.name
-        );
+    // The corpus exercises the *defined* fast path: a program that
+    // aborts with UB mid-measurement would benchmark much less work, so
+    // `checked` fails loudly — inside the timed closure, naming the
+    // program — rather than letting a miscompiled fast path masquerade
+    // as a speedup. (The assert costs one branch against a millisecond-
+    // scale body.)
+    fn checked(name: &str, source: &str) -> i64 {
+        let outcome = check_translation_unit(source)
+            .unwrap_or_else(|e| panic!("{name}: corpus program failed to parse: {e}"));
+        outcome.exit_code().unwrap_or_else(|| {
+            panic!("{name}: corpus program must run to completion, got {outcome:?}")
+        })
     }
 
     for p in &programs {
@@ -68,7 +71,7 @@ fn main() {
             b.iter(|| parser::parse(black_box(&p.source)).expect("corpus parses"))
         });
         c.bench_function(&format!("check/{}", p.name), |b| {
-            b.iter(|| check_translation_unit(black_box(&p.source)).expect("corpus parses"))
+            b.iter(|| checked(&p.name, black_box(&p.source)))
         });
     }
     // The typed-scalar group: promotion-heavy and mixed-width programs
@@ -76,7 +79,7 @@ fn main() {
     // separately from the historic all-`int` corpus.
     for p in &typed {
         c.bench_function(&format!("types/{}", p.name), |b| {
-            b.iter(|| check_translation_unit(black_box(&p.source)).expect("corpus parses"))
+            b.iter(|| checked(&p.name, black_box(&p.source)))
         });
     }
 
@@ -84,7 +87,37 @@ fn main() {
     // mixed-width access over the byte-addressable memory core.
     for p in &mem {
         c.bench_function(&format!("mem/{}", p.name), |b| {
-            b.iter(|| check_translation_unit(black_box(&p.source)).expect("corpus parses"))
+            b.iter(|| checked(&p.name, black_box(&p.source)))
+        });
+    }
+
+    // The engine seam, measured apart: `exec/compile/*` is the cost of
+    // lowering to bytecode (paid once per unit), `exec/run/*` is pure
+    // bytecode execution over a pre-compiled unit, and `exec/tree/*` is
+    // the reference tree-walker over the same unit — so compile overhead
+    // is visible instead of smeared into `check/*`, and the engines'
+    // gap is measured in one run under identical conditions.
+    for p in programs.iter().chain(&typed).chain(&mem) {
+        let unit = parser::parse(&p.source).expect("corpus parses");
+        c.bench_function(&format!("exec/compile/{}", p.name), |b| {
+            b.iter(|| compile_unit(black_box(&unit)))
+        });
+        let compiled = compile_unit(&unit);
+        c.bench_function(&format!("exec/run/{}", p.name), |b| {
+            b.iter(|| {
+                let out =
+                    Interp::new(black_box(&unit), Limits::default()).run_main_compiled(&compiled);
+                out.exit_code()
+                    .unwrap_or_else(|| panic!("{}: UB mid-measurement: {out:?}", p.name))
+            })
+        });
+        c.bench_function(&format!("exec/tree/{}", p.name), |b| {
+            b.iter(|| {
+                let out = Interp::with_engine(black_box(&unit), Limits::default(), Engine::Tree)
+                    .run_main();
+                out.exit_code()
+                    .unwrap_or_else(|| panic!("{}: UB mid-measurement: {out:?}", p.name))
+            })
         });
     }
 

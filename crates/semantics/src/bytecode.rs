@@ -1,0 +1,357 @@
+//! Flat bytecode for the compiled execution engine.
+//!
+//! [`crate::compile`] lowers the slot-resolved AST into one contiguous
+//! [`Op`] stream per translation unit ([`CodeUnit`]), with u32 operands,
+//! jump-patched control flow, and per-function code ranges. The virtual
+//! machine in [`crate::eval`] dispatches over this stream; the
+//! tree-walker remains the reference semantics, and every op here is
+//! defined *in terms of* the tree-walker's helpers so diagnostics stay
+//! byte-identical.
+//!
+//! Two design rules keep parity cheap to argue:
+//!
+//! - **Honest fallbacks.** Any construct the compiler cannot prove it
+//!   lowers faithfully becomes a fallback op ([`Op::EvalFull`],
+//!   [`Op::ExecStmt`], [`Op::DeclFull`]) that calls straight into the
+//!   tree-walker for that full expression / statement / declaration.
+//!   The fast path only ever covers code where the lowering is exact.
+//! - **Footprint elision.** §6.5:2 sequencing checks are *provably
+//!   vacuous* for full expressions with at most one update (the root
+//!   store) — see `compile::elidable` — so the compiler simply does not
+//!   emit footprint/sequence-point traffic for them; anything else
+//!   falls back to the tree-walker, which keeps its byte-range
+//!   precision.
+//!
+//! Ops are slim (operands are u32 indices); anything larger — fused
+//! superinstruction descriptors, prebuilt error reports, tree-fallback
+//! flow info — lives in side tables indexed by those operands, with a
+//! parallel per-op [`SourceLoc`] table for diagnostics.
+
+use crate::ast::{BinOp, ExprId, StmtId, UnaryOp};
+use crate::ctype::{CInt, IntTy};
+use crate::eval::PointeeTy;
+use crate::intern::Symbol;
+use cundef_ub::{SourceLoc, UbError};
+
+// `goto` is compiled to a statically patched jump; a function whose
+// gotos interact with tree-executed regions (`switch`) is marked
+// `tree_only` instead, so the virtual machine never needs a runtime
+// label search.
+
+/// Program counter: an index into [`CodeUnit::ops`].
+pub(crate) type Pc = u32;
+
+/// One bytecode instruction. The per-op source position lives in the
+/// parallel [`CodeUnit::locs`] table.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    // ----- values -----
+    /// Push constant `pool[i]` as an integer value.
+    Const(u32),
+    /// Read slot `s` as a designator: array decay, unbound check, then a
+    /// typed load — the exact `ExprKind::Slot` semantics.
+    LoadSlot(u32),
+    /// Read slot `s`, statically known to be a scalar object of the
+    /// given non-`_Bool` integer type: single-word fast path when the
+    /// object is bound, alive, and fully initialized; the generic
+    /// [`Op::LoadSlot`] path otherwise.
+    LoadSlotFast(u32, IntTy),
+    /// Discard the top of the value stack (comma left operand).
+    Pop,
+    /// End of an expression statement: discard the top of the stack and
+    /// truncate the footprint arena to the frame's base (§6.8:4).
+    PopSeq,
+
+    // ----- arithmetic -----
+    /// Pop `v`; apply a unary operator per the tree-walker.
+    Unary(UnaryOp),
+    /// Pop `r`, pop `l`; consume both and apply a binary operator.
+    Binary(BinOp),
+    /// Pop `l`; apply a binary operator with constant `pool[i]` as the
+    /// right operand.
+    BinaryC(BinOp, u32),
+    /// Fused slot ⊗ slot binary op, descriptor in `fused[i]`.
+    BinSS(u32),
+    /// Fused slot ⊗ constant binary op, descriptor in `fused[i]`.
+    BinSC(u32),
+    /// Pop `l`; fused stack ⊗ slot binary op — the right operand is the
+    /// slot described by `fused[i]`'s *left*-operand fields (the `b_*`
+    /// fields are unused). Evaluation order matches the tree: the left
+    /// operand's ops already ran.
+    BinVS(u32),
+    /// Fused second-level tree `slotA ⊕ (inner)`, descriptor in
+    /// `fused2[i]`: load `a`, compute the inner fused pair, apply both
+    /// operators — five tree nodes in one dispatch, with the loads and
+    /// operator applications in exactly the tree-walker's order.
+    Bin2SF(u32),
+    /// [`Op::Bin2SF`] with the left operand taken from the stack (its
+    /// ops already ran); `fused2[i]`'s `a_*` fields are unused.
+    Bin2VF(u32),
+
+    // ----- control flow -----
+    /// Unconditional jump.
+    Jump(Pc),
+    /// Pop; if not truthy, jump (conditional operator — no sequence
+    /// boundary).
+    BranchFalse(Pc),
+    /// Truncate the footprint arena to the frame base (the controlling
+    /// full expression ends, §6.8:4), pop; if not truthy, jump.
+    BranchFalseSeq(Pc),
+    /// `&&` left operand: pop; if not truthy, push `0` and jump past the
+    /// right operand (§6.5.13:4).
+    AndFalse(Pc),
+    /// `||` left operand: pop; if truthy, push `1` and jump (§6.5.14:4).
+    OrTrue(Pc),
+    /// Pop; push `1` if truthy else `0` (`&&`/`||` right operand).
+    ToBool01,
+    /// Conditional-operator merge: convert the branch value to the
+    /// common type of both arms (§6.5.15:5). The operand is the
+    /// `Conditional` node itself.
+    CondCommon(ExprId),
+    /// Fused promoted-compare-and-branch, slot ⊗ slot (loop condition):
+    /// sequence boundary, compare via `fused[i]`, jump if false.
+    BrCmpSS(u32, Pc),
+    /// Fused promoted-compare-and-branch, slot ⊗ constant.
+    BrCmpSC(u32, Pc),
+
+    // ----- memory -----
+    /// Pop a value that must be a usable pointer (`eval_pointer`): a
+    /// pointer passes, null/integers report [`cundef_ub::UbKind::NullDereference`].
+    AsPtr,
+    /// Pop a place pointer; typed load through it.
+    ReadThru,
+    /// Pop index, pop base pointer; `pointer_add` and push the element
+    /// place (§6.5.2.1:2).
+    IndexPlace,
+    /// [`Op::IndexPlace`] immediately followed by a typed load.
+    IndexRead,
+    /// Push the place designated by slot `s` (unbound check; no byte is
+    /// accessed).
+    SlotPlace(u32),
+    /// Check that slot `s` is bound (the place-before-rhs evaluation
+    /// order of assignment) without pushing anything.
+    BindCheck(u32),
+    /// Pop the stored value, pop the place pointer; typed store, push
+    /// the converted result (§6.5.16:3).
+    StoreSimple,
+    /// Compound assignment through an arbitrary place: pop value, pop
+    /// place; read-modify-write with the operator.
+    StoreCompound(BinOp),
+    /// Pop the stored value; fused (compound) assignment to a scalar
+    /// slot, descriptor in `stores[i]`; push the converted result.
+    AssignSlot(u32),
+    /// Statement form of [`Op::AssignSlot`]: no push, and the statement's
+    /// sequence boundary (footprint truncation) is folded in.
+    AssignSlotPop(u32),
+    /// Pop a place pointer; `++`/`--` through it; push the old value
+    /// (postfix, `delta.1`) or the new one.
+    IncDec(i64, bool),
+    /// Whole `i++;` / `i--;` statement on an int slot, descriptor in
+    /// `incdecs[i]`, sequence boundary folded in.
+    IncDecSlotStmt(u32),
+
+    // ----- casts and sizeof -----
+    /// Pop; integer conversion (§6.3.1.3) with its note machinery.
+    CastInt(IntTy),
+    /// Pop; pointer conversion (§6.3.2.3:7) to the given pointee.
+    CastPtr(PointeeTy),
+    /// Pop; `(void)e` yields a value that must not be used (§6.3.2.2:2).
+    CastVoid,
+    /// `sizeof e` where the operand's type depends on runtime state
+    /// (arrays, VLAs): compute it via the no-eval type walk.
+    SizeofExpr(ExprId),
+
+    // ----- calls -----
+    /// Pop a value, consume it (`use_value` at the argument's position),
+    /// push it onto the shared argument stack.
+    ArgPush,
+    /// Call `functions[f]` with the top `argc` values of the argument
+    /// stack; push the returned value.
+    Call(u32, u32),
+    /// Return: pop the value, end the full expression, consume the value
+    /// at the `return`'s position, and leave the frame.
+    Ret,
+    /// `return;` — leave the frame with the missing-value poison the
+    /// tree-walker builds (§6.9.1:12 / §6.3.2.2:1).
+    RetNone,
+
+    // ----- scopes and declarations -----
+    /// Enter a block scope: remember the automatic-object mark.
+    EnterScope,
+    /// Leave a block scope: end the lifetimes created inside (§6.2.4:6).
+    ExitScope,
+    /// Leave `n` scopes (break/continue/goto unwinding).
+    ScopePopN(u32),
+    /// Enter `n` scopes (goto into nested scopes).
+    ScopePushN(u32),
+    /// Allocate and bind the object of a simple scalar declaration (the
+    /// operand statement is its `Stmt::Decl`); the initializer ops
+    /// follow.
+    DeclAlloc(StmtId),
+    /// Pop the initializer value and finish the declaration started by
+    /// [`Op::DeclAlloc`]: typed store at offset 0, const flag, sequence
+    /// boundary.
+    DeclInit(StmtId),
+    /// A simple scalar declaration with no initializer: allocate, bind,
+    /// set the const flag.
+    DeclSimple(StmtId),
+    /// Fallback: run the whole declaration through the tree-walker
+    /// (arrays, VLAs, redeclarations, initializers the compiler cannot
+    /// lower).
+    DeclFull(StmtId),
+
+    // ----- fallbacks and failures -----
+    /// Fallback: evaluate a full expression through the tree-walker and
+    /// push its value.
+    EvalFull(ExprId),
+    /// Statement fallback: evaluate a full expression through the
+    /// tree-walker and discard the value.
+    EvalFullPop(ExprId),
+    /// Statement fallback (`switch`): execute through the tree-walker;
+    /// flow info in `execs[i]`.
+    ExecStmt(u32),
+    /// Unconditional engine-limit stop; message in `fails[i]`.
+    FailUnsupported(u32),
+    /// Unconditional undefined-behavior stop; prebuilt report in
+    /// `ubs[i]` (e.g. a call-arity mismatch, which the tree-walker
+    /// reports only after evaluating the arguments).
+    FailUb(u32),
+    /// Placeholder (unresolved patch target); never executed.
+    Nop,
+}
+
+/// Descriptor of a fused binary superinstruction: both operand loads
+/// plus the operator in one dispatch. `b_slot` doubles as a constant
+/// pool index for the `*SC` forms.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FusedBin {
+    /// Left operand slot.
+    pub a_slot: u32,
+    /// Its statically known scalar type.
+    pub a_ty: IntTy,
+    /// Source position of the left operand (slot-load errors point here).
+    pub a_loc: SourceLoc,
+    /// Right operand slot (`BinSS`) or constant pool index (`BinSC`).
+    pub b_slot: u32,
+    /// Right operand's scalar type (slot forms).
+    pub b_ty: IntTy,
+    /// Source position of the right operand.
+    pub b_loc: SourceLoc,
+    /// The operator.
+    pub op: BinOp,
+}
+
+/// Descriptor of a second-level fused binary tree
+/// `a ⊕ (b ⊕ c)` ([`Op::Bin2SF`] / [`Op::Bin2VF`]): the outer
+/// operator plus an inner [`FusedBin`] pair.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fused2 {
+    /// The outer operator.
+    pub op: BinOp,
+    /// Outer left operand slot ([`Op::Bin2SF`] only).
+    pub a_slot: u32,
+    /// Its statically known scalar type.
+    pub a_ty: IntTy,
+    /// Source position of the outer left operand.
+    pub a_loc: SourceLoc,
+    /// Index of the inner pair in [`CodeUnit::fused`].
+    pub inner: u32,
+    /// Source position of the inner operator node (its arithmetic
+    /// diagnostics report here, as the tree-walker's would).
+    pub inner_loc: SourceLoc,
+    /// Whether the inner pair's right operand is a pool constant
+    /// (`BinSC` form) rather than a slot.
+    pub inner_const: bool,
+}
+
+/// Descriptor of a fused slot store ([`Op::AssignSlot`] /
+/// [`Op::AssignSlotPop`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FusedStore {
+    /// Target slot.
+    pub slot: u32,
+    /// The slot's statically known scalar type, when the single-word
+    /// fast path applies (the store converts to it, §6.5.16.1:2);
+    /// `None` always takes the generic typed-store path (pointer slots).
+    pub fast: Option<IntTy>,
+    /// `None` for simple assignment, the operator for compound.
+    pub op: Option<BinOp>,
+}
+
+/// Descriptor of a fused `i++;` / `i--;` statement.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FusedIncDec {
+    /// Target slot.
+    pub slot: u32,
+    /// Statically known scalar type for the read-modify-write fast path;
+    /// `None` (pointer slots, `_Bool`) takes the generic path.
+    pub fast: Option<IntTy>,
+    /// +1 or -1.
+    pub delta: i64,
+    /// Source position of the place expression (unbound-slot reports
+    /// point here, like the tree-walker's `eval_place`).
+    pub place_loc: SourceLoc,
+}
+
+/// Flow bookkeeping for a tree-fallback statement op: where the op sits
+/// in the compiled scope structure and where `continue` from inside it
+/// must land (`break` never escapes a `switch`, the only statement that
+/// gets an [`Op::ExecStmt`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecInfo {
+    /// The statement executed through the tree-walker.
+    pub stmt: StmtId,
+    /// Compile-time scope depth at this op (scopes entered since the
+    /// frame's base) — how many scopes a stray `continue` must leave.
+    pub depth: u32,
+    /// Innermost enclosing compiled loop: scopes to pop on `continue`,
+    /// and the pc to resume at. `None` when the statement is not inside
+    /// a compiled loop (the tree-walker lets such a `continue` fall out
+    /// of the function body; the VM jumps to the frame's end).
+    pub cont: Option<(u32, Pc)>,
+}
+
+/// Per-function compiled code.
+#[derive(Debug, Clone)]
+pub(crate) struct FnCode {
+    /// `[start, end)` range of this function's ops.
+    pub start: Pc,
+    /// One past the last op (falling off it is reaching the `}`).
+    pub end: Pc,
+    /// Slot spelling table (`SlotId` index → identifier), for slot-op
+    /// diagnostics.
+    pub slot_syms: Vec<Symbol>,
+    /// The function body runs through the tree-walker even under the
+    /// bytecode engine: its gotos interact with tree-executed regions
+    /// (a label or `goto` under a `switch`), which a static jump cannot
+    /// reproduce faithfully.
+    pub tree_only: bool,
+}
+
+/// A compiled translation unit: the flat op stream plus its side tables.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CodeUnit {
+    /// The instruction stream, all functions back to back.
+    pub ops: Vec<Op>,
+    /// Parallel per-op source positions.
+    pub locs: Vec<SourceLoc>,
+    /// Integer constant pool.
+    pub pool: Vec<CInt>,
+    /// Fused binary-op descriptors.
+    pub fused: Vec<FusedBin>,
+    /// Second-level fused binary-tree descriptors.
+    pub fused2: Vec<Fused2>,
+    /// Fused store descriptors.
+    pub stores: Vec<FusedStore>,
+    /// Fused `++`/`--` statement descriptors.
+    pub incdecs: Vec<FusedIncDec>,
+    /// Tree-fallback statement flow info.
+    pub execs: Vec<ExecInfo>,
+    /// Engine-limit messages for [`Op::FailUnsupported`].
+    pub fails: Vec<String>,
+    /// Prebuilt undefined-behavior reports for [`Op::FailUb`].
+    pub ubs: Vec<UbError>,
+    /// Per-function code ranges, indexed like
+    /// [`crate::ast::TranslationUnit::functions`].
+    pub funcs: Vec<FnCode>,
+}

@@ -67,11 +67,16 @@
 //!   path).
 
 use crate::ast::{BinOp, Decl, ExprId, ExprKind, Stmt, StmtId, TranslationUnit, Ty, UnaryOp};
+use crate::bytecode::CodeUnit;
+use crate::compile::{compile, CompiledUnit};
 use crate::consteval::{self, ConstStop};
 use crate::ctype::{CInt, IntTy, PTR_BYTES, SIZE_T};
 use crate::intern::{kw, Symbol};
 use cundef_ub::{SourceLoc, UbError, UbKind};
 use std::borrow::Cow;
+use std::rc::Rc;
+
+mod vm;
 
 /// Every [`UbKind`] this evaluator can raise, in code order.
 ///
@@ -136,6 +141,25 @@ impl Default for Limits {
             max_call_depth: 256,
         }
     }
+}
+
+/// Which execution engine [`Interp::run_main`] drives.
+///
+/// Both engines share the memory/object core (typed loads and stores,
+/// lifetimes, footprints, conversions), so every diagnostic — kind,
+/// position, detail text, notes — is identical between them; the
+/// tree-walker is the reference semantics and the bytecode engine is the
+/// fast path, checked against it by the engine-parity suite and the
+/// differential fuzzer's fourth oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Walk the AST directly — the reference interpreter.
+    Tree,
+    /// Lower each function to flat bytecode once, then dispatch over the
+    /// instruction stream (with tree fallback ops for constructs whose
+    /// diagnostics need the full footprint machinery).
+    #[default]
+    Bytecode,
 }
 
 /// The type a pointer accesses memory through — its pointee.
@@ -303,6 +327,10 @@ enum Flow {
     /// A `return`, carrying the value and the statement's position so
     /// reports about the returned value can point at the `return` itself.
     Return(Value, SourceLoc),
+    /// A `goto` in flight: it unwinds enclosing statements (ending block
+    /// lifetimes on the way out, §6.2.4:6) until it reaches a block that
+    /// contains the target label, which re-enters at the label.
+    Goto(Symbol, SourceLoc),
 }
 
 /// One byte-range access performed during an expression evaluation,
@@ -451,6 +479,25 @@ impl Bytes {
                 }
             }
         }
+    }
+
+    /// One-shot whole-object scalar read: `Some(bits)` iff the object
+    /// is exactly `n` bytes, small, and fully initialized — the three
+    /// checks a slot load performs, in one discriminant test.
+    #[inline]
+    fn word_init(&self, n: usize) -> Option<u64> {
+        if let Bytes::Small { data, init, len } = self {
+            let m = ((1u16 << n) - 1) as u8;
+            if *len as usize == n && init & m == m {
+                let word = u64::from_le_bytes(*data);
+                return Some(if n == 8 {
+                    word
+                } else {
+                    word & ((1u64 << (n * 8)) - 1)
+                });
+            }
+        }
+        None
     }
 
     /// Load `n` (≤ 8) bytes at `off`, little-endian, into the low bits.
@@ -655,11 +702,27 @@ pub struct Interp<'a> {
     /// what it did, once per source position.
     notes: Vec<(SourceLoc, String)>,
     steps: u64,
+    /// Which driver executes function bodies.
+    engine: Engine,
+    /// The lowered program, compiled on first use (or adopted from a
+    /// caller-provided [`CompiledUnit`]).
+    code: Option<Rc<CodeUnit>>,
+    /// The bytecode engine's operand stack, allocated once and reused
+    /// across calls (frames remember their base).
+    vstack: Vec<Value>,
+    /// `created`-stack marks for the bytecode engine's scope ops.
+    scope_marks: Vec<usize>,
 }
 
 impl<'a> Interp<'a> {
-    /// Create an interpreter for `unit` with the given resource limits.
+    /// Create an interpreter for `unit` with the given resource limits
+    /// and the default engine.
     pub fn new(unit: &'a TranslationUnit, limits: Limits) -> Interp<'a> {
+        Interp::with_engine(unit, limits, Engine::default())
+    }
+
+    /// Create an interpreter driving the given [`Engine`].
+    pub fn with_engine(unit: &'a TranslationUnit, limits: Limits, engine: Engine) -> Interp<'a> {
         Interp {
             unit,
             limits,
@@ -672,6 +735,10 @@ impl<'a> Interp<'a> {
             case_values: std::collections::HashMap::new(),
             notes: Vec::new(),
             steps: 0,
+            engine,
+            code: None,
+            vstack: Vec::with_capacity(64),
+            scope_marks: Vec::with_capacity(16),
         }
     }
 
@@ -687,7 +754,13 @@ impl<'a> Interp<'a> {
     /// Execute the program from `main` and report what happened.
     /// Implementation-defined conversion notes accumulate on the
     /// interpreter and can be read through [`Interp::notes`] afterwards.
+    ///
+    /// Under [`Engine::Bytecode`] the unit is lowered on first use; use
+    /// [`Interp::run_main_compiled`] to reuse an existing lowering.
     pub fn run_main(&mut self) -> Outcome {
+        if self.engine == Engine::Bytecode && self.code.is_none() {
+            self.code = Some(Rc::new(compile(self.unit)));
+        }
         let main_idx = self
             .unit
             .func_by_symbol
@@ -735,6 +808,17 @@ impl<'a> Interp<'a> {
                 Stop::Unsupported(message, loc) => Outcome::Unsupported { message, loc },
             },
         }
+    }
+
+    /// Execute the program from `main` through a pre-lowered
+    /// [`CompiledUnit`] (which must have been produced from this
+    /// interpreter's translation unit). This is the compile-vs-execute
+    /// split the `exec/*` benchmarks measure; the engine is forced to
+    /// [`Engine::Bytecode`].
+    pub fn run_main_compiled(&mut self, compiled: &CompiledUnit) -> Outcome {
+        self.engine = Engine::Bytecode;
+        self.code = Some(Rc::clone(&compiled.code));
+        self.run_main()
     }
 
     // ----- plumbing -----
@@ -845,6 +929,12 @@ impl<'a> Interp<'a> {
     /// the conversion is implementation-defined (§6.3.1.3:3).
     #[inline]
     fn convert_int(&mut self, c: CInt, ty: IntTy, loc: SourceLoc) -> CInt {
+        if c.ty == ty {
+            // Same type: the representation invariant (bits already
+            // truncated to the width) makes conversion the identity,
+            // and an in-range value is never implementation-defined.
+            return c;
+        }
         let (out, impl_defined) = c.convert(ty);
         if impl_defined {
             self.note(
@@ -2057,6 +2147,17 @@ impl<'a> Interp<'a> {
             let size = elem.size() as usize;
             let obj = self.alloc(ObjName::Sym(param.name), size, false, false, elem);
             self.slots[slot_base + i] = obj;
+            // A scalar argument takes a one-word converted store: the
+            // object is fresh, so every check the typed store would run
+            // is vacuously true, and the store's footprint entry would
+            // sit below every mark the callee can consult.
+            if let (Elem::Scalar(t), Value::Int(c)) = (elem, arg) {
+                if t != IntTy::Bool {
+                    let stored = self.convert_int(c, t, loc);
+                    self.objects[obj].bytes.store(0, size, stored.bits());
+                    continue;
+                }
+            }
             let place = self.designator_pointer(obj);
             self.write_typed(place, arg, loc)?;
         }
@@ -2070,8 +2171,8 @@ impl<'a> Interp<'a> {
             func.loc,
         );
         let mut stopped = None;
-        match self.exec_block(&func.body) {
-            Ok(Flow::Return(v, l)) => {
+        match self.run_body(func_idx) {
+            Ok(Some((v, l))) => {
                 // The returned value converts to the function's return
                 // type (§6.8.6.4:3): integer conversion for scalar
                 // returns, pointee adoption (alignment-checked,
@@ -2094,7 +2195,7 @@ impl<'a> Interp<'a> {
                 };
                 result = (v, l);
             }
-            Ok(_) => {}
+            Ok(None) => {}
             Err(stop) => stopped = Some(stop),
         }
         // Lifetimes of the frame's automatic objects end now (§6.2.4:2),
@@ -2111,22 +2212,88 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn exec_block(&mut self, body: &'a [StmtId]) -> EResult<Flow> {
-        let created_base = self.created.len();
-        let mut flow = Flow::Normal;
-        let mut stopped = None;
-        for &s in body {
-            match self.exec_stmt(s) {
-                Ok(Flow::Normal) => {}
-                Ok(other) => {
-                    flow = other;
-                    break;
-                }
-                Err(stop) => {
-                    stopped = Some(stop);
-                    break;
+    /// Run a function body through the selected engine, between the
+    /// shared prologue and epilogue in [`Interp::call`]. `Ok(Some)` is an
+    /// executed `return` (value and its position); `Ok(None)` is falling
+    /// off the closing `}`.
+    fn run_body(&mut self, func_idx: u32) -> EResult<Option<(Value, SourceLoc)>> {
+        let func = &self.unit.functions[func_idx as usize];
+        if self.engine == Engine::Bytecode {
+            if let Some(code) = &self.code {
+                let code = Rc::clone(code);
+                let fc = &code.funcs[func_idx as usize];
+                if !fc.tree_only {
+                    return self.run_ops(&code, func_idx);
                 }
             }
+        }
+        match self.exec_block_entry(&func.body, None)? {
+            Flow::Return(v, l) => Ok(Some((v, l))),
+            // A `goto` no enclosing block caught: its label is nowhere in
+            // this function. The resolver rejects this at translation
+            // time; an engine-level stop keeps the eval layer honest.
+            Flow::Goto(sym, loc) => Err(stop_unsupported(
+                format!(
+                    "`goto {}` targets no label in this function",
+                    self.name(sym)
+                ),
+                loc,
+            )),
+            // A stray `break`/`continue` (or plain fall-through) reaches
+            // the closing brace.
+            Flow::Normal | Flow::Break | Flow::Continue => Ok(None),
+        }
+    }
+
+    fn exec_block(&mut self, body: &'a [StmtId]) -> EResult<Flow> {
+        self.exec_block_entry(body, None)
+    }
+
+    /// Execute a block, optionally entering at a label (`entry`) instead
+    /// of the top. A `goto` coming out of a statement whose target is in
+    /// this block re-seeks within the block *without* ending its
+    /// lifetimes — a jump within a block does not leave it (§6.2.4:6) —
+    /// while a foreign target unwinds like `break`, killing this block's
+    /// objects on the way out.
+    fn exec_block_entry(&mut self, body: &'a [StmtId], entry: Option<Symbol>) -> EResult<Flow> {
+        let created_base = self.created.len();
+        let mut entry = entry;
+        let mut flow = Flow::Normal;
+        let mut stopped = None;
+        'restart: loop {
+            let mut skipping = entry.take();
+            for &s in body {
+                let r = match skipping {
+                    Some(target) => {
+                        if !stmt_has_label(self.unit, s, target) {
+                            continue;
+                        }
+                        skipping = None;
+                        self.seek_stmt(s, target)
+                    }
+                    None => self.exec_stmt(s),
+                };
+                match r {
+                    Ok(Flow::Normal) => {}
+                    Ok(Flow::Goto(sym, loc)) => {
+                        if body.iter().any(|&t| stmt_has_label(self.unit, t, sym)) {
+                            entry = Some(sym);
+                            continue 'restart;
+                        }
+                        flow = Flow::Goto(sym, loc);
+                        break;
+                    }
+                    Ok(other) => {
+                        flow = other;
+                        break;
+                    }
+                    Err(stop) => {
+                        stopped = Some(stop);
+                        break;
+                    }
+                }
+            }
+            break;
         }
         // Leaving the block ends the lifetime of everything declared in it
         // (§6.2.4:6): pointers that escaped the block are now dangling.
@@ -2137,27 +2304,84 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// Source position of a statement, for step-limit and engine-failure
-    /// reports.
-    fn stmt_loc(unit: &TranslationUnit, s: &Stmt) -> SourceLoc {
-        match s {
-            Stmt::Decl(d) => d.loc,
-            Stmt::Expr(e) | Stmt::If(e, _, _) | Stmt::While(e, _) => unit.expr(*e).loc,
-            Stmt::For(init, cond, step, body) => init
-                .map(|s| Self::stmt_loc(unit, unit.stmt(s)))
-                .or_else(|| cond.map(|e| unit.expr(e).loc))
-                .or_else(|| step.map(|e| unit.expr(e).loc))
-                .unwrap_or_else(|| Self::stmt_loc(unit, unit.stmt(*body))),
-            Stmt::Return(_, loc)
-            | Stmt::Break(loc)
-            | Stmt::Continue(loc)
-            | Stmt::Block(_, loc)
-            | Stmt::Switch(_, _, loc)
-            | Stmt::Case(_, _, loc)
-            | Stmt::Default(_, loc)
-            | Stmt::Label(_, _, loc)
-            | Stmt::Goto(_, loc)
-            | Stmt::Empty(loc) => *loc,
+    /// Execute statement `s` by jumping to the label `target` known to be
+    /// inside it: nothing on the way in is evaluated (§6.8.6.1 — a jump
+    /// transfers control directly, so loop conditions and `switch`
+    /// dispatch are skipped; declarations jumped over leave their slots
+    /// unbound).
+    fn seek_stmt(&mut self, s: StmtId, target: Symbol) -> EResult<Flow> {
+        let unit = self.unit;
+        let stmt = unit.stmt(s);
+        self.tick(stmt_loc(unit, stmt))?;
+        match stmt {
+            Stmt::Label(name, inner, _) if *name == target => self.exec_stmt(*inner),
+            Stmt::Label(_, inner, _) | Stmt::Case(_, inner, _) | Stmt::Default(inner, _) => {
+                self.seek_stmt(*inner, target)
+            }
+            Stmt::If(_, then, els) => {
+                if stmt_has_label(unit, *then, target) {
+                    self.seek_stmt(*then, target)
+                } else {
+                    let els = els.expect("seek target is under this `if`");
+                    self.seek_stmt(els, target)
+                }
+            }
+            Stmt::Block(body, _) => self.exec_block_entry(body, Some(target)),
+            Stmt::While(cond, body) => self.run_while(*cond, *body, Some(target)),
+            Stmt::For(_, cond, step, body) => {
+                // The init clause is jumped over; the loop's scope still
+                // opens (and closes when the loop is left).
+                let created_base = self.created.len();
+                let result = self.run_for(*cond, *step, *body, Some(target));
+                self.kill_created_from(created_base);
+                result
+            }
+            Stmt::Switch(_, body, _) => {
+                // Jumping to a label inside a `switch` body enters it
+                // without dispatching on the controlling expression.
+                match self.seek_stmt(*body, target)? {
+                    Flow::Break => Ok(Flow::Normal),
+                    flow => Ok(flow),
+                }
+            }
+            _ => unreachable!("seek target label is not under this statement"),
+        }
+    }
+
+    /// The `while` loop engine; `entry` jumps into the body at a label
+    /// for the first iteration (skipping the condition, §6.8.6.1).
+    fn run_while(
+        &mut self,
+        cond: ExprId,
+        body: StmtId,
+        mut entry: Option<Symbol>,
+    ) -> EResult<Flow> {
+        let unit = self.unit;
+        loop {
+            let r = match entry.take() {
+                Some(target) => self.seek_stmt(body, target)?,
+                None => {
+                    let v = self.eval_full(cond)?;
+                    if !self.truthy(v, unit.expr(cond).loc)? {
+                        return Ok(Flow::Normal);
+                    }
+                    self.exec_stmt(body)?
+                }
+            };
+            match r {
+                Flow::Break => return Ok(Flow::Normal),
+                Flow::Return(v, l) => return Ok(Flow::Return(v, l)),
+                Flow::Goto(sym, loc) => {
+                    if stmt_has_label(unit, body, sym) {
+                        // A jump back into this loop's body transfers
+                        // control directly: no condition re-evaluation.
+                        entry = Some(sym);
+                    } else {
+                        return Ok(Flow::Goto(sym, loc));
+                    }
+                }
+                Flow::Normal | Flow::Continue => {}
+            }
         }
     }
 
@@ -2167,7 +2391,7 @@ impl<'a> Interp<'a> {
         // Statements count toward the step limit too, so that loops whose
         // iterations evaluate no expressions (`for (;;) ;`) still hit
         // `max_steps` instead of spinning forever.
-        self.tick(Self::stmt_loc(unit, stmt))?;
+        self.tick(stmt_loc(unit, stmt))?;
         match stmt {
             Stmt::Empty(_) => Ok(Flow::Normal),
             Stmt::Decl(d) => {
@@ -2190,17 +2414,7 @@ impl<'a> Interp<'a> {
                     Ok(Flow::Normal)
                 }
             }
-            Stmt::While(cond, body) => loop {
-                let v = self.eval_full(*cond)?;
-                if !self.truthy(v, unit.expr(*cond).loc)? {
-                    return Ok(Flow::Normal);
-                }
-                match self.exec_stmt(*body)? {
-                    Flow::Break => return Ok(Flow::Normal),
-                    Flow::Return(v, l) => return Ok(Flow::Return(v, l)),
-                    Flow::Normal | Flow::Continue => {}
-                }
-            },
+            Stmt::While(cond, body) => self.run_while(*cond, *body, None),
             Stmt::For(init, cond, step, body) => {
                 // The init declaration's scope is the whole loop; its
                 // object dies when the loop is left.
@@ -2240,14 +2454,10 @@ impl<'a> Interp<'a> {
             Stmt::Case(_, inner, _) | Stmt::Default(inner, _) | Stmt::Label(_, inner, _) => {
                 self.exec_stmt(*inner)
             }
-            Stmt::Goto(target, loc) => Err(stop_unsupported(
-                format!(
-                    "executing `goto {}` is outside the modeled semantics \
-                     (translation-phase label checks still apply)",
-                    self.name(*target)
-                ),
-                *loc,
-            )),
+            // The goto unwinds through `Flow` until a block containing
+            // the label catches it; translation-phase checks (labels.rs)
+            // already rejected jumps into variably-modified scopes.
+            Stmt::Goto(target, loc) => Ok(Flow::Goto(*target, *loc)),
         }
     }
 
@@ -2362,7 +2572,7 @@ impl<'a> Interp<'a> {
                         return Err(stop_unsupported(
                             "case labels below the top level of a switch body are \
                              outside the modeled semantics",
-                            Self::stmt_loc(unit, other),
+                            stmt_loc(unit, other),
                         ));
                     }
                     return Ok(if saw_default { Some(cur) } else { None });
@@ -2421,20 +2631,48 @@ impl<'a> Interp<'a> {
         step: Option<ExprId>,
         body: StmtId,
     ) -> EResult<Flow> {
-        let unit = self.unit;
         if let Some(init) = init {
             self.exec_stmt(init)?;
         }
+        self.run_for(cond, step, body, None)
+    }
+
+    /// The `for` loop engine past its init clause; `entry` jumps into
+    /// the body at a label for the first iteration (skipping the
+    /// condition — the step and condition still run from then on).
+    fn run_for(
+        &mut self,
+        cond: Option<ExprId>,
+        step: Option<ExprId>,
+        body: StmtId,
+        mut entry: Option<Symbol>,
+    ) -> EResult<Flow> {
+        let unit = self.unit;
         loop {
-            if let Some(cond) = cond {
-                let v = self.eval_full(cond)?;
-                if !self.truthy(v, unit.expr(cond).loc)? {
-                    return Ok(Flow::Normal);
+            let r = match entry.take() {
+                Some(target) => self.seek_stmt(body, target)?,
+                None => {
+                    if let Some(cond) = cond {
+                        let v = self.eval_full(cond)?;
+                        if !self.truthy(v, unit.expr(cond).loc)? {
+                            return Ok(Flow::Normal);
+                        }
+                    }
+                    self.exec_stmt(body)?
                 }
-            }
-            match self.exec_stmt(body)? {
+            };
+            match r {
                 Flow::Break => return Ok(Flow::Normal),
                 Flow::Return(v, l) => return Ok(Flow::Return(v, l)),
+                Flow::Goto(sym, loc) => {
+                    if stmt_has_label(unit, body, sym) {
+                        // Direct transfer back into the body: neither the
+                        // step nor the condition runs on the way.
+                        entry = Some(sym);
+                        continue;
+                    }
+                    return Ok(Flow::Goto(sym, loc));
+                }
                 Flow::Normal | Flow::Continue => {}
             }
             if let Some(step) = step {
@@ -2583,11 +2821,63 @@ fn decay(t: SizeofTy) -> SizeofTy {
 }
 
 /// The pointee type a pointer *to* `ty` accesses through.
-fn pointee_of_ty(ty: &Ty) -> PointeeTy {
+pub(crate) fn pointee_of_ty(ty: &Ty) -> PointeeTy {
     match ty {
         Ty::Int(it) => PointeeTy::Scalar(*it),
         Ty::Void => PointeeTy::Void,
         Ty::Ptr(_) => PointeeTy::Ptr,
+    }
+}
+
+/// Source position of a statement, for step-limit and engine-failure
+/// reports (and statement-op locations in the bytecode compiler).
+pub(crate) fn stmt_loc(unit: &TranslationUnit, s: &Stmt) -> SourceLoc {
+    match s {
+        Stmt::Decl(d) => d.loc,
+        Stmt::Expr(e) | Stmt::If(e, _, _) | Stmt::While(e, _) => unit.expr(*e).loc,
+        Stmt::For(init, cond, step, body) => init
+            .map(|s| stmt_loc(unit, unit.stmt(s)))
+            .or_else(|| cond.map(|e| unit.expr(e).loc))
+            .or_else(|| step.map(|e| unit.expr(e).loc))
+            .unwrap_or_else(|| stmt_loc(unit, unit.stmt(*body))),
+        Stmt::Return(_, loc)
+        | Stmt::Break(loc)
+        | Stmt::Continue(loc)
+        | Stmt::Block(_, loc)
+        | Stmt::Switch(_, _, loc)
+        | Stmt::Case(_, _, loc)
+        | Stmt::Default(_, loc)
+        | Stmt::Label(_, _, loc)
+        | Stmt::Goto(_, loc)
+        | Stmt::Empty(loc) => *loc,
+    }
+}
+
+/// Whether `target` labels a statement anywhere inside `s` — the test
+/// that decides where an in-flight [`Flow::Goto`] lands. Descends into
+/// every substatement (labels under nested loops, switches, and `if`
+/// arms are all reachable by a jump, §6.8.6.1).
+fn stmt_has_label(unit: &TranslationUnit, s: StmtId, target: Symbol) -> bool {
+    match unit.stmt(s) {
+        Stmt::Label(name, inner, _) => *name == target || stmt_has_label(unit, *inner, target),
+        Stmt::Case(_, inner, _) | Stmt::Default(inner, _) => stmt_has_label(unit, *inner, target),
+        Stmt::If(_, then, els) => {
+            stmt_has_label(unit, *then, target)
+                || els.is_some_and(|e| stmt_has_label(unit, e, target))
+        }
+        Stmt::While(_, body) | Stmt::Switch(_, body, _) => stmt_has_label(unit, *body, target),
+        Stmt::For(init, _, _, body) => {
+            init.is_some_and(|i| stmt_has_label(unit, i, target))
+                || stmt_has_label(unit, *body, target)
+        }
+        Stmt::Block(items, _) => items.iter().any(|&t| stmt_has_label(unit, t, target)),
+        Stmt::Decl(_)
+        | Stmt::Expr(_)
+        | Stmt::Return(_, _)
+        | Stmt::Break(_)
+        | Stmt::Continue(_)
+        | Stmt::Goto(_, _)
+        | Stmt::Empty(_) => false,
     }
 }
 
@@ -3191,20 +3481,82 @@ mod tests {
     }
 
     #[test]
-    fn labels_are_transparent_but_goto_execution_is_unsupported() {
+    fn labels_are_transparent_and_goto_executes() {
         assert_eq!(
             run("int main(void) { int r = 0; here: r = 6; return r; }").exit_code(),
             Some(6)
         );
-        let outcome = run("int main(void) { goto out; out: return 0; }");
+        // Forward jump: the skipped statement never executes.
+        assert_eq!(
+            run("int main(void) { int r = 7; goto out; r = 0; out: return r; }").exit_code(),
+            Some(7)
+        );
+        // Backward jump forms a loop.
+        assert_eq!(
+            run("int main(void) { int i = 0; again: i++; if (i < 5) goto again; return i; }")
+                .exit_code(),
+            Some(5)
+        );
+        // A goto whose label was never defined is a lazy stop when (and
+        // only when) it executes.
+        let outcome = run("int main(void) { goto nowhere; return 0; }");
         assert!(
             matches!(outcome, Outcome::Unsupported { ref message, .. } if message.contains("goto")),
             "{outcome:?}"
         );
-        // An unreached goto stays unreported, like all lazy verdicts.
         assert_eq!(
-            run("int main(void) { if (0) goto out; out: return 1; }").exit_code(),
+            run("int main(void) { if (0) goto nowhere; return 1; }").exit_code(),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn goto_interacts_with_scopes_and_lifetimes() {
+        // Jumping out of a block ends the lifetimes it owns; re-entering
+        // creates fresh (uninitialized) objects.
+        assert_eq!(
+            run("int main(void) { int n = 0; \
+                 { int x = 1; n += x; if (n < 3) goto back; } return n; \
+                 back: { int y = 2; n += y; } goto fwd; fwd: return n; }")
+            .exit_code(),
+            Some(3)
+        );
+        // A jump within one block does not leave it (§6.2.4:6): the
+        // block's objects keep their values across the internal goto.
+        assert_eq!(
+            run("int main(void) { int i = 0; int s = 0; top: s += i; i++; \
+                 if (i < 4) goto top; return s; }")
+            .exit_code(),
+            Some(6)
+        );
+        // Jumping over a declaration: the declaration never executes, so
+        // using the name afterwards is an honest engine stop (the
+        // dynamic model binds slots only when declarations run) — in
+        // both engines identically.
+        let outcome = run("int main(void) { goto skip; int x = 1; skip: x; return x; }");
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. }
+                if message.contains("before its declaration executed")),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn goto_executes_under_the_tree_engine_too() {
+        let unit = crate::parser::parse(
+            "int main(void) { int i = 0; again: i++; if (i < 5) goto again; return i; }",
+        )
+        .unwrap();
+        let outcome = Interp::with_engine(&unit, Limits::default(), Engine::Tree).run_main();
+        assert_eq!(outcome.exit_code(), Some(5));
+        let unit =
+            crate::parser::parse("int main(void) { goto skip; int x = 1; skip: x; return x; }")
+                .unwrap();
+        let outcome = Interp::with_engine(&unit, Limits::default(), Engine::Tree).run_main();
+        assert!(
+            matches!(outcome, Outcome::Unsupported { ref message, .. }
+                if message.contains("before its declaration executed")),
+            "{outcome:?}"
         );
     }
 

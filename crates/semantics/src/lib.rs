@@ -57,6 +57,8 @@
 #![deny(missing_docs)]
 
 pub mod ast;
+pub(crate) mod bytecode;
+pub mod compile;
 pub mod consteval;
 pub mod ctype;
 pub mod eval;
@@ -65,7 +67,8 @@ pub mod lexer;
 pub mod parser;
 pub mod resolve;
 
-pub use eval::{Interp, Limits, Outcome, Pointer, Value};
+pub use compile::{compile_unit, CompiledUnit};
+pub use eval::{Engine, Interp, Limits, Outcome, Pointer, Value};
 pub use intern::{Interner, Symbol};
 pub use parser::ParseError;
 

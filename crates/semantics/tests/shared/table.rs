@@ -1,0 +1,80 @@
+// Included (not compiled as its own test binary) by `differential.rs`
+// and `engine_parity.rs` via `include!`, so both suites exercise the
+// exact same expression set.
+
+/// The shared table: every entry is checked for phase agreement, and
+/// constant values are re-checked dynamically via an exit-code compare.
+const TABLE: &[&str] = &[
+    // plain int arithmetic
+    "1 + 2 * 3",
+    "(10 / 3) + (10 % 3)",
+    "2147483647 + 1",
+    "2147483647 * 2",
+    "(-2147483647 - 1) - 1",
+    "(-2147483647 - 1) / -1",
+    "(-2147483647 - 1) % -1",
+    "1 / 0",
+    "1 % 0",
+    "-(-2147483647 - 1)",
+    // unsigned wrap: all defined
+    "4294967295u + 1u",
+    "0u - 1u",
+    "2147483647u * 3u",
+    "18446744073709551615uL + 1uL",
+    // shifts, per width
+    "1 << 30",
+    "1 << 31",
+    "1 << 32",
+    "1 << -1",
+    "-1 << 1",
+    "1u << 31",
+    "1u << 32",
+    "1L << 31",
+    "1L << 40",
+    "1L << 62",
+    "1L << 63",
+    "1L << 64",
+    "1uL << 63",
+    "255 >> 4",
+    "-16 >> 2",
+    // promotions and usual arithmetic conversions
+    "65535 * 65535",
+    "65535L * 65535",
+    "'A' + 1",
+    "'\\n' * 10",
+    "-1 < 1u",
+    "1u + 1L",
+    "(2147483648uL % 4294967296uL) + 0L",
+    // sizeof as a constant: both phases must agree on every LP64 byte
+    // size the byte-addressable memory model is laid out with
+    "sizeof(int) + sizeof(long)",
+    "sizeof(char) * 100",
+    "sizeof(int *) - 8u",
+    "sizeof(short) * 1000",
+    "sizeof(long long) - sizeof(int)",
+    "sizeof(unsigned short) + sizeof(_Bool)",
+    "(int)sizeof(int *) * 8",
+    // casts fold in constant expressions (§6.6:6) exactly as they
+    // evaluate at run time
+    "(int)3L + 4",
+    "(char)300 + 0",
+    "(unsigned char)300 + 0",
+    "(short)65535 + 0",
+    "(long)2147483647 + 1",
+    "(unsigned int)(0u - 1u) / 2u",
+    "(int)(char)200 + 0",
+    // logic and conditionals with short circuits
+    "0 && (1 / 0)",
+    "1 || (1 / 0)",
+    "1 ? 7 : 1 / 0",
+    "0 ? 1 / 0 : 9",
+    "~0u",
+    "~0 + 1",
+    // Promoted fuzz trophies (trophy-case/): expressions the sweep
+    // minimized out of real phase divergences, kept in the shared table
+    // so the agreement *and* value checks cover them forever.
+    "(sizeof(0))",
+    "(0 ? 0 : ((short)(0)))",
+    "(9223372036854775807LL ? (0 ? 0 : 0) : 4294967295L)",
+    "sizeof(0 ? (char)1 : (long)2) + 0u",
+];

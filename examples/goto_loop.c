@@ -1,0 +1,18 @@
+/* A fully defined program using goto, for contrast: both execution
+ * engines run the jumps for real (backward gotos form the loop) and
+ * cundef exits 0. */
+int main(void) {
+    int s = 0;
+    int i = 0;
+again:
+    if (i < 10) {
+        s = s + i;
+        i = i + 1;
+        goto again;
+    }
+    if (s != 45)
+        goto fail;
+    return 0;
+fail:
+    return 1;
+}

@@ -1,0 +1,14 @@
+/* A goto that jumps into the scope of a variable length array
+ * (C11 6.8.6.1:1): at the label, `a` is in scope but its size was
+ * never evaluated. The translation phase rejects this before any
+ * execution — constraint-style static undefinedness, Error: 00075. */
+int main(void) {
+    int n = 4;
+    goto inside;
+    {
+        int a[n];
+inside:
+        a[0] = 1;
+        return a[0];
+    }
+}

@@ -17,22 +17,33 @@
 //! *not* executed: it is statically doomed, and running it would only
 //! duplicate or shadow the report.
 //!
+//! Checking and rendering are split: each file reduces to a
+//! [`FileResult`] (the structured verdict + findings + notes), and a
+//! pluggable [`Renderer`] — selected by `--format human|json|sarif` —
+//! turns results into bytes. `--stats[=json]` reports per-phase wall
+//! times and `--profile` the engines' execution telemetry, both on
+//! stderr so every stdout format stays clean.
+//!
 //! With `--batch`, many files are checked in parallel across worker
 //! threads. Each worker owns its own parser, analyzer, and evaluator
 //! (translation units share nothing — each carries its own interner and
-//! arenas), so the files partition cleanly and verdicts and output are
-//! identical to a sequential run, in input order.
+//! arenas); rendering happens on the main thread in input order, so
+//! verdicts and output are byte-identical to a sequential run.
 
 use cundef_analysis::analyze;
 use cundef_semantics::eval::{Engine, Interp, Limits, Outcome};
 use cundef_semantics::intern::kw;
-use cundef_semantics::parser;
+use cundef_semantics::{compile_unit, parser, ExecProfile};
+use cundef_ub::render::{
+    FileResult, HumanRenderer, JsonRenderer, Rendered, Renderer, SarifRenderer, Verdict,
+};
 use cundef_ub::{catalog, catalog_counts, Detectability};
 use std::fmt::Write as _;
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Print to stdout, ignoring broken pipes (`cundef … | head` must not
 /// panic; the exit code still reflects the analysis).
@@ -66,6 +77,17 @@ OPTIONS:
                   flat instruction stream and dispatch) or `tree` (the
                   reference tree-walking evaluator); verdicts and
                   reports are byte-identical between the two
+    --format F    Output format: `human` (default, kcc-style reports),
+                  `json` (JSON Lines: one event object per line), or
+                  `sarif` (one SARIF 2.1.0 document on stdout, rule
+                  metadata from the §5.2.1 catalog)
+    --stats[=json] Report per-phase wall times (read, lex, parse,
+                  resolve, analyze, compile, execute) per file and
+                  aggregated, on stderr; `=json` for machine readers
+    --profile     Collect and report execution telemetry on stderr:
+                  opcode histogram, superinstruction and word fast-path
+                  hit rates, footprint-elision rate, steps, memory
+                  counters (off by default and costs nothing when off)
     --catalog     Print the paper's §5.2.1 catalog summary and exit
     --batch       Check the files in parallel across worker threads;
                   verdicts and output order are identical to a
@@ -92,14 +114,31 @@ enum Phase {
     All,
 }
 
+/// Output format behind `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
+/// `--stats` reporting mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsMode {
+    Off,
+    Human,
+    Json,
+}
+
 const FUZZ_USAGE: &str = "\
 cundef fuzz — deterministic differential fuzzing sweep
 
-Generates programs from a seed and cross-checks four oracles:
+Generates programs from a seed and cross-checks five oracles:
 consteval-vs-eval on constant expressions, translation-phase verdicts
 vs execution outcomes on statically doomed programs, exit codes of
-UB-free programs (optionally against a native compiler), and
-tree-walker-vs-bytecode engine parity on every generated program.
+UB-free programs (optionally against a native compiler),
+tree-walker-vs-bytecode engine parity on every generated program, and
+JSON-renderer round-trips against the human verdict.
 Output is byte-for-byte reproducible for a given seed/count,
 independent of --jobs and shard layout.
 
@@ -136,6 +175,9 @@ fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut phase = Phase::All;
     let mut engine = Engine::default();
+    let mut format = Format::Human;
+    let mut stats = StatsMode::Off;
+    let mut profile = false;
     let mut no_more_options = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -164,6 +206,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                _ => {
+                    complain!("error: `--format` needs `human`, `json`, or `sarif`\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--stats" => stats = StatsMode::Human,
+            "--stats=json" => stats = StatsMode::Json,
+            "--profile" => profile = true,
             "-h" | "--help" => {
                 say!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -201,26 +255,71 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let opts = CheckOptions {
+        phase,
+        engine,
+        profile,
+    };
+    let mut renderer: Box<dyn Renderer> = match format {
+        Format::Human => Box::new(HumanRenderer::new(quiet)),
+        Format::Json => Box::new(JsonRenderer::new()),
+        Format::Sarif => Box::new(SarifRenderer::new(env!("CARGO_PKG_VERSION"))),
+    };
     let mut any_undefined = false;
     let mut any_engine_failure = false;
-    let mut emit = |r: &FileReport| {
-        let _ = std::io::stdout().write_all(r.stdout.as_bytes());
-        let _ = std::io::stderr().write_all(r.stderr.as_bytes());
-        match r.verdict {
+    let mut agg = PhaseStats::default();
+    let mut emit = |checked: &Checked| {
+        let Rendered { stdout, stderr } = renderer.render_file(&checked.result);
+        let _ = std::io::stdout().write_all(stdout.as_bytes());
+        let _ = std::io::stderr().write_all(stderr.as_bytes());
+        match stats {
+            StatsMode::Off => {}
+            StatsMode::Human => {
+                complain!("{}", checked.stats.render_human(&checked.result.path));
+            }
+            StatsMode::Json => {
+                complain!(
+                    "{}",
+                    checked.stats.render_json(Some(&checked.result.path), 1)
+                );
+            }
+        }
+        agg.add(&checked.stats);
+        if let Some(p) = &checked.profile {
+            let _ = std::io::stderr().write_all(render_profile(&checked.result.path, p).as_bytes());
+        }
+        match checked.result.verdict {
             Verdict::Defined => {}
             Verdict::Undefined => any_undefined = true,
             Verdict::EngineFailure => any_engine_failure = true,
         }
     };
     if batch {
-        for r in &check_batch(&files, quiet, jobs, phase, engine) {
-            emit(r);
+        for checked in &check_batch(&files, jobs, &opts) {
+            emit(checked);
         }
     } else {
         // Sequential mode streams: each verdict prints as its file
-        // finishes, and nothing accumulates across files.
+        // finishes, and nothing accumulates across files (the SARIF
+        // renderer buffers internally by design — one document per run).
         for f in &files {
-            emit(&check_file(f, quiet, phase, engine));
+            emit(&check_file(f, &opts));
+        }
+    }
+    let tail = renderer.finish();
+    let _ = std::io::stdout().write_all(tail.as_bytes());
+    if stats != StatsMode::Off && files.len() > 1 {
+        match stats {
+            StatsMode::Human => {
+                complain!(
+                    "{}",
+                    agg.render_human(&format!("total ({} files)", files.len()))
+                );
+            }
+            StatsMode::Json => {
+                complain!("{}", agg.render_json(None, files.len()));
+            }
+            StatsMode::Off => unreachable!(),
         }
     }
     if any_undefined {
@@ -232,71 +331,168 @@ fn main() -> ExitCode {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Verdict {
-    Defined,
-    Undefined,
-    EngineFailure,
+/// Per-file checking knobs (everything except rendering).
+#[derive(Debug, Clone, Copy)]
+struct CheckOptions {
+    phase: Phase,
+    engine: Engine,
+    profile: bool,
 }
 
-/// The outcome of checking one file, with its rendered output buffered
-/// so parallel workers never interleave and ordering matches the input.
-struct FileReport {
-    verdict: Verdict,
-    stdout: String,
-    stderr: String,
+/// Wall-clock spans around each pipeline phase of one file's check
+/// (zero for phases that did not run).
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseStats {
+    read: Duration,
+    lex: Duration,
+    parse: Duration,
+    resolve: Duration,
+    analyze: Duration,
+    compile: Duration,
+    execute: Duration,
 }
 
-fn check_file(path: &str, quiet: bool, phase: Phase, engine: Engine) -> FileReport {
-    let mut out = String::new();
-    let mut err = String::new();
+impl PhaseStats {
+    fn total(&self) -> Duration {
+        self.read
+            + self.lex
+            + self.parse
+            + self.resolve
+            + self.analyze
+            + self.compile
+            + self.execute
+    }
+
+    fn add(&mut self, other: &PhaseStats) {
+        self.read += other.read;
+        self.lex += other.lex;
+        self.parse += other.parse;
+        self.resolve += other.resolve;
+        self.analyze += other.analyze;
+        self.compile += other.compile;
+        self.execute += other.execute;
+    }
+
+    fn render_human(&self, label: &str) -> String {
+        format!(
+            "{label}: stats: read {:?}, lex {:?}, parse {:?}, resolve {:?}, analyze {:?}, \
+             compile {:?}, execute {:?}, total {:?}",
+            self.read,
+            self.lex,
+            self.parse,
+            self.resolve,
+            self.analyze,
+            self.compile,
+            self.execute,
+            self.total()
+        )
+    }
+
+    /// One JSON object (`"file": null` marks the per-run aggregate).
+    fn render_json(&self, file: Option<&str>, files: usize) -> String {
+        let mut out = String::from("{\"type\": \"stats\", \"file\": ");
+        match file {
+            Some(f) => out.push_str(&cundef_ub::json::escaped(f)),
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ", \"files\": {files}, \"read_ns\": {}, \"lex_ns\": {}, \"parse_ns\": {}, \
+             \"resolve_ns\": {}, \"analyze_ns\": {}, \"compile_ns\": {}, \"execute_ns\": {}, \
+             \"total_ns\": {}}}",
+            self.read.as_nanos(),
+            self.lex.as_nanos(),
+            self.parse.as_nanos(),
+            self.resolve.as_nanos(),
+            self.analyze.as_nanos(),
+            self.compile.as_nanos(),
+            self.execute.as_nanos(),
+            self.total().as_nanos(),
+        );
+        out
+    }
+}
+
+/// Everything one file's check produced: the structured result for the
+/// renderer, phase times for `--stats`, telemetry for `--profile`.
+struct Checked {
+    result: FileResult,
+    stats: PhaseStats,
+    profile: Option<ExecProfile>,
+}
+
+impl Checked {
+    fn failed(path: &str, stats: PhaseStats, error: String) -> Checked {
+        Checked {
+            result: FileResult {
+                path: path.to_string(),
+                verdict: Verdict::EngineFailure,
+                findings: Vec::new(),
+                notes: Vec::new(),
+                success: None,
+                exit: None,
+                errors: vec![error],
+            },
+            stats,
+            profile: None,
+        }
+    }
+}
+
+fn check_file(path: &str, opts: &CheckOptions) -> Checked {
+    let mut stats = PhaseStats::default();
+    let t = Instant::now();
     let source = match std::fs::read_to_string(path) {
         Err(e) => {
-            let _ = writeln!(err, "{path}: cannot read file: {e}");
-            return FileReport {
-                verdict: Verdict::EngineFailure,
-                stdout: out,
-                stderr: err,
-            };
+            stats.read = t.elapsed();
+            return Checked::failed(path, stats, format!("cannot read file: {e}"));
         }
         Ok(source) => source,
     };
-    let unit = match parser::parse(&source) {
+    stats.read = t.elapsed();
+    let unit = match parser::parse_timed(&source) {
         Err(parse_err) => {
-            let _ = writeln!(err, "{path}: {parse_err}");
-            return FileReport {
-                verdict: Verdict::EngineFailure,
-                stdout: out,
-                stderr: err,
-            };
+            return Checked::failed(path, stats, parse_err.to_string());
         }
-        Ok(unit) => unit,
+        Ok((unit, timing)) => {
+            stats.lex = timing.lex;
+            stats.parse = timing.parse;
+            stats.resolve = timing.resolve;
+            unit
+        }
+    };
+    let mut result = FileResult {
+        path: path.to_string(),
+        verdict: Verdict::Defined,
+        findings: Vec::new(),
+        notes: Vec::new(),
+        success: None,
+        exit: None,
+        errors: Vec::new(),
     };
 
     // Translation phase: static checks over the resolved AST. A file
     // that fails here is statically doomed — running it would duplicate
     // (or shadow) the report, so execution is skipped.
-    if phase != Phase::Execution {
+    if opts.phase != Phase::Execution {
+        let t = Instant::now();
         let findings = analyze(&unit);
+        stats.analyze = t.elapsed();
         if !findings.is_empty() {
-            let _ = writeln!(out, "{path}:");
-            for finding in &findings {
-                let _ = write!(out, "{}", finding.to_diagnostic());
-            }
-            return FileReport {
-                verdict: Verdict::Undefined,
-                stdout: out,
-                stderr: err,
+            result.verdict = Verdict::Undefined;
+            result.findings = findings.iter().map(|f| f.to_diagnostic()).collect();
+            return Checked {
+                result,
+                stats,
+                profile: None,
             };
         }
-        if phase == Phase::Translation {
-            if !quiet {
-                let _ = writeln!(out, "{path}: translation phase found no undefined behavior");
-            }
-            return FileReport {
-                verdict: Verdict::Defined,
-                stdout: out,
-                stderr: err,
+        if opts.phase == Phase::Translation {
+            result.success = Some("translation phase found no undefined behavior".to_string());
+            return Checked {
+                result,
+                stats,
+                profile: None,
             };
         }
     }
@@ -305,67 +501,121 @@ fn check_file(path: &str, quiet: bool, phase: Phase, engine: Engine) -> FileRepo
     // that is a note, not an error, so translation-only inputs (headers,
     // libraries) pass through the default pipeline cleanly.
     if unit.function(kw::MAIN).is_none() {
-        if !quiet {
-            let note = if phase == Phase::All {
-                "nothing to execute (no `main`); translation phase found no undefined behavior"
-            } else {
-                "nothing to execute (translation unit defines no `main`)"
-            };
-            let _ = writeln!(out, "{path}: {note}");
-        }
-        return FileReport {
-            verdict: Verdict::Defined,
-            stdout: out,
-            stderr: err,
+        let note = if opts.phase == Phase::All {
+            "nothing to execute (no `main`); translation phase found no undefined behavior"
+        } else {
+            "nothing to execute (translation unit defines no `main`)"
+        };
+        result.success = Some(note.to_string());
+        return Checked {
+            result,
+            stats,
+            profile: None,
         };
     }
-    let mut interp = Interp::with_engine(&unit, Limits::default(), engine);
-    let outcome = interp.run_main();
+    let mut interp = Interp::with_engine(&unit, Limits::default(), opts.engine);
+    if opts.profile {
+        interp.enable_profiling();
+    }
+    let outcome = if opts.engine == Engine::Bytecode {
+        let t = Instant::now();
+        let compiled = compile_unit(&unit);
+        stats.compile = t.elapsed();
+        let t = Instant::now();
+        let outcome = interp.run_main_compiled(&compiled);
+        stats.execute = t.elapsed();
+        outcome
+    } else {
+        let t = Instant::now();
+        let outcome = interp.run_main();
+        stats.execute = t.elapsed();
+        outcome
+    };
     // Implementation-defined conversion notes (§6.3.1.3:3 — narrowing
     // conversions this implementation resolves by two's-complement wrap)
     // print before the verdict: they describe defined behavior the
     // program relied on, whatever the verdict turns out to be.
-    for (loc, msg) in interp.notes() {
-        let _ = writeln!(out, "{path}:{loc}: note: {msg}");
-    }
-    let verdict = match outcome {
+    result.notes = interp.notes().to_vec();
+    match outcome {
         Outcome::Completed(exit) => {
-            if !quiet {
-                let _ = writeln!(
-                    out,
-                    "{path}: no undefined behavior detected (program returned {exit})"
-                );
-            }
-            Verdict::Defined
+            result.success = Some(format!(
+                "no undefined behavior detected (program returned {exit})"
+            ));
+            result.exit = Some(exit);
         }
         Outcome::Undefined(report) => {
-            let _ = writeln!(out, "{path}:");
-            let _ = write!(out, "{}", report.to_diagnostic());
-            Verdict::Undefined
+            result.verdict = Verdict::Undefined;
+            result.findings = vec![report.to_diagnostic()];
         }
         Outcome::Unsupported { message, loc } => {
-            let _ = writeln!(err, "{path}: checker limitation at {loc}: {message}");
-            Verdict::EngineFailure
+            result.verdict = Verdict::EngineFailure;
+            result
+                .errors
+                .push(format!("checker limitation at {loc}: {message}"));
         }
-    };
-    FileReport {
-        verdict,
-        stdout: out,
-        stderr: err,
     }
+    Checked {
+        result,
+        stats,
+        profile: interp.profile(),
+    }
+}
+
+/// Render one file's `--profile` telemetry (stderr, human-oriented but
+/// stable enough to grep).
+fn render_profile(path: &str, p: &ExecProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: profile: steps {}, ops {}, superinstruction hits {}",
+        p.steps,
+        p.ops_executed,
+        p.superinstruction_hits()
+    );
+    let _ = writeln!(
+        out,
+        "{path}: profile: word fast-path {} hit / {} fallback{}",
+        p.word_fast_hits,
+        p.word_fast_fallbacks,
+        match p.word_fast_hit_rate() {
+            Some(r) => format!(" ({:.1}% hit)", r * 100.0),
+            None => String::new(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{path}: profile: footprint elision {} elided / {} tree-fallback{}",
+        p.elided_boundaries(),
+        p.tree_fallback_ops(),
+        match p.footprint_elision_rate() {
+            Some(r) => format!(" ({:.1}% elided)", r * 100.0),
+            None => String::new(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{path}: profile: objects {}, peak live bytes {}, heap allocs {} / frees {} / bytes {}",
+        p.objects_allocated, p.peak_live_bytes, p.heap_allocs, p.heap_frees, p.heap_bytes_allocated
+    );
+    let mut ops: Vec<(&str, u64)> = p.op_counts.iter().map(|(m, n)| (*m, *n)).collect();
+    ops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    if !ops.is_empty() {
+        let top: Vec<String> = ops
+            .iter()
+            .take(8)
+            .map(|(m, n)| format!("{m}×{n}"))
+            .collect();
+        let _ = writeln!(out, "{path}: profile: top ops: {}", top.join(" "));
+    }
+    out
 }
 
 /// Check `files` across worker threads. Work is handed out by an atomic
 /// cursor; every worker runs its own parser + analyzer + evaluator, so
-/// nothing is shared but the results vector. Reports come back in input
-/// order.
-fn check_batch(
-    files: &[String],
-    quiet: bool,
-    jobs: Option<usize>,
-    phase: Phase,
-    engine: Engine,
-) -> Vec<FileReport> {
+/// nothing is shared but the results vector. Results come back in input
+/// order and are rendered on the main thread, keeping every format's
+/// output byte-identical to a sequential run.
+fn check_batch(files: &[String], jobs: Option<usize>, opts: &CheckOptions) -> Vec<Checked> {
     let workers = jobs
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -374,7 +624,7 @@ fn check_batch(
         })
         .min(files.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<FileReport>>> = files.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Checked>>> = files.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -382,8 +632,8 @@ fn check_batch(
                 if i >= files.len() {
                     break;
                 }
-                let report = check_file(&files[i], quiet, phase, engine);
-                *slots[i].lock().expect("result slot poisoned") = Some(report);
+                let checked = check_file(&files[i], opts);
+                *slots[i].lock().expect("result slot poisoned") = Some(checked);
             });
         }
     });

@@ -3,7 +3,7 @@
 //! The program generator never consumes raw random bits; it asks a
 //! [`DecisionSource`] questions ("which statement next?", "which
 //! operator?"). In *record* mode the answers come from a seeded
-//! [`SplitMix64`](crate::rng::SplitMix64) and every draw is appended to
+//! [`SplitMix64`] and every draw is appended to
 //! the trace. In *replay* mode the answers come from a stored trace, and
 //! a source that runs past the end keeps answering `0` — which, by
 //! generator convention, is always the **simplest** choice (fewest

@@ -1,5 +1,5 @@
 //! Differential fuzzing for the `cundef` checker: a seeded csmith-lite
-//! generator, four cross-checking oracles, a trace-level minimizer, and
+//! generator, five cross-checking oracles, a trace-level minimizer, and
 //! a committed trophy case.
 //!
 //! The crate's unit of work is the **sweep** ([`run_sweep`]): generate
@@ -13,7 +13,8 @@
 //!   count;
 //! - the class of case `i` is `i % 3` ([`gen::Class::of_case`]), so
 //!   every shard sees every class-specific oracle (the engine-parity
-//!   oracle, [`oracle::check_engines`], runs on every case regardless of
+//!   and JSON-round-trip oracles, [`oracle::check_engines`] and
+//!   [`oracle::check_json_roundtrip`], run on every case regardless of
 //!   class);
 //! - whether a defined case is cross-checked against a native compiler
 //!   is again a pure per-index rule;
@@ -40,7 +41,7 @@ pub mod trophy;
 
 use decision::DecisionSource;
 use gen::{generate, Class, GenCase};
-use oracle::{check, check_defined, check_engines, CrossCheck};
+use oracle::{check, check_defined, check_engines, check_json_roundtrip, CrossCheck};
 use rng::case_seed;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -249,11 +250,15 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
 
                 // Defined passes record their exit for golden snapshots;
                 // check() re-derives the same verdict for divergences.
-                // Engine parity (oracle d) gates the shortcut: a case
-                // where the VM disagrees with the tree-walker must reach
-                // the divergence path even if the default engine happens
-                // to complete it.
-                if class == Class::Defined && check_engines(&case.source).is_ok() {
+                // Engine parity (oracle d) and the JSON round-trip
+                // (oracle e) gate the shortcut: a case where the VM
+                // disagrees with the tree-walker, or whose structured
+                // rendering drifts, must reach the divergence path even
+                // if the default engine happens to complete it.
+                if class == Class::Defined
+                    && check_engines(&case.source).is_ok()
+                    && check_json_roundtrip(&case.source).is_ok()
+                {
                     let this_cc = if cross { cc.clone() } else { CrossCheck::off() };
                     if let Ok(exit) = check_defined(&case.source, &this_cc) {
                         exits.lock().unwrap().insert(index, exit);

@@ -1,4 +1,4 @@
-//! The four cross-checking oracles.
+//! The five cross-checking oracles.
 //!
 //! 1. **consteval-vs-eval** ([`check_const_expr`]) — fold the generated
 //!    constant expression at translation time and evaluate it at run
@@ -26,6 +26,14 @@
 //!    difference is the step limit: the VM batches its step accounting,
 //!    so a "step limit exceeded" stop on either side is a resource
 //!    verdict, not a semantic one.
+//! 5. **JSON round-trip** ([`check_json_roundtrip`]) — the structured
+//!    renderer must agree with the human oracle on every generated
+//!    program: building the [`FileResult`] the CLI would build,
+//!    rendering it with the [`JsonRenderer`], and re-parsing the JSONL
+//!    must reproduce the verdict and, for undefined programs, the
+//!    finding's kind, code, line, column, and detail bit-for-bit. A
+//!    drift here means `--format json` and `--format human` would tell
+//!    two different stories about the same run.
 
 use crate::gen::GenCase;
 use cundef_analysis::analyze;
@@ -34,6 +42,8 @@ use cundef_semantics::consteval::{const_eval, ConstStop};
 use cundef_semantics::ctype::{CInt, IntTy};
 use cundef_semantics::eval::{Engine, Interp, Limits, Outcome};
 use cundef_semantics::parser::parse;
+use cundef_ub::json::Json;
+use cundef_ub::render::{FileResult, JsonRenderer, Renderer, Verdict};
 use cundef_ub::UbKind;
 
 /// A divergence between two of the checker's views of one program — the
@@ -106,6 +116,12 @@ pub enum Divergence {
         /// The bytecode VM's view, rendered.
         bytecode: String,
     },
+    /// The JSON renderer's view of a run, re-parsed, does not match the
+    /// human-oracle verdict (or drops a finding field on the floor).
+    FormatDrift {
+        /// What drifted, rendered.
+        detail: String,
+    },
     /// The evaluator and a native compiler disagree on the exit code of
     /// a defined program.
     ExitMismatch {
@@ -133,6 +149,7 @@ impl Divergence {
             Divergence::SpuriousFinding { kind } => format!("spurious-finding:{kind:?}"),
             Divergence::DefinedRejected { .. } => "defined-rejected".into(),
             Divergence::EngineMismatch { .. } => "engine-mismatch".into(),
+            Divergence::FormatDrift { .. } => "format-drift".into(),
             Divergence::ExitMismatch { .. } => "exit-mismatch".into(),
         }
     }
@@ -170,6 +187,9 @@ impl Divergence {
             }
             Divergence::EngineMismatch { tree, bytecode } => {
                 format!("engines disagree: tree-walker {tree}, bytecode VM {bytecode}")
+            }
+            Divergence::FormatDrift { detail } => {
+                format!("JSON round-trip disagrees with the human verdict: {detail}")
             }
             Divergence::ExitMismatch {
                 ours,
@@ -219,15 +239,17 @@ impl CrossCheck {
 }
 
 /// Run the class-appropriate oracle on one generated case. `Ok(())`
-/// means every applicable check agreed. Engine parity (oracle d) runs
-/// first on every class — a VM that disagrees with the reference
-/// tree-walker makes any further verdict meaningless.
+/// means every applicable check agreed. Engine parity (oracle d) and
+/// the JSON round-trip (oracle e) run first on every class — a VM that
+/// disagrees with the reference tree-walker, or a renderer that
+/// misreports the verdict, makes any further comparison meaningless.
 pub fn check(
     case: &GenCase,
     cc: &CrossCheck,
     cross_check_this_case: bool,
 ) -> Result<(), Divergence> {
     check_engines(&case.source)?;
+    check_json_roundtrip(&case.source)?;
     match case.class {
         crate::gen::Class::ConstExpr => {
             check_const_expr(case.expr.as_deref().expect("const case has expr"))
@@ -382,7 +404,9 @@ fn is_step_limit(o: &Outcome) -> bool {
 
 /// Oracle (d): engine parity. Run `source` under both the tree-walking
 /// reference interpreter and the bytecode VM; outcome and notes must be
-/// identical (step-limit stops excepted — see [`is_step_limit`]).
+/// identical (step-limit stops excepted — the engines count steps
+/// differently, so a "step limit exceeded" stop on one side only is a
+/// resource verdict, not a semantic one).
 pub fn check_engines(source: &str) -> Result<(), Divergence> {
     let unit = parse(source).map_err(|e| Divergence::ParseError(e.to_string()))?;
     let mut tree = Interp::with_engine(&unit, Limits::default(), Engine::Tree);
@@ -403,6 +427,119 @@ pub fn check_engines(source: &str) -> Result<(), Divergence> {
             tree: format!("notes {:?}", tree.notes()),
             bytecode: format!("notes {:?}", vm.notes()),
         });
+    }
+    Ok(())
+}
+
+/// Oracle (e): JSON round-trip. Build the [`FileResult`] the CLI would
+/// build for `source`, render it with the JSONL renderer, re-parse the
+/// lines, and require the structured view to match the human-oracle
+/// verdict — and, for undefined programs, the finding's kind, code,
+/// line, column, and detail — field-for-field.
+pub fn check_json_roundtrip(source: &str) -> Result<(), Divergence> {
+    let unit = parse(source).map_err(|e| Divergence::ParseError(e.to_string()))?;
+    let mut interp = Interp::new(&unit, Limits::default());
+    let outcome = interp.run_main();
+    let drift = |detail: String| Divergence::FormatDrift { detail };
+
+    // The FileResult the CLI's execution phase would build (the fuzzer
+    // skips the translation phase: generated doomed programs re-detect
+    // dynamically, which is what oracle (b) already checks).
+    let mut result = FileResult {
+        path: "fuzz-case.c".into(),
+        verdict: Verdict::Defined,
+        findings: Vec::new(),
+        notes: interp.notes().to_vec(),
+        success: None,
+        exit: None,
+        errors: Vec::new(),
+    };
+    match &outcome {
+        Outcome::Completed(exit) => {
+            result.success = Some(format!(
+                "no undefined behavior detected (program returned {exit})"
+            ));
+            result.exit = Some(*exit);
+        }
+        Outcome::Undefined(err) => {
+            result.verdict = Verdict::Undefined;
+            result.findings.push(err.to_diagnostic());
+        }
+        Outcome::Unsupported { message, loc } => {
+            result.verdict = Verdict::EngineFailure;
+            result
+                .errors
+                .push(format!("checker limitation at {loc}: {message}"));
+        }
+    }
+    // The renderer debug-asserts the location contract; report the
+    // violation as a divergence instead of panicking a sweep worker.
+    if let Some(d) = result.findings.first() {
+        match d.loc {
+            Some(loc) if loc.line >= 1 && loc.col >= 1 => {}
+            other => {
+                return Err(drift(format!(
+                    "finding {:05} carries placeholder location {other:?}",
+                    d.code
+                )))
+            }
+        }
+    }
+
+    let rendered = JsonRenderer::new().render_file(&result);
+    let mut events = Vec::new();
+    for line in rendered.stdout.lines() {
+        events.push(Json::parse(line).ok_or_else(|| drift(format!("unparsable JSONL {line:?}")))?);
+    }
+    let of_type = |ty: &'static str| {
+        events
+            .iter()
+            .filter(move |e| e.get("type").and_then(Json::as_str) == Some(ty))
+    };
+
+    let verdicts: Vec<&Json> = of_type("verdict").collect();
+    if verdicts.len() != 1 {
+        return Err(drift(format!("{} verdict records", verdicts.len())));
+    }
+    let got = verdicts[0].get("verdict").and_then(Json::as_str);
+    if got != Some(result.verdict.as_str()) {
+        return Err(drift(format!(
+            "verdict record says {got:?}, human oracle says {:?}",
+            result.verdict.as_str()
+        )));
+    }
+    if let Some(exit) = result.exit {
+        if verdicts[0].get("exit").and_then(Json::as_f64) != Some(exit as f64) {
+            return Err(drift("exit code dropped from the verdict record".into()));
+        }
+    }
+
+    let records: Vec<&Json> = of_type("finding").collect();
+    if records.len() != result.findings.len() {
+        return Err(drift(format!(
+            "{} finding records for {} findings",
+            records.len(),
+            result.findings.len()
+        )));
+    }
+    for (event, d) in records.iter().zip(&result.findings) {
+        let loc = d.loc.expect("contract checked above");
+        let same = event.get("code").and_then(Json::as_u32) == Some(u32::from(d.code))
+            && event.get("kind").and_then(Json::as_str)
+                == d.kind.map(|k| format!("{k:?}")).as_deref()
+            && event.get("line").and_then(Json::as_u32) == Some(loc.line)
+            && event.get("column").and_then(Json::as_u32) == Some(loc.col)
+            && event.get("detail").and_then(Json::as_str) == d.detail.as_deref();
+        if !same {
+            return Err(drift(format!(
+                "record {event:?} does not round-trip diagnostic {:05} at {loc}",
+                d.code
+            )));
+        }
+    }
+
+    if of_type("note").count() != result.notes.len() {
+        return Err(drift("conversion notes dropped or invented".into()));
     }
     Ok(())
 }

@@ -65,7 +65,7 @@ fn seed42_exit_codes_match_the_golden_snapshot() {
 
 #[test]
 fn bounded_sweep_is_clean() {
-    // The in-tree smoke sweep: four oracles over 300 fresh cases on a
+    // The in-tree smoke sweep: five oracles over 300 fresh cases on a
     // seed the goldens don't use. The CI workflow runs the much larger
     // sweep through the `cundef fuzz` binary.
     let mut cfg = SweepConfig::new(20260808, 300);

@@ -220,6 +220,72 @@ pub(crate) enum Op {
     Nop,
 }
 
+impl Op {
+    /// The opcode's mnemonic, keying the `--profile` dispatch
+    /// histogram (and the derived superinstruction / footprint-elision
+    /// rates in [`crate::profile::ExecProfile`]).
+    pub(crate) fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Const(_) => "Const",
+            Op::LoadSlot(_) => "LoadSlot",
+            Op::LoadSlotFast(..) => "LoadSlotFast",
+            Op::Pop => "Pop",
+            Op::PopSeq => "PopSeq",
+            Op::Unary(_) => "Unary",
+            Op::Binary(_) => "Binary",
+            Op::BinaryC(..) => "BinaryC",
+            Op::BinSS(_) => "BinSS",
+            Op::BinSC(_) => "BinSC",
+            Op::BinVS(_) => "BinVS",
+            Op::Bin2SF(_) => "Bin2SF",
+            Op::Bin2VF(_) => "Bin2VF",
+            Op::Jump(_) => "Jump",
+            Op::BranchFalse(_) => "BranchFalse",
+            Op::BranchFalseSeq(_) => "BranchFalseSeq",
+            Op::AndFalse(_) => "AndFalse",
+            Op::OrTrue(_) => "OrTrue",
+            Op::ToBool01 => "ToBool01",
+            Op::CondCommon(_) => "CondCommon",
+            Op::BrCmpSS(..) => "BrCmpSS",
+            Op::BrCmpSC(..) => "BrCmpSC",
+            Op::AsPtr => "AsPtr",
+            Op::ReadThru => "ReadThru",
+            Op::IndexPlace => "IndexPlace",
+            Op::IndexRead => "IndexRead",
+            Op::SlotPlace(_) => "SlotPlace",
+            Op::BindCheck(_) => "BindCheck",
+            Op::StoreSimple => "StoreSimple",
+            Op::StoreCompound(_) => "StoreCompound",
+            Op::AssignSlot(_) => "AssignSlot",
+            Op::AssignSlotPop(_) => "AssignSlotPop",
+            Op::IncDec(..) => "IncDec",
+            Op::IncDecSlotStmt(_) => "IncDecSlotStmt",
+            Op::CastInt(_) => "CastInt",
+            Op::CastPtr(_) => "CastPtr",
+            Op::CastVoid => "CastVoid",
+            Op::SizeofExpr(_) => "SizeofExpr",
+            Op::ArgPush => "ArgPush",
+            Op::Call(..) => "Call",
+            Op::Ret => "Ret",
+            Op::RetNone => "RetNone",
+            Op::EnterScope => "EnterScope",
+            Op::ExitScope => "ExitScope",
+            Op::ScopePopN(_) => "ScopePopN",
+            Op::ScopePushN(_) => "ScopePushN",
+            Op::DeclAlloc(_) => "DeclAlloc",
+            Op::DeclInit(_) => "DeclInit",
+            Op::DeclSimple(_) => "DeclSimple",
+            Op::DeclFull(_) => "DeclFull",
+            Op::EvalFull(_) => "EvalFull",
+            Op::EvalFullPop(_) => "EvalFullPop",
+            Op::ExecStmt(_) => "ExecStmt",
+            Op::FailUnsupported(_) => "FailUnsupported",
+            Op::FailUb(_) => "FailUb",
+            Op::Nop => "Nop",
+        }
+    }
+}
+
 /// Descriptor of a fused binary superinstruction: both operand loads
 /// plus the operator in one dispatch. `b_slot` doubles as a constant
 /// pool index for the `*SC` forms.

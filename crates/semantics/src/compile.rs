@@ -1,5 +1,5 @@
 //! Lowering from the slot-resolved AST to the flat bytecode of
-//! [`crate::bytecode`].
+//! `crate::bytecode`.
 //!
 //! The compiler's contract is *diagnostic-exact lowering*: for every op
 //! sequence it emits, executing those ops performs the same checks, in
@@ -8,16 +8,16 @@
 //! original node — or the construct is not lowered at all and becomes a
 //! tree-fallback op. The load-bearing analyses are:
 //!
-//! - **Footprint elision** ([`elidable`]): a full expression whose only
+//! - **Footprint elision** (`elidable`): a full expression whose only
 //!   update (assignment, `++`/`--`) is at its root cannot trip a §6.5:2
 //!   sequencing check — every other footprint entry is a read, and the
 //!   checks only fire on read/write or write/write pairs involving a
 //!   write below the root. For such expressions the compiler emits no
 //!   footprint traffic at all. Anything else — two updates, an update
-//!   under a call argument — falls back to [`Op::EvalFull`], where the
+//!   under a call argument — falls back to `Op::EvalFull`, where the
 //!   tree-walker's byte-range footprint does the § 6.5:2 bookkeeping
 //!   exactly as before.
-//! - **Slot kinds** ([`SlotKind`]): a frame slot is bound 1:1 to one
+//! - **Slot kinds** (`SlotKind`): a frame slot is bound 1:1 to one
 //!   declaration, so its object's element type is static. Scalar
 //!   non-`_Bool` slots get single-word fused loads/stores whose guards
 //!   (bound, alive, fully-initialized, in-range) fail over to the
@@ -25,7 +25,7 @@
 //! - **Static goto**: labels and gotos compile to jump-patched scope
 //!   transitions. A function whose gotos could interact with a
 //!   tree-executed region (it contains both `goto` and `switch`) is
-//!   marked [`FnCode::tree_only`] and executes entirely through the
+//!   marked `FnCode::tree_only` and executes entirely through the
 //!   tree-walker under either engine.
 
 use crate::ast::{

@@ -72,6 +72,7 @@ use crate::compile::{compile, CompiledUnit};
 use crate::consteval::{self, ConstStop};
 use crate::ctype::{CInt, IntTy, PTR_BYTES, SIZE_T};
 use crate::intern::{kw, Symbol};
+use crate::profile::ExecProfile;
 use cundef_ub::{SourceLoc, UbError, UbKind};
 use std::borrow::Cow;
 use std::rc::Rc;
@@ -712,6 +713,12 @@ pub struct Interp<'a> {
     vstack: Vec<Value>,
     /// `created`-stack marks for the bytecode engine's scope ops.
     scope_marks: Vec<usize>,
+    /// Execution telemetry, collected only when enabled: the dispatch
+    /// loop is monomorphized over it, so the disabled path carries no
+    /// counter code.
+    prof: ExecProfile,
+    /// Whether [`Interp::enable_profiling`] was called.
+    profile_enabled: bool,
 }
 
 impl<'a> Interp<'a> {
@@ -739,7 +746,26 @@ impl<'a> Interp<'a> {
             code: None,
             vstack: Vec::with_capacity(64),
             scope_marks: Vec::with_capacity(16),
+            prof: ExecProfile::default(),
+            profile_enabled: false,
         }
+    }
+
+    /// Turn on execution telemetry for this interpreter (`--profile`).
+    /// Counters accumulate across the whole run and are read back with
+    /// [`Interp::profile`].
+    pub fn enable_profiling(&mut self) {
+        self.profile_enabled = true;
+    }
+
+    /// The collected [`ExecProfile`], if profiling was enabled (with
+    /// the final step count folded in); `None` otherwise.
+    pub fn profile(&self) -> Option<ExecProfile> {
+        self.profile_enabled.then(|| {
+            let mut p = self.prof.clone();
+            p.steps = self.steps;
+            p
+        })
     }
 
     /// The implementation-defined conversion notes collected so far, in
@@ -901,6 +927,9 @@ impl<'a> Interp<'a> {
         if !heap {
             self.created.push(id);
         }
+        if self.profile_enabled {
+            self.prof.note_alloc(size, heap);
+        }
         id
     }
 
@@ -984,6 +1013,9 @@ impl<'a> Interp<'a> {
         for i in base..self.created.len() {
             let obj = self.created[i];
             self.objects[obj].alive = false;
+            if self.profile_enabled {
+                self.prof.note_dealloc(self.objects[obj].bytes.len(), false);
+            }
         }
         self.created.truncate(base);
     }
@@ -2098,6 +2130,10 @@ impl<'a> Interp<'a> {
                         ));
                     }
                     self.objects[p.obj].alive = false;
+                    if self.profile_enabled {
+                        self.prof
+                            .note_dealloc(self.objects[p.obj].bytes.len(), true);
+                    }
                     Ok(Value::Missing(UbKind::VoidValueUsed))
                 }
                 Value::Missing(_) => unreachable!(),

@@ -26,7 +26,14 @@ impl<'a> Interp<'a> {
     ) -> EResult<Option<(Value, SourceLoc)>> {
         let vbase = self.vstack.len();
         let sbase = self.scope_marks.len();
-        let r = self.dispatch(code, func_idx);
+        // Monomorphized dispatch: the profiling build is a separate
+        // function body, so with `--profile` off no counter code exists
+        // on the hot path at all.
+        let r = if self.profile_enabled {
+            self.dispatch::<true>(code, func_idx)
+        } else {
+            self.dispatch::<false>(code, func_idx)
+        };
         // On any exit — return, fall-off, or error unwind — the operand
         // stack and open scope marks roll back to the caller's; objects
         // still alive in abandoned scopes are killed by `call`'s
@@ -36,7 +43,11 @@ impl<'a> Interp<'a> {
         r
     }
 
-    fn dispatch(&mut self, code: &CodeUnit, func_idx: u32) -> EResult<Option<(Value, SourceLoc)>> {
+    fn dispatch<const PROFILE: bool>(
+        &mut self,
+        code: &CodeUnit,
+        func_idx: u32,
+    ) -> EResult<Option<(Value, SourceLoc)>> {
         let unit = self.unit;
         let fc = &code.funcs[func_idx as usize];
         let end: Pc = fc.end;
@@ -73,6 +84,9 @@ impl<'a> Interp<'a> {
             let loc = locs[pc as usize];
             ops_since += 1;
             pc += 1;
+            if PROFILE {
+                self.prof.note_op(op.mnemonic());
+            }
             match op {
                 Op::Nop => {}
                 Op::Const(i) => self.vstack.push(Value::Int(code.pool[i as usize])),
@@ -81,7 +95,7 @@ impl<'a> Interp<'a> {
                     self.vstack.push(v);
                 }
                 Op::LoadSlotFast(slot, t) => {
-                    let v = self.load_slot_fast(fc, slot_base, slot, t, loc)?;
+                    let v = self.load_slot_fast::<PROFILE>(fc, slot_base, slot, t, loc)?;
                     self.vstack.push(v);
                 }
                 Op::Pop => {
@@ -135,25 +149,32 @@ impl<'a> Interp<'a> {
                     self.vstack.push(v);
                 }
                 Op::BinSS(i) | Op::BinSC(i) => {
-                    let v =
-                        self.fused_bin(code, fc, slot_base, i, matches!(op, Op::BinSC(_)), loc)?;
+                    let v = self.fused_bin::<PROFILE>(
+                        code,
+                        fc,
+                        slot_base,
+                        i,
+                        matches!(op, Op::BinSC(_)),
+                        loc,
+                    )?;
                     self.vstack.push(v);
                 }
                 Op::BinVS(i) => {
                     let l = self.vpop();
                     let f = code.fused[i as usize];
-                    let r = self.load_slot_fast(fc, slot_base, f.a_slot, f.a_ty, f.a_loc)?;
+                    let r =
+                        self.load_slot_fast::<PROFILE>(fc, slot_base, f.a_slot, f.a_ty, f.a_loc)?;
                     let v = self.apply_binop(f.op, l, r, loc)?;
                     self.vstack.push(v);
                 }
                 Op::Bin2SF(j) | Op::Bin2VF(j) => {
                     let f2 = code.fused2[j as usize];
                     let l = if matches!(op, Op::Bin2SF(_)) {
-                        self.load_slot_fast(fc, slot_base, f2.a_slot, f2.a_ty, f2.a_loc)?
+                        self.load_slot_fast::<PROFILE>(fc, slot_base, f2.a_slot, f2.a_ty, f2.a_loc)?
                     } else {
                         self.vpop()
                     };
-                    let r = self.fused_bin(
+                    let r = self.fused_bin::<PROFILE>(
                         code,
                         fc,
                         slot_base,
@@ -206,7 +227,7 @@ impl<'a> Interp<'a> {
                 }
                 Op::BrCmpSS(i, t) | Op::BrCmpSC(i, t) => {
                     let is_const = matches!(op, Op::BrCmpSC(_, _));
-                    let v = self.fused_bin(code, fc, slot_base, i, is_const, loc)?;
+                    let v = self.fused_bin::<PROFILE>(code, fc, slot_base, i, is_const, loc)?;
                     self.fp.truncate(fp_base);
                     if !self.truthy(v, loc)? {
                         pc = t;
@@ -242,8 +263,18 @@ impl<'a> Interp<'a> {
                         unreachable!("ReadThru without AsPtr");
                     };
                     let v = match self.read_word_fast(p) {
-                        Some(v) => v,
-                        None => self.read_typed(p, loc)?,
+                        Some(v) => {
+                            if PROFILE {
+                                self.prof.word_fast_hits += 1;
+                            }
+                            v
+                        }
+                        None => {
+                            if PROFILE {
+                                self.prof.word_fast_fallbacks += 1;
+                            }
+                            self.read_typed(p, loc)?
+                        }
                     };
                     self.vstack.push(v);
                 }
@@ -253,16 +284,34 @@ impl<'a> Interp<'a> {
                         unreachable!("Index without AsPtr");
                     };
                     let p = match self.index_ptr_fast(bp, &iv) {
-                        Some(p) => p,
+                        Some(p) => {
+                            if PROFILE {
+                                self.prof.word_fast_hits += 1;
+                            }
+                            p
+                        }
                         None => {
+                            if PROFILE {
+                                self.prof.word_fast_fallbacks += 1;
+                            }
                             let i = self.as_int(iv, loc)?.math();
                             self.pointer_add(bp, i, loc)?
                         }
                     };
                     if matches!(op, Op::IndexRead) {
                         let v = match self.read_word_fast(p) {
-                            Some(v) => v,
-                            None => self.read_typed(p, loc)?,
+                            Some(v) => {
+                                if PROFILE {
+                                    self.prof.word_fast_hits += 1;
+                                }
+                                v
+                            }
+                            None => {
+                                if PROFILE {
+                                    self.prof.word_fast_fallbacks += 1;
+                                }
+                                self.read_typed(p, loc)?
+                            }
                         };
                         self.vstack.push(v);
                     } else {
@@ -283,8 +332,18 @@ impl<'a> Interp<'a> {
                     };
                     let rv = self.use_value(rv, loc)?;
                     let stored = match self.write_word_fast(p, &rv, loc) {
-                        Some(s) => s,
-                        None => self.write_typed(p, rv, loc)?,
+                        Some(s) => {
+                            if PROFILE {
+                                self.prof.word_fast_hits += 1;
+                            }
+                            s
+                        }
+                        None => {
+                            if PROFILE {
+                                self.prof.word_fast_fallbacks += 1;
+                            }
+                            self.write_typed(p, rv, loc)?
+                        }
                     };
                     self.vstack.push(stored);
                 }
@@ -303,17 +362,27 @@ impl<'a> Interp<'a> {
                     };
                     let stored = self.apply_binop(bop, old, rv, loc)?;
                     let stored = match self.write_word_fast(p, &stored, loc) {
-                        Some(s) => s,
-                        None => self.write_typed(p, stored, loc)?,
+                        Some(s) => {
+                            if PROFILE {
+                                self.prof.word_fast_hits += 1;
+                            }
+                            s
+                        }
+                        None => {
+                            if PROFILE {
+                                self.prof.word_fast_fallbacks += 1;
+                            }
+                            self.write_typed(p, stored, loc)?
+                        }
                     };
                     self.vstack.push(stored);
                 }
                 Op::AssignSlot(i) => {
-                    let v = self.assign_slot(code, slot_base, i, loc)?;
+                    let v = self.assign_slot::<PROFILE>(code, slot_base, i, loc)?;
                     self.vstack.push(v);
                 }
                 Op::AssignSlotPop(i) => {
-                    self.assign_slot(code, slot_base, i, loc)?;
+                    self.assign_slot::<PROFILE>(code, slot_base, i, loc)?;
                     self.fp.truncate(fp_base);
                 }
                 Op::IncDec(delta, is_post) => {
@@ -324,7 +393,7 @@ impl<'a> Interp<'a> {
                     self.vstack.push(if is_post { old } else { new });
                 }
                 Op::IncDecSlotStmt(i) => {
-                    self.incdec_slot(code, fc, slot_base, i, loc)?;
+                    self.incdec_slot::<PROFILE>(code, fc, slot_base, i, loc)?;
                     self.fp.truncate(fp_base);
                 }
                 Op::CastInt(t) => {
@@ -427,7 +496,7 @@ impl<'a> Interp<'a> {
                         unreachable!("decl op on a non-decl statement");
                     };
                     let v = self.vpop();
-                    self.decl_init(d, slot_base, v, loc)?;
+                    self.decl_init::<PROFILE>(d, slot_base, v, loc)?;
                     self.decl_finish(d, slot_base);
                     self.fp.truncate(fp_base);
                 }
@@ -556,7 +625,7 @@ impl<'a> Interp<'a> {
     /// shape (alive, fully sized, fully initialized); any other state
     /// falls back to the generic path for the byte-precise diagnostic.
     #[inline]
-    fn load_slot_fast(
+    fn load_slot_fast<const PROFILE: bool>(
         &mut self,
         fc: &FnCode,
         slot_base: usize,
@@ -569,9 +638,15 @@ impl<'a> Interp<'a> {
             let o = &self.objects[obj];
             if o.alive {
                 if let Some(bits) = o.bytes.word_init(t.size_bytes() as usize) {
+                    if PROFILE {
+                        self.prof.word_fast_hits += 1;
+                    }
                     return Ok(Value::Int(CInt::from_bits(bits, t)));
                 }
             }
+        }
+        if PROFILE {
+            self.prof.word_fast_fallbacks += 1;
         }
         self.load_slot_generic(fc, slot_base, slot, loc)
     }
@@ -579,7 +654,7 @@ impl<'a> Interp<'a> {
     /// A fused slot(/const) ⊕ slot(/const) operator: both operands load
     /// on the fast path, then the shared `apply_binop` core evaluates —
     /// overflow, shift-range, and division diagnostics are the tree's.
-    fn fused_bin(
+    fn fused_bin<const PROFILE: bool>(
         &mut self,
         code: &CodeUnit,
         fc: &FnCode,
@@ -589,11 +664,11 @@ impl<'a> Interp<'a> {
         loc: SourceLoc,
     ) -> EResult<Value> {
         let f = code.fused[i as usize];
-        let a = self.load_slot_fast(fc, slot_base, f.a_slot, f.a_ty, f.a_loc)?;
+        let a = self.load_slot_fast::<PROFILE>(fc, slot_base, f.a_slot, f.a_ty, f.a_loc)?;
         let b = if b_const {
             Value::Int(code.pool[f.b_slot as usize])
         } else {
-            self.load_slot_fast(fc, slot_base, f.b_slot, f.b_ty, f.b_loc)?
+            self.load_slot_fast::<PROFILE>(fc, slot_base, f.b_slot, f.b_ty, f.b_loc)?
         };
         self.apply_binop(f.op, a, b, loc)
     }
@@ -622,7 +697,7 @@ impl<'a> Interp<'a> {
     /// tree's evaluation order). The fast path batches the init bitmap
     /// and size checks into one whole-word guarded store; `_Bool` and
     /// every non-pristine object state fall back to the typed core.
-    fn assign_slot(
+    fn assign_slot<const PROFILE: bool>(
         &mut self,
         code: &CodeUnit,
         slot_base: usize,
@@ -640,12 +715,18 @@ impl<'a> Interp<'a> {
             if o.alive && !o.is_const && o.bytes.len() == size {
                 match st.op {
                     None => {
+                        if PROFILE {
+                            self.prof.word_fast_hits += 1;
+                        }
                         let stored = self.convert_int(c, t, loc);
                         let o = &mut self.objects[obj];
                         o.bytes.store(0, size, stored.bits());
                         return Ok(Value::Int(stored));
                     }
                     Some(bop) if o.bytes.all_init(0, size) => {
+                        if PROFILE {
+                            self.prof.word_fast_hits += 1;
+                        }
                         let old = CInt::from_bits(o.bytes.load(0, size), t);
                         let r = self.apply_binop(bop, Value::Int(old), Value::Int(c), loc)?;
                         let Value::Int(n) = r else { unreachable!() };
@@ -660,6 +741,9 @@ impl<'a> Interp<'a> {
         }
         // Generic path: the typed core reports const violations,
         // uninitialized compound reads, and `_Bool` traps.
+        if PROFILE {
+            self.prof.word_fast_fallbacks += 1;
+        }
         let p = self.designator_pointer(obj);
         let stored = match st.op {
             None => rv,
@@ -693,7 +777,7 @@ impl<'a> Interp<'a> {
     /// fast path runs when the object is pristine (alive, non-const,
     /// whole-word, fully initialized, non-`_Bool`); otherwise the
     /// generic tail reports exactly as the tree would.
-    fn incdec_slot(
+    fn incdec_slot<const PROFILE: bool>(
         &mut self,
         code: &CodeUnit,
         fc: &FnCode,
@@ -707,6 +791,9 @@ impl<'a> Interp<'a> {
             let size = t.size_bytes() as usize;
             let o = &self.objects[obj];
             if o.alive && !o.is_const && o.bytes.len() == size && o.bytes.all_init(0, size) {
+                if PROFILE {
+                    self.prof.word_fast_hits += 1;
+                }
                 let old = CInt::from_bits(o.bytes.load(0, size), t);
                 let new = match consteval::arith(BinOp::Add, old, CInt::int(d.delta)) {
                     Ok(r) => r,
@@ -717,6 +804,9 @@ impl<'a> Interp<'a> {
                 o.bytes.store(0, size, stored.bits());
                 return Ok(());
             }
+        }
+        if PROFILE {
+            self.prof.word_fast_fallbacks += 1;
         }
         let p = self.designator_pointer(obj);
         self.incdec_at(p, d.delta, loc)?;
@@ -742,7 +832,13 @@ impl<'a> Interp<'a> {
     /// The initialization half: converts like simple assignment
     /// (§6.7.9:11) through the typed core, at the initializer's own
     /// position — matching the tree's `init_loc`.
-    fn decl_init(&mut self, d: &Decl, slot_base: usize, v: Value, loc: SourceLoc) -> EResult<()> {
+    fn decl_init<const PROFILE: bool>(
+        &mut self,
+        d: &Decl,
+        slot_base: usize,
+        v: Value,
+        loc: SourceLoc,
+    ) -> EResult<()> {
         let v = self.use_value(v, loc)?;
         let obj = self.slots[slot_base + d.slot.index()];
         let place = Pointer {
@@ -754,7 +850,13 @@ impl<'a> Interp<'a> {
         // pointer bytes), so a scalar initializer almost always takes
         // the one-word store.
         if self.write_word_fast(place, &v, loc).is_some() {
+            if PROFILE {
+                self.prof.word_fast_hits += 1;
+            }
             return Ok(());
+        }
+        if PROFILE {
+            self.prof.word_fast_fallbacks += 1;
         }
         self.write_typed(place, v, loc)?;
         Ok(())

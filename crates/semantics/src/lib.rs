@@ -65,12 +65,14 @@ pub mod eval;
 pub mod intern;
 pub mod lexer;
 pub mod parser;
+pub mod profile;
 pub mod resolve;
 
 pub use compile::{compile_unit, CompiledUnit};
 pub use eval::{Engine, Interp, Limits, Outcome, Pointer, Value};
 pub use intern::{Interner, Symbol};
-pub use parser::ParseError;
+pub use parser::{FrontendTiming, ParseError};
+pub use profile::ExecProfile;
 
 /// Parse and execute a translation unit, starting from `main`.
 ///

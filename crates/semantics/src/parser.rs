@@ -64,21 +64,55 @@ impl From<LexError> for ParseError {
 /// assert!(err.message.contains("expected `;`"));
 /// ```
 pub fn parse(source: &str) -> Result<TranslationUnit, ParseError> {
+    parse_timed(source).map(|(unit, _)| unit)
+}
+
+/// Wall-clock durations of the three frontend stages, as measured by
+/// [`parse_timed`] (and surfaced by `cundef --stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendTiming {
+    /// Tokenization ([`crate::lexer`]).
+    pub lex: std::time::Duration,
+    /// Parsing proper: token stream to AST arenas.
+    pub parse: std::time::Duration,
+    /// Slot resolution ([`crate::resolve`]).
+    pub resolve: std::time::Duration,
+}
+
+/// [`parse`], but also reporting how long each frontend stage took.
+///
+/// # Examples
+///
+/// ```
+/// use cundef_semantics::parser::parse_timed;
+///
+/// let (unit, timing) = parse_timed("int main(void) { return 0; }").unwrap();
+/// assert_eq!(unit.functions.len(), 1);
+/// assert!(timing.lex + timing.parse + timing.resolve > std::time::Duration::ZERO);
+/// ```
+pub fn parse_timed(source: &str) -> Result<(TranslationUnit, FrontendTiming), ParseError> {
+    let mut timing = FrontendTiming::default();
     let mut unit = TranslationUnit::default();
+    let t0 = std::time::Instant::now();
     let toks = lex(source, &mut unit.interner)?;
+    timing.lex = t0.elapsed();
     let mut p = Parser {
         toks,
         pos: 0,
         unit,
         switch_depth: 0,
     };
+    let t1 = std::time::Instant::now();
     while !p.at_end() {
         let f = p.function()?;
         p.unit.functions.push(f);
     }
+    timing.parse = t1.elapsed();
     let mut unit = p.unit;
+    let t2 = std::time::Instant::now();
     crate::resolve::resolve(&mut unit);
-    Ok(unit)
+    timing.resolve = t2.elapsed();
+    Ok((unit, timing))
 }
 
 struct Parser {

@@ -11,7 +11,10 @@
 //!   129 only dynamically detectable), reproducing §5.2.1 of
 //!   *Defining the Undefinedness of C*;
 //! - [`UbError`] and [`Diagnostic`] — structured reports rendered in the
-//!   style of the paper's `kcc` tool.
+//!   style of the paper's `kcc` tool;
+//! - [`render`] — the rendering seam: per-file [`render::FileResult`]s
+//!   plus pluggable [`render::Renderer`]s (human, JSON Lines,
+//!   SARIF 2.1.0), backed by the dependency-free [`json`] helpers.
 //!
 //! # Examples
 //!
@@ -28,7 +31,9 @@
 
 mod catalog;
 mod class;
+pub mod json;
 mod kind;
+pub mod render;
 mod report;
 
 pub use catalog::{catalog, catalog_counts, CatalogCounts, CatalogEntry};

@@ -135,6 +135,7 @@ impl UbError {
     pub fn to_diagnostic(&self) -> Diagnostic {
         Diagnostic {
             severity: Severity::Undefined,
+            kind: Some(self.kind),
             code: self.kind.code(),
             description: self.kind.title().to_string(),
             std_ref: Some(self.kind.info().std_ref.to_string()),
@@ -180,6 +181,9 @@ impl Error for UbError {}
 pub struct Diagnostic {
     /// Diagnostic severity.
     pub severity: Severity,
+    /// The detector category behind this diagnostic, when it came from
+    /// one (structured renderers key their rule metadata off this).
+    pub kind: Option<UbKind>,
     /// Stable numeric code.
     pub code: u16,
     /// One-line description.

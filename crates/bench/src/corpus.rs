@@ -238,8 +238,54 @@ pub fn mem_typedmix_loop(n: u32) -> String {
     )
 }
 
+/// Pure allocator churn: a `malloc`/`free` pair per iteration with just
+/// enough byte traffic to keep the block observably used. Unlike
+/// [`mem_heap_loop`] the per-iteration typed work is tiny, so the
+/// measurement isolates object-store allocation/retirement cost — the
+/// residual the epoch/arena recycler targets. Free of undefined
+/// behavior.
+pub fn mem_churn_loop(n: u32) -> String {
+    format!(
+        "int main(void) {{\n\
+         \x20 int s = 0;\n\
+         \x20 for (int i = 0; i < {n}; i++) {{\n\
+         \x20   char *p = malloc(24);\n\
+         \x20   p[0] = i % 100;\n\
+         \x20   p[23] = (i + 3) % 100;\n\
+         \x20   s = (s + p[0] + p[23]) % 65536;\n\
+         \x20   free(p);\n\
+         \x20 }}\n\
+         \x20 return s & 127;\n\
+         }}\n"
+    )
+}
+
+/// Char-wise buffer copy — the classic `strcpy`-shaped sweep: a counted
+/// loop moving one byte per iteration between two `char` buffers through
+/// `unsigned char *` cursors. The shape the fused byte-sweep
+/// superinstruction recognizes; per-byte init tracking on every store
+/// otherwise. Free of undefined behavior.
+pub fn mem_strcopy_loop(n: u32) -> String {
+    format!(
+        "int main(void) {{\n\
+         \x20 char src[64];\n\
+         \x20 char dst[64];\n\
+         \x20 for (int i = 0; i < 64; i++) src[i] = (i * 7) % 100;\n\
+         \x20 int s = 0;\n\
+         \x20 for (int r = 0; r < {n}; r++) {{\n\
+         \x20   unsigned char *a = (unsigned char *)src;\n\
+         \x20   unsigned char *b = (unsigned char *)dst;\n\
+         \x20   for (int k = 0; k < 64; k++) b[k] = a[k];\n\
+         \x20   s = (s + dst[r & 63]) % 65536;\n\
+         \x20 }}\n\
+         \x20 return s & 127;\n\
+         }}\n"
+    )
+}
+
 /// The byte-model corpus for the `mem/*` benchmark group: sweep, heap,
-/// and mixed-width traffic over the byte-addressable memory core.
+/// mixed-width, allocator-churn, and string-copy traffic over the
+/// byte-addressable memory core.
 pub fn mem() -> Vec<Program> {
     vec![
         Program {
@@ -254,7 +300,44 @@ pub fn mem() -> Vec<Program> {
             name: "typedmix/n150".into(),
             source: mem_typedmix_loop(150),
         },
+        Program {
+            name: "churn/n1500".into(),
+            source: mem_churn_loop(1500),
+        },
+        Program {
+            name: "strcopy/n150".into(),
+            source: mem_strcopy_loop(150),
+        },
     ]
+}
+
+/// Deep self-recursion repeated many times: every level pushes a frame,
+/// binds two parameters, and unwinds — the call-machinery residual the
+/// pooled-frame path targets. Depth stays under the default
+/// `max_call_depth` of 256. Free of undefined behavior.
+pub fn recurse_loop(depth: u32, reps: u32) -> String {
+    format!(
+        "int down(int d, int acc) {{\n\
+         \x20 if (d == 0) return acc % 8191;\n\
+         \x20 return down(d - 1, (acc + d) % 8191);\n\
+         }}\n\
+         int main(void) {{\n\
+         \x20 int s = 0;\n\
+         \x20 for (int r = 0; r < {reps}; r++) {{\n\
+         \x20   s = (s + down({depth}, r)) % 65536;\n\
+         \x20 }}\n\
+         \x20 return s & 127;\n\
+         }}\n"
+    )
+}
+
+/// The call-machinery corpus for the `calls/*` benchmark group
+/// (distinct from `check/calls`, the historic shallow-call program).
+pub fn calls() -> Vec<Program> {
+    vec![Program {
+        name: "recurse/d200xr60".into(),
+        source: recurse_loop(200, 60),
+    }]
 }
 
 /// A `switch` with `n` cases plus labels and gotos: stresses the
@@ -355,6 +438,14 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
         assert!(names.iter().any(|n| n.starts_with("sweep/")));
+        assert!(names.iter().any(|n| n.starts_with("churn/")));
+        assert!(names.iter().any(|n| n.starts_with("strcopy/")));
+    }
+
+    #[test]
+    fn calls_corpus_names_are_unique_and_stable() {
+        let names: Vec<_> = calls().into_iter().map(|p| p.name).collect();
+        assert!(names.iter().any(|n| n.starts_with("recurse/")));
     }
 
     #[test]

@@ -597,6 +597,34 @@ fn render_profile(path: &str, p: &ExecProfile) -> String {
         "{path}: profile: objects {}, peak live bytes {}, heap allocs {} / frees {} / bytes {}",
         p.objects_allocated, p.peak_live_bytes, p.heap_allocs, p.heap_frees, p.heap_bytes_allocated
     );
+    let _ = writeln!(
+        out,
+        "{path}: profile: arena {} recycled / {} grown{}, frame pool {} hit / {} miss{}",
+        p.arena_recycles,
+        p.arena_misses,
+        match p.arena_recycle_rate() {
+            Some(r) => format!(" ({:.1}% recycled)", r * 100.0),
+            None => String::new(),
+        },
+        p.frame_pool_hits,
+        p.frame_pool_misses,
+        match p.frame_pool_hit_rate() {
+            Some(r) => format!(" ({:.1}% hit)", r * 100.0),
+            None => String::new(),
+        }
+    );
+    if p.sweep_hits + p.sweep_fallbacks > 0 {
+        let _ = writeln!(
+            out,
+            "{path}: profile: byte sweeps {} fused / {} fallback{}",
+            p.sweep_hits,
+            p.sweep_fallbacks,
+            match p.sweep_hit_rate() {
+                Some(r) => format!(" ({:.1}% fused)", r * 100.0),
+                None => String::new(),
+            }
+        );
+    }
     let mut ops: Vec<(&str, u64)> = p.op_counts.iter().map(|(m, n)| (*m, *n)).collect();
     ops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
     if !ops.is_empty() {

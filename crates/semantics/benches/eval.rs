@@ -51,6 +51,7 @@ fn main() {
     let programs = corpus::standard();
     let typed = corpus::typed();
     let mem = corpus::mem();
+    let calls = corpus::calls();
 
     // The corpus exercises the *defined* fast path: a program that
     // aborts with UB mid-measurement would benchmark much less work, so
@@ -91,13 +92,22 @@ fn main() {
         });
     }
 
+    // The call-machinery group: deep recursion through the full
+    // pipeline, so frame construction/teardown cost is tracked apart
+    // from the shallow-call program in `check/*`.
+    for p in &calls {
+        c.bench_function(&format!("calls/{}", p.name), |b| {
+            b.iter(|| checked(&p.name, black_box(&p.source)))
+        });
+    }
+
     // The engine seam, measured apart: `exec/compile/*` is the cost of
     // lowering to bytecode (paid once per unit), `exec/run/*` is pure
     // bytecode execution over a pre-compiled unit, and `exec/tree/*` is
     // the reference tree-walker over the same unit — so compile overhead
     // is visible instead of smeared into `check/*`, and the engines'
     // gap is measured in one run under identical conditions.
-    for p in programs.iter().chain(&typed).chain(&mem) {
+    for p in programs.iter().chain(&typed).chain(&mem).chain(&calls) {
         let unit = parser::parse(&p.source).expect("corpus parses");
         c.bench_function(&format!("exec/compile/{}", p.name), |b| {
             b.iter(|| compile_unit(black_box(&unit)))
@@ -126,7 +136,7 @@ fn main() {
     // The standard corpus must stay analysis-clean (it is executed
     // above); the analysis corpus includes statically-violating programs
     // so reporting is measured too.
-    for p in programs.iter().chain(&typed).chain(&mem) {
+    for p in programs.iter().chain(&typed).chain(&mem).chain(&calls) {
         let unit = parser::parse(&p.source).expect("corpus parses");
         assert!(
             cundef_analysis::analyze(&unit).is_empty(),

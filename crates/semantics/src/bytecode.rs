@@ -87,6 +87,12 @@ pub(crate) enum Op {
     /// [`Op::Bin2SF`] with the left operand taken from the stack (its
     /// ops already ran); `fused2[i]`'s `a_*` fields are unused.
     Bin2VF(u32),
+    /// `(b ⊕ c) ⊕ k` — an inner [`FusedBin`] pair on the *left*, a pool
+    /// constant on the right: the inner loads and both operator
+    /// applications in one dispatch, in tree order. `fused2[i].a_slot`
+    /// holds the pool index of the right constant; the other `a_*`
+    /// fields are unused.
+    Bin2FC(u32),
 
     // ----- control flow -----
     /// Unconditional jump.
@@ -168,6 +174,28 @@ pub(crate) enum Op {
     /// Call `functions[f]` with the top `argc` values of the argument
     /// stack; push the returned value.
     Call(u32, u32),
+    /// `malloc(n)`: pop the size from the argument stack, allocate a
+    /// fresh heap object (recycling a retired slab slot when one is
+    /// free), push the pointer. Shares the tree-walker's allocator
+    /// helper, so sizes, serial naming, and diagnostics are identical.
+    Malloc,
+    /// `free(p)`: pop the pointer from the argument stack, end the heap
+    /// object's lifetime (retiring its slot for recycling), push the
+    /// void poison. Shares the tree-walker's helper verbatim.
+    Free,
+    /// `return f(args)` where `f` is the enclosing function itself:
+    /// rebind the parameter objects in place from the top `argc` operand
+    /// stack values and jump back to the function's entry, reusing the
+    /// physical frame. Compiled only when the reuse is unobservable —
+    /// every parameter is a non-`_Bool` scalar whose address the body
+    /// never takes, the return type is scalar, and every argument
+    /// expression compiles to ops that can never produce a missing
+    /// value (so skipping the per-argument `ArgPush` consumption loses
+    /// no diagnostic) — so no pointer to a parameter or to a prior
+    /// incarnation's locals can exist. When a runtime argument is not a
+    /// plain integer the op degrades to the exact call-and-return it
+    /// replaced.
+    TailSelf(u32),
     /// Return: pop the value, end the full expression, consume the value
     /// at the `return`'s position, and leave the frame.
     Ret,
@@ -199,6 +227,16 @@ pub(crate) enum Op {
     /// (arrays, VLAs, redeclarations, initializers the compiler cannot
     /// lower).
     DeclFull(StmtId),
+
+    /// Fused byte sweep, descriptor in `sweeps[i]`: a whole
+    /// `for (int k = …; k < C; k++) d[k] = …;` loop over character
+    /// pointers as one bulk move. The op validates once that *no*
+    /// iteration of the generic loop could report a diagnostic (or
+    /// observe different state), performs the copy/fill, charges
+    /// exactly the steps the generic loop would have settled, and jumps
+    /// past it; any precheck failure falls through to the generic loop
+    /// ops emitted right after, which replay every per-byte check.
+    ByteSweep(u32),
 
     // ----- fallbacks and failures -----
     /// Fallback: evaluate a full expression through the tree-walker and
@@ -239,6 +277,7 @@ impl Op {
             Op::BinVS(_) => "BinVS",
             Op::Bin2SF(_) => "Bin2SF",
             Op::Bin2VF(_) => "Bin2VF",
+            Op::Bin2FC(_) => "Bin2FC",
             Op::Jump(_) => "Jump",
             Op::BranchFalse(_) => "BranchFalse",
             Op::BranchFalseSeq(_) => "BranchFalseSeq",
@@ -266,6 +305,9 @@ impl Op {
             Op::SizeofExpr(_) => "SizeofExpr",
             Op::ArgPush => "ArgPush",
             Op::Call(..) => "Call",
+            Op::Malloc => "Malloc",
+            Op::Free => "Free",
+            Op::TailSelf(..) => "TailSelf",
             Op::Ret => "Ret",
             Op::RetNone => "RetNone",
             Op::EnterScope => "EnterScope",
@@ -276,6 +318,7 @@ impl Op {
             Op::DeclInit(_) => "DeclInit",
             Op::DeclSimple(_) => "DeclSimple",
             Op::DeclFull(_) => "DeclFull",
+            Op::ByteSweep(_) => "ByteSweep",
             Op::EvalFull(_) => "EvalFull",
             Op::EvalFullPop(_) => "EvalFullPop",
             Op::ExecStmt(_) => "ExecStmt",
@@ -359,6 +402,43 @@ pub(crate) struct FusedIncDec {
     pub place_loc: SourceLoc,
 }
 
+/// What a fused byte sweep stores each iteration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SweepSrc {
+    /// Copy form `d[k] = s[k]`: the source pointer's frame slot.
+    Slot(u32),
+    /// Fill form `d[k] = c`: the constant stored each iteration, before
+    /// the store's §6.3.1.3 conversion — which happens (and must be
+    /// exact, or the op falls back for the conversion note) at runtime.
+    Fill(CInt),
+}
+
+/// Descriptor of a fused byte sweep ([`Op::ByteSweep`]): the loop
+/// `for (int k = …; k < bound; k++) d[k] = …;` lowered to one bulk
+/// move. The counter's start value is read from the `k` object at
+/// runtime, so the op also fuses loops entered with `k` already
+/// partway along (a `continue`-free shape guarantees it).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FusedSweep {
+    /// Frame slot of the loop counter `k` (a plain `int`).
+    pub k_slot: u32,
+    /// Frame slot of the destination pointer `d`.
+    pub d_slot: u32,
+    /// What each iteration stores: a source byte or a constant.
+    pub src: SweepSrc,
+    /// Exclusive upper bound: the loop runs while `k < bound`.
+    pub bound: i64,
+    /// Ops the generic loop dispatches per iteration (the condition
+    /// through the back-edge jump) — the bulk step charge is
+    /// `iterations × per_iter_ops + tail_ops`, making the op invisible
+    /// to step accounting.
+    pub per_iter_ops: u64,
+    /// Ops of the final, failing condition test.
+    pub tail_ops: u64,
+    /// Pc of the loop's normal exit; a completed sweep jumps here.
+    pub exit: Pc,
+}
+
 /// Flow bookkeeping for a tree-fallback statement op: where the op sits
 /// in the compiled scope structure and where `continue` from inside it
 /// must land (`break` never escapes a `switch`, the only statement that
@@ -411,6 +491,8 @@ pub(crate) struct CodeUnit {
     pub stores: Vec<FusedStore>,
     /// Fused `++`/`--` statement descriptors.
     pub incdecs: Vec<FusedIncDec>,
+    /// Fused byte-sweep descriptors.
+    pub sweeps: Vec<FusedSweep>,
     /// Tree-fallback statement flow info.
     pub execs: Vec<ExecInfo>,
     /// Engine-limit messages for [`Op::FailUnsupported`].

@@ -32,7 +32,8 @@ use crate::ast::{
     BinOp, Decl, ExprId, ExprKind, Function, Stmt, StmtId, TranslationUnit, Ty, UnaryOp,
 };
 use crate::bytecode::{
-    CodeUnit, ExecInfo, FnCode, Fused2, FusedBin, FusedIncDec, FusedStore, Op, Pc,
+    CodeUnit, ExecInfo, FnCode, Fused2, FusedBin, FusedIncDec, FusedStore, FusedSweep, Op, Pc,
+    SweepSrc,
 };
 use crate::consteval;
 use crate::ctype::{CInt, IntTy, SIZE_T};
@@ -62,8 +63,8 @@ pub fn compile_unit(unit: &TranslationUnit) -> CompiledUnit {
 /// Lower every function of `unit`, back to back, into one [`CodeUnit`].
 pub(crate) fn compile(unit: &TranslationUnit) -> CodeUnit {
     let mut code = CodeUnit::default();
-    for func in &unit.functions {
-        let fc = FnCompiler::lower(unit, func, &mut code);
+    for (idx, func) in unit.functions.iter().enumerate() {
+        let fc = FnCompiler::lower(unit, func, idx as u32, &mut code);
         code.funcs.push(fc);
     }
     code
@@ -148,10 +149,22 @@ struct FnCompiler<'a> {
     gotos: Vec<GotoSite>,
     /// `Jump` ops to patch to the function's end (stray break/continue).
     fn_end_jumps: Vec<usize>,
+    /// `Some(own index)` when `return f(args)` to this very function may
+    /// compile to [`Op::TailSelf`]: calls to the name resolve here, every
+    /// parameter is a non-`_Bool` scalar whose address the body never
+    /// takes, and the return type is scalar. Under those conditions no
+    /// pointer to a parameter or into a previous incarnation's locals
+    /// can exist, so reusing the physical frame is unobservable.
+    tail_self: Option<u32>,
 }
 
 impl<'a> FnCompiler<'a> {
-    fn lower(unit: &'a TranslationUnit, func: &'a Function, code: &'a mut CodeUnit) -> FnCode {
+    fn lower(
+        unit: &'a TranslationUnit,
+        func: &'a Function,
+        idx: u32,
+        code: &'a mut CodeUnit,
+    ) -> FnCode {
         let mut slot_kinds = vec![SlotKind::Unknown; func.n_slots as usize];
         let mut slot_syms = vec![func.name; func.n_slots as usize];
         for (i, p) in func.params.iter().enumerate() {
@@ -182,6 +195,21 @@ impl<'a> FnCompiler<'a> {
                 tree_only: true,
             };
         }
+        let tail_self = {
+            let resolves_here = unit
+                .func_by_symbol
+                .get(func.name.index())
+                .copied()
+                .flatten()
+                == Some(idx);
+            let scalar_params = func
+                .params
+                .iter()
+                .all(|p| matches!(kind_of_ty(&p.ty), SlotKind::Scalar(t) if t != IntTy::Bool));
+            let scalar_ret = !func.returns_void && func.ret_ptr == 0;
+            (resolves_here && scalar_params && scalar_ret && !body_addresses_param(unit, func))
+                .then_some(idx)
+        };
         let mut c = FnCompiler {
             unit,
             func,
@@ -194,6 +222,7 @@ impl<'a> FnCompiler<'a> {
             labels: Vec::new(),
             gotos: Vec::new(),
             fn_end_jumps: Vec::new(),
+            tail_self,
         };
         let start = c.pc();
         for &s in &func.body {
@@ -278,6 +307,93 @@ fn kind_of_ty(ty: &Ty) -> SlotKind {
         Ty::Ptr(_) => SlotKind::PtrObj,
         Ty::Void => SlotKind::Unknown,
     }
+}
+
+/// Whether any `&` in `func`'s body could take a parameter's address.
+/// `&param` (or `&` of an unresolved identifier, conservatively) means a
+/// pointer to the parameter object may exist, making in-place frame
+/// reuse for self-tail calls observable — the tombstone a fresh
+/// allocation would leave, the object identity a comparison would see.
+/// `&` of anything else (a local, an element, `&*p`) never yields a
+/// pointer *to* a scalar parameter's own object.
+fn body_addresses_param(unit: &TranslationUnit, func: &Function) -> bool {
+    let nparams = func.params.len();
+    let mut stmts: Vec<StmtId> = func.body.clone();
+    let mut exprs: Vec<ExprId> = Vec::new();
+    while let Some(s) = stmts.pop() {
+        match unit.stmt(s) {
+            Stmt::Decl(d) => {
+                exprs.extend(d.array_size);
+                exprs.extend(d.init);
+                if let Some(inits) = &d.array_init {
+                    exprs.extend(inits.iter().copied());
+                }
+            }
+            Stmt::Expr(e) => exprs.push(*e),
+            Stmt::If(c, t, f) => {
+                exprs.push(*c);
+                stmts.push(*t);
+                stmts.extend(*f);
+            }
+            Stmt::While(c, b) => {
+                exprs.push(*c);
+                stmts.push(*b);
+            }
+            Stmt::For(init, cond, step, body) => {
+                stmts.extend(*init);
+                exprs.extend(*cond);
+                exprs.extend(*step);
+                stmts.push(*body);
+            }
+            Stmt::Return(e, _) => exprs.extend(*e),
+            Stmt::Block(body, _) => stmts.extend(body.iter().copied()),
+            Stmt::Switch(e, s, _) | Stmt::Case(e, s, _) => {
+                exprs.push(*e);
+                stmts.push(*s);
+            }
+            Stmt::Default(s, _) | Stmt::Label(_, s, _) => stmts.push(*s),
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Goto(..) | Stmt::Empty(_) => {}
+        }
+        while let Some(e) = exprs.pop() {
+            match &unit.expr(e).kind {
+                ExprKind::AddrOf(x) => {
+                    match &unit.expr(*x).kind {
+                        // The address of a parameter, or of something the
+                        // resolver couldn't bind (which might be one).
+                        ExprKind::Slot(slot, _) if slot.index() < nparams => return true,
+                        ExprKind::Ident(_) => return true,
+                        _ => exprs.push(*x),
+                    }
+                }
+                ExprKind::IntLit(_)
+                | ExprKind::Ident(_)
+                | ExprKind::Slot(..)
+                | ExprKind::SizeofType(_) => {}
+                ExprKind::Unary(_, a)
+                | ExprKind::PreIncDec(a, _)
+                | ExprKind::PostIncDec(a, _)
+                | ExprKind::Deref(a)
+                | ExprKind::SizeofExpr(a)
+                | ExprKind::Cast(_, a) => exprs.push(*a),
+                ExprKind::Binary(_, a, b)
+                | ExprKind::LogicalAnd(a, b)
+                | ExprKind::LogicalOr(a, b)
+                | ExprKind::Assign(a, _, b)
+                | ExprKind::Index(a, b)
+                | ExprKind::Comma(a, b) => {
+                    exprs.push(*a);
+                    exprs.push(*b);
+                }
+                ExprKind::Conditional(a, b, c) => {
+                    exprs.push(*a);
+                    exprs.push(*b);
+                    exprs.push(*c);
+                }
+                ExprKind::Call(_, args) => exprs.extend(args.iter().copied()),
+            }
+        }
+    }
+    false
 }
 
 /// Prepass: slot kinds and spellings from every declaration, plus the
@@ -437,6 +553,191 @@ impl<'a> FnCompiler<'a> {
     }
 }
 
+// ----- fused byte sweeps -----
+
+/// An AST-matched byte-sweep candidate, pending op-range verification.
+struct SweepCand {
+    k_slot: u32,
+    d_slot: u32,
+    src: SweepSrc,
+    bound: i64,
+}
+
+impl<'a> FnCompiler<'a> {
+    /// Match the fusable loop shape:
+    /// `for (int k = …; k < C; k++) d[k] = s[k];` (copy) or
+    /// `… d[k] = c;` (fill), with `d`/`s` pointer slots, `k` a plain
+    /// non-`const` `int`, and an `int`-typed literal bound (so the
+    /// promoted compare is exactly `value(k) < C`, and `k++` can never
+    /// overflow mid-loop). Matching is purely syntactic; every semantic
+    /// question — live char pointers, bounds, initialization, aliasing
+    /// with the loop's own state — is a runtime precheck of the op.
+    fn sweep_candidate(
+        &self,
+        init: &Option<StmtId>,
+        cond: &Option<ExprId>,
+        step: &Option<ExprId>,
+        body: StmtId,
+    ) -> Option<SweepCand> {
+        // init: `int k = <expr>;`
+        let Stmt::Decl(d) = self.unit.stmt((*init)?) else {
+            return None;
+        };
+        if d.ty != Ty::Int(IntTy::Int)
+            || d.array_size.is_some()
+            || d.array_init.is_some()
+            || d.init.is_none()
+            || d.quals.is_const
+            || d.redeclaration
+        {
+            return None;
+        }
+        let k = d.slot.0;
+        if self.slot_kind(k) != SlotKind::Scalar(IntTy::Int) {
+            return None;
+        }
+        // cond: `k < C`
+        let ExprKind::Binary(BinOp::Lt, cl, cr) = &self.unit.expr((*cond)?).kind else {
+            return None;
+        };
+        let ExprKind::Slot(cs, _) = &self.unit.expr(*cl).kind else {
+            return None;
+        };
+        let ExprKind::IntLit(c1) = &self.unit.expr(*cr).kind else {
+            return None;
+        };
+        if cs.0 != k || c1.ty != IntTy::Int {
+            return None;
+        }
+        let bound = i64::try_from(c1.math()).ok()?;
+        // step: `k++` (`++k` is the same statement).
+        let (ExprKind::PostIncDec(sp, 1) | ExprKind::PreIncDec(sp, 1)) =
+            &self.unit.expr((*step)?).kind
+        else {
+            return None;
+        };
+        let ExprKind::Slot(ss, _) = &self.unit.expr(*sp).kind else {
+            return None;
+        };
+        if ss.0 != k {
+            return None;
+        }
+        // body: a single `d[k] = …;` statement (simple assignment).
+        let Stmt::Expr(e) = self.unit.stmt(body) else {
+            return None;
+        };
+        let ExprKind::Assign(place, None, rhs) = &self.unit.expr(*e).kind else {
+            return None;
+        };
+        let (d_slot, di) = self.ptr_slot_index(*place)?;
+        if di != k || d_slot == k {
+            return None;
+        }
+        let src = match &self.unit.expr(*rhs).kind {
+            ExprKind::IntLit(c) => SweepSrc::Fill(*c),
+            _ => {
+                let (s_slot, si) = self.ptr_slot_index(*rhs)?;
+                if si != k || s_slot == d_slot || s_slot == k {
+                    return None;
+                }
+                SweepSrc::Slot(s_slot)
+            }
+        };
+        Some(SweepCand {
+            k_slot: k,
+            d_slot,
+            src,
+            bound,
+        })
+    }
+
+    /// `base[index]` where `base` is a pointer slot and `index` a slot:
+    /// `(base_slot, index_slot)`.
+    fn ptr_slot_index(&self, e: ExprId) -> Option<(u32, u32)> {
+        let ExprKind::Index(b, i) = &self.unit.expr(e).kind else {
+            return None;
+        };
+        let ExprKind::Slot(bs, _) = &self.unit.expr(*b).kind else {
+            return None;
+        };
+        let ExprKind::Slot(is, _) = &self.unit.expr(*i).kind else {
+            return None;
+        };
+        (self.slot_kind(bs.0) == SlotKind::PtrObj).then_some((bs.0, is.0))
+    }
+
+    /// Patch the placeholder at `at` into an [`Op::ByteSweep`] — but
+    /// only if every op of the lowered loop `[cond_pc, normal_exit)`
+    /// dispatches exactly once per iteration, so the bulk step charge
+    /// `iterations × per_iter + tail` is precisely what the generic
+    /// loop would have settled. Straight-line value/memory ops qualify;
+    /// the single exit branch (at `exit_patch`, taken on the final
+    /// test) and the back-edge jump anchor the range. Anything else — a
+    /// tree fallback, a nested branch — leaves the `Nop` in place and
+    /// the loop fully generic.
+    fn fuse_sweep(
+        &mut self,
+        at: usize,
+        cand: SweepCand,
+        cond_pc: Pc,
+        exit_patch: usize,
+        normal_exit: Pc,
+    ) {
+        let jump_pc = normal_exit as usize - 1;
+        for pc in cond_pc as usize..=jump_pc {
+            let uniform = match self.code.ops[pc] {
+                Op::Jump(t) => pc == jump_pc && t == cond_pc,
+                Op::BrCmpSS(..) | Op::BrCmpSC(..) | Op::BranchFalse(_) | Op::BranchFalseSeq(_) => {
+                    pc == exit_patch
+                }
+                Op::Const(_)
+                | Op::LoadSlot(_)
+                | Op::LoadSlotFast(..)
+                | Op::Pop
+                | Op::PopSeq
+                | Op::Unary(_)
+                | Op::Binary(_)
+                | Op::BinaryC(..)
+                | Op::BinSS(_)
+                | Op::BinSC(_)
+                | Op::BinVS(_)
+                | Op::Bin2SF(_)
+                | Op::Bin2VF(_)
+                | Op::Bin2FC(_)
+                | Op::ToBool01
+                | Op::AsPtr
+                | Op::ReadThru
+                | Op::IndexPlace
+                | Op::IndexRead
+                | Op::SlotPlace(_)
+                | Op::BindCheck(_)
+                | Op::StoreSimple
+                | Op::StoreCompound(_)
+                | Op::AssignSlot(_)
+                | Op::AssignSlotPop(_)
+                | Op::IncDec(..)
+                | Op::IncDecSlotStmt(_)
+                | Op::CastInt(_) => true,
+                _ => false,
+            };
+            if !uniform {
+                return;
+            }
+        }
+        let idx = u32::try_from(self.code.sweeps.len()).expect("sweep table fits u32");
+        self.code.sweeps.push(FusedSweep {
+            k_slot: cand.k_slot,
+            d_slot: cand.d_slot,
+            src: cand.src,
+            bound: cand.bound,
+            per_iter_ops: (jump_pc - cond_pc as usize + 1) as u64,
+            tail_ops: (exit_patch - cond_pc as usize + 1) as u64,
+            exit: normal_exit,
+        });
+        self.code.ops[at] = Op::ByteSweep(idx);
+    }
+}
+
 // ----- statement lowering -----
 
 impl<'a> FnCompiler<'a> {
@@ -494,6 +795,14 @@ impl<'a> FnCompiler<'a> {
                 if let Some(init) = init {
                     self.stmt(*init);
                 }
+                // Fused byte-sweep candidate: a placeholder op sits
+                // between the init and the condition; if the lowered
+                // loop verifies (see `fuse_sweep`) it becomes an
+                // `Op::ByteSweep` whose runtime prechecks fall through
+                // to these generic ops, otherwise it stays a `Nop`.
+                let sweep = self
+                    .sweep_candidate(init, cond, step, *body)
+                    .map(|cand| (self.emit(Op::Nop, loc), cand));
                 let cond_pc = self.pc();
                 let exit_patch = cond.map(|c| self.cond(c));
                 self.loops.push(LoopCtx {
@@ -514,6 +823,9 @@ impl<'a> FnCompiler<'a> {
                 if let Some(p) = exit_patch {
                     self.patch_branch(p, normal_exit);
                 }
+                if let (Some((at, cand)), Some(exit_patch)) = (sweep, exit_patch) {
+                    self.fuse_sweep(at, cand, cond_pc, exit_patch, normal_exit);
+                }
                 self.emit(Op::ExitScope, loc);
                 self.pop_scope();
                 let end = self.pc();
@@ -532,8 +844,10 @@ impl<'a> FnCompiler<'a> {
             }
             Stmt::Return(e, loc) => match e {
                 Some(e) => {
-                    self.full_value(*e);
-                    self.emit(Op::Ret, *loc);
+                    if !self.try_tail_self(*e, *loc) {
+                        self.full_value(*e);
+                        self.emit(Op::Ret, *loc);
+                    }
                 }
                 None => {
                     self.emit(Op::RetNone, *loc);
@@ -936,6 +1250,67 @@ impl<'a> FnCompiler<'a> {
             self.emit(Op::EvalFull(e), loc);
         }
     }
+
+    /// Compile `return e` as a frame-reusing self-tail call when `e` is
+    /// an eligible direct call to the enclosing function. The arguments
+    /// compile straight onto the operand stack — no per-argument
+    /// `ArgPush` — which is exact only because each argument's op span
+    /// provably never produces a missing value (the one thing the
+    /// elided `use_value` consumption would diagnose). A trailing `Ret`
+    /// still follows the `TailSelf`: it is the fall-through continuation
+    /// when the op degrades to a general call at runtime.
+    fn try_tail_self(&mut self, e: ExprId, ret_loc: SourceLoc) -> bool {
+        let Some(me) = self.tail_self else {
+            return false;
+        };
+        let node = self.unit.expr(e);
+        let ExprKind::Call(name, args) = &node.kind else {
+            return false;
+        };
+        let target = self
+            .unit
+            .func_by_symbol
+            .get(name.index())
+            .copied()
+            .flatten();
+        if target != Some(me) || args.len() != self.func.params.len() || !elidable(self.unit, e) {
+            return false;
+        }
+        let mark = self.code.ops.len();
+        for &a in args {
+            let amark = self.code.ops.len();
+            let pure = self.expr(a).is_ok()
+                && self.code.ops[amark..]
+                    .iter()
+                    .all(|op| !op_can_push_missing(op));
+            if !pure {
+                self.rollback(mark);
+                return false;
+            }
+        }
+        self.emit(Op::TailSelf(args.len() as u32), node.loc);
+        self.emit(Op::Ret, ret_loc);
+        true
+    }
+}
+
+/// Whether executing `op` can leave a missing value (a void or absent
+/// result, §6.3.2.2) on the operand stack. Everything else the
+/// expression compiler emits pushes computed values, so eliding the
+/// per-argument consumption check around such spans is unobservable.
+fn op_can_push_missing(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Call(..)
+            | Op::TailSelf(_)
+            | Op::Malloc
+            | Op::Free
+            | Op::CastVoid
+            | Op::EvalFull(_)
+            | Op::EvalFullPop(_)
+            | Op::ExecStmt(_)
+            | Op::DeclFull(_)
+    )
 }
 
 // ----- expression lowering -----
@@ -1082,6 +1457,25 @@ impl<'a> FnCompiler<'a> {
                             inner_const: fc,
                         });
                         self.emit(Op::Bin2SF(j), loc);
+                        Ok(Shape::Other)
+                    }
+                    (Shape::Fused(fi, fc), Shape::Const(ci)) => {
+                        // Second-level fusion, constant on the right:
+                        // `(b ⊕ c) ⊕ k` in one dispatch. The last two
+                        // ops are the inner pair and the constant.
+                        let inner_loc = self.code.locs[self.code.locs.len() - 2];
+                        self.pop_ops(2);
+                        let j = self.code.fused2.len() as u32;
+                        self.code.fused2.push(Fused2 {
+                            op: *op,
+                            a_slot: ci,
+                            a_ty: IntTy::Int,
+                            a_loc: loc,
+                            inner: fi,
+                            inner_loc,
+                            inner_const: fc,
+                        });
+                        self.emit(Op::Bin2FC(j), loc);
                         Ok(Shape::Other)
                     }
                     (_, Shape::Const(ci)) => {
@@ -1451,7 +1845,31 @@ impl<'a> FnCompiler<'a> {
             .flatten();
         let Some(f_idx) = target else {
             if name == kw::MALLOC || name == kw::FREE {
-                return Err(Bail);
+                for &a in args {
+                    self.expr(a)?;
+                    let al = self.expr_loc(a);
+                    self.emit(Op::ArgPush, al);
+                }
+                if args.len() != 1 {
+                    // Arity mismatch diagnoses after the arguments ran,
+                    // exactly like the tree path.
+                    let err = UbError::new(UbKind::CallWrongArity)
+                        .at(loc)
+                        .in_function(self.unit.interner.resolve(self.func.name))
+                        .with_detail(format!(
+                            "`{}` takes 1 argument, called with {}",
+                            self.unit.interner.resolve(name),
+                            args.len()
+                        ));
+                    let i = self.code.ubs.len() as u32;
+                    self.code.ubs.push(err);
+                    self.emit(Op::FailUb(i), loc);
+                } else if name == kw::MALLOC {
+                    self.emit(Op::Malloc, loc);
+                } else {
+                    self.emit(Op::Free, loc);
+                }
+                return Ok(Shape::Other);
             }
             for &a in args {
                 self.expr(a)?;

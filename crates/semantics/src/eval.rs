@@ -298,6 +298,52 @@ impl Outcome {
 /// Sentinel in the slot stack for "declaration not yet executed".
 const SLOT_NONE: usize = usize::MAX;
 
+// ----- epoch-tagged object references -----
+//
+// An object reference packs a slab slot index (low 32 bits) with the
+// slot's generation (high 32 bits). Retired objects stay in place —
+// diagnostics about the common un-recycled dangling pointer read the
+// dead object directly — until `alloc` recycles their slot for a new
+// object, bumping the slot's epoch. A stale reference then misses on
+// the epoch compare (O(1) "this object is dead") and resolves through
+// the tombstone record of its original occupant, so dangling-pointer
+// reports keep the original name even after the storage was reused.
+// The packing assumes 64-bit `usize`, like the LP64 target the engine
+// models.
+
+/// Slab slot index of a packed object reference.
+#[inline]
+fn obj_slot(r: usize) -> usize {
+    r & 0xFFFF_FFFF
+}
+
+/// Generation tag of a packed object reference.
+#[inline]
+fn obj_epoch(r: usize) -> u32 {
+    (r >> 32) as u32
+}
+
+/// Pack a slab slot and its current epoch into an object reference.
+#[inline]
+fn obj_ref(slot: usize, epoch: u32) -> usize {
+    slot | ((epoch as usize) << 32)
+}
+
+/// The previous occupant of a recycled slab slot: everything a stale
+/// reference can still legitimately ask about. Accesses are dead on
+/// arrival (epoch mismatch), but the *diagnostic* must name the
+/// original object, an array designator must still decay, and `sizeof`
+/// must still see the original extent.
+struct Tombstone {
+    slot: u32,
+    epoch: u32,
+    name: ObjName,
+    heap: bool,
+    is_array: bool,
+    elem: Elem,
+    size: u32,
+}
+
 /// Memory budget for one object, in bytes. With 64-bit sizes a program
 /// can ask for absurd allocations (`long n = 1L << 40; int a[n];`); the
 /// checker gives up rather than trying to model them.
@@ -345,6 +391,11 @@ enum Flow {
 struct Access(u64);
 
 impl Access {
+    /// `obj` is the *slab slot* of the accessed object, not a packed
+    /// epoch reference: footprints live only within one full
+    /// expression, and `alloc` refuses to recycle any slot present in
+    /// the live footprint, so a slot identifies its object unambiguously
+    /// for the lifetime of every entry.
     #[inline]
     fn new(obj: usize, off: i64, size: u64, write: bool) -> Access {
         debug_assert!(size.is_power_of_two() && size <= 8);
@@ -427,6 +478,21 @@ impl Bytes {
         }
     }
 
+    /// Reinitialize this storage for a recycled object of `len` bytes:
+    /// all bytes zero, all init bits clear. A `Big` reused as `Big`
+    /// keeps both vector allocations — the point of slab recycling.
+    fn reset(&mut self, len: usize) {
+        match self {
+            Bytes::Big { data, init } if len > 8 => {
+                data.clear();
+                data.resize(len, 0);
+                init.clear();
+                init.resize(len.div_ceil(64), 0);
+            }
+            _ => *self = Bytes::new(len),
+        }
+    }
+
     /// Whether every byte of `[off, off + n)` is initialized (n ≤ 8).
     #[inline]
     fn all_init(&self, off: usize, n: usize) -> bool {
@@ -501,6 +567,26 @@ impl Bytes {
         None
     }
 
+    /// One raw data byte (fused byte sweep); bounds and initialization
+    /// were checked by the caller.
+    #[inline]
+    fn get_byte(&self, i: usize) -> u8 {
+        match self {
+            Bytes::Small { data, .. } => data[i],
+            Bytes::Big { data, .. } => data[i],
+        }
+    }
+
+    /// Set one raw data byte without touching init bits — the fused
+    /// byte sweep marks its whole range initialized at the end.
+    #[inline]
+    fn set_byte(&mut self, i: usize, b: u8) {
+        match self {
+            Bytes::Small { data, .. } => data[i] = b,
+            Bytes::Big { data, .. } => data[i] = b,
+        }
+    }
+
     /// Load `n` (≤ 8) bytes at `off`, little-endian, into the low bits.
     /// Bounds and initialization were checked by the caller.
     #[inline]
@@ -546,11 +632,15 @@ impl Bytes {
 
 /// How an object is named in diagnostics; rendered lazily so the hot
 /// path never formats or clones a string.
+#[derive(Clone, Copy)]
 enum ObjName {
     /// A declared identifier, spelled via the unit's interner.
     Sym(Symbol),
-    /// An anonymous heap allocation, shown as `heap object #<index>`.
-    Heap,
+    /// An anonymous heap allocation, shown as `heap object #<serial>`.
+    /// The serial is the object's allocation-order number, assigned by
+    /// [`Interp::alloc`] — identical to the slab index it would have
+    /// had without recycling, so recycling never renumbers reports.
+    Heap(u64),
 }
 
 /// The declared (or, for heap memory, *effective*) element type of an
@@ -652,6 +742,10 @@ struct Object {
     is_const: bool,
     /// Display name for diagnostics.
     name: ObjName,
+    /// Generation of this slab slot. A packed reference resolves to
+    /// this object only while the epochs agree; after the slot is
+    /// recycled, stale references fall through to the tombstone record.
+    epoch: u32,
 }
 
 struct Frame {
@@ -662,6 +756,33 @@ struct Frame {
     returns_void: bool,
     /// Base of this frame's region of the shared slot stack.
     slot_base: usize,
+    /// Logical calls this physical frame absorbed via in-place self-tail
+    /// calls; subtracted from `Interp::tail_depth` when the frame pops.
+    tail_calls: u32,
+}
+
+/// One parameter's precomputed binding recipe.
+#[derive(Clone, Copy)]
+struct ParamPlan {
+    /// The parameter's identifier, for the object's diagnostic name.
+    sym: Symbol,
+    /// Declared element type, derived from the AST once per function.
+    elem: Elem,
+    /// Object size in bytes.
+    size: u32,
+    /// `Some(t)` when a `Value::Int` argument can take the one-word
+    /// converted store (scalar, non-`_Bool`) instead of the typed core.
+    scalar_fast: Option<IntTy>,
+}
+
+/// Precomputed frame descriptor for one function: slot count and the
+/// parameter recipes, so a call binds its frame with stack-pointer
+/// bumps and recycled objects instead of re-deriving element types and
+/// sizes from the AST on every invocation. Built once per interpreter,
+/// serving both engines identically.
+struct FramePlan {
+    n_slots: u32,
+    params: Vec<ParamPlan>,
 }
 
 /// The interpreter for one translation unit.
@@ -678,8 +799,32 @@ struct Frame {
 pub struct Interp<'a> {
     unit: &'a TranslationUnit,
     limits: Limits,
+    /// The object slab: live and retired objects, indexed by slot.
+    /// Retired objects stay in place (their slot queued on
+    /// `free_slots`) so stale pointers keep reading exact diagnostics;
+    /// `alloc` recycles queued slots, bumping the epoch and recording a
+    /// tombstone for the previous occupant.
     objects: Vec<Object>,
+    /// Slots of retired objects available for recycling.
+    free_slots: Vec<u32>,
+    /// Previous occupants of recycled slots, looked up (cold, terminal
+    /// diagnostics only) when a stale reference misses its epoch.
+    tombstones: Vec<Tombstone>,
+    /// Total `alloc` calls — the allocation-order serial for heap
+    /// object names (equal to the slab index recycling would have used).
+    alloc_count: u64,
+    /// Per-function frame descriptors, indexed like `unit.functions`.
+    frame_plans: Vec<FramePlan>,
+    /// High-water mark of the slot stack, for the frame-pool telemetry:
+    /// a call at or under the mark reuses pooled frame storage.
+    slots_high_water: usize,
     frames: Vec<Frame>,
+    /// Logical call depth carried by in-place self-tail calls
+    /// ([`crate::bytecode::Op::TailSelf`]): each reuse deepens the
+    /// logical chain without pushing a [`Frame`], so the depth limit
+    /// compares `frames.len() + tail_depth`. Unwound per frame via
+    /// [`Frame::tail_calls`].
+    tail_depth: usize,
     /// Shared slot stack: each frame owns `slots[frame.slot_base..]` up
     /// to its function's `n_slots`. Entries are object indices or
     /// [`SLOT_NONE`].
@@ -730,11 +875,45 @@ impl<'a> Interp<'a> {
 
     /// Create an interpreter driving the given [`Engine`].
     pub fn with_engine(unit: &'a TranslationUnit, limits: Limits, engine: Engine) -> Interp<'a> {
+        // Frame descriptors, one per function: everything `call` needs
+        // that depends only on the declaration, computed once instead of
+        // per call. `scalar_fast` pre-answers "can an integer argument
+        // skip the typed store?" (fresh object, non-`_Bool` scalar).
+        let frame_plans = unit
+            .functions
+            .iter()
+            .map(|func| FramePlan {
+                n_slots: func.n_slots,
+                params: func
+                    .params
+                    .iter()
+                    .map(|param| {
+                        let elem = elem_of_ty(&param.ty);
+                        let scalar_fast = match elem {
+                            Elem::Scalar(t) if t != IntTy::Bool => Some(t),
+                            _ => None,
+                        };
+                        ParamPlan {
+                            sym: param.name,
+                            elem,
+                            size: elem.size() as u32,
+                            scalar_fast,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
         Interp {
             unit,
             limits,
             objects: Vec::new(),
+            free_slots: Vec::new(),
+            tombstones: Vec::new(),
+            alloc_count: 0,
+            frame_plans,
+            slots_high_water: 0,
             frames: Vec::new(),
+            tail_depth: 0,
             slots: Vec::new(),
             created: Vec::new(),
             fp: Vec::new(),
@@ -885,11 +1064,17 @@ impl<'a> Interp<'a> {
     }
 
     /// Display name of an object, borrowed for declared identifiers and
-    /// formatted only for anonymous heap blocks.
+    /// formatted only for anonymous heap blocks. Stale references
+    /// (recycled slot) resolve through the tombstone, so a dangling
+    /// diagnostic always names the *original* object.
     fn object_name(&self, obj: usize) -> Cow<'_, str> {
-        match self.objects[obj].name {
+        let name = match self.resolved(obj) {
+            Some(o) => o.name,
+            None => self.tombstone(obj).name,
+        };
+        match name {
             ObjName::Sym(sym) => Cow::Borrowed(self.name(sym)),
-            ObjName::Heap => Cow::Owned(format!("heap object #{obj}")),
+            ObjName::Heap(serial) => Cow::Owned(format!("heap object #{serial}")),
         }
     }
 
@@ -904,7 +1089,18 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// Allocate an object of `size` bytes.
+    /// Allocate an object of `size` bytes, returning a packed reference
+    /// (slot + current epoch). Retired slots are recycled in preference
+    /// to growing the slab: the outgoing occupant leaves a [`Tombstone`]
+    /// and the slot's epoch advances, so every stale reference still
+    /// resolves to exact diagnostics while the byte storage is reused.
+    ///
+    /// A queued slot is skipped (fresh push instead) while it appears in
+    /// the live footprint arena: `fp` entries carry bare slots, so
+    /// recycling one mid-full-expression would both alias the epoch
+    /// packing in [`Access`] and misname the access in an unsequenced
+    /// diagnostic. The skipped slot stays queued for the next sequence
+    /// point.
     fn alloc(
         &mut self,
         name: ObjName,
@@ -913,24 +1109,154 @@ impl<'a> Interp<'a> {
         is_array: bool,
         elem: Elem,
     ) -> usize {
-        let id = self.objects.len();
-        self.objects.push(Object {
-            bytes: Bytes::new(size),
-            ptr_slots: Vec::new(),
-            alive: true,
-            heap,
-            is_array,
-            is_const: false,
-            elem,
-            name,
-        });
+        // Heap blocks are named by allocation order — identical to the
+        // slab index they carried before recycling existed, so the
+        // rendered `heap object #N` text is unchanged.
+        let name = if heap {
+            ObjName::Heap(self.alloc_count)
+        } else {
+            name
+        };
+        self.alloc_count += 1;
+        let recycle = match self.free_slots.last() {
+            Some(&s) if !self.fp.iter().any(|a| a.obj() == s as usize) => {
+                Some(self.free_slots.pop().expect("checked above") as usize)
+            }
+            _ => None,
+        };
+        let r = if let Some(slot) = recycle {
+            let o = &mut self.objects[slot];
+            debug_assert!(!o.alive, "recycling a live slot");
+            self.tombstones.push(Tombstone {
+                slot: slot as u32,
+                epoch: o.epoch,
+                name: o.name,
+                heap: o.heap,
+                is_array: o.is_array,
+                elem: o.elem,
+                size: o.bytes.len() as u32,
+            });
+            o.epoch += 1;
+            o.bytes.reset(size);
+            o.ptr_slots.clear();
+            o.alive = true;
+            o.heap = heap;
+            o.is_array = is_array;
+            o.is_const = false;
+            o.elem = elem;
+            o.name = name;
+            if self.profile_enabled {
+                self.prof.arena_recycles += 1;
+            }
+            obj_ref(slot, o.epoch)
+        } else {
+            let slot = self.objects.len();
+            self.objects.push(Object {
+                bytes: Bytes::new(size),
+                ptr_slots: Vec::new(),
+                alive: true,
+                heap,
+                is_array,
+                is_const: false,
+                elem,
+                name,
+                epoch: 0,
+            });
+            if self.profile_enabled {
+                self.prof.arena_misses += 1;
+            }
+            obj_ref(slot, 0)
+        };
         if !heap {
-            self.created.push(id);
+            self.created.push(r);
         }
         if self.profile_enabled {
             self.prof.note_alloc(size, heap);
         }
-        id
+        r
+    }
+
+    /// Queue a retired slot for recycling. Epoch saturation (a slot
+    /// recycled `u32::MAX` times) silently leaks the slot instead of
+    /// letting its next incarnation alias older stale references.
+    #[inline]
+    fn retire_slot(&mut self, slot: usize) {
+        debug_assert!(!self.objects[slot].alive, "retiring a live slot");
+        debug_assert!(
+            !self.free_slots.contains(&(slot as u32)),
+            "double-retire of slot {slot}"
+        );
+        if self.objects[slot].epoch != u32::MAX {
+            self.free_slots.push(slot as u32);
+        }
+    }
+
+    /// The object a packed reference denotes, if the reference is
+    /// current (its epoch matches the slot's). `None` means the slot was
+    /// recycled since the reference was formed — the cold diagnostic
+    /// paths then consult the tombstone record instead.
+    #[inline]
+    fn resolved(&self, r: usize) -> Option<&Object> {
+        let o = &self.objects[obj_slot(r)];
+        (o.epoch == obj_epoch(r)).then_some(o)
+    }
+
+    /// Tombstone for a stale reference. Every epoch bump records one, so
+    /// a reference that fails [`Interp::resolved`] always finds its
+    /// original object's facts here.
+    #[cold]
+    fn tombstone(&self, r: usize) -> &Tombstone {
+        self.tombstones
+            .iter()
+            .find(|t| t.slot as usize == obj_slot(r) && t.epoch == obj_epoch(r))
+            .expect("stale reference has a tombstone")
+    }
+
+    /// Is the referenced object within its lifetime? Stale references
+    /// (recycled slot) are dead by definition — the O(1) epoch mismatch
+    /// replaces keeping the object around forever.
+    #[inline]
+    fn obj_is_alive(&self, r: usize) -> bool {
+        self.resolved(r).is_some_and(|o| o.alive)
+    }
+
+    /// Array-ness of the referenced object, stale-safe: decay of a
+    /// designator whose object has been recycled still answers from the
+    /// tombstone (decay itself is not an access, so it must not change
+    /// behavior when the slot is reused).
+    #[inline]
+    fn obj_is_array(&self, r: usize) -> bool {
+        match self.resolved(r) {
+            Some(o) => o.is_array,
+            None => self.tombstone(r).is_array,
+        }
+    }
+
+    /// Element type of the referenced object, stale-safe.
+    #[inline]
+    fn obj_elem(&self, r: usize) -> Elem {
+        match self.resolved(r) {
+            Some(o) => o.elem,
+            None => self.tombstone(r).elem,
+        }
+    }
+
+    /// Byte size of the referenced object, stale-safe (`sizeof` of a
+    /// dead array designator is still defined).
+    #[inline]
+    fn obj_len(&self, r: usize) -> usize {
+        match self.resolved(r) {
+            Some(o) => o.bytes.len(),
+            None => self.tombstone(r).size as usize,
+        }
+    }
+
+    /// Re-pack a bare footprint slot into a current reference. Sound
+    /// because `alloc` refuses to recycle slots present in the live
+    /// footprint arena: an `fp` slot's epoch is always current.
+    #[inline]
+    fn current_ref(&self, slot: usize) -> usize {
+        obj_ref(slot, self.objects[slot].epoch)
     }
 
     /// The pointer a designator of `obj` denotes: offset 0, accessed
@@ -940,7 +1266,7 @@ impl<'a> Interp<'a> {
         Pointer {
             obj,
             off: 0,
-            ty: self.objects[obj].elem.pointee(),
+            ty: self.obj_elem(obj).pointee(),
         }
     }
 
@@ -1011,11 +1337,16 @@ impl<'a> Interp<'a> {
     /// `base` (block or frame exit, §6.2.4:2/:6).
     fn kill_created_from(&mut self, base: usize) {
         for i in base..self.created.len() {
-            let obj = self.created[i];
-            self.objects[obj].alive = false;
+            let slot = obj_slot(self.created[i]);
+            self.objects[slot].alive = false;
             if self.profile_enabled {
-                self.prof.note_dealloc(self.objects[obj].bytes.len(), false);
+                self.prof
+                    .note_dealloc(self.objects[slot].bytes.len(), false);
             }
+            // The slot is immediately recyclable: `created` refs are
+            // current by construction (an automatic object's slot cannot
+            // be recycled while it is alive).
+            self.retire_slot(slot);
         }
         self.created.truncate(base);
     }
@@ -1023,7 +1354,7 @@ impl<'a> Interp<'a> {
     // ----- checked memory access -----
 
     fn check_live(&self, p: Pointer, loc: SourceLoc) -> EResult<()> {
-        if !self.objects[p.obj].alive {
+        if !self.obj_is_alive(p.obj) {
             return Err(self.ub(
                 UbKind::DeadObjectAccess,
                 loc,
@@ -1058,7 +1389,9 @@ impl<'a> Interp<'a> {
                 ),
             ));
         }
-        let obj = &self.objects[p.obj];
+        // `check_live` passed, so the reference is current: bare-slot
+        // indexing is sound from here on.
+        let obj = &self.objects[obj_slot(p.obj)];
         let len = obj.bytes.len() as i64;
         if p.off < 0 || p.off + size as i64 > len {
             let kind = if write {
@@ -1108,11 +1441,12 @@ impl<'a> Interp<'a> {
         };
         let off = self.check_access(p, size, false, loc)?;
         let n = size as usize;
-        let obj = &self.objects[p.obj];
+        let slot = obj_slot(p.obj);
+        let obj = &self.objects[slot];
         if p.ty == PointeeTy::Ptr {
             // A stored pointer's bytes live out-of-band in its slot.
             if let Some(&(_, v)) = obj.ptr_slots.iter().find(|(o, _)| *o as i64 == p.off) {
-                self.fp.push(Access::new(p.obj, p.off, size, false));
+                self.fp.push(Access::new(slot, p.off, size, false));
                 return Ok(v);
             }
             if obj.ptr_slots.iter().any(|(o, _)| {
@@ -1131,7 +1465,7 @@ impl<'a> Interp<'a> {
             // All-zero bytes are the null pointer (array zero-fill);
             // anything else would need a numeric pointer representation.
             return if obj.bytes.load(off, n) == 0 {
-                self.fp.push(Access::new(p.obj, p.off, size, false));
+                self.fp.push(Access::new(slot, p.off, size, false));
                 Ok(Value::Int(CInt::int(0)))
             } else {
                 Err(stop_unsupported(
@@ -1180,7 +1514,7 @@ impl<'a> Interp<'a> {
                 ),
             ));
         }
-        self.fp.push(Access::new(p.obj, p.off, size, false));
+        self.fp.push(Access::new(slot, p.off, size, false));
         Ok(Value::Int(CInt::from_bits(bits, t)))
     }
 
@@ -1190,7 +1524,7 @@ impl<'a> Interp<'a> {
     /// object was initialized.
     #[cold]
     fn uninit_read(&self, p: Pointer, n: usize, loc: SourceLoc) -> Box<Stop> {
-        let obj = &self.objects[p.obj];
+        let obj = &self.objects[obj_slot(p.obj)];
         let off = p.off as usize;
         let detail = if obj.bytes.any_init(off, n) {
             // Read-relative index: byte 0 is the first byte the read
@@ -1219,7 +1553,8 @@ impl<'a> Interp<'a> {
             return Err(stop_unsupported("store through a `void *`", loc));
         };
         let off = self.check_access(p, size, true, loc)?;
-        if self.objects[p.obj].is_const {
+        let slot = obj_slot(p.obj);
+        if self.objects[slot].is_const {
             // §6.7.3:6 — the object was *defined* const; the lvalue used
             // for the store does not matter.
             return Err(self.ub(
@@ -1247,12 +1582,12 @@ impl<'a> Interp<'a> {
                 };
                 // A non-character store imprints heap memory's effective
                 // type (§6.5:6); character stores leave it alone.
-                if self.objects[p.obj].heap && !p.ty.is_char() {
-                    self.objects[p.obj].elem = Elem::Scalar(t);
+                if self.objects[slot].heap && !p.ty.is_char() {
+                    self.objects[slot].elem = Elem::Scalar(t);
                 }
-                self.clear_ptr_slots(p.obj, p.off, size);
-                self.objects[p.obj].bytes.store(off, n, stored.bits());
-                self.fp.push(Access::new(p.obj, p.off, size, true));
+                self.clear_ptr_slots(slot, p.off, size);
+                self.objects[slot].bytes.store(off, n, stored.bits());
+                self.fp.push(Access::new(slot, p.off, size, true));
                 Ok(Value::Int(stored))
             }
             PointeeTy::Ptr => {
@@ -1261,8 +1596,8 @@ impl<'a> Interp<'a> {
                     // declared pointee (the implicit conversion of
                     // §6.5.16.1, alignment-checked per §6.3.2.3:7); heap
                     // cells keep the stored pointer's own type.
-                    Value::Ptr(q) => match self.objects[p.obj].elem {
-                        Elem::Ptr(pt) if !self.objects[p.obj].heap => {
+                    Value::Ptr(q) => match self.objects[slot].elem {
+                        Elem::Ptr(pt) if !self.objects[slot].heap => {
                             Value::Ptr(self.convert_pointer(q, pt, loc)?)
                         }
                         _ => Value::Ptr(q),
@@ -1271,15 +1606,15 @@ impl<'a> Interp<'a> {
                     // pointer cell, reported if ever used as a pointer.
                     other => other,
                 };
-                if self.objects[p.obj].heap {
-                    self.objects[p.obj].elem = Elem::Ptr(PointeeTy::Void);
+                if self.objects[slot].heap {
+                    self.objects[slot].elem = Elem::Ptr(PointeeTy::Void);
                 }
-                self.clear_ptr_slots(p.obj, p.off, size);
-                self.objects[p.obj].bytes.store(off, n, 0);
+                self.clear_ptr_slots(slot, p.off, size);
+                self.objects[slot].bytes.store(off, n, 0);
                 if !matches!(stored, Value::Int(c) if c.is_zero()) {
-                    self.objects[p.obj].ptr_slots.push((p.off as u32, stored));
+                    self.objects[slot].ptr_slots.push((p.off as u32, stored));
                 }
-                self.fp.push(Access::new(p.obj, p.off, size, true));
+                self.fp.push(Access::new(slot, p.off, size, true));
                 Ok(stored)
             }
             PointeeTy::Void => unreachable!("sizeless access rejected above"),
@@ -1289,7 +1624,8 @@ impl<'a> Interp<'a> {
     /// Destroy any stored-pointer slot whose 8-byte range overlaps the
     /// store `[off, off + size)`: the overwritten pointer cannot be
     /// reconstructed, so its bytes outside the new store go
-    /// indeterminate.
+    /// indeterminate. `obj` is a bare slab slot (callers have already
+    /// validated the access).
     fn clear_ptr_slots(&mut self, obj: usize, off: i64, size: u64) {
         if self.objects[obj].ptr_slots.is_empty() {
             return;
@@ -1324,7 +1660,12 @@ impl<'a> Interp<'a> {
                     return Err(self.ub(
                         UbKind::UnsequencedSideEffect,
                         loc,
-                        format!("unsequenced accesses to `{}`", self.object_name(x.obj())),
+                        format!(
+                            "unsequenced accesses to `{}`",
+                            // fp slots are bare and current (alloc skips
+                            // slots in the live footprint), so re-pack.
+                            self.object_name(self.current_ref(x.obj()))
+                        ),
                     ));
                 }
             }
@@ -1343,7 +1684,7 @@ impl<'a> Interp<'a> {
         loc: SourceLoc,
         action: &str,
     ) -> EResult<()> {
-        let probe = Access::new(p.obj, p.off, p.ty.size().unwrap_or(1), true);
+        let probe = Access::new(obj_slot(p.obj), p.off, p.ty.size().unwrap_or(1), true);
         if self.fp[fp_start..]
             .iter()
             .any(|&a| a.is_write() && a.overlaps(probe))
@@ -1426,7 +1767,7 @@ impl<'a> Interp<'a> {
                         loc,
                     ));
                 };
-                if self.objects[obj].is_array {
+                if self.obj_is_array(obj) {
                     // Array designators decay to a pointer to the first
                     // element (§6.3.2.1:3); no byte is read.
                     return Ok(Value::Ptr(self.designator_pointer(obj)));
@@ -1553,7 +1894,7 @@ impl<'a> Interp<'a> {
                 // Reject it rather than silently meaning `&a[0]` — that
                 // reinterpretation is what lets `*&a = 5` or `(&a)[0]`
                 // dodge the modifiable-lvalue rule.
-                if self.is_designator(*inner) && self.objects[p.obj].is_array {
+                if self.is_designator(*inner) && self.obj_is_array(p.obj) {
                     return Err(stop_unsupported(
                         format!(
                             "`&{}` has array-pointer type, which is outside the subset",
@@ -1628,14 +1969,15 @@ impl<'a> Interp<'a> {
             ExprKind::IntLit(c) => Some(Scalar(c.ty)),
             ExprKind::Slot(slot, _) => {
                 let obj = self.slot_object(*slot)?;
-                let o = &self.objects[obj];
-                if o.is_array {
+                if self.obj_is_array(obj) {
                     // An array designator under sizeof does not decay
                     // (§6.3.2.1:3): the result is the whole array's size —
                     // which in the byte model simply *is* its byte length.
-                    Some(Bytes(o.bytes.len() as u64))
+                    // (Stale-safe: sizeof does not evaluate its operand,
+                    // so a recycled slot answers from its tombstone.)
+                    Some(Bytes(self.obj_len(obj) as u64))
                 } else {
-                    match o.elem {
+                    match self.obj_elem(obj) {
                         Elem::Scalar(t) => Some(Scalar(t)),
                         Elem::Ptr(_) => Some(Pointer),
                         Elem::Untyped => None,
@@ -1779,7 +2121,8 @@ impl<'a> Interp<'a> {
         let Some(esize) = p.ty.size() else {
             return Err(stop_unsupported("arithmetic on a `void *`", loc));
         };
-        let len = self.objects[p.obj].bytes.len() as i128;
+        // `check_live` passed above, so bare-slot indexing is sound.
+        let len = self.objects[obj_slot(p.obj)].bytes.len() as i128;
         let off = p.off as i128 + delta * esize as i128;
         if off < 0 || off > len {
             return Err(self.ub(
@@ -1918,7 +2261,7 @@ impl<'a> Interp<'a> {
     /// silently treated as element-0 stores. Spellings through `&a`
     /// (`*&a`, `(&a)[0]`) are already rejected when `&a` is evaluated.
     fn check_modifiable(&self, place: ExprId, p: Pointer, loc: SourceLoc) -> EResult<()> {
-        if self.is_designator(place) && self.objects[p.obj].is_array {
+        if self.is_designator(place) && self.obj_is_array(p.obj) {
             return Err(stop_unsupported(
                 format!(
                     "array `{}` is not a modifiable lvalue",
@@ -2056,30 +2399,7 @@ impl<'a> Interp<'a> {
             }
             let v = self.args[argv_base];
             self.args.truncate(argv_base);
-            let n = self.as_int(v, loc)?.math();
-            if n < 0 {
-                return Err(self.ub(
-                    UbKind::InvalidLibraryArgument,
-                    loc,
-                    format!("malloc({n}) with a negative size"),
-                ));
-            }
-            if n > MAX_BYTES {
-                return Err(stop_unsupported(
-                    format!("malloc({n}) exceeds the engine's memory budget"),
-                    loc,
-                ));
-            }
-            // `malloc(n)` allocates `n` *bytes* — the model finally
-            // agrees with `sizeof`. `malloc(0)` yields a distinct
-            // zero-size allocation: legal to `free`, undefined to
-            // dereference (any access overruns its zero bytes).
-            let obj = self.alloc(ObjName::Heap, n as usize, true, true, Elem::Untyped);
-            return Ok(Value::Ptr(Pointer {
-                obj,
-                off: 0,
-                ty: PointeeTy::Void,
-            }));
+            return self.builtin_malloc(v, loc);
         }
         if name == kw::FREE {
             if nargs != 1 {
@@ -2091,53 +2411,7 @@ impl<'a> Interp<'a> {
             }
             let v = self.args[argv_base];
             self.args.truncate(argv_base);
-            return match v {
-                // free(NULL) is a no-op (§7.22.3.3:2).
-                Value::Int(c) if c.is_zero() => Ok(Value::Missing(UbKind::VoidValueUsed)),
-                Value::Int(c) => Err(self.ub(
-                    UbKind::FreeNonHeapPointer,
-                    loc,
-                    format!("free() of integer value {c}"),
-                )),
-                Value::Ptr(p) => {
-                    let object = &self.objects[p.obj];
-                    if !object.heap {
-                        return Err(self.ub(
-                            UbKind::FreeNonHeapPointer,
-                            loc,
-                            format!(
-                                "free() of `{}`, which is not heap-allocated",
-                                self.object_name(p.obj)
-                            ),
-                        ));
-                    }
-                    if !object.alive {
-                        return Err(self.ub(
-                            UbKind::DoubleFree,
-                            loc,
-                            format!("`{}` was already freed", self.object_name(p.obj)),
-                        ));
-                    }
-                    if p.off != 0 {
-                        return Err(self.ub(
-                            UbKind::FreeInteriorPointer,
-                            loc,
-                            format!(
-                                "free() of `{}` at interior offset {}",
-                                self.object_name(p.obj),
-                                p.off
-                            ),
-                        ));
-                    }
-                    self.objects[p.obj].alive = false;
-                    if self.profile_enabled {
-                        self.prof
-                            .note_dealloc(self.objects[p.obj].bytes.len(), true);
-                    }
-                    Ok(Value::Missing(UbKind::VoidValueUsed))
-                }
-                Value::Missing(_) => unreachable!(),
-            };
+            return self.builtin_free(v, loc);
         }
         Err(self.ub(
             UbKind::CallNonFunction,
@@ -2147,6 +2421,102 @@ impl<'a> Interp<'a> {
                 self.name(name)
             ),
         ))
+    }
+
+    /// `malloc(n)` over an already-evaluated argument value — shared
+    /// verbatim by the tree-walker and the VM's `Malloc` op so the
+    /// diagnostics cannot drift between engines.
+    fn builtin_malloc(&mut self, v: Value, loc: SourceLoc) -> EResult<Value> {
+        let n = self.as_int(v, loc)?.math();
+        if n < 0 {
+            return Err(self.ub(
+                UbKind::InvalidLibraryArgument,
+                loc,
+                format!("malloc({n}) with a negative size"),
+            ));
+        }
+        if n > MAX_BYTES {
+            return Err(stop_unsupported(
+                format!("malloc({n}) exceeds the engine's memory budget"),
+                loc,
+            ));
+        }
+        // `malloc(n)` allocates `n` *bytes* — the model finally
+        // agrees with `sizeof`. `malloc(0)` yields a distinct
+        // zero-size allocation: legal to `free`, undefined to
+        // dereference (any access overruns its zero bytes).
+        // The serial in the name is assigned by `alloc` itself
+        // (allocation order), so the placeholder here is never shown.
+        let obj = self.alloc(ObjName::Heap(0), n as usize, true, true, Elem::Untyped);
+        Ok(Value::Ptr(Pointer {
+            obj,
+            off: 0,
+            ty: PointeeTy::Void,
+        }))
+    }
+
+    /// `free(p)` over an already-evaluated argument value — shared
+    /// verbatim by the tree-walker and the VM's `Free` op.
+    fn builtin_free(&mut self, v: Value, loc: SourceLoc) -> EResult<Value> {
+        match v {
+            // free(NULL) is a no-op (§7.22.3.3:2).
+            Value::Int(c) if c.is_zero() => Ok(Value::Missing(UbKind::VoidValueUsed)),
+            Value::Int(c) => Err(self.ub(
+                UbKind::FreeNonHeapPointer,
+                loc,
+                format!("free() of integer value {c}"),
+            )),
+            Value::Ptr(p) => {
+                // Stale references (the slot was recycled since `p`
+                // was formed) answer from the tombstone: the original
+                // heap-ness drives the cascade, and stale ⇒ the
+                // original lifetime already ended.
+                let (heap, alive) = match self.resolved(p.obj) {
+                    Some(o) => (o.heap, o.alive),
+                    None => (self.tombstone(p.obj).heap, false),
+                };
+                if !heap {
+                    return Err(self.ub(
+                        UbKind::FreeNonHeapPointer,
+                        loc,
+                        format!(
+                            "free() of `{}`, which is not heap-allocated",
+                            self.object_name(p.obj)
+                        ),
+                    ));
+                }
+                if !alive {
+                    return Err(self.ub(
+                        UbKind::DoubleFree,
+                        loc,
+                        format!("`{}` was already freed", self.object_name(p.obj)),
+                    ));
+                }
+                if p.off != 0 {
+                    return Err(self.ub(
+                        UbKind::FreeInteriorPointer,
+                        loc,
+                        format!(
+                            "free() of `{}` at interior offset {}",
+                            self.object_name(p.obj),
+                            p.off
+                        ),
+                    ));
+                }
+                // Current and alive: bare-slot access is sound.
+                let slot = obj_slot(p.obj);
+                self.objects[slot].alive = false;
+                if self.profile_enabled {
+                    self.prof.note_dealloc(self.objects[slot].bytes.len(), true);
+                }
+                // Freed heap slots recycle through the same queue as
+                // automatic objects — steady-state malloc/free loops
+                // reuse one slot's storage.
+                self.retire_slot(slot);
+                Ok(Value::Missing(UbKind::VoidValueUsed))
+            }
+            Value::Missing(_) => unreachable!(),
+        }
     }
 
     // ----- statements -----
@@ -2161,38 +2531,62 @@ impl<'a> Interp<'a> {
     ) -> EResult<(Value, SourceLoc)> {
         let unit = self.unit;
         let func = &unit.functions[func_idx as usize];
-        if self.frames.len() >= self.limits.max_call_depth {
+        if self.frames.len() + self.tail_depth >= self.limits.max_call_depth {
             return Err(stop_unsupported("call depth limit exceeded", loc));
         }
+        // The frame is bound from its precomputed [`FramePlan`]: the slot
+        // region is a stack-pointer bump over the shared (pooled) stack,
+        // and each parameter's element type/size/fast-store eligibility
+        // was derived from the AST once at construction, not per call.
+        let plan = &self.frame_plans[func_idx as usize];
+        let (n_slots, nparams) = (plan.n_slots, plan.params.len());
         let slot_base = self.slots.len();
-        self.slots
-            .resize(slot_base + func.n_slots as usize, SLOT_NONE);
+        let slot_top = slot_base + n_slots as usize;
+        if self.profile_enabled {
+            // A call at or under the high-water mark re-binds storage an
+            // earlier frame already paid for.
+            if slot_top <= self.slots_high_water {
+                self.prof.frame_pool_hits += 1;
+            } else {
+                self.prof.frame_pool_misses += 1;
+            }
+        }
+        if slot_top > self.slots_high_water {
+            self.slots_high_water = slot_top;
+        }
+        self.slots.resize(slot_top, SLOT_NONE);
         let created_base = self.created.len();
         let fp_mark = self.fp.len();
         self.frames.push(Frame {
             func: func_idx,
             returns_void: func.returns_void,
             slot_base,
+            tail_calls: 0,
         });
-        for (i, param) in func.params.iter().enumerate() {
+        for i in 0..nparams {
+            let pp = self.frame_plans[func_idx as usize].params[i];
             let arg = self.args[argv_base + i];
             // Argument passing is assignment to the parameter
             // (§6.5.2.2:7): the value converts to the declared type — the
             // same typed store every assignment performs.
-            let elem = elem_of_ty(&param.ty);
-            let size = elem.size() as usize;
-            let obj = self.alloc(ObjName::Sym(param.name), size, false, false, elem);
+            let obj = self.alloc(
+                ObjName::Sym(pp.sym),
+                pp.size as usize,
+                false,
+                false,
+                pp.elem,
+            );
             self.slots[slot_base + i] = obj;
             // A scalar argument takes a one-word converted store: the
             // object is fresh, so every check the typed store would run
             // is vacuously true, and the store's footprint entry would
             // sit below every mark the callee can consult.
-            if let (Elem::Scalar(t), Value::Int(c)) = (elem, arg) {
-                if t != IntTy::Bool {
-                    let stored = self.convert_int(c, t, loc);
-                    self.objects[obj].bytes.store(0, size, stored.bits());
-                    continue;
-                }
+            if let (Some(t), Value::Int(c)) = (pp.scalar_fast, arg) {
+                let stored = self.convert_int(c, t, loc);
+                self.objects[obj_slot(obj)]
+                    .bytes
+                    .store(0, pp.size as usize, stored.bits());
+                continue;
             }
             let place = self.designator_pointer(obj);
             self.write_typed(place, arg, loc)?;
@@ -2241,7 +2635,8 @@ impl<'a> Interp<'a> {
         // The callee's accesses are indeterminately sequenced with the
         // caller's expression: drop them from the shared arena.
         self.fp.truncate(fp_mark);
-        self.frames.pop().expect("frame pushed above");
+        let popped = self.frames.pop().expect("frame pushed above");
+        self.tail_depth -= popped.tail_calls as usize;
         match stopped {
             Some(stop) => Err(stop),
             None => Ok(result),
@@ -2832,13 +3227,13 @@ impl<'a> Interp<'a> {
             // elements read back as null), so the tail just becomes
             // initialized.
             let done = items.len() * esize;
-            self.objects[obj]
+            self.objects[obj_slot(obj)]
                 .bytes
                 .mark_init(done, count * esize - done);
         }
         // Initialization is not modification: the const flag guards the
         // object only once its declaration completes (§6.7.3:6 vs §6.7.9).
-        self.objects[obj].is_const = d.quals.is_const;
+        self.objects[obj_slot(obj)].is_const = d.quals.is_const;
         // The initializer stores were part of the declaration's full
         // expressions; they do not persist into later footprints.
         self.fp.truncate(fp_mark);

@@ -12,7 +12,7 @@
 //! `ExecStmt`, `DeclFull`) hand whole constructs back to the walker.
 
 use super::*;
-use crate::bytecode::{FnCode, Op, Pc};
+use crate::bytecode::{FnCode, FusedSweep, Op, Pc, SweepSrc};
 
 impl<'a> Interp<'a> {
     /// Execute one function body from its op range; the shared
@@ -59,6 +59,12 @@ impl<'a> Interp<'a> {
         // The frame's slot window is fixed for the whole dispatch, so
         // the cost of `frames.last()` is paid once, not per slot op.
         let slot_base = self.frames.last().expect("active frame").slot_base;
+        // Function-entry state, restored when a self-tail call rewinds
+        // the body: operand stack, open scopes, and the automatic-object
+        // mark above which the incarnation's locals live.
+        let v_enter = self.vstack.len();
+        let s_enter = self.scope_marks.len();
+        let c_enter = self.created.len();
         // Step accounting is batched: each op bumps a register-resident
         // counter which is settled into the interpreter's step total —
         // and the limit checked — at loop back-edges, calls, and tree
@@ -91,7 +97,7 @@ impl<'a> Interp<'a> {
                 Op::Nop => {}
                 Op::Const(i) => self.vstack.push(Value::Int(code.pool[i as usize])),
                 Op::LoadSlot(slot) => {
-                    let v = self.load_slot_generic(fc, slot_base, slot, loc)?;
+                    let v = self.load_slot_any::<PROFILE>(fc, slot_base, slot, loc)?;
                     self.vstack.push(v);
                 }
                 Op::LoadSlotFast(slot, t) => {
@@ -182,6 +188,22 @@ impl<'a> Interp<'a> {
                         f2.inner_const,
                         f2.inner_loc,
                     )?;
+                    let v = self.apply_binop(f2.op, l, r, loc)?;
+                    self.vstack.push(v);
+                }
+                Op::Bin2FC(j) => {
+                    // `(b ⊕ c) ⊕ k`: the inner pair's result (a computed
+                    // value, never missing) meets a pool constant.
+                    let f2 = code.fused2[j as usize];
+                    let l = self.fused_bin::<PROFILE>(
+                        code,
+                        fc,
+                        slot_base,
+                        f2.inner,
+                        f2.inner_const,
+                        f2.inner_loc,
+                    )?;
+                    let r = Value::Int(code.pool[f2.a_slot as usize]);
                     let v = self.apply_binop(f2.op, l, r, loc)?;
                     self.vstack.push(v);
                 }
@@ -454,6 +476,44 @@ impl<'a> Interp<'a> {
                     let (ret, _) = self.call(f, argv_base, loc)?;
                     self.vstack.push(ret);
                 }
+                Op::Malloc => {
+                    let v = self.args.pop().expect("Malloc without ArgPush");
+                    let ret = self.builtin_malloc(v, loc)?;
+                    self.vstack.push(ret);
+                }
+                Op::Free => {
+                    let v = self.args.pop().expect("Free without ArgPush");
+                    let ret = self.builtin_free(v, loc)?;
+                    self.vstack.push(ret);
+                }
+                Op::TailSelf(argc) => {
+                    settle!(loc);
+                    let vals_base = self.vstack.len() - argc as usize;
+                    if self.tail_rebind(func_idx, vals_base, loc)? {
+                        // Frame reuse: the incarnation's locals die (the
+                        // same kills the call epilogue would run), the
+                        // operand stack, scopes, and footprint roll back
+                        // to function entry, and control restarts at the
+                        // body with the parameters rebound.
+                        self.kill_created_from(c_enter);
+                        self.vstack.truncate(v_enter);
+                        self.scope_marks.truncate(s_enter);
+                        self.fp.truncate(fp_base);
+                        if PROFILE {
+                            self.prof.frame_pool_hits += 1;
+                        }
+                        pc = fc.start;
+                    } else {
+                        // An argument shape the in-place rebind can't
+                        // take verbatim: move the values to the argument
+                        // stack, run the general call, and fall through
+                        // to the `Ret` that still follows.
+                        let argv_base = self.args.len();
+                        self.args.extend(self.vstack.drain(vals_base..));
+                        let (ret, _) = self.call(func_idx, argv_base, loc)?;
+                        self.vstack.push(ret);
+                    }
+                }
                 Op::Ret => {
                     self.steps += ops_since;
                     let v = self.vpop();
@@ -549,6 +609,21 @@ impl<'a> Interp<'a> {
                         }
                     }
                 }
+                Op::ByteSweep(i) => {
+                    // Step-neutral: cancel this dispatch's own tick;
+                    // a successful sweep charges exactly the ops the
+                    // generic loop would have settled, a fallback lets
+                    // the generic ops (which follow immediately) count
+                    // themselves.
+                    ops_since -= 1;
+                    if let Some(t) = self.byte_sweep::<PROFILE>(code, i, slot_base, &mut ops_since)
+                    {
+                        // The loop's condition is a sequence boundary;
+                        // leave the arena as its last test would have.
+                        self.fp.truncate(fp_base);
+                        pc = t;
+                    }
+                }
                 Op::FailUnsupported(m) => {
                     return Err(stop_unsupported(code.fails[m as usize].clone(), loc))
                 }
@@ -568,6 +643,54 @@ impl<'a> Interp<'a> {
     #[inline]
     fn vpop(&mut self) -> Value {
         self.vstack.pop().expect("operand stack underflow")
+    }
+
+    /// Try to rebind the current frame in place for a self-tail call
+    /// whose argument values sit at `vstack[vals_base..]`. Returns
+    /// `true` on success (the caller then rewinds to the function
+    /// entry); `false` when an argument needs the general typed store,
+    /// in which case nothing has been touched and the ordinary call
+    /// runs instead.
+    ///
+    /// The logical call still happens: the depth limit fires with the
+    /// tree-walker's exact message and position, each parameter takes
+    /// the same converted store (§6.5.2.2:7) the call prologue performs
+    /// on a fresh object, and the allocation-order serial advances as if
+    /// the parameters had been allocated anew, so heap object naming
+    /// stays in lockstep between engines.
+    fn tail_rebind(&mut self, func_idx: u32, vals_base: usize, loc: SourceLoc) -> EResult<bool> {
+        if self.frames.len() + self.tail_depth >= self.limits.max_call_depth {
+            return Err(stop_unsupported("call depth limit exceeded", loc));
+        }
+        let nparams = self.frame_plans[func_idx as usize].params.len();
+        debug_assert_eq!(self.vstack.len() - vals_base, nparams);
+        // Check every argument before storing any: the rebind is
+        // all-or-nothing so the fallback call sees untouched state.
+        for i in 0..nparams {
+            let pp = &self.frame_plans[func_idx as usize].params[i];
+            if pp.scalar_fast.is_none() || !matches!(self.vstack[vals_base + i], Value::Int(_)) {
+                return Ok(false);
+            }
+        }
+        let slot_base = self.frames.last().expect("active frame").slot_base;
+        for i in 0..nparams {
+            let pp = self.frame_plans[func_idx as usize].params[i];
+            let (Some(t), Value::Int(c)) = (pp.scalar_fast, self.vstack[vals_base + i]) else {
+                unreachable!("checked above")
+            };
+            let stored = self.convert_int(c, t, loc);
+            let slot = obj_slot(self.slots[slot_base + i]);
+            let obj = &mut self.objects[slot];
+            debug_assert!(obj.alive, "parameter object died mid-frame");
+            obj.bytes.store(0, pp.size as usize, stored.bits());
+            obj.ptr_slots.clear();
+        }
+        // Logically these are fresh parameter objects: allocation order
+        // (and with it `heap object #N` naming) advances identically.
+        self.alloc_count += nparams as u64;
+        self.tail_depth += 1;
+        self.frames.last_mut().expect("active frame").tail_calls += 1;
+        Ok(true)
     }
 
     /// Pop `n` open scopes, ending the lifetimes they own (a `goto` or
@@ -612,7 +735,7 @@ impl<'a> Interp<'a> {
         loc: SourceLoc,
     ) -> EResult<Value> {
         let obj = self.bound_slot(fc, slot_base, slot, loc)?;
-        if self.objects[obj].is_array {
+        if self.obj_is_array(obj) {
             return Ok(Value::Ptr(self.designator_pointer(obj)));
         }
         let p = self.designator_pointer(obj);
@@ -635,13 +758,53 @@ impl<'a> Interp<'a> {
     ) -> EResult<Value> {
         let obj = self.slots[slot_base + slot as usize];
         if obj != SLOT_NONE {
-            let o = &self.objects[obj];
-            if o.alive {
-                if let Some(bits) = o.bytes.word_init(t.size_bytes() as usize) {
-                    if PROFILE {
-                        self.prof.word_fast_hits += 1;
+            // `resolved` filters stale refs (recycled slot) along with
+            // SLOT_NONE padding; both fall back for the exact diagnostic.
+            if let Some(o) = self.resolved(obj) {
+                if o.alive {
+                    if let Some(bits) = o.bytes.word_init(t.size_bytes() as usize) {
+                        if PROFILE {
+                            self.prof.word_fast_hits += 1;
+                        }
+                        return Ok(Value::Int(CInt::from_bits(bits, t)));
                     }
-                    return Ok(Value::Int(CInt::from_bits(bits, t)));
+                }
+            }
+        }
+        if PROFILE {
+            self.prof.word_fast_fallbacks += 1;
+        }
+        self.load_slot_generic(fc, slot_base, slot, loc)
+    }
+
+    /// Slot load for slots with no static scalar shape (pointer
+    /// variables, arrays, `_Bool`). The hot case — a live, current
+    /// pointer slot holding exactly one stored pointer at offset 0 —
+    /// completes in one guarded lookup: for that shape `check_access`
+    /// cannot fail (offset 0 is aligned and in bounds of the 8-byte
+    /// object, and a pointer lvalue agrees with `Elem::Ptr`) and
+    /// `read_typed` would return the out-of-band value verbatim.
+    /// Everything else (arrays, zero-byte null, uninitialized, stale
+    /// refs) falls back to the generic path for the exact diagnostic.
+    #[inline]
+    fn load_slot_any<const PROFILE: bool>(
+        &mut self,
+        fc: &FnCode,
+        slot_base: usize,
+        slot: u32,
+        loc: SourceLoc,
+    ) -> EResult<Value> {
+        let obj = self.slots[slot_base + slot as usize];
+        if obj != SLOT_NONE {
+            if let Some(o) = self.resolved(obj) {
+                if o.alive && !o.is_array && matches!(o.elem, Elem::Ptr(_)) {
+                    if let [(0, v)] = o.ptr_slots.as_slice() {
+                        let v = *v;
+                        if PROFILE {
+                            self.prof.word_fast_hits += 1;
+                        }
+                        return Ok(v);
+                    }
                 }
             }
         }
@@ -711,31 +874,34 @@ impl<'a> Interp<'a> {
         debug_assert_ne!(obj, SLOT_NONE, "BindCheck must precede AssignSlot");
         if let (Some(t), Value::Int(c)) = (st.fast, rv) {
             let size = t.size_bytes() as usize;
-            let o = &self.objects[obj];
-            if o.alive && !o.is_const && o.bytes.len() == size {
-                match st.op {
-                    None => {
-                        if PROFILE {
-                            self.prof.word_fast_hits += 1;
+            // Stale refs (recycled slot) fail `resolved` and take the
+            // generic path, which reports the lifetime error.
+            if let Some(o) = self.resolved(obj) {
+                if o.alive && !o.is_const && o.bytes.len() == size {
+                    match st.op {
+                        None => {
+                            if PROFILE {
+                                self.prof.word_fast_hits += 1;
+                            }
+                            let stored = self.convert_int(c, t, loc);
+                            let o = &mut self.objects[obj_slot(obj)];
+                            o.bytes.store(0, size, stored.bits());
+                            return Ok(Value::Int(stored));
                         }
-                        let stored = self.convert_int(c, t, loc);
-                        let o = &mut self.objects[obj];
-                        o.bytes.store(0, size, stored.bits());
-                        return Ok(Value::Int(stored));
-                    }
-                    Some(bop) if o.bytes.all_init(0, size) => {
-                        if PROFILE {
-                            self.prof.word_fast_hits += 1;
+                        Some(bop) if o.bytes.all_init(0, size) => {
+                            let old = CInt::from_bits(o.bytes.load(0, size), t);
+                            if PROFILE {
+                                self.prof.word_fast_hits += 1;
+                            }
+                            let r = self.apply_binop(bop, Value::Int(old), Value::Int(c), loc)?;
+                            let Value::Int(n) = r else { unreachable!() };
+                            let stored = self.convert_int(n, t, loc);
+                            let o = &mut self.objects[obj_slot(obj)];
+                            o.bytes.store(0, size, stored.bits());
+                            return Ok(Value::Int(stored));
                         }
-                        let old = CInt::from_bits(o.bytes.load(0, size), t);
-                        let r = self.apply_binop(bop, Value::Int(old), Value::Int(c), loc)?;
-                        let Value::Int(n) = r else { unreachable!() };
-                        let stored = self.convert_int(n, t, loc);
-                        let o = &mut self.objects[obj];
-                        o.bytes.store(0, size, stored.bits());
-                        return Ok(Value::Int(stored));
+                        Some(_) => {}
                     }
-                    Some(_) => {}
                 }
             }
         }
@@ -789,20 +955,21 @@ impl<'a> Interp<'a> {
         let obj = self.bound_slot(fc, slot_base, d.slot, d.place_loc)?;
         if let Some(t) = d.fast {
             let size = t.size_bytes() as usize;
-            let o = &self.objects[obj];
-            if o.alive && !o.is_const && o.bytes.len() == size && o.bytes.all_init(0, size) {
-                if PROFILE {
-                    self.prof.word_fast_hits += 1;
+            if let Some(o) = self.resolved(obj) {
+                if o.alive && !o.is_const && o.bytes.len() == size && o.bytes.all_init(0, size) {
+                    let old = CInt::from_bits(o.bytes.load(0, size), t);
+                    if PROFILE {
+                        self.prof.word_fast_hits += 1;
+                    }
+                    let new = match consteval::arith(BinOp::Add, old, CInt::int(d.delta)) {
+                        Ok(r) => r,
+                        Err((kind, detail)) => return Err(self.ub(kind, loc, detail)),
+                    };
+                    let stored = self.convert_int(new, t, loc);
+                    let o = &mut self.objects[obj_slot(obj)];
+                    o.bytes.store(0, size, stored.bits());
+                    return Ok(());
                 }
-                let old = CInt::from_bits(o.bytes.load(0, size), t);
-                let new = match consteval::arith(BinOp::Add, old, CInt::int(d.delta)) {
-                    Ok(r) => r,
-                    Err((kind, detail)) => return Err(self.ub(kind, loc, detail)),
-                };
-                let stored = self.convert_int(new, t, loc);
-                let o = &mut self.objects[obj];
-                o.bytes.store(0, size, stored.bits());
-                return Ok(());
             }
         }
         if PROFILE {
@@ -866,7 +1033,7 @@ impl<'a> Interp<'a> {
     /// only once its declaration completes (§6.7.3:6 vs §6.7.9).
     fn decl_finish(&mut self, d: &Decl, slot_base: usize) {
         let obj = self.slots[slot_base + d.slot.index()];
-        self.objects[obj].is_const = d.quals.is_const;
+        self.objects[obj_slot(obj)].is_const = d.quals.is_const;
     }
 
     /// Element-stepping half of `p[i]` without the error plumbing: the
@@ -877,7 +1044,7 @@ impl<'a> Interp<'a> {
     fn index_ptr_fast(&self, p: Pointer, iv: &Value) -> Option<Pointer> {
         let Value::Int(c) = iv else { return None };
         let esize = p.ty.size()? as i128;
-        let o = &self.objects[p.obj];
+        let o = self.resolved(p.obj)?;
         if !o.alive {
             return None;
         }
@@ -908,7 +1075,7 @@ impl<'a> Interp<'a> {
         if t == IntTy::Bool {
             return None;
         }
-        let o = &self.objects[p.obj];
+        let o = self.resolved(p.obj)?;
         let size = t.size_bytes() as usize;
         let off = p.off;
         if o.alive
@@ -916,7 +1083,11 @@ impl<'a> Interp<'a> {
             && off >= 0
             && off as usize + size <= o.bytes.len()
             && off % p.ty.align() == 0
-            && o.elem == Elem::Scalar(t)
+            // Exact effective-type match — or a character-type read,
+            // which §6.5:7 allows against any effective type (including
+            // a heap block's `Untyped`, which char traffic never
+            // imprints).
+            && (o.elem == Elem::Scalar(t) || size == 1)
             && o.bytes.all_init(off as usize, size)
         {
             let bits = o.bytes.load(off as usize, size);
@@ -942,22 +1113,221 @@ impl<'a> Interp<'a> {
         let size = t.size_bytes() as usize;
         let off = p.off;
         {
-            let o = &self.objects[p.obj];
+            let o = self.resolved(p.obj)?;
             if !(o.alive
                 && !o.is_const
                 && o.ptr_slots.is_empty()
                 && off >= 0
                 && off as usize + size <= o.bytes.len()
                 && off % p.ty.align() == 0
-                && o.elem == Elem::Scalar(t))
+                // Exact effective-type match — or a character-type
+                // store, allowed against any effective type and never
+                // imprinting one (§6.5:6), so the object's `elem` stays
+                // exactly what the typed core would leave.
+                && (o.elem == Elem::Scalar(t) || size == 1))
             {
                 return None;
             }
         }
         let stored = self.convert_int(c, t, loc);
-        self.objects[p.obj]
+        self.objects[obj_slot(p.obj)]
             .bytes
             .store(off as usize, size, stored.bits());
         Some(Value::Int(stored))
+    }
+
+    // ----- fused byte sweeps -----
+
+    /// Attempt the fused byte sweep `sweeps[i]`: one validation pass
+    /// proving that no iteration of the generic loop could report a
+    /// diagnostic (or observe state the bulk move wouldn't produce),
+    /// then the whole copy/fill as one move, charging exactly the steps
+    /// the generic loop would have settled. Returns the loop's exit pc
+    /// on a completed sweep; `None` falls through to the generic ops,
+    /// which replay the iterations — and their diagnostics — byte for
+    /// byte.
+    fn byte_sweep<const PROFILE: bool>(
+        &mut self,
+        code: &CodeUnit,
+        i: u32,
+        slot_base: usize,
+        ops_since: &mut u64,
+    ) -> Option<Pc> {
+        let sw = code.sweeps[i as usize];
+        let r = self.try_byte_sweep(sw, slot_base, ops_since);
+        if PROFILE {
+            match r {
+                Some(_) => self.prof.sweep_hits += 1,
+                None => self.prof.sweep_fallbacks += 1,
+            }
+        }
+        r
+    }
+
+    fn try_byte_sweep(
+        &mut self,
+        sw: FusedSweep,
+        slot_base: usize,
+        ops_since: &mut u64,
+    ) -> Option<Pc> {
+        // The counter: a live, initialized, non-`const` plain `int`
+        // whose value only the loop's own `k++` steps.
+        let k_ref = self.slots[slot_base + sw.k_slot as usize];
+        if k_ref == SLOT_NONE {
+            return None;
+        }
+        let k = self.resolved(k_ref)?;
+        if !k.alive
+            || k.is_const
+            || k.elem != Elem::Scalar(IntTy::Int)
+            || k.bytes.len() != 4
+            || !k.bytes.all_init(0, 4)
+        {
+            return None;
+        }
+        let k0 = k.bytes.load(0, 4) as u32 as i32 as i64;
+        let count = sw.bound - k0;
+        if count <= 0 {
+            // Zero iterations: the generic condition simply fails once.
+            return None;
+        }
+        let k_slab = obj_slot(k_ref);
+        // The pointers: live character pointers read whole from their
+        // variables, both accessing through the *same* character type so
+        // the store's §6.5.16.1:2 conversion is the identity.
+        let (pd, d_var) = self.sweep_pointer(slot_base, sw.d_slot)?;
+        let PointeeTy::Scalar(char_t) = pd.ty else {
+            return None;
+        };
+        if !pd.ty.is_char() {
+            return None;
+        }
+        let (src, fill) = match sw.src {
+            SweepSrc::Slot(s) => {
+                let (ps, s_var) = self.sweep_pointer(slot_base, s)?;
+                if ps.ty != pd.ty {
+                    return None;
+                }
+                (Some((ps, s_var)), 0u8)
+            }
+            SweepSrc::Fill(c) => {
+                // The generic store converts the constant every
+                // iteration; only an exact (note-free) conversion is
+                // bulk-fillable.
+                let out = if c.ty == char_t {
+                    c
+                } else {
+                    let (out, impl_defined) = c.convert(char_t);
+                    if impl_defined {
+                        return None;
+                    }
+                    out
+                };
+                (None, out.bits() as u8)
+            }
+        };
+        // Destination object: alive, writable, no stored-pointer bytes
+        // anywhere (a byte hitting a pointer's representation would
+        // destroy it; a byte *read* from one would stop the engine),
+        // and the whole swept range in bounds. Character lvalues pass
+        // §6.5:7 against any element type and never imprint heap
+        // memory, so no type state changes either.
+        let d_slab = obj_slot(pd.obj);
+        {
+            let t = self.resolved(pd.obj)?;
+            if !t.alive || t.is_const || !t.ptr_slots.is_empty() {
+                return None;
+            }
+            if pd.off + k0 < 0 || pd.off + sw.bound > t.bytes.len() as i64 {
+                return None;
+            }
+        }
+        // Writing must not touch the loop's own state: the counter, or
+        // the pointer variables (those hold stored pointers, so the
+        // empty-`ptr_slots` guard above already excludes them — the
+        // counter check is the load-bearing one).
+        if d_slab == k_slab || d_slab == d_var {
+            return None;
+        }
+        let src = match src {
+            Some((ps, s_var)) => {
+                if d_slab == s_var {
+                    return None;
+                }
+                let t = self.resolved(ps.obj)?;
+                if !t.alive || !t.ptr_slots.is_empty() {
+                    return None;
+                }
+                let lo = ps.off + k0;
+                if lo < 0 || ps.off + sw.bound > t.bytes.len() as i64 {
+                    return None;
+                }
+                // Every source byte initialized up front; and reading
+                // the counter's own object would see it change
+                // mid-loop, so that aliasing falls back too.
+                if !t.bytes.all_init(lo as usize, count as usize) {
+                    return None;
+                }
+                if obj_slot(ps.obj) == k_slab {
+                    return None;
+                }
+                Some(ps)
+            }
+            None => None,
+        };
+        // Step budget: if the generic loop would trip the limit at one
+        // of its back-edges, run it generically so the stop lands at
+        // exactly that back-edge.
+        let total = count as u64 * sw.per_iter_ops + sw.tail_ops;
+        if self.steps + *ops_since + total > self.limits.max_steps {
+            return None;
+        }
+        // -- validated: perform the sweep --
+        let n = count as usize;
+        let d_lo = (pd.off + k0) as usize;
+        match src {
+            Some(ps) => {
+                let s_slab = obj_slot(ps.obj);
+                let s_lo = (ps.off + k0) as usize;
+                // Forward per-byte order, exactly the generic loop's —
+                // an overlap within one object propagates forward.
+                for j in 0..n {
+                    let b = self.objects[s_slab].bytes.get_byte(s_lo + j);
+                    self.objects[d_slab].bytes.set_byte(d_lo + j, b);
+                }
+            }
+            None => {
+                for j in 0..n {
+                    self.objects[d_slab].bytes.set_byte(d_lo + j, fill);
+                }
+            }
+        }
+        self.objects[d_slab].bytes.mark_init(d_lo, n);
+        // The counter leaves the loop at its bound, as `k++` would.
+        self.objects[k_slab]
+            .bytes
+            .store(0, 4, (sw.bound as i32 as u32) as u64);
+        *ops_since += total;
+        Some(sw.exit)
+    }
+
+    /// The pointer a sweep reads from pointer-variable slot `slot`,
+    /// when that read could not report or stop: bound, current, alive,
+    /// exactly one stored pointer covering bytes 0..8. Also returns the
+    /// variable's own slab slot, so the sweep can refuse to write
+    /// through its own pointer storage.
+    fn sweep_pointer(&self, slot_base: usize, slot: u32) -> Option<(Pointer, usize)> {
+        let r = self.slots[slot_base + slot as usize];
+        if r == SLOT_NONE {
+            return None;
+        }
+        let o = self.resolved(r)?;
+        if !o.alive || o.bytes.len() != 8 {
+            return None;
+        }
+        match o.ptr_slots.as_slice() {
+            [(0, Value::Ptr(p))] => Some((*p, obj_slot(r))),
+            _ => None,
+        }
     }
 }

@@ -31,6 +31,9 @@ const SUPERINSTRUCTIONS: &[&str] = &[
     "AssignSlotPop",
     "IncDecSlotStmt",
     "IndexRead",
+    "ByteSweep",
+    "Bin2FC",
+    "TailSelf",
 ];
 
 /// Honest tree-walker fallbacks: whole constructs handed back to the
@@ -105,6 +108,25 @@ pub struct ExecProfile {
     pub heap_frees: u64,
     /// Total bytes ever obtained from `malloc` (churn, not residency).
     pub heap_bytes_allocated: u64,
+    /// Allocations served by recycling a retired slab slot (epoch bump +
+    /// storage reuse) instead of growing the object slab.
+    pub arena_recycles: u64,
+    /// Allocations that grew the slab — no retired slot was available
+    /// (or the only candidate was pinned by the live footprint arena).
+    pub arena_misses: u64,
+    /// Calls whose slot region fit under the slot stack's high-water
+    /// mark: the frame re-bound storage an earlier call already paid
+    /// for.
+    pub frame_pool_hits: u64,
+    /// Calls that pushed the slot stack past its high-water mark
+    /// (first-time-deep call chains).
+    pub frame_pool_misses: u64,
+    /// Fused byte-sweep superinstructions that ran to completion: one
+    /// validation + bulk move instead of a per-byte interpreted loop.
+    pub sweep_hits: u64,
+    /// Byte-sweep prechecks that failed, falling back to the general
+    /// per-byte loop (which reports any diagnostic exactly).
+    pub sweep_fallbacks: u64,
 }
 
 impl ExecProfile {
@@ -178,6 +200,27 @@ impl ExecProfile {
     pub fn word_fast_hit_rate(&self) -> Option<f64> {
         let total = self.word_fast_hits + self.word_fast_fallbacks;
         (total > 0).then(|| self.word_fast_hits as f64 / total as f64)
+    }
+
+    /// Fraction of object allocations served by recycling a retired
+    /// slab slot. `None` when nothing was allocated.
+    pub fn arena_recycle_rate(&self) -> Option<f64> {
+        let total = self.arena_recycles + self.arena_misses;
+        (total > 0).then(|| self.arena_recycles as f64 / total as f64)
+    }
+
+    /// Fraction of calls that re-bound pooled frame storage. `None`
+    /// when no call ran.
+    pub fn frame_pool_hit_rate(&self) -> Option<f64> {
+        let total = self.frame_pool_hits + self.frame_pool_misses;
+        (total > 0).then(|| self.frame_pool_hits as f64 / total as f64)
+    }
+
+    /// Fraction of fused byte-sweep attempts that completed as bulk
+    /// moves. `None` when no sweep op ran.
+    pub fn sweep_hit_rate(&self) -> Option<f64> {
+        let total = self.sweep_hits + self.sweep_fallbacks;
+        (total > 0).then(|| self.sweep_hits as f64 / total as f64)
     }
 }
 

@@ -1,0 +1,365 @@
+//! Regressions for the recycling memory core and the fused byte-sweep
+//! superinstruction: slab-slot recycling must never rewrite history
+//! (stale references keep naming the *original* object, with its
+//! original line), and the bulk sweep must be observationally identical
+//! to the per-byte loop it replaces — same exit values, same notes,
+//! same step accounting, same behavior when the step budget runs dry
+//! mid-loop.
+
+use cundef_semantics::eval::{Engine, Interp, Limits, Outcome};
+use cundef_semantics::parser::parse;
+use cundef_ub::UbKind;
+
+/// Run `src` under `engine` with profiling on; return the outcome, the
+/// rendered note stream, and the interpreter for profile inspection.
+fn run_profiled(src: &str, engine: Engine, limits: Limits) -> (Outcome, String, Interp<'_>) {
+    // Leak the unit so the Interp can be returned; tests are short-lived.
+    let unit =
+        Box::leak(Box::new(parse(src).unwrap_or_else(|e| {
+            panic!("failed to parse: {e}\n--- source ---\n{src}")
+        })));
+    let mut interp = Interp::with_engine(unit, limits, engine);
+    interp.enable_profiling();
+    let outcome = interp.run_main();
+    let notes = format!("{:?}", interp.notes());
+    (outcome, notes, interp)
+}
+
+/// Assert both engines agree on outcome and notes; return the bytecode
+/// run for profile assertions.
+fn parity(src: &str, limits: Limits) -> (Outcome, Interp<'_>) {
+    let (tree_out, tree_notes, _) = run_profiled(src, Engine::Tree, limits);
+    let (vm_out, vm_notes, vm) = run_profiled(src, Engine::Bytecode, limits);
+    assert_eq!(tree_out, vm_out, "engines disagree\n--- source ---\n{src}");
+    assert_eq!(tree_notes, vm_notes, "notes diverge\n--- source ---\n{src}");
+    (vm_out, vm)
+}
+
+/// Expect UB; return (kind, detail, line).
+fn expect_ub(outcome: &Outcome, src: &str) -> (UbKind, String, u32) {
+    match outcome {
+        Outcome::Undefined(e) => (
+            e.kind(),
+            e.detail().unwrap_or_default().to_string(),
+            e.loc().map(|l| l.line).unwrap_or(0),
+        ),
+        other => panic!("expected UB, got {other:?}\n--- source ---\n{src}"),
+    }
+}
+
+#[test]
+fn stale_heap_deref_names_the_original_object_after_slot_recycling() {
+    // free() retires the slab slot; the next malloc recycles it (same
+    // storage, bumped epoch). The dangling `*p` must still report the
+    // *first* allocation — "heap object #1", the serial it was given at
+    // birth — never the new occupant of the recycled slot.
+    let src = "int main(void) {\n\
+               \x20   int *p = malloc(4);\n\
+               \x20   free(p);\n\
+               \x20   int *q = malloc(4);\n\
+               \x20   *q = 5;\n\
+               \x20   return *p;\n\
+               }";
+    let (out, vm) = parity(src, Limits::default());
+    let (kind, detail, line) = expect_ub(&out, src);
+    assert_eq!(kind, UbKind::DeadObjectAccess);
+    assert!(
+        detail.contains("heap object #1"),
+        "stale deref misnamed the object: {detail:?}"
+    );
+    assert_eq!(line, 6, "stale deref reported at the wrong line");
+    // Prove the test actually exercised recycling: the second malloc
+    // must have reused the retired slot, not grown the slab.
+    let prof = vm.profile().expect("profiling enabled");
+    assert!(
+        prof.arena_recycles >= 1,
+        "second malloc did not recycle the freed slot: {prof:?}"
+    );
+}
+
+#[test]
+fn stale_stack_deref_names_the_original_variable_after_slot_recycling() {
+    // Same invariant for automatic storage: `b` reuses the slab slot
+    // `a` retired at block exit, and the dangling pointer still names
+    // `a`, at the line of the bad access.
+    let src = "int main(void) {\n\
+               \x20   int *p;\n\
+               \x20   { int a = 1; p = &a; }\n\
+               \x20   int b = 2;\n\
+               \x20   return *p + b;\n\
+               }";
+    let (out, _) = parity(src, Limits::default());
+    let (kind, detail, line) = expect_ub(&out, src);
+    assert_eq!(kind, UbKind::DeadObjectAccess);
+    assert!(
+        detail.contains("`a`"),
+        "stale deref misnamed the variable: {detail:?}"
+    );
+    assert_eq!(line, 5);
+}
+
+/// A canonical fusable fill loop plus its exact generic step cost.
+const FILL_SRC: &str = "int main(void) {\n\
+                        \x20   char buf[100];\n\
+                        \x20   char *d = buf;\n\
+                        \x20   for (int k = 0; k < 100; k++) d[k] = 7;\n\
+                        \x20   return buf[0];\n\
+                        }";
+
+#[test]
+fn fused_fill_sweep_charges_exactly_the_generic_loop_cost() {
+    let (out, vm) = parity(FILL_SRC, Limits::default());
+    assert_eq!(out, Outcome::Completed(7));
+    let prof = vm.profile().expect("profiling enabled");
+    assert!(prof.sweep_hits >= 1, "fill loop did not fuse: {prof:?}");
+    assert_eq!(prof.sweep_fallbacks, 0);
+    // Step neutrality, exact: `d[k] = 300` compiles to the very same
+    // ops (only the constant differs) but the conversion note makes the
+    // runtime precheck decline, so the generic per-byte loop runs. Its
+    // step total must equal the fused run's charge to the last step.
+    let fallback_src = FILL_SRC.replace("= 7", "= 300");
+    let (out, _, generic) = run_profiled(&fallback_src, Engine::Bytecode, Limits::default());
+    assert!(matches!(out, Outcome::Completed(_)));
+    let gprof = generic.profile().expect("profiling enabled");
+    assert_eq!(gprof.sweep_hits, 0, "noteful fill must not fuse: {gprof:?}");
+    assert_eq!(
+        prof.steps, gprof.steps,
+        "bulk sweep changed the semantic step charge"
+    );
+}
+
+#[test]
+fn step_limit_abort_inside_a_fused_sweep_falls_back_cleanly() {
+    // Measure the full cost, then set the budget so exhaustion lands in
+    // the middle of the loop. The sweep's budget precheck must decline
+    // (fallback, not partial bulk work), so the VM stops at the same
+    // settle point its own generic loop would have — and the arena
+    // stays consistent (debug assertions on slot retirement fire under
+    // this test profile if it does not).
+    let (_, _, full) = run_profiled(FILL_SRC, Engine::Bytecode, Limits::default());
+    let total = full.profile().expect("profiling enabled").steps;
+    assert!(total > 200, "fixture too cheap to abort mid-loop: {total}");
+    let tight = Limits {
+        max_steps: total / 2,
+        ..Limits::default()
+    };
+    let (out, _, vm) = run_profiled(FILL_SRC, Engine::Bytecode, tight);
+    match &out {
+        Outcome::Unsupported { message, .. } => {
+            assert!(
+                message.contains("step limit"),
+                "unexpected stop message: {message:?}"
+            );
+        }
+        other => panic!("expected a step-limit stop, got {other:?}"),
+    }
+    let prof = vm.profile().expect("profiling enabled");
+    assert!(
+        prof.sweep_fallbacks >= 1,
+        "sweep ran despite an exhausted step budget: {prof:?}"
+    );
+    assert_eq!(prof.sweep_hits, 0);
+    // The tree engine also stops on the same budget (its work-unit
+    // totals differ from compiled-op totals, so the stop locations are
+    // engine-specific — what matters is that both refuse to go on).
+    let (tree_out, _, _) = run_profiled(FILL_SRC, Engine::Tree, tight);
+    assert!(
+        matches!(tree_out, Outcome::Unsupported { .. }),
+        "tree engine ran past the budget: {tree_out:?}"
+    );
+    // Exactness across the whole budget range: `d[k] = 300` compiles
+    // to the identical ops but always takes the generic loop (the
+    // conversion note vetoes the bulk path), so for every budget the
+    // fusable program must stop — or complete — exactly where its
+    // generic twin does.
+    let generic_src = FILL_SRC.replace("= 7", "= 300");
+    for budget in [total / 2, total * 3 / 4, total - 1, total, total + 1] {
+        let limits = Limits {
+            max_steps: budget,
+            ..Limits::default()
+        };
+        let (fused, _, _) = run_profiled(FILL_SRC, Engine::Bytecode, limits);
+        let (generic, _, _) = run_profiled(&generic_src, Engine::Bytecode, limits);
+        match (&fused, &generic) {
+            (Outcome::Completed(7), Outcome::Completed(44)) => {}
+            (
+                Outcome::Unsupported {
+                    message: fm,
+                    loc: fl,
+                },
+                Outcome::Unsupported {
+                    message: gm,
+                    loc: gl,
+                },
+            ) => {
+                assert_eq!((fm, fl), (gm, gl), "stop points diverge at budget {budget}");
+            }
+            other => panic!("budget {budget}: fused/generic outcomes diverge: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn overlapping_copy_sweep_propagates_forward_like_the_per_byte_loop() {
+    // d = buf + 1, s = buf: every iteration reads the byte the previous
+    // iteration just wrote, so a memmove-style bulk copy would be
+    // wrong. The fused sweep must reproduce the generic loop's forward
+    // propagation exactly — buf[0] smeared across the whole buffer.
+    let src = "int main(void) {\n\
+               \x20   char buf[8];\n\
+               \x20   buf[0] = 5; buf[1] = 1; buf[2] = 1; buf[3] = 1;\n\
+               \x20   buf[4] = 1; buf[5] = 1; buf[6] = 1; buf[7] = 1;\n\
+               \x20   char *d = buf + 1;\n\
+               \x20   char *s = buf;\n\
+               \x20   for (int k = 0; k < 7; k++) d[k] = s[k];\n\
+               \x20   return buf[7];\n\
+               }";
+    let (out, vm) = parity(src, Limits::default());
+    assert_eq!(
+        out,
+        Outcome::Completed(5),
+        "overlap did not propagate forward"
+    );
+    let prof = vm.profile().expect("profiling enabled");
+    assert!(
+        prof.sweep_hits >= 1,
+        "overlapping copy did not fuse: {prof:?}"
+    );
+}
+
+#[test]
+fn fill_that_would_emit_a_conversion_note_falls_back_per_byte() {
+    // 300 does not fit in char: each store carries an
+    // implementation-defined conversion note. The sweep precheck must
+    // reject the bulk path so the generic loop emits every note, and
+    // both engines' note streams must still match byte for byte.
+    let src = "int main(void) {\n\
+               \x20   char buf[4];\n\
+               \x20   char *d = buf;\n\
+               \x20   for (int k = 0; k < 4; k++) d[k] = 300;\n\
+               \x20   return buf[3];\n\
+               }";
+    let (out, vm) = parity(src, Limits::default());
+    assert_eq!(out, Outcome::Completed(44)); // 300 wraps to 44 as signed char
+    let prof = vm.profile().expect("profiling enabled");
+    assert_eq!(
+        prof.sweep_hits, 0,
+        "noteful fill must not take the bulk path"
+    );
+    assert!(
+        prof.sweep_fallbacks >= 1,
+        "fill loop was not even attempted: {prof:?}"
+    );
+}
+
+#[test]
+fn uninitialized_source_byte_diagnoses_identically_through_the_sweep() {
+    // A hole in the source forces the runtime precheck to fall back,
+    // and the generic loop must then report the indeterminate read with
+    // the same kind/line under both engines.
+    let src = "int main(void) {\n\
+               \x20   char a[4]; char b[4];\n\
+               \x20   a[0] = 1; a[1] = 2; a[3] = 4;\n\
+               \x20   char *d = b; char *s = a;\n\
+               \x20   for (int k = 0; k < 4; k++) d[k] = s[k];\n\
+               \x20   return b[0];\n\
+               }";
+    let (out, _) = parity(src, Limits::default());
+    let (kind, _, line) = expect_ub(&out, src);
+    assert_eq!(kind, UbKind::ReadIndeterminate);
+    assert_eq!(line, 5);
+}
+
+#[test]
+fn churn_recycles_and_recursion_pools_frames() {
+    // Allocation churn: after the first iteration every malloc should
+    // be served from the retired slot queue.
+    let churn = "int main(void) {\n\
+                 \x20   int s = 0;\n\
+                 \x20   for (int i = 0; i < 50; i++) {\n\
+                 \x20       int *p = malloc(8); *p = i; s += *p; free(p);\n\
+                 \x20   }\n\
+                 \x20   return s & 255;\n\
+                 }";
+    let (out, vm) = parity(churn, Limits::default());
+    assert!(matches!(out, Outcome::Completed(_)));
+    let prof = vm.profile().expect("profiling enabled");
+    assert!(
+        prof.arena_recycles >= 40,
+        "churn loop barely recycled: {prof:?}"
+    );
+
+    // Repeated non-nested calls: after the deepest first descent, every
+    // frame should re-bind storage under the slot high-water mark.
+    let calls = "int f(int n) { return n * 2; }\n\
+                 int main(void) {\n\
+                 \x20   int s = 0;\n\
+                 \x20   for (int i = 0; i < 50; i++) s += f(i);\n\
+                 \x20   return s & 255;\n\
+                 }";
+    let (out, vm) = parity(calls, Limits::default());
+    assert!(matches!(out, Outcome::Completed(_)));
+    let prof = vm.profile().expect("profiling enabled");
+    assert!(
+        prof.frame_pool_hits >= 40,
+        "repeated calls missed the frame pool: {prof:?}"
+    );
+}
+
+#[test]
+fn self_tail_recursion_reuses_one_frame_and_diagnoses_depth_identically() {
+    // A scalar self-tail call compiles to an in-place frame rebind.
+    // Within the depth limit both engines complete with the same value;
+    // past it, both must stop with the tree-walker's exact message —
+    // the rebind carries the logical depth even though the bytecode
+    // engine holds a single physical frame.
+    let ok = "int down(int d, int acc) {\n\
+              \x20   if (d == 0) return acc;\n\
+              \x20   return down(d - 1, acc + d);\n\
+              }\n\
+              int main(void) { return down(100, 0) & 127; }";
+    let (out, vm) = parity(ok, Limits::default());
+    assert_eq!(out, Outcome::Completed((100 * 101 / 2) & 127));
+    let prof = vm.profile().expect("profiling enabled");
+    assert!(
+        prof.op_counts.get("TailSelf").copied().unwrap_or(0) >= 100,
+        "self-tail calls did not fuse: {prof:?}"
+    );
+
+    let deep = "int down(int d, int acc) {\n\
+                \x20   if (d == 0) return acc;\n\
+                \x20   return down(d - 1, acc + d);\n\
+                }\n\
+                int main(void) { return down(100000, 0) & 127; }";
+    // A small limit keeps the tree-walker's native recursion shallow;
+    // what matters is that both engines stop at the same logical depth.
+    let limits = Limits {
+        max_call_depth: 64,
+        ..Limits::default()
+    };
+    let (out, _) = parity(deep, limits);
+    match out {
+        Outcome::Unsupported { ref message, .. } => {
+            assert!(
+                message.contains("call depth limit exceeded"),
+                "wrong stop: {message:?}"
+            );
+        }
+        other => panic!("expected a depth stop, got {other:?}"),
+    }
+}
+
+#[test]
+fn self_tail_rebind_converts_arguments_with_the_same_notes() {
+    // Parameter rebinding is assignment to the parameter (§6.5.2.2:7):
+    // a narrowing argument conversion must leave the same
+    // implementation-defined note, at the same position, as the fresh
+    // per-call binding the tree-walker performs.
+    let src = "int f(char c, int d) {\n\
+               \x20   if (d == 0) return c;\n\
+               \x20   return f(c + 200, d - 1);\n\
+               }\n\
+               int main(void) { return f(0, 5) & 127; }";
+    let (out, _) = parity(src, Limits::default());
+    assert!(matches!(out, Outcome::Completed(_)), "{out:?}");
+}

@@ -1,0 +1,412 @@
+//! `serve_load` — sustained-RPS load harness for `cundef serve`.
+//!
+//! Spawns the daemon with `--listen 127.0.0.1:0`, then drives it with a
+//! closed-loop HTTP client fleet over keep-alive connections in three
+//! phases:
+//!
+//! 1. **cold** — each distinct corpus program once, sequentially, on an
+//!    empty cache: the cold-check baseline latency.
+//! 2. **warm** — the same programs re-sent repeatedly on one
+//!    connection: pure cache-hit latency, no queueing noise. The
+//!    `warm_speedup` ratio (cold mean / warm mean) is the cache's
+//!    headline number.
+//! 3. **sustained** — `--requests` requests across `--connections`
+//!    closed-loop worker threads with a hot/cold/mutated mix (~70%
+//!    repeat traffic, ~30% never-seen-before mutations), recording
+//!    wall-clock throughput and the p50/p99 latency quantiles.
+//!
+//! Results (plus the daemon's own `/stats` counters) land in
+//! `BENCH_serve.json`. `--min-hits` and `--min-warm-speedup` turn the
+//! run into a pass/fail gate for CI. The daemon is shut down via
+//! `POST /shutdown` and must exit 0 for the run to pass.
+
+use cundef_bench::corpus;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+serve_load — sustained-RPS load harness for `cundef serve`
+
+USAGE:
+    serve_load [OPTIONS]
+
+OPTIONS:
+    --bin PATH             cundef binary (default: target/release/cundef,
+                           or the CUNDEF_BIN environment variable)
+    --requests N           sustained-phase request count (default 400)
+    --connections N        closed-loop client connections (default 4)
+    --warm-iters N         warm-phase iterations per program (default 25)
+    --out FILE             result file (default BENCH_serve.json)
+    --min-hits N           fail unless the daemon reports >= N full cache
+                           hits (default 1)
+    --min-warm-speedup X   fail unless cold/warm latency ratio >= X
+                           (default 0 = no gate)
+    -h, --help             print this help";
+
+/// Minimal JSON string escaping for request bodies.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One keep-alive HTTP/1.1 client connection.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A parsed response: status code, cache outcome header, body.
+struct Reply {
+    status: u16,
+    cache: String,
+    body: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<Reply> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: cundef\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut content_length = 0usize;
+        let mut cache = String::new();
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "content-length" => content_length = value.trim().parse().unwrap_or(0),
+                    "x-cundef-cache" => cache = value.trim().to_string(),
+                    _ => {}
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Reply {
+            status,
+            cache,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+
+    fn check(&mut self, source: &str, label: &str) -> std::io::Result<(Reply, Duration)> {
+        let body = format!(
+            "{{\"path\": {}, \"source\": {}}}",
+            escape(label),
+            escape(source)
+        );
+        let t = Instant::now();
+        let reply = self.request("POST", "/check", &body)?;
+        Ok((reply, t.elapsed()))
+    }
+}
+
+/// Latency quantile in milliseconds from a sorted sample.
+fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn mean_ms(samples: &[Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(Duration::as_secs_f64).sum::<f64>() / samples.len() as f64 * 1e3
+}
+
+/// Spawn the daemon and parse its bound address off stderr.
+fn spawn_daemon(bin: &str) -> (Child, String) {
+    let mut child = Command::new(bin)
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("serve_load: cannot spawn `{bin}`: {e}");
+            std::process::exit(2);
+        });
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap_or(0) > 0 {
+        if let Some(rest) = line
+            .trim()
+            .strip_prefix("cundef serve: listening on http://")
+        {
+            addr = Some(rest.to_string());
+            break;
+        }
+        line.clear();
+    }
+    let Some(addr) = addr else {
+        eprintln!("serve_load: daemon never reported a listen address");
+        let _ = child.kill();
+        std::process::exit(2);
+    };
+    // Keep draining the daemon's stderr (the shutdown summary) so it
+    // never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    (child, addr)
+}
+
+fn main() {
+    let mut bin = std::env::var("CUNDEF_BIN").unwrap_or_else(|_| "target/release/cundef".into());
+    let mut requests = 400usize;
+    let mut connections = 4usize;
+    let mut warm_iters = 25usize;
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut min_hits = 1u64;
+    let mut min_warm_speedup = 0.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--bin" => bin = string_arg(&mut args, "--bin"),
+            "--out" => out_path = string_arg(&mut args, "--out"),
+            "--requests" => requests = num_arg(&mut args, "--requests").max(1),
+            "--connections" => connections = num_arg(&mut args, "--connections").max(1),
+            "--warm-iters" => warm_iters = num_arg(&mut args, "--warm-iters").max(1),
+            "--min-hits" => min_hits = num_arg(&mut args, "--min-hits") as u64,
+            "--min-warm-speedup" => {
+                min_warm_speedup = string_arg(&mut args, "--min-warm-speedup")
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| {
+                        eprintln!("serve_load: `--min-warm-speedup` needs a number\n\n{USAGE}");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("serve_load: unknown option `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Heavy corpus programs: expensive enough to check that a cache hit
+    // (a hash lookup + re-render) is an order of magnitude cheaper even
+    // with the HTTP round trip on top.
+    let programs: Vec<(String, String)> = vec![
+        ("mem_churn".into(), corpus::mem_churn_loop(1500)),
+        ("mem_sweep".into(), corpus::mem_sweep_loop(1500)),
+        ("mem_heap".into(), corpus::mem_heap_loop(800)),
+        ("mem_strcopy".into(), corpus::mem_strcopy_loop(800)),
+        ("mem_typedmix".into(), corpus::mem_typedmix_loop(800)),
+        ("call_loop".into(), corpus::call_loop(2000)),
+    ];
+
+    let (mut child, addr) = spawn_daemon(&bin);
+    eprintln!(
+        "serve_load: daemon at {addr}, {} corpus programs",
+        programs.len()
+    );
+
+    // Phase 1: cold — every program once, empty cache.
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut cold = Vec::new();
+    for (name, src) in &programs {
+        let (reply, dt) = client.check(src, &format!("{name}.c")).expect("cold check");
+        assert_eq!(reply.status, 200, "cold check failed: {}", reply.body);
+        cold.push(dt);
+    }
+
+    // Phase 2: warm — same programs, sequential: pure hit latency.
+    let mut warm = Vec::new();
+    for _ in 0..warm_iters {
+        for (name, src) in &programs {
+            let (reply, dt) = client.check(src, &format!("{name}.c")).expect("warm check");
+            assert_eq!(reply.status, 200);
+            assert_eq!(reply.cache, "hit", "warm request missed the cache");
+            warm.push(dt);
+        }
+    }
+    let cold_ms = mean_ms(&cold);
+    let warm_ms = mean_ms(&warm);
+    let warm_speedup = if warm_ms > 0.0 {
+        cold_ms / warm_ms
+    } else {
+        0.0
+    };
+    eprintln!(
+        "serve_load: cold {cold_ms:.3} ms/req, warm {warm_ms:.3} ms/req ({warm_speedup:.1}x)"
+    );
+
+    // Phase 3: sustained closed-loop load, hot/mutated mix.
+    let programs = Arc::new(programs);
+    let next = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::with_capacity(requests)));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..connections {
+        let programs = Arc::clone(&programs);
+        let next = Arc::clone(&next);
+        let latencies = Arc::clone(&latencies);
+        let addr = addr.clone();
+        let total = requests as u64;
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            let mut local = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let (name, src) = &programs[(i as usize) % programs.len()];
+                // ~30% of traffic is a never-seen-before mutation: a
+                // unique trailing comment flips the content hash, so the
+                // request takes the full cold path.
+                let (reply, dt) = if i % 10 < 3 {
+                    let mutated = format!("{src}// mutation {i}\n");
+                    client
+                        .check(&mutated, &format!("{name}-{i}.c"))
+                        .expect("check")
+                } else {
+                    client.check(src, &format!("{name}.c")).expect("check")
+                };
+                assert_eq!(reply.status, 200);
+                local.push(dt);
+            }
+            latencies.lock().expect("latencies poisoned").extend(local);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = t0.elapsed();
+    let mut sustained = latencies.lock().expect("latencies poisoned").clone();
+    sustained.sort();
+    let rps = sustained.len() as f64 / elapsed.as_secs_f64();
+    let p50 = quantile_ms(&sustained, 0.50);
+    let p99 = quantile_ms(&sustained, 0.99);
+    eprintln!(
+        "serve_load: sustained {} reqs over {} conns in {:.2}s — {rps:.0} req/s, p50 {p50:.3} ms, p99 {p99:.3} ms",
+        sustained.len(),
+        connections,
+        elapsed.as_secs_f64()
+    );
+
+    // Daemon-side counters, then clean shutdown.
+    let stats_body = client
+        .request("GET", "/stats", "")
+        .expect("stats")
+        .body
+        .trim()
+        .to_string();
+    let _ = client.request("POST", "/shutdown", "");
+    let status = child.wait().expect("daemon wait");
+    if !status.success() {
+        eprintln!("serve_load: daemon exited with {status}");
+        std::process::exit(1);
+    }
+    eprintln!("serve_load: daemon shut down cleanly");
+
+    let full_hits = stats_body
+        .split("\"full_hits\": ")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+
+    let report = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"connections\": {connections},\n  \
+         \"cold\": {{\"requests\": {}, \"mean_ms\": {cold_ms:.4}}},\n  \
+         \"warm\": {{\"requests\": {}, \"mean_ms\": {warm_ms:.4}}},\n  \
+         \"warm_speedup\": {warm_speedup:.2},\n  \
+         \"sustained\": {{\"requests\": {}, \"elapsed_s\": {:.3}, \"rps\": {rps:.1}, \
+         \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \"mutated_share\": 0.3}},\n  \
+         \"server\": {stats_body}\n}}\n",
+        cold.len(),
+        warm.len(),
+        sustained.len(),
+        elapsed.as_secs_f64(),
+    );
+    std::fs::write(&out_path, &report).expect("write result file");
+    eprintln!("serve_load: wrote {out_path}");
+
+    let mut failed = false;
+    if full_hits < min_hits {
+        eprintln!("serve_load: FAIL — {full_hits} full cache hits < required {min_hits}");
+        failed = true;
+    }
+    if min_warm_speedup > 0.0 && warm_speedup < min_warm_speedup {
+        eprintln!(
+            "serve_load: FAIL — warm speedup {warm_speedup:.2}x < required {min_warm_speedup:.2}x"
+        );
+        failed = true;
+    }
+    if rps <= 0.0 {
+        eprintln!("serve_load: FAIL — zero throughput");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Fetch a required string argument or die with usage.
+fn string_arg(args: &mut impl Iterator<Item = String>, name: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("serve_load: `{name}` needs a value\n\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+/// Fetch a required positive-integer argument or die with usage.
+fn num_arg(args: &mut impl Iterator<Item = String>, name: &str) -> usize {
+    string_arg(args, name).parse().unwrap_or_else(|_| {
+        eprintln!("serve_load: `{name}` needs a positive integer\n\n{USAGE}");
+        std::process::exit(2);
+    })
+}

@@ -18,32 +18,32 @@
 //! duplicate or shadow the report.
 //!
 //! Checking and rendering are split: each file reduces to a
-//! [`FileResult`] (the structured verdict + findings + notes), and a
-//! pluggable [`Renderer`] — selected by `--format human|json|sarif` —
+//! [`FileResult`](cundef_ub::render::FileResult) (the structured
+//! verdict + findings + notes), and a pluggable
+//! [`Renderer`] — selected by `--format human|json|sarif` —
 //! turns results into bytes. `--stats[=json]` reports per-phase wall
 //! times and `--profile` the engines' execution telemetry, both on
-//! stderr so every stdout format stays clean.
+//! stderr so every stdout format stays clean. `--fail-on error|ub|never`
+//! moves the exit-code threshold for CI gating without changing any
+//! report.
 //!
-//! With `--batch`, many files are checked in parallel across worker
-//! threads. Each worker owns its own parser, analyzer, and evaluator
-//! (translation units share nothing — each carries its own interner and
-//! arenas); rendering happens on the main thread in input order, so
-//! verdicts and output are byte-identical to a sequential run.
+//! With `--batch`, many files are checked in parallel across a worker
+//! pool (see [`pool`]); duplicate paths are checked once and replayed.
+//! `cundef serve` keeps that pool alive as a daemon behind a
+//! content-hash incremental cache (see [`serve`]).
 
-use cundef_analysis::analyze;
-use cundef_semantics::eval::{Engine, Interp, Limits, Outcome};
-use cundef_semantics::intern::kw;
-use cundef_semantics::{compile_unit, parser, ExecProfile};
-use cundef_ub::render::{
-    FileResult, HumanRenderer, JsonRenderer, Rendered, Renderer, SarifRenderer, Verdict,
-};
+mod check;
+mod pool;
+mod serve;
+
+use check::{check_file, render_profile, CheckOptions, Checked, FailOn, Format, Phase, PhaseStats};
+use cundef_semantics::eval::Engine;
+use cundef_ub::render::{HumanRenderer, JsonRenderer, Rendered, Renderer, SarifRenderer, Verdict};
 use cundef_ub::{catalog, catalog_counts, Detectability};
-use std::fmt::Write as _;
+use pool::check_batch;
+use serve::parse_engine;
 use std::io::Write;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
 
 /// Print to stdout, ignoring broken pipes (`cundef … | head` must not
 /// panic; the exit code still reflects the analysis).
@@ -66,6 +66,7 @@ cundef — undefined-behavior checker for C snippets
 
 USAGE:
     cundef [OPTIONS] <FILE>...
+    cundef serve [SERVE OPTIONS]    (see `cundef serve --help`)
     cundef fuzz [FUZZ OPTIONS]      (see `cundef fuzz --help`)
 
 OPTIONS:
@@ -81,6 +82,11 @@ OPTIONS:
                   `json` (JSON Lines: one event object per line), or
                   `sarif` (one SARIF 2.1.0 document on stdout, rule
                   metadata from the §5.2.1 catalog)
+    --fail-on T   Exit-code threshold: `ub` (default — exit 1 on any
+                  undefined file, 2 on engine failure), `error` (reports
+                  still print, but only engine failures exit nonzero),
+                  or `never` (always exit 0 once the run completes);
+                  verdicts and reports are unaffected
     --stats[=json] Report per-phase wall times (read, lex, parse,
                   resolve, analyze, compile, execute) per file and
                   aggregated, on stderr; `=json` for machine readers
@@ -91,7 +97,7 @@ OPTIONS:
     --catalog     Print the paper's §5.2.1 catalog summary and exit
     --batch       Check the files in parallel across worker threads;
                   verdicts and output order are identical to a
-                  sequential run
+                  sequential run, and duplicate paths are checked once
     --jobs N      Worker threads for --batch (default: the machine's
                   available parallelism)
     -q, --quiet   Only print reports, no per-file success lines
@@ -99,28 +105,10 @@ OPTIONS:
     --version     Print version
 
 EXIT STATUS:
-    0  every file checked clean in the selected phases
+    0  every file checked clean in the selected phases (or the
+       `--fail-on` threshold demoted the failures)
     1  undefined behavior was detected in at least one file
     2  usage error, unreadable file, or input outside the subset";
-
-/// Which checking phases to run on each file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Static analysis only; nothing is executed.
-    Translation,
-    /// Execution only (the pre-analysis behavior).
-    Execution,
-    /// Translation first; execution only for files that pass it.
-    All,
-}
-
-/// Output format behind `--format`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Human,
-    Json,
-    Sarif,
-}
 
 /// `--stats` reporting mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +117,48 @@ enum StatsMode {
     Human,
     Json,
 }
+
+const SERVE_USAGE: &str = "\
+cundef serve — long-running checking service with an incremental cache
+
+Accepts translation units as JSONL requests on stdin and/or over a
+local HTTP endpoint, shards them across a persistent worker pool, and
+memoizes results in a content-hash cache so repeat traffic is nearly
+free. Responses are byte-identical to one-shot `cundef` output for the
+same file and options, in every format.
+
+USAGE:
+    cundef serve [OPTIONS]
+
+REQUEST (one JSON object per stdin line, or POST /check body):
+    {\"path\": \"examples/defined.c\"}            check a file on disk
+    {\"source\": \"int main(void){return 0;}\"}   check inline source
+    optional per-request fields: \"id\" (echoed), \"path\" (label for
+    inline source), \"phase\", \"engine\", \"format\", \"quiet\",
+    \"fail_on\", \"profile\"
+    commands: {\"cmd\": \"stats\"}  {\"cmd\": \"shutdown\"}
+
+HTTP (with --listen): POST /check (request object as body; rendered
+    report as response body, verdict/exit/cache in X-Cundef-* headers),
+    GET /stats, GET /health, POST /shutdown.
+
+OPTIONS:
+    --listen ADDR      Serve HTTP on ADDR (e.g. 127.0.0.1:8123; port 0
+                       picks a free port; the bound address is printed
+                       on stderr)
+    --stdin            Service stdin-JSONL requests (the default when
+                       --listen is not given; EOF shuts the daemon down)
+    --jobs N           Worker threads (default: available parallelism)
+    --cache-capacity N Entries per cache level (default 4096)
+    --phase PHASE      Default phase for requests (as in `cundef`)
+    --engine E         Default engine for requests
+    --format F         Default format for requests
+    --fail-on T        Default exit-code threshold for responses
+    -q, --quiet        Default quiet flag for human-format responses
+    -h, --help         Print this help
+
+EXIT STATUS:
+    0  clean shutdown          2  usage error or bind failure";
 
 const FUZZ_USAGE: &str = "\
 cundef fuzz — deterministic differential fuzzing sweep
@@ -157,6 +187,10 @@ OPTIONS:
                      divergence into D
     --exits          Also print the `case I exit E` golden-snapshot log
                      for passing defined cases
+    --serve-replay   Replay the generated corpus through the serve
+                     pipeline (cold + warm) and assert every response is
+                     byte-identical to one-shot output (a sixth,
+                     service-path oracle; skips the sweep)
     -h, --help       Print this help
 
 EXIT STATUS:
@@ -164,9 +198,16 @@ EXIT STATUS:
 
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1).peekable();
-    if raw.peek().map(String::as_str) == Some("fuzz") {
-        raw.next();
-        return fuzz_main(raw.collect());
+    match raw.peek().map(String::as_str) {
+        Some("fuzz") => {
+            raw.next();
+            return fuzz_main(raw.collect());
+        }
+        Some("serve") => {
+            raw.next();
+            return serve_main(raw.collect());
+        }
+        _ => {}
     }
     drop(raw);
     let mut files = Vec::new();
@@ -176,6 +217,7 @@ fn main() -> ExitCode {
     let mut phase = Phase::All;
     let mut engine = Engine::default();
     let mut format = Format::Human;
+    let mut fail_on = FailOn::Ub;
     let mut stats = StatsMode::Off;
     let mut profile = false;
     let mut no_more_options = false;
@@ -187,31 +229,33 @@ fn main() -> ExitCode {
         }
         match arg.as_str() {
             "--" => no_more_options = true,
-            "--phase" => match args.next().as_deref() {
-                Some("translation") => phase = Phase::Translation,
-                Some("execution") => phase = Phase::Execution,
-                Some("all") => phase = Phase::All,
-                _ => {
+            "--phase" => match args.next().as_deref().and_then(Phase::parse) {
+                Some(p) => phase = p,
+                None => {
                     complain!(
                         "error: `--phase` needs `translation`, `execution`, or `all`\n\n{USAGE}"
                     );
                     return ExitCode::from(2);
                 }
             },
-            "--engine" => match args.next().as_deref() {
-                Some("tree") => engine = Engine::Tree,
-                Some("bytecode") => engine = Engine::Bytecode,
-                _ => {
+            "--engine" => match args.next().as_deref().and_then(parse_engine) {
+                Some(e) => engine = e,
+                None => {
                     complain!("error: `--engine` needs `tree` or `bytecode`\n\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
-            "--format" => match args.next().as_deref() {
-                Some("human") => format = Format::Human,
-                Some("json") => format = Format::Json,
-                Some("sarif") => format = Format::Sarif,
-                _ => {
+            "--format" => match args.next().as_deref().and_then(Format::parse) {
+                Some(f) => format = f,
+                None => {
                     complain!("error: `--format` needs `human`, `json`, or `sarif`\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fail-on" => match args.next().as_deref().and_then(FailOn::parse) {
+                Some(f) => fail_on = f,
+                None => {
+                    complain!("error: `--fail-on` needs `error`, `ub`, or `never`\n\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -322,357 +366,100 @@ fn main() -> ExitCode {
             StatsMode::Off => unreachable!(),
         }
     }
-    if any_undefined {
-        ExitCode::from(1)
-    } else if any_engine_failure {
-        ExitCode::from(2)
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(fail_on.exit_code(any_undefined, any_engine_failure))
 }
 
-/// Per-file checking knobs (everything except rendering).
-#[derive(Debug, Clone, Copy)]
-struct CheckOptions {
-    phase: Phase,
-    engine: Engine,
-    profile: bool,
-}
-
-/// Wall-clock spans around each pipeline phase of one file's check
-/// (zero for phases that did not run).
-#[derive(Debug, Clone, Copy, Default)]
-struct PhaseStats {
-    read: Duration,
-    lex: Duration,
-    parse: Duration,
-    resolve: Duration,
-    analyze: Duration,
-    compile: Duration,
-    execute: Duration,
-}
-
-impl PhaseStats {
-    fn total(&self) -> Duration {
-        self.read
-            + self.lex
-            + self.parse
-            + self.resolve
-            + self.analyze
-            + self.compile
-            + self.execute
-    }
-
-    fn add(&mut self, other: &PhaseStats) {
-        self.read += other.read;
-        self.lex += other.lex;
-        self.parse += other.parse;
-        self.resolve += other.resolve;
-        self.analyze += other.analyze;
-        self.compile += other.compile;
-        self.execute += other.execute;
-    }
-
-    fn render_human(&self, label: &str) -> String {
-        format!(
-            "{label}: stats: read {:?}, lex {:?}, parse {:?}, resolve {:?}, analyze {:?}, \
-             compile {:?}, execute {:?}, total {:?}",
-            self.read,
-            self.lex,
-            self.parse,
-            self.resolve,
-            self.analyze,
-            self.compile,
-            self.execute,
-            self.total()
-        )
-    }
-
-    /// One JSON object (`"file": null` marks the per-run aggregate).
-    fn render_json(&self, file: Option<&str>, files: usize) -> String {
-        let mut out = String::from("{\"type\": \"stats\", \"file\": ");
-        match file {
-            Some(f) => out.push_str(&cundef_ub::json::escaped(f)),
-            None => out.push_str("null"),
-        }
-        let _ = write!(
-            out,
-            ", \"files\": {files}, \"read_ns\": {}, \"lex_ns\": {}, \"parse_ns\": {}, \
-             \"resolve_ns\": {}, \"analyze_ns\": {}, \"compile_ns\": {}, \"execute_ns\": {}, \
-             \"total_ns\": {}}}",
-            self.read.as_nanos(),
-            self.lex.as_nanos(),
-            self.parse.as_nanos(),
-            self.resolve.as_nanos(),
-            self.analyze.as_nanos(),
-            self.compile.as_nanos(),
-            self.execute.as_nanos(),
-            self.total().as_nanos(),
-        );
-        out
-    }
-}
-
-/// Everything one file's check produced: the structured result for the
-/// renderer, phase times for `--stats`, telemetry for `--profile`.
-struct Checked {
-    result: FileResult,
-    stats: PhaseStats,
-    profile: Option<ExecProfile>,
-}
-
-impl Checked {
-    fn failed(path: &str, stats: PhaseStats, error: String) -> Checked {
-        Checked {
-            result: FileResult {
-                path: path.to_string(),
-                verdict: Verdict::EngineFailure,
-                findings: Vec::new(),
-                notes: Vec::new(),
-                success: None,
-                exit: None,
-                errors: vec![error],
-            },
-            stats,
-            profile: None,
-        }
-    }
-}
-
-fn check_file(path: &str, opts: &CheckOptions) -> Checked {
-    let mut stats = PhaseStats::default();
-    let t = Instant::now();
-    let source = match std::fs::read_to_string(path) {
-        Err(e) => {
-            stats.read = t.elapsed();
-            return Checked::failed(path, stats, format!("cannot read file: {e}"));
-        }
-        Ok(source) => source,
-    };
-    stats.read = t.elapsed();
-    let unit = match parser::parse_timed(&source) {
-        Err(parse_err) => {
-            return Checked::failed(path, stats, parse_err.to_string());
-        }
-        Ok((unit, timing)) => {
-            stats.lex = timing.lex;
-            stats.parse = timing.parse;
-            stats.resolve = timing.resolve;
-            unit
-        }
-    };
-    let mut result = FileResult {
-        path: path.to_string(),
-        verdict: Verdict::Defined,
-        findings: Vec::new(),
-        notes: Vec::new(),
-        success: None,
-        exit: None,
-        errors: Vec::new(),
-    };
-
-    // Translation phase: static checks over the resolved AST. A file
-    // that fails here is statically doomed — running it would duplicate
-    // (or shadow) the report, so execution is skipped.
-    if opts.phase != Phase::Execution {
-        let t = Instant::now();
-        let findings = analyze(&unit);
-        stats.analyze = t.elapsed();
-        if !findings.is_empty() {
-            result.verdict = Verdict::Undefined;
-            result.findings = findings.iter().map(|f| f.to_diagnostic()).collect();
-            return Checked {
-                result,
-                stats,
-                profile: None,
-            };
-        }
-        if opts.phase == Phase::Translation {
-            result.success = Some("translation phase found no undefined behavior".to_string());
-            return Checked {
-                result,
-                stats,
-                profile: None,
-            };
-        }
-    }
-
-    // Execution phase. A unit with no `main` has nothing to execute —
-    // that is a note, not an error, so translation-only inputs (headers,
-    // libraries) pass through the default pipeline cleanly.
-    if unit.function(kw::MAIN).is_none() {
-        let note = if opts.phase == Phase::All {
-            "nothing to execute (no `main`); translation phase found no undefined behavior"
-        } else {
-            "nothing to execute (translation unit defines no `main`)"
-        };
-        result.success = Some(note.to_string());
-        return Checked {
-            result,
-            stats,
-            profile: None,
-        };
-    }
-    let mut interp = Interp::with_engine(&unit, Limits::default(), opts.engine);
-    if opts.profile {
-        interp.enable_profiling();
-    }
-    let outcome = if opts.engine == Engine::Bytecode {
-        let t = Instant::now();
-        let compiled = compile_unit(&unit);
-        stats.compile = t.elapsed();
-        let t = Instant::now();
-        let outcome = interp.run_main_compiled(&compiled);
-        stats.execute = t.elapsed();
-        outcome
-    } else {
-        let t = Instant::now();
-        let outcome = interp.run_main();
-        stats.execute = t.elapsed();
-        outcome
-    };
-    // Implementation-defined conversion notes (§6.3.1.3:3 — narrowing
-    // conversions this implementation resolves by two's-complement wrap)
-    // print before the verdict: they describe defined behavior the
-    // program relied on, whatever the verdict turns out to be.
-    result.notes = interp.notes().to_vec();
-    match outcome {
-        Outcome::Completed(exit) => {
-            result.success = Some(format!(
-                "no undefined behavior detected (program returned {exit})"
-            ));
-            result.exit = Some(exit);
-        }
-        Outcome::Undefined(report) => {
-            result.verdict = Verdict::Undefined;
-            result.findings = vec![report.to_diagnostic()];
-        }
-        Outcome::Unsupported { message, loc } => {
-            result.verdict = Verdict::EngineFailure;
-            result
-                .errors
-                .push(format!("checker limitation at {loc}: {message}"));
-        }
-    }
-    Checked {
-        result,
-        stats,
-        profile: interp.profile(),
-    }
-}
-
-/// Render one file's `--profile` telemetry (stderr, human-oriented but
-/// stable enough to grep).
-fn render_profile(path: &str, p: &ExecProfile) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{path}: profile: steps {}, ops {}, superinstruction hits {}",
-        p.steps,
-        p.ops_executed,
-        p.superinstruction_hits()
-    );
-    let _ = writeln!(
-        out,
-        "{path}: profile: word fast-path {} hit / {} fallback{}",
-        p.word_fast_hits,
-        p.word_fast_fallbacks,
-        match p.word_fast_hit_rate() {
-            Some(r) => format!(" ({:.1}% hit)", r * 100.0),
-            None => String::new(),
-        }
-    );
-    let _ = writeln!(
-        out,
-        "{path}: profile: footprint elision {} elided / {} tree-fallback{}",
-        p.elided_boundaries(),
-        p.tree_fallback_ops(),
-        match p.footprint_elision_rate() {
-            Some(r) => format!(" ({:.1}% elided)", r * 100.0),
-            None => String::new(),
-        }
-    );
-    let _ = writeln!(
-        out,
-        "{path}: profile: objects {}, peak live bytes {}, heap allocs {} / frees {} / bytes {}",
-        p.objects_allocated, p.peak_live_bytes, p.heap_allocs, p.heap_frees, p.heap_bytes_allocated
-    );
-    let _ = writeln!(
-        out,
-        "{path}: profile: arena {} recycled / {} grown{}, frame pool {} hit / {} miss{}",
-        p.arena_recycles,
-        p.arena_misses,
-        match p.arena_recycle_rate() {
-            Some(r) => format!(" ({:.1}% recycled)", r * 100.0),
-            None => String::new(),
+/// The `cundef serve` subcommand: parse flags and run the daemon.
+fn serve_main(args: Vec<String>) -> ExitCode {
+    let mut cfg = serve::ServeConfig {
+        opts: CheckOptions {
+            phase: Phase::All,
+            engine: Engine::default(),
+            profile: false,
         },
-        p.frame_pool_hits,
-        p.frame_pool_misses,
-        match p.frame_pool_hit_rate() {
-            Some(r) => format!(" ({:.1}% hit)", r * 100.0),
-            None => String::new(),
-        }
-    );
-    if p.sweep_hits + p.sweep_fallbacks > 0 {
-        let _ = writeln!(
-            out,
-            "{path}: profile: byte sweeps {} fused / {} fallback{}",
-            p.sweep_hits,
-            p.sweep_fallbacks,
-            match p.sweep_hit_rate() {
-                Some(r) => format!(" ({:.1}% fused)", r * 100.0),
-                None => String::new(),
+        format: Format::Human,
+        quiet: false,
+        fail_on: FailOn::Ub,
+        jobs: 0,
+        cache_capacity: serve::DEFAULT_CACHE_CAPACITY,
+        listen: None,
+        stdin: false,
+    };
+    let mut stdin_explicit = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                say!("{SERVE_USAGE}");
+                return ExitCode::SUCCESS;
             }
-        );
-    }
-    let mut ops: Vec<(&str, u64)> = p.op_counts.iter().map(|(m, n)| (*m, *n)).collect();
-    ops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-    if !ops.is_empty() {
-        let top: Vec<String> = ops
-            .iter()
-            .take(8)
-            .map(|(m, n)| format!("{m}×{n}"))
-            .collect();
-        let _ = writeln!(out, "{path}: profile: top ops: {}", top.join(" "));
-    }
-    out
-}
-
-/// Check `files` across worker threads. Work is handed out by an atomic
-/// cursor; every worker runs its own parser + analyzer + evaluator, so
-/// nothing is shared but the results vector. Results come back in input
-/// order and are rendered on the main thread, keeping every format's
-/// output byte-identical to a sequential run.
-fn check_batch(files: &[String], jobs: Option<usize>, opts: &CheckOptions) -> Vec<Checked> {
-    let workers = jobs
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .min(files.len().max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Checked>>> = files.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= files.len() {
-                    break;
+            "--listen" => match it.next() {
+                Some(addr) => cfg.listen = Some(addr),
+                None => {
+                    complain!("error: `--listen` needs an address\n\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
                 }
-                let checked = check_file(&files[i], opts);
-                *slots[i].lock().expect("result slot poisoned") = Some(checked);
-            });
+            },
+            "--stdin" => stdin_explicit = true,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.jobs = n,
+                _ => {
+                    complain!("error: `--jobs` needs a positive integer\n\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--cache-capacity" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.cache_capacity = n,
+                _ => {
+                    complain!(
+                        "error: `--cache-capacity` needs a positive integer\n\n{SERVE_USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--phase" => match it.next().as_deref().and_then(Phase::parse) {
+                Some(p) => cfg.opts.phase = p,
+                None => {
+                    complain!(
+                        "error: `--phase` needs `translation`, `execution`, or `all`\n\n{SERVE_USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--engine" => match it.next().as_deref().and_then(parse_engine) {
+                Some(e) => cfg.opts.engine = e,
+                None => {
+                    complain!("error: `--engine` needs `tree` or `bytecode`\n\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().as_deref().and_then(Format::parse) {
+                Some(f) => cfg.format = f,
+                None => {
+                    complain!(
+                        "error: `--format` needs `human`, `json`, or `sarif`\n\n{SERVE_USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--fail-on" => match it.next().as_deref().and_then(FailOn::parse) {
+                Some(f) => cfg.fail_on = f,
+                None => {
+                    complain!(
+                        "error: `--fail-on` needs `error`, `ub`, or `never`\n\n{SERVE_USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "-q" | "--quiet" => cfg.quiet = true,
+            other => {
+                complain!("error: unknown serve option `{other}`\n\n{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every file checked")
-        })
-        .collect()
+    }
+    cfg.stdin = stdin_explicit || cfg.listen.is_none();
+    ExitCode::from(serve::run_serve(cfg))
 }
 
 /// The `cundef fuzz` subcommand: run one deterministic sweep.
@@ -680,6 +467,7 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
     let mut cfg = cundef_fuzz::SweepConfig::new(42, 500);
     cfg.jobs = 0; // available parallelism
     let mut print_exits = false;
+    let mut serve_replay = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -730,11 +518,19 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
                 }
             },
             "--exits" => print_exits = true,
+            "--serve-replay" => serve_replay = true,
             other => {
                 complain!("error: unknown fuzz option `{other}`\n\n{FUZZ_USAGE}");
                 return ExitCode::from(2);
             }
         }
+    }
+    if serve_replay {
+        return if serve::serve_replay(cfg.seed, cfg.count) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
     let report = cundef_fuzz::run_sweep(&cfg);
     let _ = std::io::stdout().write_all(report.render().as_bytes());

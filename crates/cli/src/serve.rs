@@ -1,0 +1,904 @@
+//! `cundef serve` — checking as a service.
+//!
+//! A long-running daemon that accepts translation units as requests,
+//! shards them across the same [`WorkerPool`] that powers `--batch`,
+//! and answers through the existing `FileResult` → `Renderer` seam, so
+//! a serve response's rendered bytes are **identical** to what a
+//! one-shot `cundef` run prints for the same file and options, in every
+//! `--format`.
+//!
+//! Two transports share one core:
+//!
+//! - **stdin-JSONL** — one JSON request object per line on stdin, one
+//!   JSON response object per line on stdout, *in request order* (a
+//!   reorder buffer sequences worker completions). In-band commands:
+//!   `{"cmd": "stats"}` and `{"cmd": "shutdown"}`. EOF also shuts down.
+//! - **HTTP** (`--listen ADDR`) — `POST /check` with the same request
+//!   object as the body returns the rendered report verbatim as the
+//!   response body (verdict/exit/cache outcome in `X-Cundef-*`
+//!   headers), plus `GET /stats`, `GET /health`, and `POST /shutdown`.
+//!   Connections are keep-alive; each parsed request is dispatched to
+//!   the worker pool.
+//!
+//! In front of the workers sits the content-hash incremental cache
+//! (`cundef-cache`): a *result* cache keyed by (source-bytes hash,
+//! options fingerprint) memoizing the full [`FileResult`], and a
+//! *unit* cache keyed by content hash alone memoizing the parsed +
+//! resolved translation unit — so a repeat file is a hash lookup and a
+//! re-render, and a known file under new options skips the whole
+//! frontend. Both caches are bounded LRU; hit/miss/eviction counters
+//! surface through `{"cmd": "stats"}` / `GET /stats`.
+
+use crate::check::{
+    check_parsed, check_source, render_profile, CheckOptions, Checked, FailOn, Format, Phase,
+    PhaseStats,
+};
+use crate::pool::WorkerPool;
+use cundef_cache::{content_hash, CacheKey, CacheStats, LruCache};
+use cundef_semantics::ast::TranslationUnit;
+use cundef_semantics::eval::Engine;
+use cundef_semantics::parser;
+use cundef_ub::json::{escaped, Json};
+use cundef_ub::render::{
+    FileResult, HumanRenderer, JsonRenderer, Rendered, Renderer, SarifRenderer, Verdict,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Default bound on each cache (entries, not bytes): generous for a
+/// sweep over a large tree, small enough that a long-lived daemon
+/// cannot grow without bound.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Per-daemon configuration (from `cundef serve` flags).
+pub struct ServeConfig {
+    /// Default checking options for requests that don't override them.
+    pub opts: CheckOptions,
+    /// Default output format.
+    pub format: Format,
+    /// Default human-format quiet flag.
+    pub quiet: bool,
+    /// Default exit-code threshold.
+    pub fail_on: FailOn,
+    /// Worker threads (0 = available parallelism).
+    pub jobs: usize,
+    /// Capacity of each cache, in entries.
+    pub cache_capacity: usize,
+    /// HTTP listen address (e.g. `127.0.0.1:0`), when HTTP is wanted.
+    pub listen: Option<String>,
+    /// Service stdin-JSONL requests. Defaults on when `listen` is off.
+    pub stdin: bool,
+}
+
+/// One parsed check request (transport-independent).
+#[derive(Debug, Clone)]
+pub struct CheckRequest {
+    /// Pass-through correlation id, echoed in the JSONL envelope.
+    pub id: Option<u64>,
+    /// The label used in diagnostics; also the file to read when no
+    /// inline `source` is given.
+    pub path: String,
+    /// Inline source bytes (a translation unit shipped in-band).
+    pub source: Option<String>,
+    /// Checking options for this request.
+    pub opts: CheckOptions,
+    /// Output format for this request.
+    pub format: Format,
+    /// Human-format quiet flag.
+    pub quiet: bool,
+    /// Exit-code threshold for this request.
+    pub fail_on: FailOn,
+}
+
+/// One served response: the rendered bytes plus the structured outcome.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Echoed request id.
+    pub id: Option<u64>,
+    /// Echoed request path.
+    pub path: String,
+    /// Verdict spelling (`defined`/`undefined`/`error`).
+    pub verdict: &'static str,
+    /// The exit code a one-shot `cundef` run on this file would return
+    /// under the request's `fail_on` threshold.
+    pub exit: u8,
+    /// Cache outcome: `hit` (full result), `warm` (parsed unit reused),
+    /// `miss` (cold check, now cached), `uncached` (not cacheable —
+    /// read failure or profiling request).
+    pub cache: &'static str,
+    /// Exactly the bytes a one-shot run would print to stdout.
+    pub stdout: String,
+    /// Exactly the bytes a one-shot run would print to stderr.
+    pub stderr: String,
+}
+
+impl ServeResponse {
+    /// The stdin-JSONL envelope (one line, no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::from("{\"type\": \"response\"");
+        if let Some(id) = self.id {
+            let _ = write!(out, ", \"id\": {id}");
+        }
+        let _ = write!(out, ", \"path\": {}", escaped(&self.path));
+        let _ = write!(out, ", \"verdict\": \"{}\"", self.verdict);
+        let _ = write!(out, ", \"exit\": {}", self.exit);
+        let _ = write!(out, ", \"cache\": \"{}\"", self.cache);
+        let _ = write!(out, ", \"stdout\": {}", escaped(&self.stdout));
+        let _ = write!(out, ", \"stderr\": {}", escaped(&self.stderr));
+        out.push('}');
+        out
+    }
+}
+
+/// The daemon's shared state: caches, counters, defaults.
+pub struct ServeCore {
+    defaults: ServeDefaults,
+    /// Full-result cache: (content hash, options fingerprint) →
+    /// path-normalized [`FileResult`].
+    results: Mutex<LruCache<FileResult>>,
+    /// Artifact cache: content hash → parsed + resolved unit, shared
+    /// across options fingerprints.
+    units: Mutex<LruCache<Arc<TranslationUnit>>>,
+    requests: AtomicU64,
+    full_hits: AtomicU64,
+    warm_hits: AtomicU64,
+    cold_misses: AtomicU64,
+    uncached: AtomicU64,
+    workers: usize,
+    started: Instant,
+}
+
+/// Per-request defaults from the daemon's command line.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeDefaults {
+    /// Checking options.
+    pub opts: CheckOptions,
+    /// Output format.
+    pub format: Format,
+    /// Human quiet flag.
+    pub quiet: bool,
+    /// Exit threshold.
+    pub fail_on: FailOn,
+}
+
+/// Parse an `--engine` / request spelling.
+pub fn parse_engine(s: &str) -> Option<Engine> {
+    match s {
+        "tree" => Some(Engine::Tree),
+        "bytecode" => Some(Engine::Bytecode),
+        _ => None,
+    }
+}
+
+impl ServeCore {
+    /// A fresh core with empty caches.
+    pub fn new(defaults: ServeDefaults, cache_capacity: usize, workers: usize) -> ServeCore {
+        ServeCore {
+            defaults,
+            results: Mutex::new(LruCache::new(cache_capacity)),
+            units: Mutex::new(LruCache::new(cache_capacity)),
+            requests: AtomicU64::new(0),
+            full_hits: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            cold_misses: AtomicU64::new(0),
+            uncached: AtomicU64::new(0),
+            workers,
+            started: Instant::now(),
+        }
+    }
+
+    /// Parse one JSON request object against the daemon defaults.
+    ///
+    /// Recognized fields: `path` (string), `source` (string, inline
+    /// translation unit), `id` (number), `phase`, `engine`, `format`
+    /// (strings), `quiet` (bool), `profile` (bool), `fail_on` (string).
+    pub fn parse_request(&self, v: &Json) -> Result<CheckRequest, String> {
+        let d = self.defaults;
+        let path = v.get("path").and_then(Json::as_str).map(str::to_string);
+        let source = v.get("source").and_then(Json::as_str).map(str::to_string);
+        let path = match (path, &source) {
+            (Some(p), _) => p,
+            (None, Some(_)) => "<request>.c".to_string(),
+            (None, None) => return Err("request needs a `path` or inline `source`".into()),
+        };
+        let id = v.get("id").and_then(Json::as_f64).map(|f| f as u64);
+        let mut opts = d.opts;
+        if let Some(s) = v.get("phase").and_then(Json::as_str) {
+            opts.phase = Phase::parse(s).ok_or_else(|| format!("unknown phase `{s}`"))?;
+        }
+        if let Some(s) = v.get("engine").and_then(Json::as_str) {
+            opts.engine = parse_engine(s).ok_or_else(|| format!("unknown engine `{s}`"))?;
+        }
+        if let Some(Json::Bool(b)) = v.get("profile") {
+            opts.profile = *b;
+        }
+        let format = match v.get("format").and_then(Json::as_str) {
+            Some(s) => Format::parse(s).ok_or_else(|| format!("unknown format `{s}`"))?,
+            None => d.format,
+        };
+        let quiet = match v.get("quiet") {
+            Some(Json::Bool(b)) => *b,
+            _ => d.quiet,
+        };
+        let fail_on = match v.get("fail_on").and_then(Json::as_str) {
+            Some(s) => FailOn::parse(s).ok_or_else(|| format!("unknown fail_on `{s}`"))?,
+            None => d.fail_on,
+        };
+        Ok(CheckRequest {
+            id,
+            path,
+            source,
+            opts,
+            format,
+            quiet,
+            fail_on,
+        })
+    }
+
+    /// Serve one request end to end: resolve the source bytes, consult
+    /// the caches, check on a miss, and render through the seam.
+    pub fn handle(&self, req: &CheckRequest) -> ServeResponse {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (checked, cache) = self.check_cached(req);
+        let Rendered { stdout, stderr } = render_one(&checked.result, req.format, req.quiet);
+        let mut stderr = stderr;
+        if let Some(p) = &checked.profile {
+            stderr.push_str(&render_profile(&checked.result.path, p));
+        }
+        let (verdict, any_ub, any_fail) = match checked.result.verdict {
+            Verdict::Defined => ("defined", false, false),
+            Verdict::Undefined => ("undefined", true, false),
+            Verdict::EngineFailure => ("error", false, true),
+        };
+        ServeResponse {
+            id: req.id,
+            path: req.path.clone(),
+            verdict,
+            exit: req.fail_on.exit_code(any_ub, any_fail),
+            cache,
+            stdout,
+            stderr,
+        }
+    }
+
+    /// The caching check: full-result hit, warm unit hit, or cold miss.
+    fn check_cached(&self, req: &CheckRequest) -> (Checked, &'static str) {
+        let mut stats = PhaseStats::default();
+        let source = match &req.source {
+            Some(s) => s.clone(),
+            None => {
+                let t = Instant::now();
+                match std::fs::read_to_string(&req.path) {
+                    Ok(s) => {
+                        stats.read = t.elapsed();
+                        s
+                    }
+                    Err(e) => {
+                        stats.read = t.elapsed();
+                        // Not content-addressable: never cached.
+                        self.uncached.fetch_add(1, Ordering::Relaxed);
+                        return (
+                            Checked::failed(&req.path, stats, format!("cannot read file: {e}")),
+                            "uncached",
+                        );
+                    }
+                }
+            }
+        };
+        if req.opts.profile {
+            // Profiling wants fresh telemetry, and cached results carry
+            // none — bypass the cache entirely.
+            self.uncached.fetch_add(1, Ordering::Relaxed);
+            return (
+                check_source(&req.path, &source, stats, &req.opts),
+                "uncached",
+            );
+        }
+        let content = content_hash(source.as_bytes());
+        let result_key = CacheKey {
+            content,
+            fingerprint: req.opts.fingerprint(),
+        };
+        if let Some(cached) = self
+            .results
+            .lock()
+            .expect("result cache poisoned")
+            .get(&result_key)
+        {
+            self.full_hits.fetch_add(1, Ordering::Relaxed);
+            let mut result = cached.clone();
+            result.path = req.path.clone();
+            return (
+                Checked {
+                    result,
+                    stats,
+                    profile: None,
+                },
+                "hit",
+            );
+        }
+        let unit_key = CacheKey {
+            content,
+            fingerprint: 0,
+        };
+        let cached_unit = self
+            .units
+            .lock()
+            .expect("unit cache poisoned")
+            .get(&unit_key)
+            .cloned();
+        let (checked, cache) = match cached_unit {
+            Some(unit) => {
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                (check_parsed(&req.path, &unit, stats, &req.opts), "warm")
+            }
+            None => {
+                self.cold_misses.fetch_add(1, Ordering::Relaxed);
+                match parser::parse_timed(&source) {
+                    Err(parse_err) => (
+                        Checked::failed(&req.path, stats, parse_err.to_string()),
+                        "miss",
+                    ),
+                    Ok((unit, timing)) => {
+                        stats.lex = timing.lex;
+                        stats.parse = timing.parse;
+                        stats.resolve = timing.resolve;
+                        let unit = Arc::new(unit);
+                        self.units
+                            .lock()
+                            .expect("unit cache poisoned")
+                            .insert(unit_key, Arc::clone(&unit));
+                        (check_parsed(&req.path, &unit, stats, &req.opts), "miss")
+                    }
+                }
+            }
+        };
+        // Memoize the full result, path-normalized so the same bytes
+        // under another name replay with that name.
+        let mut stored = checked.result.clone();
+        stored.path = String::new();
+        self.results
+            .lock()
+            .expect("result cache poisoned")
+            .insert(result_key, stored);
+        (checked, cache)
+    }
+
+    /// The `{"cmd": "stats"}` / `GET /stats` body (one JSON object).
+    pub fn stats_json(&self) -> String {
+        let (results_len, results_cap, results_stats) = {
+            let c = self.results.lock().expect("result cache poisoned");
+            (c.len(), c.capacity(), c.stats())
+        };
+        let (units_len, units_cap, units_stats) = {
+            let c = self.units.lock().expect("unit cache poisoned");
+            (c.len(), c.capacity(), c.stats())
+        };
+        let cache_obj = |len: usize, cap: usize, s: CacheStats| {
+            format!(
+                "{{\"entries\": {len}, \"capacity\": {cap}, \"hits\": {}, \"misses\": {}, \
+                 \"insertions\": {}, \"evictions\": {}, \"replacements\": {}}}",
+                s.hits, s.misses, s.insertions, s.evictions, s.replacements
+            )
+        };
+        format!(
+            "{{\"type\": \"stats\", \"requests\": {}, \"full_hits\": {}, \"warm_hits\": {}, \
+             \"cold_misses\": {}, \"uncached\": {}, \"workers\": {}, \"uptime_ms\": {}, \
+             \"results\": {}, \"units\": {}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.full_hits.load(Ordering::Relaxed),
+            self.warm_hits.load(Ordering::Relaxed),
+            self.cold_misses.load(Ordering::Relaxed),
+            self.uncached.load(Ordering::Relaxed),
+            self.workers,
+            self.started.elapsed().as_millis(),
+            cache_obj(results_len, results_cap, results_stats),
+            cache_obj(units_len, units_cap, units_stats),
+        )
+    }
+
+    /// The shutdown summary printed to the daemon's stderr.
+    fn summary(&self) -> String {
+        format!(
+            "cundef serve: {} requests served ({} hits, {} warm, {} misses, {} uncached)",
+            self.requests.load(Ordering::Relaxed),
+            self.full_hits.load(Ordering::Relaxed),
+            self.warm_hits.load(Ordering::Relaxed),
+            self.cold_misses.load(Ordering::Relaxed),
+            self.uncached.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Render one result exactly as a one-shot run would: per-file render
+/// plus the format's trailing output (the SARIF document).
+pub fn render_one(result: &FileResult, format: Format, quiet: bool) -> Rendered {
+    let mut renderer: Box<dyn Renderer> = match format {
+        Format::Human => Box::new(HumanRenderer::new(quiet)),
+        Format::Json => Box::new(JsonRenderer::new()),
+        Format::Sarif => Box::new(SarifRenderer::new(env!("CARGO_PKG_VERSION"))),
+    };
+    let mut rendered = renderer.render_file(result);
+    rendered.stdout.push_str(&renderer.finish());
+    rendered
+}
+
+/// A `{"type": "error"}` line for a malformed request.
+fn error_jsonl(id: Option<u64>, message: &str) -> String {
+    let mut out = String::from("{\"type\": \"error\"");
+    if let Some(id) = id {
+        let _ = write!(out, ", \"id\": {id}");
+    }
+    let _ = write!(out, ", \"message\": {}", escaped(message));
+    out.push('}');
+    out
+}
+
+/// Run the daemon. Returns the process exit code.
+pub fn run_serve(cfg: ServeConfig) -> u8 {
+    let workers = if cfg.jobs == 0 {
+        WorkerPool::default_workers()
+    } else {
+        cfg.jobs
+    };
+    let core = Arc::new(ServeCore::new(
+        ServeDefaults {
+            opts: cfg.opts,
+            format: cfg.format,
+            quiet: cfg.quiet,
+            fail_on: cfg.fail_on,
+        },
+        cfg.cache_capacity,
+        workers,
+    ));
+    let pool = Arc::new(WorkerPool::new(workers));
+    let stop = Arc::new(AtomicBool::new(false));
+    let done = Arc::new((Mutex::new(false), Condvar::new()));
+
+    let mut http_addr = None;
+    if let Some(addr) = &cfg.listen {
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cundef serve: cannot listen on {addr}: {e}");
+                return 2;
+            }
+        };
+        let local = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone());
+        eprintln!("cundef serve: listening on http://{local}");
+        http_addr = Some(local);
+        let core = Arc::clone(&core);
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || http_accept_loop(listener, core, pool, stop, done));
+    }
+
+    if cfg.stdin {
+        stdin_loop(&core, &pool);
+        // stdin closing ends the whole service, HTTP included.
+        stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = &http_addr {
+            let _ = TcpStream::connect(addr); // wake the accept loop
+        }
+    } else {
+        // HTTP-only: park until /shutdown.
+        let (lock, cv) = &*done;
+        let mut finished = lock.lock().expect("shutdown flag poisoned");
+        while !*finished {
+            finished = cv.wait(finished).expect("shutdown flag poisoned");
+        }
+    }
+    eprintln!("{}", core.summary());
+    0
+}
+
+/// The stdin-JSONL request loop. Responses print in request order; a
+/// reorder buffer on the printer thread sequences worker completions.
+fn stdin_loop(core: &Arc<ServeCore>, pool: &Arc<WorkerPool>) {
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    // (next sequence number to print, printed-count condvar).
+    let progress = Arc::new((Mutex::new(0u64), Condvar::new()));
+    let printer = {
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || {
+            let stdout = std::io::stdout();
+            let mut buffer: BTreeMap<u64, String> = BTreeMap::new();
+            let mut next = 0u64;
+            for (seq, line) in rx {
+                buffer.insert(seq, line);
+                let mut emitted = false;
+                while let Some(line) = buffer.remove(&next) {
+                    let mut out = stdout.lock();
+                    let _ = writeln!(out, "{line}");
+                    let _ = out.flush();
+                    next += 1;
+                    emitted = true;
+                }
+                if emitted {
+                    let (lock, cv) = &*progress;
+                    *lock.lock().expect("printer progress poisoned") = next;
+                    cv.notify_all();
+                }
+            }
+        })
+    };
+    // Block until every response up to `seq` has printed — the barrier
+    // that makes `stats` deterministic (it reflects every request that
+    // preceded it on stdin) and `shutdown` clean (nothing in flight).
+    let drain = |seq: u64| {
+        let (lock, cv) = &*progress;
+        let mut printed = lock.lock().expect("printer progress poisoned");
+        while *printed < seq {
+            printed = cv.wait(printed).expect("printer progress poisoned");
+        }
+    };
+    let mut seq = 0u64;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = Json::parse(&line);
+        let id = parsed
+            .as_ref()
+            .and_then(|v| v.get("id"))
+            .and_then(Json::as_f64)
+            .map(|f| f as u64);
+        let Some(v) = parsed else {
+            let _ = tx.send((seq, error_jsonl(id, "request line is not valid JSON")));
+            seq += 1;
+            continue;
+        };
+        match v.get("cmd").and_then(Json::as_str) {
+            Some("stats") => {
+                drain(seq);
+                let _ = tx.send((seq, core.stats_json()));
+                seq += 1;
+                continue;
+            }
+            Some("shutdown") => {
+                drain(seq);
+                let _ = tx.send((seq, "{\"type\": \"shutdown\"}".to_string()));
+                seq += 1;
+                break;
+            }
+            Some(other) => {
+                let _ = tx.send((seq, error_jsonl(id, &format!("unknown cmd `{other}`"))));
+                seq += 1;
+                continue;
+            }
+            None => {}
+        }
+        match core.parse_request(&v) {
+            Err(msg) => {
+                let _ = tx.send((seq, error_jsonl(id, &msg)));
+                seq += 1;
+            }
+            Ok(req) => {
+                let core = Arc::clone(core);
+                let tx = tx.clone();
+                let s = seq;
+                pool.submit(move || {
+                    let resp = core.handle(&req);
+                    let _ = tx.send((s, resp.to_jsonl()));
+                });
+                seq += 1;
+            }
+        }
+    }
+    drain(seq);
+    drop(tx);
+    let _ = printer.join();
+}
+
+// --------------------------------------------------------------------
+// HTTP transport
+// --------------------------------------------------------------------
+
+/// Accept connections until `stop`; one thread per connection.
+fn http_accept_loop(
+    listener: TcpListener,
+    core: Arc<ServeCore>,
+    pool: Arc<WorkerPool>,
+    stop: Arc<AtomicBool>,
+    done: Arc<(Mutex<bool>, Condvar)>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let core = Arc::clone(&core);
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        let done = Arc::clone(&done);
+        let addr = listener.local_addr().ok();
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, core, pool, stop, done, addr);
+        });
+    }
+    let (lock, cv) = &*done;
+    *lock.lock().expect("shutdown flag poisoned") = true;
+    cv.notify_all();
+}
+
+/// Serve HTTP/1.1 requests on one connection (keep-alive) until the
+/// peer closes, asks to, or the daemon shuts down.
+fn handle_connection(
+    stream: TcpStream,
+    core: Arc<ServeCore>,
+    pool: Arc<WorkerPool>,
+    stop: Arc<AtomicBool>,
+    done: Arc<(Mutex<bool>, Condvar)>,
+    local_addr: Option<std::net::SocketAddr>,
+) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line)? == 0 {
+            break; // peer closed
+        }
+        let mut parts = request_line.split_whitespace();
+        let (method, target) = match (parts.next(), parts.next()) {
+            (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+            _ => {
+                write_http(&mut writer, 400, "text/plain", &[], b"bad request\n")?;
+                break;
+            }
+        };
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                return Ok(());
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().unwrap_or(0);
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+
+        match (method.as_str(), target.as_str()) {
+            ("POST", "/check") => {
+                let parsed = std::str::from_utf8(&body)
+                    .ok()
+                    .and_then(Json::parse)
+                    .ok_or_else(|| "request body is not valid JSON".to_string())
+                    .and_then(|v| core.parse_request(&v));
+                match parsed {
+                    Err(msg) => {
+                        let body = format!("{}\n", error_jsonl(None, &msg));
+                        write_http(&mut writer, 400, "application/json", &[], body.as_bytes())?;
+                    }
+                    Ok(req) => {
+                        let content_type = match req.format {
+                            Format::Human => "text/plain; charset=utf-8",
+                            Format::Json => "application/x-ndjson",
+                            Format::Sarif => "application/json",
+                        };
+                        // Shard the check across the worker pool; this
+                        // connection thread just waits for its slot.
+                        let (rtx, rrx) = mpsc::channel();
+                        let job_core = Arc::clone(&core);
+                        pool.submit(move || {
+                            let _ = rtx.send(job_core.handle(&req));
+                        });
+                        let Ok(resp) = rrx.recv() else {
+                            write_http(
+                                &mut writer,
+                                500,
+                                "text/plain",
+                                &[],
+                                b"worker pool unavailable\n",
+                            )?;
+                            break;
+                        };
+                        let mut extra = vec![
+                            format!("X-Cundef-Verdict: {}", resp.verdict),
+                            format!("X-Cundef-Exit: {}", resp.exit),
+                            format!("X-Cundef-Cache: {}", resp.cache),
+                        ];
+                        if !resp.stderr.is_empty() {
+                            extra.push(format!("X-Cundef-Stderr: {}", escaped(&resp.stderr)));
+                        }
+                        write_http(
+                            &mut writer,
+                            200,
+                            content_type,
+                            &extra,
+                            resp.stdout.as_bytes(),
+                        )?;
+                    }
+                }
+            }
+            ("GET", "/stats") => {
+                let body = format!("{}\n", core.stats_json());
+                write_http(&mut writer, 200, "application/json", &[], body.as_bytes())?;
+            }
+            ("GET", "/health") => {
+                write_http(&mut writer, 200, "text/plain", &[], b"ok\n")?;
+            }
+            ("POST", "/shutdown") => {
+                write_http(&mut writer, 200, "text/plain", &[], b"shutting down\n")?;
+                stop.store(true, Ordering::SeqCst);
+                if let Some(addr) = local_addr {
+                    let _ = TcpStream::connect(addr); // wake the accept loop
+                }
+                let (lock, cv) = &*done;
+                *lock.lock().expect("shutdown flag poisoned") = true;
+                cv.notify_all();
+                break;
+            }
+            _ => {
+                write_http(&mut writer, 404, "text/plain", &[], b"not found\n")?;
+            }
+        }
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------------
+// `cundef fuzz --serve-replay`
+// --------------------------------------------------------------------
+
+/// Replay the fuzz-generated corpus through the serve pipeline and
+/// assert every response is byte-identical to one-shot output — a
+/// service-path oracle on top of the sweep's five.
+///
+/// Each generated program is checked twice (a cold pass and a warm
+/// pass that must be a full-result cache hit) in a rotating format
+/// (`human`/`json`/`sarif` by case index), and both passes' rendered
+/// stdout/stderr and exit code are compared against a direct
+/// `check_source` + render of the same bytes. Returns `true` when no
+/// response diverged and every warm pass hit the cache.
+pub fn serve_replay(seed: u64, count: u64) -> bool {
+    use cundef_fuzz::decision::DecisionSource;
+    use cundef_fuzz::gen::{generate, Class};
+    use cundef_fuzz::rng::case_seed;
+
+    let defaults = ServeDefaults {
+        opts: CheckOptions {
+            phase: Phase::All,
+            engine: Engine::default(),
+            profile: false,
+        },
+        format: Format::Human,
+        quiet: false,
+        fail_on: FailOn::Ub,
+    };
+    let core = ServeCore::new(defaults, DEFAULT_CACHE_CAPACITY, 1);
+    let formats = [Format::Human, Format::Json, Format::Sarif];
+    let mut divergences = 0u64;
+    for i in 0..count {
+        let class = Class::of_case(i);
+        let mut d = DecisionSource::from_seed(case_seed(seed, i));
+        let case = generate(class, &mut d);
+        let format = formats[(i % 3) as usize];
+        let path = format!("fuzz-{i}.c");
+
+        // The ground truth: what a one-shot run prints for these bytes.
+        let checked = check_source(&path, &case.source, PhaseStats::default(), &defaults.opts);
+        let expected = render_one(&checked.result, format, false);
+        let (any_ub, any_fail) = match checked.result.verdict {
+            Verdict::Defined => (false, false),
+            Verdict::Undefined => (true, false),
+            Verdict::EngineFailure => (false, true),
+        };
+        let expected_exit = FailOn::Ub.exit_code(any_ub, any_fail);
+
+        let req = CheckRequest {
+            id: Some(i),
+            path: path.clone(),
+            source: Some(case.source.clone()),
+            opts: defaults.opts,
+            format,
+            quiet: false,
+            fail_on: FailOn::Ub,
+        };
+        for pass in ["cold", "warm"] {
+            let resp = core.handle(&req);
+            if resp.stdout != expected.stdout
+                || resp.stderr != expected.stderr
+                || resp.exit != expected_exit
+            {
+                divergences += 1;
+                eprintln!(
+                    "serve-replay: DIVERGENCE case {i} ({}, {:?}, {pass} pass): \
+                     serve exit {} vs one-shot {expected_exit}",
+                    class.name(),
+                    format,
+                    resp.exit,
+                );
+                eprintln!("  serve stdout:    {}", escaped(&resp.stdout));
+                eprintln!("  one-shot stdout: {}", escaped(&expected.stdout));
+                eprintln!("  serve stderr:    {}", escaped(&resp.stderr));
+                eprintln!("  one-shot stderr: {}", escaped(&expected.stderr));
+            }
+            // The warm pass of the same (bytes, options) must be a
+            // full-result hit; the cold pass may itself hit when two
+            // cases generate identical source, so it is not asserted.
+            if pass == "warm" && resp.cache != "hit" {
+                divergences += 1;
+                eprintln!(
+                    "serve-replay: case {i}: warm pass was `{}`, expected a cache hit",
+                    resp.cache
+                );
+            }
+        }
+    }
+    println!(
+        "serve-replay: seed {seed}, {count} cases x (cold + warm), formats rotated human/json/sarif"
+    );
+    println!(
+        "serve-replay: {} requests, {} full hits, {} misses, {} warm",
+        core.requests.load(Ordering::Relaxed),
+        core.full_hits.load(Ordering::Relaxed),
+        core.cold_misses.load(Ordering::Relaxed),
+        core.warm_hits.load(Ordering::Relaxed),
+    );
+    if divergences == 0 {
+        println!("serve-replay: every response byte-identical to one-shot output");
+        true
+    } else {
+        println!("serve-replay: {divergences} divergences");
+        false
+    }
+}
+
+/// Write one HTTP response.
+fn write_http(
+    w: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[String],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}

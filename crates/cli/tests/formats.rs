@@ -147,6 +147,99 @@ fn exit_code_contract() {
     }
 }
 
+/// `--fail-on` moves the exit threshold without touching reports:
+/// `ub` (default) is the historical contract above, `error` fails only
+/// on engine failures, `never` always exits 0 — identically for
+/// one-shot and `--batch` drivers.
+#[test]
+fn fail_on_exit_thresholds() {
+    for mode in [&[][..], &["--batch"][..]] {
+        let run = |fail_on: &str, files: &[&str]| {
+            let mut args = mode.to_vec();
+            args.extend(["--fail-on", fail_on]);
+            args.extend(files);
+            cundef(&args).status.code()
+        };
+        // Undefined file: ub -> 1, error demotes to 0, never -> 0.
+        assert_eq!(run("ub", &["examples/unsequenced.c"]), Some(1), "{mode:?}");
+        assert_eq!(
+            run("error", &["examples/unsequenced.c"]),
+            Some(0),
+            "{mode:?}"
+        );
+        assert_eq!(
+            run("never", &["examples/unsequenced.c"]),
+            Some(0),
+            "{mode:?}"
+        );
+        // Engine failure: ub and error both -> 2, never -> 0.
+        assert_eq!(run("ub", &["examples/no_such_file.c"]), Some(2), "{mode:?}");
+        assert_eq!(
+            run("error", &["examples/no_such_file.c"]),
+            Some(2),
+            "{mode:?}"
+        );
+        assert_eq!(
+            run("never", &["examples/no_such_file.c"]),
+            Some(0),
+            "{mode:?}"
+        );
+        // Mixed UB + failure: under `error` the failure resurfaces (UB
+        // no longer masks it); under `ub` the historical 1 wins.
+        let mixed = &["examples/no_such_file.c", "examples/unsequenced.c"][..];
+        assert_eq!(run("ub", mixed), Some(1), "{mode:?}");
+        assert_eq!(run("error", mixed), Some(2), "{mode:?}");
+        assert_eq!(run("never", mixed), Some(0), "{mode:?}");
+    }
+
+    // The report itself is unaffected by the threshold.
+    let loud = cundef(&["examples/unsequenced.c"]);
+    let demoted = cundef(&["--fail-on", "never", "examples/unsequenced.c"]);
+    assert_eq!(stdout_of(&loud), stdout_of(&demoted));
+    assert_eq!(stderr_of(&loud), stderr_of(&demoted));
+
+    // Usage errors are never demoted — they always exit 2.
+    assert_eq!(
+        cundef(&["--fail-on", "never", "--nonsense"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        cundef(&["--fail-on", "warnings", "examples/defined.c"])
+            .status
+            .code(),
+        Some(2),
+        "unknown threshold is a usage error"
+    );
+}
+
+/// `--batch` checks duplicate paths once and replays the result: the
+/// output is byte-identical to the sequential run over the same
+/// (repeated) inputs, in every format.
+#[test]
+fn batch_dedups_duplicate_paths() {
+    let files = [
+        "examples/unsequenced.c",
+        "examples/defined.c",
+        "examples/unsequenced.c",
+        "examples/unsequenced.c",
+        "examples/defined.c",
+    ];
+    for format in ["human", "json", "sarif"] {
+        let mut sequential = vec!["--format", format];
+        sequential.extend(files);
+        let mut batch = vec!["--batch", "--format", format];
+        batch.extend(files);
+        let seq_out = cundef(&sequential);
+        let batch_out = cundef(&batch);
+        assert_eq!(
+            stdout_of(&seq_out),
+            stdout_of(&batch_out),
+            "format {format}: dedup replay must be byte-identical"
+        );
+        assert_eq!(seq_out.status.code(), batch_out.status.code());
+    }
+}
+
 // --------------------------------------------------------------------
 // Cross-format parity
 // --------------------------------------------------------------------

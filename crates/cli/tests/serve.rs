@@ -1,0 +1,381 @@
+//! End-to-end tests of `cundef serve` over the stdin-JSONL transport.
+//!
+//! The daemon's contract: a serve response's rendered bytes are
+//! **byte-identical** to what a one-shot `cundef` run prints for the
+//! same file and options — in every format, for both engines, whether
+//! the answer came from a cold check, a warm unit reuse, or a full
+//! cache hit. These tests pin that contract over the whole example
+//! corpus, plus the cache semantics themselves: repeats hit, one-byte
+//! mutations invalidate, option fingerprints never cross-contaminate,
+//! and eviction under a tiny capacity changes performance, not answers.
+//!
+//! Cache-outcome assertions run the daemon with `--jobs 1`: with
+//! parallel workers two identical in-flight requests can race to a
+//! double miss (benign — both compute the same bytes), so outcome
+//! labels are only deterministic single-threaded.
+
+use cundef_ub::json::Json;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn cundef(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cundef"))
+        .current_dir(workspace_root())
+        .args(args)
+        .output()
+        .expect("binary should run")
+}
+
+/// Run `cundef serve` with `args`, feed `input` JSONL on stdin, and
+/// return the response lines (the trailing shutdown line included).
+fn serve(args: &[&str], input: &str) -> Vec<Json> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cundef"))
+        .current_dir(workspace_root())
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon should spawn");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("daemon should exit");
+    assert_eq!(out.status.code(), Some(0), "daemon exit: {out:?}");
+    String::from_utf8(out.stdout)
+        .expect("stdout is UTF-8")
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|| panic!("response line is JSON: {l}")))
+        .collect()
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> &'a Json {
+    v.get(key)
+        .unwrap_or_else(|| panic!("field `{key}` in {v:?}"))
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> &'a str {
+    field(v, key).as_str().expect("string field")
+}
+
+fn num_field(v: &Json, key: &str) -> u64 {
+    field(v, key).as_f64().expect("number field") as u64
+}
+
+/// Every `examples/*.c`, workspace-relative, sorted.
+fn all_examples() -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(workspace_root().join("examples"))
+        .expect("examples/ exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".c").then(|| format!("examples/{name}"))
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() > 20, "expected the full example corpus");
+    files
+}
+
+// --------------------------------------------------------------------
+// Parity: serve responses == one-shot output, everywhere
+// --------------------------------------------------------------------
+
+/// Over every example and every format, a serve response carries
+/// exactly the stdout, stderr, and exit code of a one-shot run — both
+/// cold and as a cache hit.
+#[test]
+fn serve_parity_all_examples_all_formats() {
+    let examples = all_examples();
+    let mut input = String::new();
+    let mut expected = Vec::new();
+    for format in ["human", "json", "sarif"] {
+        for file in &examples {
+            // Two passes per (file, format): the second must answer
+            // from the cache with the same bytes.
+            for _ in 0..2 {
+                input.push_str(&format!(
+                    "{{\"path\": \"{file}\", \"format\": \"{format}\"}}\n"
+                ));
+            }
+            expected.push((file.clone(), format, cundef(&["--format", format, file])));
+        }
+    }
+    input.push_str("{\"cmd\": \"shutdown\"}\n");
+    let responses = serve(&["--jobs", "1"], &input);
+    assert_eq!(responses.len(), examples.len() * 3 * 2 + 1);
+    for (i, (file, format, one_shot)) in expected.iter().enumerate() {
+        let cold = &responses[i * 2];
+        let warm = &responses[i * 2 + 1];
+        let want_stdout = String::from_utf8(one_shot.stdout.clone()).unwrap();
+        let want_stderr = String::from_utf8(one_shot.stderr.clone()).unwrap();
+        let want_exit = one_shot.status.code().expect("one-shot exit") as u64;
+        for (pass, resp) in [("cold", cold), ("warm", warm)] {
+            assert_eq!(
+                str_field(resp, "stdout"),
+                want_stdout,
+                "{file} ({format}, {pass}) stdout diverges from one-shot"
+            );
+            assert_eq!(
+                str_field(resp, "stderr"),
+                want_stderr,
+                "{file} ({format}, {pass}) stderr diverges from one-shot"
+            );
+            assert_eq!(
+                num_field(resp, "exit"),
+                want_exit,
+                "{file} ({format}, {pass})"
+            );
+        }
+        assert_eq!(
+            str_field(warm, "cache"),
+            "hit",
+            "{file} ({format}) warm pass"
+        );
+    }
+}
+
+/// Engine choice is part of the cache fingerprint: the same file under
+/// `tree` after `bytecode` is a warm unit reuse (never a cross-engine
+/// result hit), and both render the engine-parity bytes.
+#[test]
+fn serve_engine_fingerprint_isolation() {
+    let input = "\
+        {\"path\": \"examples/unsequenced.c\", \"engine\": \"bytecode\"}\n\
+        {\"path\": \"examples/unsequenced.c\", \"engine\": \"tree\"}\n\
+        {\"cmd\": \"shutdown\"}\n";
+    let responses = serve(&["--jobs", "1"], input);
+    assert_eq!(str_field(&responses[0], "cache"), "miss");
+    assert_eq!(
+        str_field(&responses[1], "cache"),
+        "warm",
+        "same content, new options: frontend skipped, check re-run"
+    );
+    assert_eq!(
+        str_field(&responses[0], "stdout"),
+        str_field(&responses[1], "stdout"),
+        "engine parity holds through the service path"
+    );
+}
+
+/// `--phase` is fingerprinted too, and each response matches the
+/// corresponding one-shot phase run byte for byte.
+#[test]
+fn serve_phase_fingerprint_isolation() {
+    let file = "examples/unsequenced.c";
+    let input = format!(
+        "{{\"path\": \"{file}\", \"phase\": \"translation\"}}\n\
+         {{\"path\": \"{file}\"}}\n\
+         {{\"path\": \"{file}\", \"phase\": \"translation\"}}\n\
+         {{\"cmd\": \"shutdown\"}}\n"
+    );
+    let responses = serve(&["--jobs", "1"], &input);
+    let translation = cundef(&["--phase", "translation", file]);
+    let full = cundef(&[file]);
+    assert_eq!(
+        str_field(&responses[0], "stdout"),
+        String::from_utf8(translation.stdout).unwrap()
+    );
+    assert_eq!(
+        str_field(&responses[1], "stdout"),
+        String::from_utf8(full.stdout).unwrap()
+    );
+    // Different fingerprints never cross-contaminate: the translation
+    // result was cached under its own key and replays as a hit, while
+    // the default-phase request in between was a separate entry.
+    assert_eq!(str_field(&responses[0], "cache"), "miss");
+    assert_eq!(str_field(&responses[1], "cache"), "warm");
+    assert_eq!(str_field(&responses[2], "cache"), "hit");
+    assert_eq!(
+        str_field(&responses[0], "stdout"),
+        str_field(&responses[2], "stdout")
+    );
+}
+
+// --------------------------------------------------------------------
+// Cache semantics
+// --------------------------------------------------------------------
+
+/// A one-byte mutation of inline source invalidates: the mutated
+/// request misses and reports its own (different) verdict.
+#[test]
+fn serve_mutation_invalidates() {
+    let input = "\
+        {\"source\": \"int main(void) { return 0; }\", \"path\": \"a.c\"}\n\
+        {\"source\": \"int main(void) { return 1; }\", \"path\": \"a.c\"}\n\
+        {\"source\": \"int main(void) { return 0; }\", \"path\": \"a.c\"}\n\
+        {\"cmd\": \"shutdown\"}\n";
+    let responses = serve(&["--jobs", "1"], input);
+    assert_eq!(str_field(&responses[0], "cache"), "miss");
+    assert_eq!(
+        str_field(&responses[1], "cache"),
+        "miss",
+        "one changed byte must flip the content hash"
+    );
+    assert_eq!(str_field(&responses[2], "cache"), "hit");
+    assert!(str_field(&responses[0], "stdout").contains("program returned 0"));
+    assert!(str_field(&responses[1], "stdout").contains("program returned 1"));
+    assert_eq!(
+        str_field(&responses[0], "stdout"),
+        str_field(&responses[2], "stdout")
+    );
+}
+
+/// The same bytes under a different label replay from the cache, with
+/// the response rendered under the *request's* path.
+#[test]
+fn serve_hit_rewrites_path() {
+    let input = "\
+        {\"source\": \"int main(void) { return 7; }\", \"path\": \"first.c\"}\n\
+        {\"source\": \"int main(void) { return 7; }\", \"path\": \"second.c\"}\n\
+        {\"cmd\": \"shutdown\"}\n";
+    let responses = serve(&["--jobs", "1"], input);
+    assert_eq!(str_field(&responses[1], "cache"), "hit");
+    assert!(str_field(&responses[0], "stdout").starts_with("first.c:"));
+    assert!(str_field(&responses[1], "stdout").starts_with("second.c:"));
+}
+
+/// Under `--cache-capacity 1`, alternating files evict each other —
+/// every request misses, and the answers stay byte-identical.
+#[test]
+fn serve_eviction_stays_correct() {
+    let a = "examples/defined.c";
+    let b = "examples/unsequenced.c";
+    let input = format!(
+        "{{\"path\": \"{a}\"}}\n{{\"path\": \"{b}\"}}\n{{\"path\": \"{a}\"}}\n\
+         {{\"path\": \"{b}\"}}\n{{\"cmd\": \"stats\"}}\n{{\"cmd\": \"shutdown\"}}\n"
+    );
+    let responses = serve(&["--jobs", "1", "--cache-capacity", "1"], &input);
+    for (i, want) in ["miss", "miss", "miss", "miss"].iter().enumerate() {
+        assert_eq!(str_field(&responses[i], "cache"), *want, "request {i}");
+    }
+    assert_eq!(
+        str_field(&responses[0], "stdout"),
+        str_field(&responses[2], "stdout"),
+        "evicted-and-recomputed result is byte-identical"
+    );
+    assert_eq!(
+        str_field(&responses[1], "stdout"),
+        str_field(&responses[3], "stdout")
+    );
+    let stats = &responses[4];
+    let results = field(stats, "results");
+    assert_eq!(num_field(results, "entries"), 1);
+    assert_eq!(num_field(results, "capacity"), 1);
+    assert!(
+        num_field(results, "evictions") >= 2,
+        "tiny cache must evict"
+    );
+}
+
+/// `{"cmd": "stats"}` is a barrier: it reflects exactly the requests
+/// that preceded it on stdin, so counters are deterministic.
+#[test]
+fn serve_stats_deterministic() {
+    let input = "\
+        {\"path\": \"examples/defined.c\"}\n\
+        {\"path\": \"examples/defined.c\"}\n\
+        {\"path\": \"examples/unsequenced.c\"}\n\
+        {\"cmd\": \"stats\"}\n\
+        {\"cmd\": \"shutdown\"}\n";
+    let responses = serve(&["--jobs", "1"], input);
+    let stats = &responses[3];
+    assert_eq!(str_field(stats, "type"), "stats");
+    assert_eq!(num_field(stats, "requests"), 3);
+    assert_eq!(num_field(stats, "full_hits"), 1);
+    assert_eq!(num_field(stats, "cold_misses"), 2);
+    assert_eq!(num_field(stats, "uncached"), 0);
+}
+
+// --------------------------------------------------------------------
+// Per-request fail_on, error envelopes
+// --------------------------------------------------------------------
+
+/// `fail_on` maps the same verdict to different exit codes without
+/// touching the rendered report.
+#[test]
+fn serve_fail_on_thresholds() {
+    let file = "examples/unsequenced.c"; // undefined
+    let input = format!(
+        "{{\"path\": \"{file}\"}}\n\
+         {{\"path\": \"{file}\", \"fail_on\": \"error\"}}\n\
+         {{\"path\": \"{file}\", \"fail_on\": \"never\"}}\n\
+         {{\"path\": \"no/such/file.c\"}}\n\
+         {{\"path\": \"no/such/file.c\", \"fail_on\": \"never\"}}\n\
+         {{\"cmd\": \"shutdown\"}}\n"
+    );
+    let responses = serve(&["--jobs", "1"], &input);
+    assert_eq!(str_field(&responses[0], "verdict"), "undefined");
+    assert_eq!(num_field(&responses[0], "exit"), 1);
+    assert_eq!(
+        num_field(&responses[1], "exit"),
+        0,
+        "fail_on=error demotes UB"
+    );
+    assert_eq!(num_field(&responses[2], "exit"), 0);
+    assert_eq!(
+        str_field(&responses[0], "stdout"),
+        str_field(&responses[1], "stdout"),
+        "fail_on changes the exit code, never the report"
+    );
+    assert_eq!(str_field(&responses[3], "verdict"), "error");
+    assert_eq!(num_field(&responses[3], "exit"), 2);
+    assert_eq!(str_field(&responses[3], "cache"), "uncached");
+    assert_eq!(num_field(&responses[4], "exit"), 0);
+}
+
+/// Malformed lines and unknown commands get error envelopes; the
+/// daemon keeps serving afterwards.
+#[test]
+fn serve_error_envelopes() {
+    let input = "\
+        this is not json\n\
+        {\"cmd\": \"frobnicate\"}\n\
+        {\"id\": 9}\n\
+        {\"path\": \"examples/defined.c\", \"id\": 10}\n\
+        {\"cmd\": \"shutdown\"}\n";
+    let responses = serve(&["--jobs", "1"], input);
+    assert_eq!(str_field(&responses[0], "type"), "error");
+    assert_eq!(str_field(&responses[1], "type"), "error");
+    assert_eq!(str_field(&responses[2], "type"), "error");
+    assert_eq!(num_field(&responses[2], "id"), 9, "id echoes on errors");
+    assert_eq!(str_field(&responses[3], "type"), "response");
+    assert_eq!(num_field(&responses[3], "id"), 10);
+    assert_eq!(str_field(&responses[3], "verdict"), "defined");
+}
+
+/// Responses come back in request order even when many requests are in
+/// flight across parallel workers.
+#[test]
+fn serve_responses_in_request_order() {
+    let mut input = String::new();
+    for i in 0..40 {
+        let file = if i % 2 == 0 {
+            "examples/defined.c"
+        } else {
+            "examples/unsequenced.c"
+        };
+        input.push_str(&format!("{{\"path\": \"{file}\", \"id\": {i}}}\n"));
+    }
+    input.push_str("{\"cmd\": \"shutdown\"}\n");
+    let responses = serve(&["--jobs", "4"], &input);
+    assert_eq!(responses.len(), 41);
+    for (i, resp) in responses[..40].iter().enumerate() {
+        assert_eq!(num_field(resp, "id"), i as u64, "response {i} out of order");
+        let want = if i % 2 == 0 { "defined" } else { "undefined" };
+        assert_eq!(str_field(resp, "verdict"), want);
+    }
+}
